@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows/series to ``benchmarks/results/<name>.txt``
+(they are also attached to pytest-benchmark's ``extra_info`` so they
+appear in ``--benchmark-json`` output).
+
+Scale: by default simulations run scaled-down durations so the whole
+suite finishes in minutes; set ``REPRO_FULL=1`` for paper-scale runs
+(tens of simulated seconds per cell, hours of wall time).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-scale vs quick-scale simulated durations (seconds).
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+def sim_seconds(quick: float, full: float) -> float:
+    return full if FULL_SCALE else quick
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    yield
+
+
+def publish(name: str, text: str, benchmark=None) -> None:
+    """Write a reproduced table/figure to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["reproduction"] = text
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but measurements that justify its design
+decisions with data from this reproduction:
+
+* worst-fit vs first-fit partitioning (Sec. 5 chooses WFD for even load);
+* the slice table's O(1) lookup vs binary search (Sec. 6's "O(1)
+  dispatch" argument);
+* the divisor-constrained period set vs unconstrained maximal periods
+  (Sec. 5's "bounding table lengths");
+* the second-level scheduler on vs off (Sec. 4's work-conservation).
+"""
+
+import random
+
+import pytest
+
+from conftest import publish, sim_seconds
+
+from repro.core import (
+    MS,
+    Planner,
+    first_fit_decreasing,
+    make_vm,
+    select_period,
+    worst_fit_decreasing,
+)
+from repro.core.periods import all_divisors, hyperperiod_of
+from repro.core.tasks import PeriodicTask
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform, xeon_16core
+from repro.workloads import CpuHog, IoLoop
+
+
+def random_tasks(count, seed):
+    rng = random.Random(seed)
+    tasks = []
+    for i in range(count):
+        period = 1_000_000
+        utilization = rng.uniform(0.1, 0.6)
+        tasks.append(
+            PeriodicTask(name=f"t{i}", cost=int(utilization * period), period=period)
+        )
+    return tasks
+
+
+def test_ablation_wfd_spreads_load_better_than_ffd(benchmark):
+    def spread_gap():
+        wfd_spread, ffd_spread = 0.0, 0.0
+        for seed in range(30):
+            tasks = random_tasks(12, seed)
+            cores = list(range(6))
+            wfd_spread += worst_fit_decreasing(tasks, cores).spread()
+            ffd_spread += first_fit_decreasing(tasks, cores).spread()
+        return wfd_spread / 30, ffd_spread / 30
+
+    wfd, ffd = benchmark(spread_gap)
+    publish(
+        "ablation_partitioning",
+        f"mean max-min core load: WFD {wfd:.3f} vs FFD {ffd:.3f}",
+        benchmark,
+    )
+    assert wfd < ffd  # the paper's rationale for worst-fit
+
+
+def test_ablation_slice_lookup_is_o1(benchmark):
+    """Slice-table lookups cost the same on small and large tables."""
+    plan_small = Planner(uniform(1)).plan(
+        [make_vm(f"vm{i}", 0.2, 100 * MS) for i in range(4)]
+    )
+    plan_large = Planner(uniform(1)).plan(
+        [make_vm(f"vm{i}", 0.2, 1 * MS) for i in range(4)]
+    )
+    small_table = plan_small.table.cores[0]
+    large_table = plan_large.table.cores[0]
+    assert len(large_table.allocations) > 5 * len(small_table.allocations)
+
+    points = list(range(0, 102_702_600, 1_027_027))
+
+    def lookup_all(table):
+        for t in points:
+            table.lookup(t)
+
+    benchmark(lookup_all, large_table)
+    # O(1): the time per lookup must not scale with allocation count;
+    # pytest-benchmark records it, and a generous absolute bound guards
+    # against accidental linear scans.
+    assert benchmark.stats["mean"] / len(points) < 50e-6
+
+
+def test_ablation_unconstrained_periods_explode_hyperperiod(benchmark):
+    """Sec. 5: picking maximal periods per-vCPU (instead of divisors of
+    the fixed hyperperiod) can yield astronomically long tables."""
+
+    def compare():
+        rng = random.Random(7)
+        constrained, unconstrained = [], []
+        for _ in range(40):
+            utilization = rng.uniform(0.1, 0.9)
+            latency = rng.randint(1 * MS, 100 * MS)
+            constrained.append(select_period(utilization, latency))
+            # Unconstrained: the exact latency-derived bound.
+            unconstrained.append(
+                max(100_000, int(latency / (2 * (1 - utilization))))
+            )
+        return hyperperiod_of(constrained), hyperperiod_of(unconstrained)
+
+    constrained_h, unconstrained_h = benchmark(compare)
+    publish(
+        "ablation_hyperperiod",
+        f"table length: divisor-constrained {constrained_h / 1e6:.1f} ms vs "
+        f"unconstrained {unconstrained_h / 1e6:.3e} ms",
+        benchmark,
+    )
+    assert constrained_h <= 102_702_600
+    assert unconstrained_h > 1_000 * constrained_h
+
+
+def test_ablation_second_level_scheduler_value(benchmark):
+    """Work conservation: disabling the L2 scheduler strands idle cycles
+    (the paper's justification for the two-level design, Sec. 4)."""
+    duration = int(sim_seconds(quick=0.5, full=10.0) * 1e9)
+
+    def run(work_conserving):
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS) for i in range(8)]
+        plan = Planner(uniform(2)).plan(vms)
+        sched = TableauScheduler(plan.table, work_conserving=work_conserving)
+        machine = Machine(uniform(2), sched, seed=1)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog()))
+        for i in range(1, 8):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", IoLoop()))
+        machine.run(duration)
+        return machine.utilization_of("vm0.vcpu0")
+
+    with_l2, without_l2 = benchmark.pedantic(
+        lambda: (run(True), run(False)), rounds=1, iterations=1
+    )
+    publish(
+        "ablation_second_level",
+        f"hog utilization: L2 on {with_l2:.3f} vs off {without_l2:.3f}",
+        benchmark,
+    )
+    assert without_l2 == pytest.approx(0.25, abs=0.02)  # naive table only
+    assert with_l2 > without_l2 + 0.15  # L2 harvests idle slots

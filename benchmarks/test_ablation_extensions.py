@@ -1,0 +1,91 @@
+"""Benchmarks for the paper's suggested extensions (Secs. 5, 7.1, 7.5).
+
+Quantifies what each optional pass buys: the peephole pass's preemption
+reduction, the table cache's speedup for tier-based clouds, and the cost
+of split compensation.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.core import MS, Planner, TableCache, make_vm
+from repro.topology import uniform, xeon_16core
+
+
+def mixed_latency_vms():
+    """Mixed latency goals -> mixed periods -> EDF preemptions to remove."""
+    vms = []
+    for i in range(4):
+        vms.append(make_vm(f"tight{i}", 0.2, 2 * MS))
+        vms.append(make_vm(f"loose{i}", 0.5, 100 * MS))
+    return vms
+
+
+def test_ablation_peephole_pass(benchmark):
+    vms = mixed_latency_vms()
+
+    def run():
+        return Planner(uniform(4), peephole=True).plan(vms)
+
+    result = benchmark(run)
+    report = result.stats.peephole
+    publish(
+        "ablation_peephole",
+        f"preemptions per table cycle: {report.preemptions_before} -> "
+        f"{report.preemptions_after} ({report.swaps_applied} swaps applied, "
+        f"{report.swaps_rejected} rejected by deadline validation)",
+        benchmark,
+    )
+    assert report.preemptions_after <= report.preemptions_before
+
+
+def test_ablation_table_cache_speedup(benchmark):
+    """A tier-based cloud replans same-shape censuses constantly; the
+    cache turns those replans into O(table) renames (Sec. 7.1)."""
+    planner = Planner(xeon_16core())
+    cache = TableCache(planner)
+    shapes = [
+        [make_vm(f"gen{g}vm{i}", 0.25, 20 * MS) for i in range(48)]
+        for g in range(6)
+    ]
+    from repro.core.params import flatten_vcpus
+
+    cache.plan(flatten_vcpus(shapes[0]))  # warm the cache
+
+    def churn():
+        for census in shapes[1:]:
+            cache.plan(flatten_vcpus(census))
+
+    benchmark(churn)
+    publish(
+        "ablation_table_cache",
+        f"cache hit rate over a 6-generation churn: "
+        f"{cache.stats.hit_rate:.0%} (cold plan avoided on every hit)",
+        benchmark,
+    )
+    assert cache.stats.hit_rate > 0.5
+
+
+def test_ablation_split_compensation_cost(benchmark):
+    """Compensating a split vCPU costs the pool a few percent of one
+    core — the price Sec. 7.5 says makes migration overhead fair."""
+    vms = [make_vm(f"vm{i}", 0.6, 100 * MS) for i in range(3)]
+
+    def run():
+        plain = Planner(uniform(2)).plan(vms)
+        compensated = Planner(uniform(2), split_compensation=0.05).plan(vms)
+        return plain, compensated
+
+    plain, compensated = benchmark.pedantic(run, rounds=1, iterations=1)
+    victim = compensated.stats.compensated_vcpus[0]
+    extra = (
+        compensated.vcpus[victim].utilization - plain.vcpus[victim].utilization
+    )
+    publish(
+        "ablation_split_compensation",
+        f"split vCPU {victim} compensated by {extra:.3f} of a core "
+        f"(5% of its reservation)",
+        benchmark,
+    )
+    assert extra == pytest.approx(0.03, abs=0.005)

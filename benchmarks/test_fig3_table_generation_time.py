@@ -1,0 +1,58 @@
+"""Fig. 3: table-generation time vs number of VMs.
+
+Paper setup: 48-core Xeon, four cores for dom0, up to four VMs per
+remaining core (176 VMs max), every VM at one of four latency goals
+(1, 30, 60, 100 ms).  Claim: generation time never exceeds two seconds,
+with the 1 ms goal the slowest curve.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.core import MS, Planner, make_vm
+from repro.experiments import LATENCY_GOALS_MS
+from repro.topology import xeon_48core
+
+TOPOLOGY = xeon_48core()
+VM_COUNTS = (44, 88, 132, 176)
+
+
+def _vms(count, latency_ms):
+    return [make_vm(f"vm{i:03d}", 0.25, latency_ms * MS) for i in range(count)]
+
+
+@pytest.mark.parametrize("latency_ms", LATENCY_GOALS_MS)
+def test_fig3_generation_time(benchmark, latency_ms):
+    """Benchmark the planner at the paper's largest census per curve."""
+    planner = Planner(TOPOLOGY)
+    vms = _vms(176, latency_ms)
+    result = benchmark(planner.plan, vms)
+    assert result.stats.method == "partitioned"
+    # The paper's bound: under two seconds even for the worst case.
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_fig3_full_curves(benchmark):
+    """Regenerate the full Fig. 3 series (all curves, all VM counts)."""
+    planner = Planner(TOPOLOGY)
+
+    def sweep():
+        rows = []
+        for latency_ms in LATENCY_GOALS_MS:
+            for count in VM_COUNTS:
+                result = planner.plan(_vms(count, latency_ms))
+                rows.append(
+                    (latency_ms, count, result.stats.generation_seconds)
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'L (ms)':>7s} {'VMs':>5s} {'generation (s)':>15s}"]
+    for latency_ms, count, seconds in rows:
+        lines.append(f"{latency_ms:7d} {count:5d} {seconds:15.3f}")
+        assert seconds < 2.0, "paper bound: table generation under 2 s"
+    # Shape: the 1 ms curve is the slowest at max census.
+    by_goal = {lm: s for lm, c, s in rows if c == 176}
+    assert by_goal[1] == max(by_goal.values())
+    publish("fig3_table_generation_time", "\n".join(lines), benchmark)

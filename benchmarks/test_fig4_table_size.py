@@ -1,0 +1,61 @@
+"""Fig. 4: serialized table size vs number of VMs.
+
+Claim: memory overhead stays below ~1.2 MiB, reached only in the most
+demanding configuration (176 VMs, all with a 1 ms latency goal); the
+30/60/100 ms curves are far smaller and nearly overlap.
+"""
+
+import pytest
+
+from conftest import publish
+
+from repro.core import MS, Planner, make_vm, serialize
+from repro.experiments import LATENCY_GOALS_MS
+from repro.topology import xeon_48core
+
+TOPOLOGY = xeon_48core()
+VM_COUNTS = (44, 88, 132, 176)
+MIB = 1024 * 1024
+
+
+def _plan(count, latency_ms, planner=None):
+    planner = planner or Planner(TOPOLOGY)
+    vms = [make_vm(f"vm{i:03d}", 0.25, latency_ms * MS) for i in range(count)]
+    return planner.plan(vms)
+
+
+def test_fig4_serialization_speed(benchmark):
+    """Compiling the worst-case table to the binary format is fast."""
+    plan = _plan(176, 1)
+    payload = benchmark(serialize, plan.table)
+    assert len(payload) > 0
+
+
+def test_fig4_table_sizes(benchmark):
+    """Regenerate the Fig. 4 series and check the paper's bounds."""
+    planner = Planner(TOPOLOGY)
+
+    def sweep():
+        rows = []
+        for latency_ms in LATENCY_GOALS_MS:
+            for count in VM_COUNTS:
+                plan = _plan(count, latency_ms, planner)
+                rows.append((latency_ms, count, plan.stats.table_bytes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'L (ms)':>7s} {'VMs':>5s} {'size (MiB)':>11s}"]
+    for latency_ms, count, size in rows:
+        lines.append(f"{latency_ms:7d} {count:5d} {size / MIB:11.3f}")
+    publish("fig4_table_size", "\n".join(lines), benchmark)
+
+    sizes = {(lm, c): s for lm, c, s in rows}
+    # Paper bound: all below ~1.2 MiB.
+    assert max(sizes.values()) < 1.3 * MIB
+    # Shape: the 1 ms curve clearly dominates the others...
+    assert sizes[(1, 176)] > 3 * sizes[(30, 176)]
+    # ...which overlap at a much smaller size.
+    others = [sizes[(lm, 176)] for lm in (30, 60, 100)]
+    assert max(others) < 0.2 * MIB
+    # And size grows with the VM census on the dominant curve.
+    assert sizes[(1, 176)] > sizes[(1, 88)] > sizes[(1, 44)]

@@ -1,0 +1,84 @@
+"""Microbenchmarks of the planner's building blocks.
+
+Not a paper figure; establishes where table-generation time goes (the
+paper suggests "tables can be incrementally re-computed" and "a
+low-level language" as future optimizations — these numbers show what
+those would buy).
+"""
+
+import pytest
+
+from repro.core import (
+    MS,
+    Planner,
+    deserialize,
+    make_vm,
+    semi_partition,
+    serialize,
+    simulate_edf,
+    worst_fit_decreasing,
+)
+from repro.core.schedulability import edf_schedulable
+from repro.core.tasks import PeriodicTask, vcpus_to_tasks
+from repro.core.params import flatten_vcpus
+from repro.topology import xeon_16core
+
+HYPERPERIOD = 102_702_600
+
+
+def paper_tasks():
+    vms = [make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(48)]
+    return vcpus_to_tasks(flatten_vcpus(vms))
+
+
+def test_bench_vcpu_mapping(benchmark):
+    vms = [make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(48)]
+    vcpus = flatten_vcpus(vms)
+    benchmark(vcpus_to_tasks, vcpus)
+
+
+def test_bench_partitioning(benchmark):
+    tasks = paper_tasks()
+    result = benchmark(worst_fit_decreasing, tasks, list(range(12)))
+    assert result.success
+
+
+def test_bench_edf_simulation_per_core(benchmark):
+    tasks = paper_tasks()[:4]  # one core's worth
+    table = benchmark(simulate_edf, tasks, HYPERPERIOD)
+    assert table.busy_ns > 0
+
+
+def test_bench_schedulability_test(benchmark):
+    tasks = paper_tasks()[:4]
+    assert benchmark(edf_schedulable, tasks, HYPERPERIOD)
+
+
+def test_bench_semi_partitioning_with_splits(benchmark):
+    period = 1_027_026
+    tasks = [
+        PeriodicTask(name=f"t{i}", cost=int(0.6 * period), period=period)
+        for i in range(3)
+    ]
+    result = benchmark(semi_partition, tasks, [0, 1], HYPERPERIOD)
+    assert result.success
+
+
+def test_bench_full_plan_16core(benchmark):
+    planner = Planner(xeon_16core())
+    vms = [make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(48)]
+    result = benchmark(planner.plan, vms)
+    assert result.stats.method == "partitioned"
+
+
+def test_bench_round_trip_serialization(benchmark):
+    plan = Planner(xeon_16core()).plan(
+        [make_vm(f"vm{i:02d}", 0.25, 1 * MS) for i in range(48)]
+    )
+    payload = serialize(plan.table)
+
+    def round_trip():
+        return deserialize(serialize(plan.table))
+
+    restored = benchmark(round_trip)
+    assert restored.length_ns == plan.table.length_ns

@@ -1,0 +1,67 @@
+"""Table 1: mean scheduler-operation overheads on the 16-core machine.
+
+Paper values (us): Credit 8.08/2.12/0.32, Credit2 3.51/5.19/5.55,
+RTDS 2.86/3.90/9.42, Tableau 1.43/1.06/0.43 (schedule/wakeup/migrate)
+under the I/O-intensive stress workload.  Headline: Tableau's schedule
+cost is ~5.6x below Credit, ~2.4x below Credit2, ~2x below RTDS.
+"""
+
+import pytest
+
+from conftest import publish, sim_seconds
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    format_table,
+    measure_overheads,
+)
+from repro.topology import xeon_16core
+
+DURATION_S = sim_seconds(quick=0.8, full=60.0)
+
+
+@pytest.mark.parametrize("scheduler", ["tableau", "credit", "credit2", "rtds"])
+def test_table1_overheads(benchmark, scheduler):
+    row = benchmark.pedantic(
+        measure_overheads,
+        args=(scheduler,),
+        kwargs={"topology": xeon_16core(), "duration_s": DURATION_S},
+        rounds=1,
+        iterations=1,
+    )
+    expected = PAPER_TABLE1[scheduler]
+    text = (
+        f"{scheduler}: schedule {row.schedule_us:.2f} us (paper "
+        f"{expected['schedule']:.2f}), wakeup {row.wakeup_us:.2f} us "
+        f"(paper {expected['wakeup']:.2f}), migrate {row.migrate_us:.2f} us "
+        f"(paper {expected['migrate']:.2f})"
+    )
+    publish(f"table1_{scheduler}", text, benchmark)
+    # Calibration tolerance: within 40% of every paper cell.
+    assert row.schedule_us == pytest.approx(expected["schedule"], rel=0.4)
+    assert row.wakeup_us == pytest.approx(expected["wakeup"], rel=0.4)
+    assert row.migrate_us == pytest.approx(expected["migrate"], rel=0.4)
+
+
+def test_table1_tableau_is_cheapest(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {
+            name: measure_overheads(name, xeon_16core(), DURATION_S)
+            for name in PAPER_TABLE1
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "table1_overheads_16core",
+        format_table(list(rows.values()), PAPER_TABLE1),
+        benchmark,
+    )
+    tableau = rows["tableau"]
+    # The paper's headline ratios, loosely: Tableau's schedule op is the
+    # cheapest by a wide margin.
+    assert rows["credit"].schedule_us / tableau.schedule_us > 4.0
+    assert rows["credit2"].schedule_us / tableau.schedule_us > 1.8
+    assert rows["rtds"].schedule_us / tableau.schedule_us > 1.5
+    # And its wakeup path beats everyone too.
+    assert tableau.wakeup_us == min(r.wakeup_us for r in rows.values())

@@ -1,0 +1,66 @@
+"""Table 2: scheduler-operation overheads on the 48-core, 4-socket box.
+
+The paper's point: RTDS's global runqueue lock "does not scale" — its
+mean migrate cost explodes to 168.62 us (from 9.42 us on 16 cores),
+while Tableau's core-local design rises only modestly (0.43 -> 0.66 us).
+"""
+
+import pytest
+
+from conftest import publish, sim_seconds
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    format_table,
+    measure_overheads,
+)
+from repro.topology import xeon_48core
+
+DURATION_S = sim_seconds(quick=0.35, full=60.0)
+
+
+def test_table2_overheads_48core(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {
+            name: measure_overheads(name, xeon_48core(), DURATION_S)
+            for name in PAPER_TABLE2
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "table2_overheads_48core",
+        format_table(list(rows.values()), PAPER_TABLE2),
+        benchmark,
+    )
+    tableau, rtds = rows["tableau"], rows["rtds"]
+    # Tableau stays cheap on the big machine (paper: 2.49/1.82/0.66 us).
+    assert tableau.schedule_us < 3.5
+    assert tableau.migrate_us < 1.0
+    # RTDS's migrate path collapses: far above its own 16-core value and
+    # the most expensive cell in the whole table by an order of magnitude.
+    assert rtds.migrate_us > 4 * PAPER_TABLE2["rtds"]["schedule"]
+    assert rtds.migrate_us == max(
+        r.migrate_us for r in rows.values()
+    )
+    assert rtds.migrate_us > 25.0  # paper: 168.62; we reproduce the blow-up
+
+
+def test_table2_credit_scales_worse_than_tableau(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {
+            name: measure_overheads(name, xeon_48core(), DURATION_S)
+            for name in ("credit", "tableau")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    credit, tableau = rows["credit"], rows["tableau"]
+    # Paper: Credit 16.40 us vs Tableau 2.49 us schedule cost at 48 cores.
+    assert credit.schedule_us / tableau.schedule_us > 4.0
+    publish(
+        "table2_credit_vs_tableau",
+        f"credit schedule {credit.schedule_us:.2f} us vs tableau "
+        f"{tableau.schedule_us:.2f} us",
+        benchmark,
+    )

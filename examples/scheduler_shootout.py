@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scheduler shootout: tail latency under high VM density (Figs. 5-6).
+
+Simulates the paper's 16-core machine with 48 VMs (four per guest core)
+under each scheduler and measures what the vantage VM experiences:
+worst-case scheduling delay (redis-cli --intrinsic-latency style) and
+ping round-trip latency, with an I/O-intensive background.
+
+Run:  python examples/scheduler_shootout.py  [--seconds 2.0]
+"""
+
+import argparse
+
+from repro.experiments import intrinsic_latency, ping_latency, schedulers_for
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seconds", type=float, default=2.0,
+        help="simulated seconds per measurement (default: 2.0)",
+    )
+    parser.add_argument(
+        "--background", choices=("none", "io", "cpu"), default="io",
+        help="background workload in the other 47 VMs (default: io)",
+    )
+    args = parser.parse_args()
+
+    for capped in (True, False):
+        mode = "capped" if capped else "uncapped"
+        print(f"\n=== {mode} VMs, background: {args.background} ===")
+        print(f"{'scheduler':>10s} {'max delay':>12s} {'avg ping':>12s} "
+              f"{'max ping':>12s}")
+        for scheduler in schedulers_for(capped):
+            delay = intrinsic_latency(
+                scheduler, capped, args.background, duration_s=args.seconds
+            )
+            ping = ping_latency(
+                scheduler, capped, args.background,
+                duration_s=args.seconds, pings_per_thread=100,
+            )
+            print(f"{scheduler:>10s} {delay.max_delay_ms:9.2f} ms "
+                  f"{ping.avg_ms:9.2f} ms {ping.max_ms:9.2f} ms")
+
+    print(
+        "\nReading the table: Tableau's max delay never exceeds the bound\n"
+        "derived from its scheduling table (~10 ms here, from the 20 ms\n"
+        "latency goal), no matter what the background does — that is the\n"
+        "paper's predictability claim.  Credit's heuristics produce far\n"
+        "larger and background-dependent tails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""SLA-aware web-serving throughput (the Fig. 7 experiment, one slice).
+
+Hosts an nginx-style HTTPS server in the vantage VM, sweeps the offered
+request rate with a wrk2-style constant-throughput client, and reports
+each scheduler's throughput-latency curve plus its SLA-aware peak
+(highest throughput with p99 latency under 100 ms).
+
+Run:  python examples/web_sla_throughput.py  [--size-kib 1] [--capped]
+"""
+
+import argparse
+
+from repro.experiments import SLA_P99_NS, sweep_rates, plan_for, schedulers_for
+from repro.metrics import compare_peaks
+from repro.topology import xeon_16core
+from repro.workloads import KIB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size-kib", type=int, default=1,
+                        help="response size in KiB (default: 1)")
+    parser.add_argument("--capped", action="store_true",
+                        help="hold VMs to their reservations")
+    parser.add_argument("--seconds", type=float, default=1.5,
+                        help="simulated seconds per operating point")
+    args = parser.parse_args()
+
+    size = args.size_kib * KIB
+    if args.size_kib <= 4:
+        rates = (400, 800, 1_200, 1_600, 2_000)
+    elif args.size_kib <= 256:
+        rates = (200, 400, 600, 800)
+    else:
+        rates = (20, 60, 100, 160)
+
+    plan = plan_for(xeon_16core(), 48, args.capped)
+    curves = []
+    for scheduler in schedulers_for(args.capped):
+        print(f"sweeping {scheduler} ...")
+        curves.append(
+            sweep_rates(
+                scheduler, rates, size,
+                capped=args.capped, background="io",
+                duration_s=args.seconds, plan=plan,
+            )
+        )
+
+    mode = "capped" if args.capped else "uncapped"
+    print(f"\n=== {args.size_kib} KiB files over HTTPS, {mode} VMs, "
+          f"I/O background ===")
+    print(f"{'sched':>9s} {'offered':>8s} {'achieved':>9s} "
+          f"{'mean':>9s} {'p99':>9s} {'max':>9s}   (latency in ms)")
+    for curve in curves:
+        for offered, achieved, mean_ms, p99_ms, max_ms in curve.rows():
+            print(f"{curve.label:>9s} {offered:8.0f} {achieved:9.1f} "
+                  f"{mean_ms:9.2f} {p99_ms:9.2f} {max_ms:9.2f}")
+
+    print("\nSLA-aware peak throughput (p99 <= 100 ms):")
+    for label, peak in compare_peaks(curves, SLA_P99_NS).items():
+        shown = f"{peak:,.0f} req/s" if peak is not None else "SLA never met"
+        print(f"  {label:>9s}: {shown}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

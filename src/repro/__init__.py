@@ -1,0 +1,46 @@
+"""Reproduction of *Tableau: A High-Throughput and Predictable VM
+Scheduler for High-Density Workloads* (Vanga, Gujarati, Brandenburg --
+EuroSys 2018).
+
+The library has three layers:
+
+* :mod:`repro.core` -- the Tableau planner: on-demand generation of cyclic
+  scheduling tables from per-vCPU (utilization, latency) reservations,
+  via partitioned EDF, C=D semi-partitioning, and DP-WRAP clustering.
+* :mod:`repro.sim`, :mod:`repro.schedulers`, :mod:`repro.workloads` -- a
+  discrete-event hypervisor simulator with faithful models of the
+  Tableau dispatcher and of Xen's Credit, Credit2, and RTDS schedulers,
+  plus the paper's workloads (stress, ping, redis intrinsic latency,
+  nginx/wrk2).
+* :mod:`repro.xen` -- a model of the Xen control plane: domain lifecycle,
+  the planner daemon, hypercall table pushes, and lock-free
+  time-synchronized table switches.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, topology
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    LatencyInfeasibleError,
+    PlanningError,
+    ReproError,
+    SimulationError,
+    TableFormatError,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ConfigurationError",
+    "LatencyInfeasibleError",
+    "PlanningError",
+    "ReproError",
+    "SimulationError",
+    "TableFormatError",
+    "core",
+    "topology",
+]

@@ -1,0 +1,24 @@
+"""Analysis helpers: tidy-data exporters and the claim-checklist report."""
+
+from repro.analysis.report import Claim, generate_report
+from repro.analysis.series import (
+    delay_rows,
+    overhead_rows,
+    ping_rows,
+    scaling_rows,
+    throughput_rows,
+    to_csv,
+    write_csv,
+)
+
+__all__ = [
+    "Claim",
+    "delay_rows",
+    "generate_report",
+    "overhead_rows",
+    "ping_rows",
+    "scaling_rows",
+    "throughput_rows",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,181 @@
+"""Reproduction report generator: the paper's claims, checked live.
+
+Runs a scaled-down version of every headline claim and renders a
+pass/fail checklist — the one-command answer to "does this reproduction
+actually reproduce?".  Used by ``tableau-repro report`` and by the
+final integration test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.core import MS, Planner, candidate_periods, make_vm
+from repro.experiments import (
+    PAPER_TABLE1,
+    intrinsic_latency,
+    measure_overheads,
+    measure_point,
+    run_web_load,
+)
+from repro.topology import xeon_16core
+from repro.workloads import KIB, MIB
+
+
+@dataclass
+class Claim:
+    """One checked claim: description, paper value, measured value."""
+
+    description: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+def _claim(description: str, paper: str, measured: str, passed: bool) -> Claim:
+    return Claim(description, paper, measured, passed)
+
+
+def check_planner_claims() -> List[Claim]:
+    claims: List[Claim] = []
+    periods = candidate_periods()
+    claims.append(
+        _claim(
+            "186 candidate periods above 100 us",
+            "186",
+            str(len(periods)),
+            len(periods) == 186,
+        )
+    )
+    plan = Planner(xeon_16core()).plan(
+        [make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(48)]
+    )
+    task = plan.task_of("vm00.vcpu0")
+    claims.append(
+        _claim(
+            "25%/20ms vCPU maps to ~3.2ms budget / ~13ms period",
+            "3.2 ms / 13 ms",
+            f"{task.cost / MS:.2f} ms / {task.period / MS:.2f} ms",
+            3.0 * MS < task.cost < 3.4 * MS and 12 * MS < task.period < 14 * MS,
+        )
+    )
+    blackout = plan.table.max_blackout_ns("vm00.vcpu0")
+    claims.append(
+        _claim(
+            "worst-case blackout within the 20 ms latency goal",
+            "<= 20 ms",
+            f"{blackout / MS:.2f} ms",
+            blackout <= 20 * MS,
+        )
+    )
+    point = measure_point(176, latency_ms=1)
+    claims.append(
+        _claim(
+            "176-VM / 1 ms table generated under 2 s",
+            "< 2 s",
+            f"{point.generation_s:.2f} s",
+            point.generation_s < 2.0,
+        )
+    )
+    claims.append(
+        _claim(
+            "worst table size about 1 MiB",
+            "<= 1.2 MiB",
+            f"{point.table_mib:.2f} MiB",
+            point.table_mib < 1.3,
+        )
+    )
+    return claims
+
+
+def check_runtime_claims(duration_s: float = 0.5) -> List[Claim]:
+    claims: List[Claim] = []
+    tableau = measure_overheads("tableau", duration_s=duration_s)
+    credit = measure_overheads("credit", duration_s=duration_s)
+    ratio = credit.schedule_us / tableau.schedule_us
+    claims.append(
+        _claim(
+            "Tableau schedule op ~5.6x cheaper than Credit (Table 1)",
+            "5.6x",
+            f"{ratio:.1f}x",
+            ratio > 4.0,
+        )
+    )
+    expected = PAPER_TABLE1["tableau"]
+    claims.append(
+        _claim(
+            "Tableau overheads match Table 1",
+            f"{expected['schedule']:.2f}/{expected['wakeup']:.2f}/"
+            f"{expected['migrate']:.2f} us",
+            f"{tableau.schedule_us:.2f}/{tableau.wakeup_us:.2f}/"
+            f"{tableau.migrate_us:.2f} us",
+            abs(tableau.schedule_us - expected["schedule"]) < 0.5,
+        )
+    )
+    delay = intrinsic_latency("tableau", True, "io", duration_s=duration_s)
+    claims.append(
+        _claim(
+            "Tableau max scheduling delay bounded by the table (Fig. 5)",
+            "~10 ms",
+            f"{delay.max_delay_ms:.2f} ms",
+            delay.max_delay_ms <= 10.5,
+        )
+    )
+    return claims
+
+
+def check_throughput_claims(duration_s: float = 1.0) -> List[Claim]:
+    claims: List[Claim] = []
+    result = run_web_load(
+        "tableau", 1_600, KIB, capped=True, background="io", duration_s=duration_s
+    )
+    claims.append(
+        _claim(
+            "Tableau sustains ~1,600 req/s at 1 KiB with flat p99 (Fig. 7)",
+            "1,600 req/s, p99 <= table bound",
+            f"{result.point.achieved_rate:.0f} req/s, "
+            f"p99 {result.point.latency.p99_ms:.1f} ms",
+            result.point.achieved_rate > 1_500
+            and result.point.latency.p99_ms < 15,
+        )
+    )
+    credit_1m = run_web_load(
+        "credit", 100, MIB, capped=True, background="io", duration_s=duration_s
+    )
+    tableau_1m = run_web_load(
+        "tableau", 100, MIB, capped=True, background="io", duration_s=duration_s
+    )
+    claims.append(
+        _claim(
+            "capped 1 MiB: Credit's p99 beats rigid Tableau (Fig. 7 g-i)",
+            "Credit < Tableau",
+            f"{credit_1m.point.latency.p99_ms:.1f} vs "
+            f"{tableau_1m.point.latency.p99_ms:.1f} ms",
+            credit_1m.point.latency.p99_ms < tableau_1m.point.latency.p99_ms,
+        )
+    )
+    return claims
+
+
+def generate_report(duration_s: float = 0.5) -> str:
+    """Run every claim check and render the pass/fail checklist."""
+    started = time.perf_counter()
+    claims: List[Claim] = []
+    claims.extend(check_planner_claims())
+    claims.extend(check_runtime_claims(duration_s))
+    claims.extend(check_throughput_claims(max(duration_s, 1.0)))
+
+    lines = ["Tableau reproduction — claim checklist", "=" * 72]
+    for claim in claims:
+        marker = "PASS" if claim.passed else "FAIL"
+        lines.append(f"[{marker}] {claim.description}")
+        lines.append(f"       paper: {claim.paper}   measured: {claim.measured}")
+    passed = sum(1 for c in claims if c.passed)
+    lines.append("=" * 72)
+    lines.append(
+        f"{passed}/{len(claims)} claims reproduced "
+        f"({time.perf_counter() - started:.1f} s wall time)"
+    )
+    return "\n".join(lines)

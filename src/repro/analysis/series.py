@@ -1,0 +1,126 @@
+"""Tidy-data exporters for the reproduced figures.
+
+Turns experiment results into flat row dictionaries and CSV files so the
+paper's figures can be re-plotted with any external tool.  Keeping the
+library plotting-free avoids a heavyweight dependency while making every
+series trivially consumable (pandas, gnuplot, spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.delay import DelayResult, PingResult
+from repro.experiments.overheads import OverheadRow
+from repro.experiments.planner_scaling import ScalingPoint
+from repro.metrics import ThroughputCurve
+
+Row = Dict[str, object]
+
+
+def overhead_rows(
+    rows: Sequence[OverheadRow], machine: str = "16core"
+) -> List[Row]:
+    """Table 1/2 as tidy rows: one row per (scheduler, operation)."""
+    out: List[Row] = []
+    for row in rows:
+        for operation, value in row.as_dict().items():
+            out.append(
+                {
+                    "machine": machine,
+                    "scheduler": row.scheduler,
+                    "operation": operation,
+                    "mean_us": value,
+                }
+            )
+    return out
+
+
+def scaling_rows(points: Sequence[ScalingPoint]) -> List[Row]:
+    """Figs. 3/4 as tidy rows."""
+    return [
+        {
+            "num_vms": p.num_vms,
+            "latency_ms": p.latency_ms,
+            "generation_s": p.generation_s,
+            "table_mib": p.table_mib,
+        }
+        for p in points
+    ]
+
+
+def delay_rows(results: Sequence[DelayResult]) -> List[Row]:
+    """Fig. 5 as tidy rows."""
+    return [
+        {
+            "scheduler": r.scheduler,
+            "capped": r.capped,
+            "background": r.background,
+            "max_delay_ms": r.max_delay_ms,
+            "mean_delay_ms": r.mean_delay_ms,
+        }
+        for r in results
+    ]
+
+
+def ping_rows(results: Sequence[PingResult]) -> List[Row]:
+    """Fig. 6 as tidy rows."""
+    return [
+        {
+            "scheduler": r.scheduler,
+            "capped": r.capped,
+            "background": r.background,
+            "avg_ms": r.avg_ms,
+            "max_ms": r.max_ms,
+            "samples": r.summary.count,
+        }
+        for r in results
+    ]
+
+
+def throughput_rows(
+    curves: Sequence[ThroughputCurve],
+    capped: bool,
+    size_bytes: int,
+    background: str,
+) -> List[Row]:
+    """Figs. 7/8 as tidy rows: one row per operating point."""
+    out: List[Row] = []
+    for curve in curves:
+        for offered, achieved, mean_ms, p99_ms, max_ms in curve.rows():
+            out.append(
+                {
+                    "scheduler": curve.label,
+                    "capped": capped,
+                    "background": background,
+                    "size_bytes": size_bytes,
+                    "offered_rps": offered,
+                    "achieved_rps": achieved,
+                    "mean_ms": mean_ms,
+                    "p99_ms": p99_ms,
+                    "max_ms": max_ms,
+                }
+            )
+    return out
+
+
+def to_csv(rows: Iterable[Row]) -> str:
+    """Render tidy rows as a CSV string (header from the first row)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(rows: Iterable[Row], path: str) -> int:
+    """Write tidy rows to ``path``; returns the number of data rows."""
+    rows = list(rows)
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(rows))
+    return len(rows)

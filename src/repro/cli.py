@@ -1,0 +1,203 @@
+"""Command-line interface: ``tableau-repro`` / ``python -m repro``.
+
+Subcommands map onto the paper's artifacts:
+
+* ``plan``      — generate and describe a scheduling table (Secs. 5-6);
+* ``overheads`` — reproduce Table 1 or 2;
+* ``delay``     — reproduce a Fig. 5/6 cell (intrinsic latency or ping);
+* ``web``       — reproduce a Fig. 7/8 operating point;
+* ``scaling``   — reproduce the Fig. 3/4 planner sweeps;
+* ``report``    — run the full claim checklist (paper vs. measured).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import MS, Planner, make_vm
+from repro.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_sweep,
+    format_table,
+    full_sweep,
+    intrinsic_latency,
+    overhead_table,
+    ping_latency,
+    run_web_load,
+    schedulers_for,
+)
+from repro.topology import Topology, uniform, xeon_16core, xeon_48core
+from repro.workloads import KIB
+
+
+def _topology(name: str) -> Topology:
+    if name == "16core":
+        return xeon_16core()
+    if name == "48core":
+        return xeon_48core()
+    return uniform(int(name))
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    topology = _topology(args.topology)
+    vms = [
+        make_vm(f"vm{i:03d}", args.utilization, int(args.latency_ms * MS))
+        for i in range(args.vms)
+    ]
+    result = Planner(topology).plan(vms)
+    stats = result.stats
+    print(
+        f"method={stats.method} generation={stats.generation_seconds * 1e3:.1f}ms "
+        f"table={stats.table_bytes / 1024:.1f}KiB splits={stats.split_tasks}"
+    )
+    task = result.task_of(vms[0].vcpus[0].name)
+    print(
+        f"per-vCPU reservation: {task.cost / MS:.3f}ms every "
+        f"{task.period / MS:.3f}ms; worst blackout "
+        f"{result.table.max_blackout_ns(task.name) / MS:.3f}ms "
+        f"(goal {args.latency_ms}ms)"
+    )
+    if args.verbose:
+        for cpu in sorted(result.table.cores):
+            table = result.table.cores[cpu]
+            print(f"  pCPU {cpu}: {len(table.allocations)} allocations, "
+                  f"{table.utilization:.1%} reserved")
+    return 0
+
+
+def cmd_overheads(args: argparse.Namespace) -> int:
+    topology = _topology(args.topology)
+    paper = PAPER_TABLE2 if topology.num_cores > 16 else PAPER_TABLE1
+    rows = overhead_table(topology, duration_s=args.seconds)
+    print(format_table(rows, paper))
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    capped = not args.uncapped
+    for scheduler in schedulers_for(capped):
+        if args.probe == "intrinsic":
+            result = intrinsic_latency(
+                scheduler, capped, args.background, duration_s=args.seconds
+            )
+            print(
+                f"{scheduler:>9s}: max {result.max_delay_ms:7.2f} ms, "
+                f"mean {result.mean_delay_ms:6.2f} ms"
+            )
+        else:
+            result = ping_latency(
+                scheduler, capped, args.background, duration_s=args.seconds
+            )
+            print(
+                f"{scheduler:>9s}: avg {result.avg_ms:7.2f} ms, "
+                f"max {result.max_ms:7.2f} ms"
+            )
+    return 0
+
+
+def cmd_web(args: argparse.Namespace) -> int:
+    capped = not args.uncapped
+    for scheduler in schedulers_for(capped):
+        result = run_web_load(
+            scheduler,
+            args.rate,
+            args.size_kib * KIB,
+            capped=capped,
+            background=args.background,
+            duration_s=args.seconds,
+        )
+        point = result.point
+        print(
+            f"{scheduler:>9s}: achieved {point.achieved_rate:8.1f} req/s, "
+            f"mean {point.latency.mean_ms:8.2f} ms, "
+            f"p99 {point.latency.p99_ms:8.2f} ms, "
+            f"NIC {result.nic_utilization:.1%}"
+        )
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    points = full_sweep(repetitions=args.repetitions)
+    print(format_sweep(points))
+    if args.csv:
+        from repro.analysis import scaling_rows, write_csv
+
+        count = write_csv(scaling_rows(points), args.csv)
+        print(f"wrote {count} rows to {args.csv}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_report
+
+    print(generate_report(duration_s=args.seconds))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tableau-repro",
+        description="Reproduction of Tableau (EuroSys 2018): table-driven "
+        "VM scheduling with guaranteed utilization and latency.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="generate a scheduling table")
+    plan.add_argument("--vms", type=int, default=48)
+    plan.add_argument("--utilization", type=float, default=0.25)
+    plan.add_argument("--latency-ms", type=float, default=20.0)
+    plan.add_argument("--topology", default="16core",
+                      help="16core | 48core | <n> (default: 16core)")
+    plan.add_argument("--verbose", action="store_true")
+    plan.set_defaults(func=cmd_plan)
+
+    overheads = sub.add_parser("overheads", help="reproduce Table 1/2")
+    overheads.add_argument("--topology", default="16core")
+    overheads.add_argument("--seconds", type=float, default=0.8)
+    overheads.set_defaults(func=cmd_overheads)
+
+    delay = sub.add_parser("delay", help="reproduce a Fig. 5/6 cell")
+    delay.add_argument("--probe", choices=("intrinsic", "ping"),
+                       default="intrinsic")
+    delay.add_argument("--background", choices=("none", "io", "cpu"),
+                       default="io")
+    delay.add_argument("--uncapped", action="store_true")
+    delay.add_argument("--seconds", type=float, default=1.5)
+    delay.set_defaults(func=cmd_delay)
+
+    web = sub.add_parser("web", help="reproduce a Fig. 7/8 point")
+    web.add_argument("--rate", type=float, default=800.0)
+    web.add_argument("--size-kib", type=int, default=1)
+    web.add_argument("--background", choices=("none", "io", "cpu"),
+                     default="io")
+    web.add_argument("--uncapped", action="store_true")
+    web.add_argument("--seconds", type=float, default=1.5)
+    web.set_defaults(func=cmd_web)
+
+    scaling = sub.add_parser("scaling", help="reproduce Figs. 3/4")
+    scaling.add_argument("--repetitions", type=int, default=1)
+    scaling.add_argument("--csv", default=None,
+                         help="also write the series to this CSV file")
+    scaling.set_defaults(func=cmd_scaling)
+
+    report = sub.add_parser(
+        "report", help="run the paper-vs-measured claim checklist"
+    )
+    report.add_argument("--seconds", type=float, default=0.5,
+                        help="simulated seconds per runtime measurement")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Admission control: reject infeasible VM sets before planning.
+
+The planner guarantees table generation succeeds for "any possible
+configuration of VMs that does not over-utilize the system" (Sec. 5).
+Over-utilization — or a latency goal below what the candidate-period set
+can express — is a misconfiguration that must be rejected up front, so
+the control plane can fail a VM-create request instead of degrading
+already-running tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.params import VCpuSpec
+from repro.core.periods import HYPERPERIOD_NS, MIN_PERIOD_NS, select_period
+from repro.errors import AdmissionError, LatencyInfeasibleError
+
+#: Utilization-sum tolerance absorbing integer-ns cost rounding.
+ADMISSION_EPSILON = 1e-6
+
+
+@dataclass
+class AdmissionReport:
+    """Outcome of an admission check.
+
+    ``dedicated`` lists vCPUs with U = 1 that will be pinned to their own
+    cores; ``shared_utilization`` is the load the remaining vCPUs place
+    on the remaining cores.
+    """
+
+    admitted: bool
+    num_cores: int
+    dedicated: List[str] = field(default_factory=list)
+    shared_utilization: float = 0.0
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def shared_cores(self) -> int:
+        return self.num_cores - len(self.dedicated)
+
+
+def check_admission(
+    vcpus: Sequence[VCpuSpec],
+    num_cores: int,
+    hyperperiod_ns: int = HYPERPERIOD_NS,
+    min_period_ns: int = MIN_PERIOD_NS,
+) -> AdmissionReport:
+    """Validate a vCPU set against a core budget without raising.
+
+    Checks, in order: every latency goal is expressible with some
+    candidate period; fully reserved (U = 1) vCPUs do not exhaust the
+    machine; and the remaining utilization fits on the remaining cores.
+    """
+    report = AdmissionReport(admitted=True, num_cores=num_cores)
+    if num_cores < 1:
+        report.admitted = False
+        report.reasons.append("no cores available")
+        return report
+
+    shared = 0.0
+    for vcpu in vcpus:
+        if vcpu.needs_dedicated_core:
+            report.dedicated.append(vcpu.name)
+            continue
+        shared += vcpu.utilization
+        try:
+            select_period(
+                vcpu.utilization,
+                vcpu.latency_ns,
+                hyperperiod_ns=hyperperiod_ns,
+                min_period_ns=min_period_ns,
+                strict=True,
+            )
+        except LatencyInfeasibleError as error:
+            report.admitted = False
+            report.reasons.append(str(error))
+    report.shared_utilization = shared
+
+    if len(report.dedicated) > num_cores:
+        report.admitted = False
+        report.reasons.append(
+            f"{len(report.dedicated)} dedicated vCPUs exceed {num_cores} cores"
+        )
+    elif shared > report.shared_cores + ADMISSION_EPSILON:
+        report.admitted = False
+        report.reasons.append(
+            f"shared utilization {shared:.4f} exceeds capacity of "
+            f"{report.shared_cores} non-dedicated cores"
+        )
+    return report
+
+
+def admit_or_raise(
+    vcpus: Sequence[VCpuSpec],
+    num_cores: int,
+    hyperperiod_ns: int = HYPERPERIOD_NS,
+    min_period_ns: int = MIN_PERIOD_NS,
+) -> AdmissionReport:
+    """Raise :class:`AdmissionError` when the configuration is infeasible."""
+    report = check_admission(vcpus, num_cores, hyperperiod_ns, min_period_ns)
+    if not report.admitted:
+        raise AdmissionError("; ".join(report.reasons))
+    return report

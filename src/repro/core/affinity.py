@@ -1,0 +1,149 @@
+"""Co-scheduling constraints for the partitioner.
+
+Sec. 5 ("Post-processing"): "one might add a pass to encourage or
+discourage co-scheduling of certain VMs, e.g., due to performance-
+counter-based profiles or for synchronization purposes."  Because
+Tableau's planner owns placement, such policies are one bin-packing
+constraint away — this module adds them:
+
+* **affinity** — vCPUs that should share a core (e.g., producer/consumer
+  pairs exchanging data through a shared cache);
+* **anti-affinity** — vCPUs that must not share a core (e.g., two cache-
+  thrashing VMs, or replicas of the same service for fault isolation).
+
+Constraints are enforced during worst-fit-decreasing placement; an
+unsatisfiable constraint set fails the partition rather than silently
+dropping a rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.partition import UTILIZATION_EPSILON, PartitionResult
+from repro.core.tasks import PeriodicTask
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoschedulingPolicy:
+    """Placement rules over vCPU (task) names.
+
+    Attributes:
+        affine: Groups whose members must share one core.
+        anti_affine: Pairs that may never share a core.
+    """
+
+    affine: Tuple[FrozenSet[str], ...] = ()
+    anti_affine: Tuple[FrozenSet[str], ...] = ()
+
+    @staticmethod
+    def build(
+        affine: Iterable[Iterable[str]] = (),
+        anti_affine: Iterable[Iterable[str]] = (),
+    ) -> "CoschedulingPolicy":
+        affine_groups = tuple(frozenset(group) for group in affine)
+        anti_pairs = []
+        for pair in anti_affine:
+            names = frozenset(pair)
+            if len(names) != 2:
+                raise ConfigurationError(
+                    f"anti-affinity rules are pairwise, got {sorted(names)}"
+                )
+            anti_pairs.append(names)
+        policy = CoschedulingPolicy(
+            affine=affine_groups, anti_affine=tuple(anti_pairs)
+        )
+        policy._check_consistency()
+        return policy
+
+    def _check_consistency(self) -> None:
+        for group in self.affine:
+            for pair in self.anti_affine:
+                if pair <= group:
+                    raise ConfigurationError(
+                        f"{sorted(pair)} are both affine (must share a core) "
+                        f"and anti-affine (must not) — unsatisfiable"
+                    )
+
+    def merged_groups(self, names: Iterable[str]) -> List[Set[str]]:
+        """Affinity groups as disjoint sets covering all ``names``.
+
+        Overlapping affine groups are unioned (affinity is transitive:
+        if A-B and B-C must co-locate, so must A-C).
+        """
+        parent: Dict[str, str] = {name: name for name in names}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for group in self.affine:
+            members = [m for m in group if m in parent]
+            for a, b in zip(members, members[1:]):
+                parent[find(a)] = find(b)
+        clusters: Dict[str, Set[str]] = {}
+        for name in parent:
+            clusters.setdefault(find(name), set()).add(name)
+        return list(clusters.values())
+
+    def allows(self, group_a: Set[str], group_b: Set[str]) -> bool:
+        """May the members of the two groups share a core?"""
+        for pair in self.anti_affine:
+            first, second = tuple(pair)
+            if (first in group_a and second in group_b) or (
+                second in group_a and first in group_b
+            ):
+                return False
+        return True
+
+
+def constrained_worst_fit(
+    tasks: Sequence[PeriodicTask],
+    cores: Sequence[int],
+    policy: CoschedulingPolicy,
+    capacities: Optional[Dict[int, float]] = None,
+) -> PartitionResult:
+    """Worst-fit-decreasing over affinity *groups* under anti-affinity.
+
+    Affine vCPUs are packed as one indivisible unit; a unit is only
+    placed on a core whose current residents it is compatible with.
+    """
+    if capacities is None:
+        capacities = {}
+    by_name = {t.name: t for t in tasks}
+    groups = policy.merged_groups(by_name)
+
+    units = []
+    for group in groups:
+        members = [by_name[name] for name in sorted(group)]
+        units.append((sum(t.utilization for t in members), group, members))
+    units.sort(key=lambda u: (-u[0], sorted(u[1])[0]))
+
+    load: Dict[int, float] = {core: 0.0 for core in cores}
+    residents: Dict[int, Set[str]] = {core: set() for core in cores}
+    assignment: Dict[int, List[PeriodicTask]] = {core: [] for core in cores}
+    unassigned: List[PeriodicTask] = []
+
+    for utilization, group, members in units:
+        best: Optional[int] = None
+        best_load: Optional[float] = None
+        for core in cores:
+            capacity = capacities.get(core, 1.0)
+            if load[core] + utilization > capacity + UTILIZATION_EPSILON:
+                continue
+            if not policy.allows(group, residents[core]):
+                continue
+            if best_load is None or load[core] < best_load:
+                best = core
+                best_load = load[core]
+        if best is None:
+            unassigned.extend(members)
+        else:
+            assignment[best].extend(members)
+            residents[best] |= group
+            load[best] += utilization
+    return PartitionResult(assignment=assignment, unassigned=unassigned)

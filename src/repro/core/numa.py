@@ -1,0 +1,139 @@
+"""NUMA-aware partitioning (Sec. 8's complementary-work hook).
+
+The paper lists "NUMA-aware scheduling techniques" among the extensions
+Tableau's planning phase makes easy.  This pass implements the obvious
+one: keep all vCPUs of one VM on a single socket so guest memory stays
+local, while still spreading load worst-fit within each socket.
+
+The algorithm assigns whole VMs to sockets worst-fit by VM utilization
+(keeping sockets balanced), then runs ordinary worst-fit decreasing for
+each socket's tasks over that socket's cores.  A VM too big for any one
+socket's remaining capacity falls back to unconstrained placement (local
+memory is a preference, schedulability a guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import (
+    UTILIZATION_EPSILON,
+    PartitionResult,
+    worst_fit_decreasing,
+)
+from repro.core.tasks import PeriodicTask
+from repro.topology import Topology
+
+
+@dataclass
+class NumaReport:
+    """Locality outcome of a NUMA-aware partitioning run."""
+
+    vm_sockets: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def local_vms(self) -> List[str]:
+        return [vm for vm, sockets in self.vm_sockets.items() if len(sockets) == 1]
+
+    @property
+    def remote_vms(self) -> List[str]:
+        return [vm for vm, sockets in self.vm_sockets.items() if len(sockets) > 1]
+
+    @property
+    def locality_rate(self) -> float:
+        if not self.vm_sockets:
+            return 1.0
+        return len(self.local_vms) / len(self.vm_sockets)
+
+
+def _vm_of(task: PeriodicTask) -> str:
+    if task.vcpu is not None:
+        return task.vcpu.vm
+    return task.name.split(".")[0]
+
+
+def numa_worst_fit(
+    tasks: Sequence[PeriodicTask],
+    cores: Sequence[int],
+    topology: Topology,
+) -> Tuple[PartitionResult, NumaReport]:
+    """Socket-local worst-fit-decreasing placement.
+
+    Returns the partition plus a :class:`NumaReport` describing which
+    VMs achieved single-socket locality.
+    """
+    core_sockets = {core: topology.socket_of(core) for core in cores}
+    sockets = sorted(set(core_sockets.values()))
+    socket_cores: Dict[int, List[int]] = {s: [] for s in sockets}
+    for core in cores:
+        socket_cores[core_sockets[core]].append(core)
+
+    # Group tasks by VM, largest VMs first.
+    vm_tasks: Dict[str, List[PeriodicTask]] = {}
+    for task in tasks:
+        vm_tasks.setdefault(_vm_of(task), []).append(task)
+    vm_order = sorted(
+        vm_tasks.items(),
+        key=lambda item: (-sum(t.utilization for t in item[1]), item[0]),
+    )
+
+    socket_load: Dict[int, float] = {s: 0.0 for s in sockets}
+    socket_capacity: Dict[int, float] = {
+        s: float(len(socket_cores[s])) for s in sockets
+    }
+    per_socket: Dict[int, List[PeriodicTask]] = {s: [] for s in sockets}
+    homeless: List[PeriodicTask] = []
+    report = NumaReport()
+
+    for vm, members in vm_order:
+        demand = sum(t.utilization for t in members)
+        candidates = [
+            s
+            for s in sockets
+            if socket_load[s] + demand
+            <= socket_capacity[s] + UTILIZATION_EPSILON
+        ]
+        if candidates:
+            chosen = min(candidates, key=lambda s: (socket_load[s], s))
+            per_socket[chosen].extend(members)
+            socket_load[chosen] += demand
+            report.vm_sockets[vm] = [chosen]
+        else:
+            homeless.extend(members)
+
+    assignment: Dict[int, List[PeriodicTask]] = {core: [] for core in cores}
+    unassigned: List[PeriodicTask] = []
+    for socket in sockets:
+        local = worst_fit_decreasing(per_socket[socket], socket_cores[socket])
+        for core, ts in local.assignment.items():
+            assignment[core].extend(ts)
+        unassigned.extend(local.unassigned)
+
+    if homeless or unassigned:
+        # Fallback: place the leftovers anywhere there is room (locality
+        # is best-effort; capacity is not).
+        leftovers = homeless + unassigned
+        loads = {
+            core: sum(t.utilization for t in ts)
+            for core, ts in assignment.items()
+        }
+        fallback_unassigned: List[PeriodicTask] = []
+        for task in sorted(leftovers, key=lambda t: (-t.utilization, t.name)):
+            best: Optional[int] = None
+            for core in cores:
+                if loads[core] + task.utilization <= 1.0 + UTILIZATION_EPSILON:
+                    if best is None or loads[core] < loads[best]:
+                        best = core
+            if best is None:
+                fallback_unassigned.append(task)
+            else:
+                assignment[best].append(task)
+                loads[best] += task.utilization
+                vm = _vm_of(task)
+                sockets_used = report.vm_sockets.setdefault(vm, [])
+                socket = core_sockets[best]
+                if socket not in sockets_used:
+                    sockets_used.append(socket)
+        unassigned = fallback_unassigned
+    return PartitionResult(assignment=assignment, unassigned=unassigned), report

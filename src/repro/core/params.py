@@ -1,0 +1,186 @@
+"""vCPU and VM reservation parameters.
+
+Under Tableau every vCPU is configured with a *reserved utilization* U
+and a *maximum scheduling latency* L (Sec. 5).  Both may come from an
+explicit SLA, a price-differentiated service tier, or a fair-share
+default (``U = m / n``).  This module defines the value types the planner
+consumes, plus the service-tier / fair-share helpers the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Convenience time-unit constants (nanoseconds).
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class VCpuSpec:
+    """Reservation parameters for one vCPU.
+
+    Attributes:
+        name: Unique identifier (e.g. ``"vm7.vcpu0"``).
+        utilization: Reserved CPU share U in (0, 1].
+        latency_ns: Maximum acceptable scheduling latency L (nanoseconds).
+        capped: If True the vCPU may never exceed its reservation; if
+            False it is eligible for spare cycles via the second-level
+            scheduler (Sec. 4).
+        vm: Name of the owning VM (defaults to the vCPU name's prefix).
+    """
+
+    name: str
+    utilization: float
+    latency_ns: int
+    capped: bool = False
+    vm: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("vCPU name must be non-empty")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: utilization {self.utilization} outside (0, 1]"
+            )
+        if self.latency_ns <= 0:
+            raise ConfigurationError(
+                f"{self.name}: latency goal must be positive, got {self.latency_ns}"
+            )
+        if self.vm is None:
+            object.__setattr__(self, "vm", self.name.split(".")[0])
+
+    @property
+    def needs_dedicated_core(self) -> bool:
+        """A fully reserved vCPU (U = 1) is pinned to its own pCPU."""
+        return self.utilization >= 1.0
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """A VM is a named group of vCPUs sharing a lifecycle.
+
+    The planner operates on vCPUs; VM grouping matters for the control
+    plane (creation/teardown triggers replanning for all of the VM's
+    vCPUs at once) and for co-scheduling extensions.
+    """
+
+    name: str
+    vcpus: Sequence[VCpuSpec] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("VM name must be non-empty")
+        if not self.vcpus:
+            raise ConfigurationError(f"VM {self.name} must have at least one vCPU")
+        names = [v.name for v in self.vcpus]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"VM {self.name} has duplicate vCPU names")
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(v.utilization for v in self.vcpus)
+
+
+def make_vm(
+    name: str,
+    utilization: float,
+    latency_ns: int,
+    vcpu_count: int = 1,
+    capped: bool = False,
+) -> VMSpec:
+    """Build a VM whose vCPUs all share one (U, L) configuration.
+
+    This mirrors the paper's evaluation setup of uniform single-vCPU VMs
+    (e.g., four 25%-utilization VMs per core).
+    """
+    if vcpu_count < 1:
+        raise ConfigurationError("vcpu_count must be >= 1")
+    vcpus = tuple(
+        VCpuSpec(
+            name=f"{name}.vcpu{i}",
+            utilization=utilization,
+            latency_ns=latency_ns,
+            capped=capped,
+            vm=name,
+        )
+        for i in range(vcpu_count)
+    )
+    return VMSpec(name=name, vcpus=vcpus)
+
+
+def fair_share_specs(
+    vm_names: Sequence[str],
+    num_cores: int,
+    latency_ns: int = 20 * MS,
+    capped: bool = False,
+) -> List[VMSpec]:
+    """Fair-share provisioning: ``U = m / n`` for n single-vCPU VMs.
+
+    The paper notes (Sec. 5, footnote) that Tableau needs no more input
+    than Credit or CFS: utilizations can be derived from the core count
+    and the VM census, with a default latency bound comparable to
+    Credit's quantum.
+    """
+    n = len(vm_names)
+    if n == 0:
+        raise ConfigurationError("need at least one VM")
+    if num_cores < 1:
+        raise ConfigurationError("need at least one core")
+    share = min(1.0, num_cores / n)
+    return [make_vm(name, share, latency_ns, capped=capped) for name in vm_names]
+
+
+@dataclass(frozen=True)
+class ServiceTier:
+    """A price-differentiated service tier (utilization + latency bound)."""
+
+    name: str
+    utilization: float
+    latency_ns: int
+    capped: bool = True
+
+
+#: Illustrative tier catalogue used by examples; utilizations are chosen
+#: to keep the provider's bin-packing problem simple (Sec. 5, "we expect
+#: this partitioning step to succeed in most cases in practice").
+DEFAULT_TIERS: Dict[str, ServiceTier] = {
+    "economy": ServiceTier("economy", 0.125, 100 * MS),
+    "standard": ServiceTier("standard", 0.25, 30 * MS),
+    "performance": ServiceTier("performance", 0.5, 10 * MS),
+    "dedicated": ServiceTier("dedicated", 1.0, 1 * MS),
+}
+
+
+def vms_from_tiers(
+    requests: Iterable[tuple], tiers: Optional[Dict[str, ServiceTier]] = None
+) -> List[VMSpec]:
+    """Instantiate VMs from ``(vm_name, tier_name)`` requests."""
+    catalogue = DEFAULT_TIERS if tiers is None else tiers
+    vms = []
+    for vm_name, tier_name in requests:
+        try:
+            tier = catalogue[tier_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown service tier {tier_name!r}") from None
+        vms.append(
+            make_vm(vm_name, tier.utilization, tier.latency_ns, capped=tier.capped)
+        )
+    return vms
+
+
+def flatten_vcpus(vms: Iterable[VMSpec]) -> List[VCpuSpec]:
+    """Collect all vCPUs of a VM set, validating global name uniqueness."""
+    vcpus: List[VCpuSpec] = []
+    seen = set()
+    for vm in vms:
+        for vcpu in vm.vcpus:
+            if vcpu.name in seen:
+                raise ConfigurationError(f"duplicate vCPU name {vcpu.name!r}")
+            seen.add(vcpu.name)
+            vcpus.append(vcpu)
+    return vcpus

@@ -1,0 +1,169 @@
+"""Candidate-period selection for the Tableau planner.
+
+The planner maps each vCPU's latency goal to a periodic-task period.  To
+keep the dispatching table short, periods are not chosen freely: they are
+drawn from the set of integer divisors of a fixed *maximum hyperperiod*.
+The paper (Sec. 5, "Bounding table lengths") picked 102,702,600 ns — a
+number close to 100 ms with an unusually rich divisor structure — and
+only considers divisors of at least 100 us, since shorter periods cannot
+be enforced efficiently given context-switch overheads.  That yields 186
+candidate periods.
+
+This module reproduces that machinery exactly and also supports custom
+hyperperiods (used by tests and by the ablation benchmarks that explore
+the sensitivity of table length to the hyperperiod choice).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, LatencyInfeasibleError
+
+#: Tableau's table length in nanoseconds (~102.7 ms), chosen for its 186
+#: integer divisors above the 100 us enforceability threshold.
+HYPERPERIOD_NS: int = 102_702_600
+
+#: Minimum enforceable period (100 us).  Periods below this are excluded
+#: because scheduling overheads make them impossible to enforce.
+MIN_PERIOD_NS: int = 100_000
+
+
+def factorize(n: int) -> List[Tuple[int, int]]:
+    """Return the prime factorization of ``n`` as ``[(prime, exponent), ...]``.
+
+    Trial division is entirely sufficient here: hyperperiod candidates are
+    ~1e8 and factorization runs once per planner instantiation.
+    """
+    if n < 1:
+        raise ConfigurationError(f"cannot factorize non-positive integer {n}")
+    factors: List[Tuple[int, int]] = []
+    remaining = n
+    p = 2
+    while p * p <= remaining:
+        if remaining % p == 0:
+            exponent = 0
+            while remaining % p == 0:
+                remaining //= p
+                exponent += 1
+            factors.append((p, exponent))
+        p += 1 if p == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return factors
+
+
+def all_divisors(n: int) -> List[int]:
+    """Return all positive divisors of ``n`` in ascending order."""
+    divisors = [1]
+    for prime, exponent in factorize(n):
+        power = 1
+        new: List[int] = []
+        for _ in range(exponent):
+            power *= prime
+            new.extend(d * power for d in divisors)
+        divisors.extend(new)
+    return sorted(divisors)
+
+
+@lru_cache(maxsize=16)
+def candidate_periods(
+    hyperperiod_ns: int = HYPERPERIOD_NS, min_period_ns: int = MIN_PERIOD_NS
+) -> Tuple[int, ...]:
+    """Return the ascending tuple of candidate periods.
+
+    These are the divisors of ``hyperperiod_ns`` that are strictly greater
+    than ``min_period_ns`` (the paper counts 186 such divisors for the
+    default hyperperiod).
+    """
+    if hyperperiod_ns <= min_period_ns:
+        raise ConfigurationError(
+            f"hyperperiod {hyperperiod_ns} ns must exceed the minimum "
+            f"period {min_period_ns} ns"
+        )
+    return tuple(d for d in all_divisors(hyperperiod_ns) if d > min_period_ns)
+
+
+def max_blackout_ns(utilization: float, period_ns: int) -> float:
+    """Worst-case blackout time of a periodic task: ``2 * (1 - U) * T``.
+
+    A task with cost C and period T may be served at the very start of one
+    period and the very end of the next, leaving a service gap of
+    ``2 * (T - C)`` (Sec. 5, "Mapping to periodic tasks").
+    """
+    return 2.0 * (1.0 - utilization) * period_ns
+
+
+def select_period(
+    utilization: float,
+    latency_ns: int,
+    hyperperiod_ns: int = HYPERPERIOD_NS,
+    min_period_ns: int = MIN_PERIOD_NS,
+    strict: bool = True,
+) -> int:
+    """Pick the largest candidate period honouring a vCPU's latency goal.
+
+    Returns the largest divisor ``T`` of the hyperperiod with
+    ``2 * (1 - U) * T <= L``.  Larger periods mean fewer preemptions, so
+    the maximum feasible candidate is always preferred.
+
+    If even the smallest candidate period violates the latency goal the
+    goal is infeasible; with ``strict=True`` (the default, matching the
+    paper's admission behaviour) :class:`LatencyInfeasibleError` is
+    raised, otherwise the smallest candidate is returned and the caller
+    is expected to surface the degraded guarantee.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigurationError(f"utilization {utilization} outside (0, 1]")
+    if latency_ns <= 0:
+        raise ConfigurationError(f"latency goal {latency_ns} ns must be positive")
+
+    periods = candidate_periods(hyperperiod_ns, min_period_ns)
+    if utilization >= 1.0:
+        # A fully reserved vCPU gets a dedicated core and never blacks out;
+        # any period works.  Use the hyperperiod itself for a 1-entry table.
+        return hyperperiod_ns
+
+    # 2*(1-U)*T <= L  <=>  T <= L / (2*(1-U))
+    bound = latency_ns / (2.0 * (1.0 - utilization))
+    index = bisect_right(periods, int(bound))
+    if index == 0:
+        if strict:
+            raise LatencyInfeasibleError(
+                f"latency goal {latency_ns} ns infeasible for U={utilization:.3f}: "
+                f"even the minimum period {periods[0]} ns yields a worst-case "
+                f"blackout of {max_blackout_ns(utilization, periods[0]):.0f} ns"
+            )
+        return periods[0]
+    return periods[index - 1]
+
+
+def achievable_latency_ns(
+    utilization: float,
+    hyperperiod_ns: int = HYPERPERIOD_NS,
+    min_period_ns: int = MIN_PERIOD_NS,
+) -> float:
+    """Tightest latency goal satisfiable for a given utilization.
+
+    Useful for admission-control front ends that want to report to the
+    tenant what the platform can actually promise.
+    """
+    periods = candidate_periods(hyperperiod_ns, min_period_ns)
+    return max_blackout_ns(utilization, periods[0])
+
+
+def hyperperiod_of(periods: Sequence[int]) -> int:
+    """Least common multiple of a set of periods.
+
+    For periods drawn from :func:`candidate_periods` this always divides
+    the configured maximum hyperperiod — the property that keeps Tableau's
+    tables short.
+    """
+    from math import gcd
+
+    lcm = 1
+    for period in periods:
+        lcm = lcm * period // gcd(lcm, period)
+    return lcm

@@ -1,0 +1,428 @@
+"""The Tableau planner: on-demand scheduling-table generation.
+
+This is the paper's primary contribution (Secs. 3 and 5): an
+asynchronous component, invoked on VM creation/teardown/reconfiguration,
+that converts per-vCPU ``(U, L)`` reservations into a cyclic scheduling
+table via a progression of three increasingly powerful techniques:
+
+1. **Partitioning** — worst-fit-decreasing assignment plus per-core EDF
+   simulation (sufficient in virtually all practical cases);
+2. **Semi-partitioning** — C=D task splitting for tasks that fit on no
+   single core;
+3. **Localized optimal scheduling** — DP-WRAP on a minimal cluster of
+   "close" cores, guaranteeing success for any non-over-utilizing input.
+
+The planner then post-processes (coalescing, slice tables) and validates
+the result before handing it to the dispatcher.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.admission import AdmissionReport, admit_or_raise
+from repro.core.affinity import CoschedulingPolicy, constrained_worst_fit
+from repro.core.edf import simulate_edf
+from repro.core.optimal import dp_wrap_schedule, grow_cluster
+from repro.core.params import VCpuSpec, VMSpec, flatten_vcpus
+from repro.core.numa import NumaReport, numa_worst_fit
+from repro.core.partition import worst_fit_decreasing
+from repro.core.peephole import PeepholeReport, optimize_core
+from repro.core.periods import HYPERPERIOD_NS, MIN_PERIOD_NS
+from repro.core.postprocess import (
+    DEFAULT_COALESCE_NS,
+    CoalesceReport,
+    coalesce,
+)
+from repro.core.serialize import table_size_bytes
+from repro.core.splitting import DEFAULT_MIN_PIECE_NS, semi_partition
+from repro.core.table import (
+    Allocation,
+    CoreTable,
+    SystemTable,
+    validate_against_tasks,
+)
+from repro.core.tasks import PeriodicTask, vcpus_to_tasks
+from repro.errors import AdmissionError, PlanningError
+from repro.topology import Topology, uniform
+
+#: Planning methods, in escalation order.
+METHOD_PARTITIONED = "partitioned"
+METHOD_SEMI_PARTITIONED = "semi-partitioned"
+METHOD_CLUSTERED = "clustered"
+
+
+@dataclass
+class PlanStats:
+    """Bookkeeping about one planning run (feeds Figs. 3 and 4)."""
+
+    method: str
+    generation_seconds: float
+    num_vcpus: int
+    num_tasks: int
+    split_tasks: int = 0
+    cluster_cores: List[int] = field(default_factory=list)
+    table_bytes: int = 0
+    coalesce: CoalesceReport = field(default_factory=CoalesceReport)
+    peephole: Optional[PeepholeReport] = None
+    compensated_vcpus: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PlanResult:
+    """A generated system table plus everything needed to reason about it."""
+
+    table: SystemTable
+    tasks: Dict[str, PeriodicTask]
+    vcpus: Dict[str, VCpuSpec]
+    assignment: Dict[int, List[PeriodicTask]]
+    admission: AdmissionReport
+    stats: PlanStats
+
+    def task_of(self, vcpu_name: str) -> PeriodicTask:
+        return self.tasks[vcpu_name]
+
+
+class Planner:
+    """On-demand table generator for a fixed machine topology.
+
+    Args:
+        topology: The machine (or an integer shorthand for an
+            N-core single-socket machine).
+        hyperperiod_ns: Table length; must have a rich divisor structure
+            (the default is the paper's 102,702,600 ns).
+        min_period_ns: Smallest enforceable period.
+        coalesce_threshold_ns: Allocations shorter than this are merged
+            away in post-processing.
+        min_piece_ns: Smallest C=D piece semi-partitioning may create.
+        strict_latency: Reject (rather than clamp) infeasible latency
+            goals.
+        policy: Optional co-scheduling constraints (affinity /
+            anti-affinity groups; Sec. 5's "encourage or discourage
+            co-scheduling" post-processing extension).
+        peephole: Run the preemption-reducing peephole pass on every
+            core table (Sec. 5's suggested optimization).
+        split_compensation: Inflate the utilization of vCPUs that ended
+            up split across cores by this fraction, compensating their
+            migration overhead (Sec. 7.5's suggested remedy); applied in
+            a single replanning retry.
+        rotation: Rotates which equal-utilization vCPU gets split when
+            splitting is unavoidable (Sec. 7.5's "take a turn" remedy);
+            the daemon bumps this on periodic regeneration.
+        numa: Prefer placing each VM's vCPUs on a single socket (the
+            NUMA-aware extension of Sec. 8); locality is best-effort and
+            placement falls back to plain worst-fit when a VM cannot fit
+            one socket.
+    """
+
+    def __init__(
+        self,
+        topology: Union[Topology, int],
+        hyperperiod_ns: int = HYPERPERIOD_NS,
+        min_period_ns: int = MIN_PERIOD_NS,
+        coalesce_threshold_ns: int = DEFAULT_COALESCE_NS,
+        min_piece_ns: int = DEFAULT_MIN_PIECE_NS,
+        strict_latency: bool = True,
+        policy: Optional[CoschedulingPolicy] = None,
+        peephole: bool = False,
+        split_compensation: float = 0.0,
+        rotation: int = 0,
+        numa: bool = False,
+    ) -> None:
+        if isinstance(topology, int):
+            topology = uniform(topology)
+        self.topology = topology
+        self.hyperperiod_ns = hyperperiod_ns
+        self.min_period_ns = min_period_ns
+        self.coalesce_threshold_ns = coalesce_threshold_ns
+        self.min_piece_ns = min_piece_ns
+        self.strict_latency = strict_latency
+        self.policy = policy
+        self.peephole = peephole
+        self.split_compensation = split_compensation
+        self.rotation = rotation
+        self.numa = numa
+        self.last_numa_report: Optional[NumaReport] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, workload: Union[Sequence[VMSpec], Sequence[VCpuSpec]]
+    ) -> PlanResult:
+        """Generate a validated system table for a set of VMs (or vCPUs)."""
+        result = self._plan_once(self._as_vcpus(workload))
+        if self.split_compensation > 0.0 and result.stats.split_tasks:
+            compensated = self._compensate(result)
+            if compensated is not None:
+                return compensated
+        return result
+
+    def _compensate(self, result: PlanResult) -> Optional[PlanResult]:
+        """Replan with split vCPUs' utilization inflated (Sec. 7.5)."""
+        split_names = [
+            name for name in result.vcpus if result.table.is_split(name)
+        ]
+        inflated: List[VCpuSpec] = []
+        for name, spec in result.vcpus.items():
+            if name in split_names:
+                boosted = min(1.0, spec.utilization * (1 + self.split_compensation))
+                inflated.append(
+                    VCpuSpec(
+                        name=spec.name,
+                        utilization=boosted,
+                        latency_ns=spec.latency_ns,
+                        capped=spec.capped,
+                        vm=spec.vm,
+                    )
+                )
+            else:
+                inflated.append(spec)
+        try:
+            retry = self._plan_once(inflated)
+        except (AdmissionError, PlanningError):
+            # The inflated census no longer fits; keep the original plan
+            # (uncompensated splits beat a failed reconfiguration).
+            return None
+        retry.stats.compensated_vcpus = split_names
+        return retry
+
+    def _plan_once(self, vcpus: List[VCpuSpec]) -> PlanResult:
+        started = time.perf_counter()
+        guest_cores = self.topology.guest_cores
+        admission = admit_or_raise(
+            vcpus, len(guest_cores), self.hyperperiod_ns, self.min_period_ns
+        )
+
+        dedicated = [v for v in vcpus if v.needs_dedicated_core]
+        shared = [v for v in vcpus if not v.needs_dedicated_core]
+        # Dedicated vCPUs claim cores from the tail of the guest pool so
+        # the shared pool keeps contiguous low-numbered cores.
+        dedicated_cores = guest_cores[len(guest_cores) - len(dedicated) :]
+        shared_cores = guest_cores[: len(guest_cores) - len(dedicated)]
+
+        tasks = vcpus_to_tasks(
+            shared, self.hyperperiod_ns, self.min_period_ns, self.strict_latency
+        )
+        assignment, method, cluster_cores, split_count = self._assign(
+            tasks, shared_cores
+        )
+
+        core_tables, report, peephole_report = self._materialize(
+            assignment, cluster_cores
+        )
+        for vcpu, core in zip(dedicated, dedicated_cores):
+            core_tables[core] = CoreTable(
+                cpu=core,
+                length_ns=self.hyperperiod_ns,
+                allocations=[Allocation(0, self.hyperperiod_ns, vcpu.name)],
+            )
+
+        system = SystemTable(length_ns=self.hyperperiod_ns, cores=core_tables)
+        system.build_slices()
+        system.validate()
+
+        task_index = {t.name: t for t in tasks}
+        for vcpu in dedicated:
+            task_index[vcpu.name] = PeriodicTask(
+                name=vcpu.name,
+                cost=self.hyperperiod_ns,
+                period=self.hyperperiod_ns,
+                vcpu=vcpu,
+            )
+        self._check_guarantees(system, vcpus, task_index)
+
+        stats = PlanStats(
+            method=method,
+            generation_seconds=time.perf_counter() - started,
+            num_vcpus=len(vcpus),
+            num_tasks=len(tasks),
+            split_tasks=split_count,
+            cluster_cores=cluster_cores,
+            coalesce=report,
+            peephole=peephole_report,
+        )
+        stats.table_bytes = table_size_bytes(system)
+        return PlanResult(
+            table=system,
+            tasks=task_index,
+            vcpus={v.name: v for v in vcpus},
+            assignment=assignment,
+            admission=admission,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _as_vcpus(
+        self, workload: Union[Sequence[VMSpec], Sequence[VCpuSpec]]
+    ) -> List[VCpuSpec]:
+        items = list(workload)
+        if items and isinstance(items[0], VMSpec):
+            return flatten_vcpus(items)
+        return list(items)  # type: ignore[arg-type]
+
+    def _assign(
+        self, tasks: Sequence[PeriodicTask], cores: Sequence[int]
+    ):
+        """The three-stage progression; returns assignment and metadata."""
+        if not tasks:
+            return {core: [] for core in cores}, METHOD_PARTITIONED, [], 0
+        if not cores:
+            raise PlanningError("no shared cores left for non-dedicated vCPUs")
+
+        if self.policy is not None:
+            constrained = constrained_worst_fit(tasks, cores, self.policy)
+            if constrained.success:
+                return constrained.assignment, METHOD_PARTITIONED, [], 0
+            raise PlanningError(
+                "co-scheduling constraints could not be satisfied for "
+                + ", ".join(t.name for t in constrained.unassigned)
+            )
+
+        if self.numa:
+            local, numa_report = numa_worst_fit(tasks, cores, self.topology)
+            if local.success:
+                self.last_numa_report = numa_report
+                return local.assignment, METHOD_PARTITIONED, [], 0
+            # Fall through: locality is a preference, not a guarantee.
+
+        partitioned = worst_fit_decreasing(tasks, cores, rotation=self.rotation)
+        if partitioned.success:
+            return partitioned.assignment, METHOD_PARTITIONED, [], 0
+
+        semi = semi_partition(
+            tasks,
+            cores,
+            self.hyperperiod_ns,
+            min_piece_ns=self.min_piece_ns,
+            rotation=self.rotation,
+        )
+        if semi.success:
+            return (
+                semi.assignment,
+                METHOD_SEMI_PARTITIONED,
+                [],
+                semi.split_count,
+            )
+
+        # Localized optimal scheduling: restart from the plain partition and
+        # cover the leftovers with a minimal DP-WRAP cluster.
+        loads = {
+            core: sum(t.utilization for t in partitioned.assignment[core])
+            for core in cores
+        }
+        demand = sum(t.utilization for t in partitioned.unassigned)
+        cluster = grow_cluster(loads, self.topology.socket_map, demand)
+        assignment = {
+            core: list(ts)
+            for core, ts in partitioned.assignment.items()
+            if core not in cluster
+        }
+        cluster_tasks = list(partitioned.unassigned)
+        for core in cluster:
+            cluster_tasks.extend(partitioned.assignment[core])
+        for core in cluster:
+            assignment[core] = []
+        assignment["__cluster__"] = cluster_tasks  # type: ignore[index]
+        return assignment, METHOD_CLUSTERED, cluster, 0
+
+    def _materialize(self, assignment, cluster_cores):
+        """Simulate schedules, rename task pieces to vCPUs, coalesce."""
+        report = CoalesceReport()
+        core_tables: Dict[int, CoreTable] = {}
+        cluster_tasks = assignment.pop("__cluster__", None)
+
+        peephole_report: Optional[PeepholeReport] = None
+        for core, tasks in assignment.items():
+            table = simulate_edf(tasks, self.hyperperiod_ns, cpu=core)
+            validate_against_tasks(table, tasks)
+            if self.peephole:
+                table, core_report = optimize_core(table, tasks)
+                if peephole_report is None:
+                    peephole_report = core_report
+                else:
+                    peephole_report = PeepholeReport(
+                        swaps_applied=peephole_report.swaps_applied
+                        + core_report.swaps_applied,
+                        swaps_rejected=peephole_report.swaps_rejected
+                        + core_report.swaps_rejected,
+                        preemptions_before=peephole_report.preemptions_before
+                        + core_report.preemptions_before,
+                        preemptions_after=peephole_report.preemptions_after
+                        + core_report.preemptions_after,
+                    )
+            core_tables[core] = self._finish_core(table, report)
+
+        if cluster_tasks is not None:
+            cluster_tables = dp_wrap_schedule(
+                cluster_tasks, cluster_cores, self.hyperperiod_ns
+            )
+            for core, table in cluster_tables.items():
+                core_tables[core] = self._finish_core(table, report)
+            assignment["__cluster__"] = cluster_tasks
+        return core_tables, report, peephole_report
+
+    def _finish_core(self, table: CoreTable, report: CoalesceReport) -> CoreTable:
+        renamed = CoreTable(
+            cpu=table.cpu,
+            length_ns=table.length_ns,
+            allocations=[
+                Allocation(a.start, a.end, _vcpu_name_of(a.vcpu))
+                for a in table.allocations
+            ],
+        )
+        coalesced, core_report = coalesce(renamed, self.coalesce_threshold_ns)
+        report.merge(core_report)
+        return coalesced
+
+    def _check_guarantees(
+        self,
+        system: SystemTable,
+        vcpus: Sequence[VCpuSpec],
+        tasks: Dict[str, PeriodicTask],
+    ) -> None:
+        """Final guarantee audit: utilization and blackout per vCPU.
+
+        Coalescing may legitimately move up to the threshold per
+        allocation boundary, so both checks carry a matching tolerance.
+        """
+        tolerance = 2 * self.coalesce_threshold_ns
+        for vcpu in vcpus:
+            task = tasks[vcpu.name]
+            allocated = system.allocated_ns(vcpu.name)
+            promised = task.cost * (self.hyperperiod_ns // task.period)
+            if allocated + tolerance < promised:
+                raise PlanningError(
+                    f"{vcpu.name}: table allocates {allocated} ns/cycle, "
+                    f"promised {promised}"
+                )
+            if vcpu.needs_dedicated_core:
+                continue
+            blackout = system.max_blackout_ns(vcpu.name)
+            if blackout > vcpu.latency_ns + tolerance:
+                raise PlanningError(
+                    f"{vcpu.name}: worst-case blackout {blackout} ns exceeds "
+                    f"latency goal {vcpu.latency_ns} ns"
+                )
+
+
+def _vcpu_name_of(task_name: Optional[str]) -> Optional[str]:
+    """Strip the C=D piece suffix: ``vm0.vcpu0#1`` -> ``vm0.vcpu0``."""
+    if task_name is None:
+        return None
+    return task_name.split("#")[0]
+
+
+def plan_tables(
+    workload: Union[Sequence[VMSpec], Sequence[VCpuSpec]],
+    topology: Union[Topology, int],
+    **planner_kwargs,
+) -> PlanResult:
+    """One-shot convenience wrapper around :class:`Planner`."""
+    return Planner(topology, **planner_kwargs).plan(workload)

@@ -1,0 +1,163 @@
+"""Binary scheduling-table format (the planner -> hypervisor ABI).
+
+The real Tableau planner pushes tables to the hypervisor via a hypercall
+"in a compiled, binary format ... used directly by the Tableau
+dispatcher" (Sec. 6).  This module defines an equivalent format and is
+what the Fig. 4 memory-overhead benchmark measures.
+
+Layout (little-endian):
+
+    header    : magic 'TBLO' | version u16 | ncpus u16 | length u64
+                | nvcpus u32 | reserved u32                      (24 B)
+    string tbl: nvcpus x (u16 len | utf-8 bytes)
+    per cpu   : cpu u32 | nallocs u32 | slice_len u64
+                | nslices u32 | reserved u32                     (24 B)
+      allocs  : start u64 | end u64 | vcpu i32 | flags u32 | pad (32 B)
+      slices  : first i32 | second i32                            (8 B)
+
+Allocation records are padded to 32 bytes so that two records share a
+64-byte cache line — the dispatcher touches at most two records (one
+slice entry plus up to two allocations) per decision, i.e., at most two
+cache lines, matching the paper's O(1)-dispatch design.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.core.table import Allocation, CoreTable, SystemTable
+from repro.errors import TableFormatError
+
+MAGIC = b"TBLO"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQII")
+_CPU_HEADER = struct.Struct("<IIQII")
+_ALLOC = struct.Struct("<QQiI8x")
+_SLICE = struct.Struct("<ii")
+
+#: Flags stored per allocation record.
+FLAG_IDLE = 0x1
+
+
+def serialize(table: SystemTable) -> bytes:
+    """Encode a system table into the binary hypercall payload."""
+    if not table.vcpu_names and any(
+        a.vcpu is not None
+        for core in table.cores.values()
+        for a in core.allocations
+    ):
+        raise TableFormatError("system table has allocations but no vCPU index")
+    vcpu_ids: Dict[str, int] = {
+        name: index for index, name in enumerate(table.vcpu_names)
+    }
+    chunks: List[bytes] = [
+        _HEADER.pack(
+            MAGIC, VERSION, len(table.cores), table.length_ns, len(vcpu_ids), 0
+        )
+    ]
+    for name in table.vcpu_names:
+        encoded = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(encoded)))
+        chunks.append(encoded)
+    for cpu in sorted(table.cores):
+        core = table.cores[cpu]
+        if not core.slices:
+            core.build_slices()
+        chunks.append(
+            _CPU_HEADER.pack(
+                cpu, len(core.allocations), core.slice_len_ns, len(core.slices), 0
+            )
+        )
+        for alloc in core.allocations:
+            if alloc.vcpu is None:
+                chunks.append(_ALLOC.pack(alloc.start, alloc.end, -1, FLAG_IDLE))
+            else:
+                chunks.append(
+                    _ALLOC.pack(alloc.start, alloc.end, vcpu_ids[alloc.vcpu], 0)
+                )
+        for first, second in core.slices:
+            chunks.append(_SLICE.pack(first, second))
+    return b"".join(chunks)
+
+
+def deserialize(payload: bytes) -> SystemTable:
+    """Decode a binary payload back into a :class:`SystemTable`.
+
+    Raises :class:`TableFormatError` on a bad magic number, version
+    mismatch, or truncated payload — the checks the hypervisor side of
+    the hypercall performs before installing a table.
+    """
+    view = memoryview(payload)
+    offset = 0
+
+    def take(fmt: struct.Struct) -> Tuple:
+        nonlocal offset
+        if offset + fmt.size > len(view):
+            raise TableFormatError(
+                f"truncated table: need {fmt.size} bytes at offset {offset}"
+            )
+        values = fmt.unpack_from(view, offset)
+        offset += fmt.size
+        return values
+
+    magic, version, ncpus, length_ns, nvcpus, _ = take(_HEADER)
+    if magic != MAGIC:
+        raise TableFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TableFormatError(f"unsupported table version {version}")
+
+    names: List[str] = []
+    for _ in range(nvcpus):
+        if offset + 2 > len(view):
+            raise TableFormatError("truncated vCPU string table header")
+        (name_len,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        if offset + name_len > len(view):
+            raise TableFormatError("truncated vCPU string table")
+        try:
+            names.append(bytes(view[offset : offset + name_len]).decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise TableFormatError(f"corrupt vCPU name: {error}") from None
+        offset += name_len
+
+    cores: Dict[int, CoreTable] = {}
+    for _ in range(ncpus):
+        cpu, nallocs, slice_len, nslices, _ = take(_CPU_HEADER)
+        allocations: List[Allocation] = []
+        for _ in range(nallocs):
+            start, end, vcpu_id, flags = take(_ALLOC)
+            if flags & FLAG_IDLE or vcpu_id < 0:
+                allocations.append(Allocation(start, end, None))
+            else:
+                if vcpu_id >= len(names):
+                    raise TableFormatError(f"vCPU id {vcpu_id} out of range")
+                allocations.append(Allocation(start, end, names[vcpu_id]))
+        slices = [take(_SLICE) for _ in range(nslices)]
+        core = CoreTable(
+            cpu=cpu,
+            length_ns=length_ns,
+            allocations=allocations,
+            slice_len_ns=slice_len,
+            slices=[(int(a), int(b)) for a, b in slices],
+        )
+        core._starts = [a.start for a in allocations]
+        core.validate_layout()
+        cores[cpu] = core
+
+    return SystemTable(length_ns=length_ns, cores=cores)
+
+
+def table_size_bytes(table: SystemTable) -> int:
+    """Size of the serialized table — the Fig. 4 memory-overhead metric."""
+    size = _HEADER.size
+    for name in table.vcpu_names:
+        size += 2 + len(name.encode("utf-8"))
+    for core in table.cores.values():
+        if not core.slices:
+            core.build_slices()
+        size += _CPU_HEADER.size
+        size += _ALLOC.size * len(core.allocations)
+        size += _SLICE.size * len(core.slices)
+    return size

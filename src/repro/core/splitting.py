@@ -1,0 +1,192 @@
+"""C=D semi-partitioning (Burns et al. [12]) for tasks that fit nowhere.
+
+When worst-fit decreasing fails to place a task, the planner breaks it
+into subtasks with precedence constraints (Sec. 5, "Semi-partitioning").
+The C=D scheme makes each migrated piece a *zero-laxity* subtask — its
+relative deadline equals its budget — so EDF necessarily runs it to
+completion immediately, and the next piece (released on another core
+when the previous piece's deadline passes) can never execute in parallel
+with it.  No core is overloaded because every piece is admitted through
+a demand-bound schedulability test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partition import PartitionResult, worst_fit_decreasing
+from repro.core.schedulability import edf_schedulable, max_cd_piece
+from repro.core.tasks import PeriodicTask
+
+#: Smallest piece worth creating (ns).  Pieces below the dispatcher's
+#: enforcement granularity would be erased again by coalescing, so the
+#: search never produces them.  Matches the planner's default coalescing
+#: threshold.
+DEFAULT_MIN_PIECE_NS = 100_000
+
+
+@dataclass
+class SemiPartitionResult:
+    """Outcome of partitioning with C=D splitting as a fallback.
+
+    ``assignment`` maps cores to tasks *including* split pieces (their
+    names carry ``#k`` suffixes and their ``vcpu`` back-references point
+    at the original vCPU).  ``splits`` records, per original task name,
+    the pieces created and where they went.  Anything in ``unassigned``
+    must be handed to the localized-optimal stage.
+    """
+
+    assignment: Dict[int, List[PeriodicTask]]
+    splits: Dict[str, List[Tuple[int, PeriodicTask]]] = field(default_factory=dict)
+    unassigned: List[PeriodicTask] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return not self.unassigned
+
+    @property
+    def split_count(self) -> int:
+        return len(self.splits)
+
+
+def _core_order(
+    assignment: Dict[int, List[PeriodicTask]], cores: Sequence[int]
+) -> List[int]:
+    """Cores sorted by remaining utilization, emptiest first."""
+
+    def remaining(core: int) -> float:
+        return 1.0 - sum(t.utilization for t in assignment[core])
+
+    return sorted(cores, key=lambda c: (-remaining(c), c))
+
+
+def semi_partition(
+    tasks: Sequence[PeriodicTask],
+    cores: Sequence[int],
+    horizon: int,
+    capacities: Optional[Dict[int, float]] = None,
+    min_piece_ns: int = DEFAULT_MIN_PIECE_NS,
+    rotation: int = 0,
+) -> SemiPartitionResult:
+    """Partition ``tasks``, splitting any task WFD cannot place.
+
+    The splitting strategy follows the paper's description: first try
+    ordinary worst-fit decreasing; each leftover task is then carved into
+    a chain of C=D pieces.  For every piece we pick the core that can
+    accept the *largest* zero-laxity piece (minimizing the number of
+    pieces and hence runtime migrations), place it, and continue with the
+    remainder — whose deadline shrinks by the piece size so that the
+    chain's precedence constraints are encoded purely in offsets and
+    deadlines.  If at any point the remainder fits whole on some core
+    (demand-bound test), it is placed and the task is done.
+    """
+    base = worst_fit_decreasing(tasks, cores, capacities, rotation=rotation)
+    assignment = {core: list(ts) for core, ts in base.assignment.items()}
+    result = SemiPartitionResult(assignment=assignment)
+
+    for task in base.unassigned:
+        placed = _place_with_splitting(
+            task, assignment, cores, horizon, min_piece_ns, result.splits
+        )
+        if not placed:
+            result.unassigned.append(task)
+    return result
+
+
+def _fits_whole(
+    task: PeriodicTask, core_tasks: Sequence[PeriodicTask], horizon: int
+) -> bool:
+    return edf_schedulable(list(core_tasks) + [task], horizon)
+
+
+def _place_with_splitting(
+    task: PeriodicTask,
+    assignment: Dict[int, List[PeriodicTask]],
+    cores: Sequence[int],
+    horizon: int,
+    min_piece_ns: int,
+    splits: Dict[str, List[Tuple[int, PeriodicTask]]],
+) -> bool:
+    """Try to place ``task``, splitting into C=D pieces as needed.
+
+    Mutates ``assignment``/``splits`` only on success; on failure any
+    partial placement is rolled back so the localized-optimal stage sees
+    a clean slate.
+    """
+    remainder = task
+    pieces: List[Tuple[int, PeriodicTask]] = []
+    used_cores: List[int] = []
+
+    while True:
+        order = [c for c in _core_order(assignment, cores) if c not in used_cores]
+        # A remainder that fits somewhere whole ends the chain.
+        placed_whole = False
+        for core in order:
+            if _fits_whole(remainder, assignment[core], horizon):
+                pieces.append((core, remainder))
+                placed_whole = True
+                break
+        if placed_whole:
+            break
+
+        # Otherwise carve the largest C=D piece we can, leaving at least a
+        # minimum-size remainder so the chain can terminate.
+        best: Optional[Tuple[int, int]] = None  # (piece_cost, core)
+        for core in order:
+            piece_cost = max_cd_piece(
+                assignment[core],
+                period=remainder.period,
+                max_cost=remainder.cost - min_piece_ns,
+                horizon=horizon,
+                min_piece_ns=min_piece_ns,
+            )
+            if piece_cost is not None and (best is None or piece_cost > best[0]):
+                best = (piece_cost, core)
+        if best is None:
+            return False  # nothing fits anywhere; roll back
+        piece_cost, core = best
+        piece, remainder = remainder.split(piece_cost)
+        pieces.append((core, piece))
+        used_cores.append(core)
+        if len(used_cores) >= len(cores):
+            return False
+
+    if len(pieces) == 1 and "#" not in pieces[0][1].name:
+        # No split was needed after all (a whole-fit on first attempt).
+        core, whole = pieces[0]
+        assignment[core].append(whole)
+        return True
+
+    for core, piece in pieces:
+        assignment[core].append(piece)
+    splits[task.name] = pieces
+    return True
+
+
+def pieces_of(result: SemiPartitionResult, task_name: str) -> List[PeriodicTask]:
+    """The ordered C=D chain created for ``task_name`` (empty if unsplit)."""
+    return [piece for _core, piece in result.splits.get(task_name, [])]
+
+
+def verify_chain(pieces: Sequence[PeriodicTask], original: PeriodicTask) -> bool:
+    """Sanity-check a C=D chain: budgets, offsets, and deadlines line up.
+
+    The chain must conserve the original budget, release each piece when
+    its predecessor's deadline passes (so pieces never run in parallel),
+    and complete by the original deadline.
+    """
+    if not pieces:
+        return False
+    if sum(p.cost for p in pieces) != original.cost:
+        return False
+    expected_offset = original.offset
+    for piece in pieces[:-1]:
+        if piece.offset != expected_offset or not piece.is_zero_laxity:
+            return False
+        expected_offset += piece.cost
+    last = pieces[-1]
+    return (
+        last.offset == expected_offset
+        and last.offset + last.deadline == original.offset + original.deadline
+    )

@@ -1,0 +1,363 @@
+"""Scheduling-table data structures: allocations, slice tables, lookups.
+
+A Tableau table (Fig. 2 of the paper) is, per physical core, a list of
+non-overlapping, time-ordered *allocations* — intervals reserved for a
+specific vCPU — plus a *slice table* that divides the cyclic timeline
+into fixed-size slices for O(1) dispatch.  The slice length on each core
+equals the length of that core's shortest allocation, which guarantees a
+slice never overlaps more than two allocations, so a dispatch decision
+touches at most two records.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tasks import PeriodicTask
+from repro.errors import ConfigurationError, PlanningError
+
+#: vCPU id used in serialized tables for idle intervals.
+IDLE = None
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A half-open interval ``[start, end)`` reserved for one vCPU.
+
+    ``vcpu`` is the vCPU name, or ``None`` for an explicitly recorded
+    idle interval (tables normally encode idle implicitly as gaps, but
+    post-processing may materialize idle records).
+    """
+
+    start: int
+    end: int
+    vcpu: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"bad allocation interval [{self.start}, {self.end})"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CoreTable:
+    """The cyclic schedule of one physical core.
+
+    Attributes:
+        cpu: Physical core index.
+        length_ns: Cycle length (the table hyperperiod).
+        allocations: Time-ordered, non-overlapping vCPU reservations.
+        slice_len_ns: Fixed slice size for O(1) lookup (set by
+            :meth:`build_slices`).
+        slices: For each slice, indices of the (at most two) allocations
+            it overlaps, as a ``(first, second)`` pair with ``-1`` for
+            "none".
+    """
+
+    cpu: int
+    length_ns: int
+    allocations: List[Allocation] = field(default_factory=list)
+    slice_len_ns: int = 0
+    slices: List[Tuple[int, int]] = field(default_factory=list)
+    _starts: List[int] = field(default_factory=list, repr=False)
+
+    def validate_layout(self) -> None:
+        """Check ordering, bounds, and non-overlap of the allocations."""
+        previous_end = 0
+        for alloc in self.allocations:
+            if alloc.start < previous_end:
+                raise PlanningError(
+                    f"cpu{self.cpu}: allocation [{alloc.start}, {alloc.end}) "
+                    f"overlaps its predecessor ending at {previous_end}"
+                )
+            if alloc.end > self.length_ns:
+                raise PlanningError(
+                    f"cpu{self.cpu}: allocation [{alloc.start}, {alloc.end}) "
+                    f"exceeds table length {self.length_ns}"
+                )
+            previous_end = alloc.end
+
+    @property
+    def busy_ns(self) -> int:
+        return sum(a.length for a in self.allocations if a.vcpu is not None)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_ns / self.length_ns
+
+    def min_allocation_ns(self) -> Optional[int]:
+        lengths = [a.length for a in self.allocations]
+        return min(lengths) if lengths else None
+
+    def build_slices(self, min_slice_len_ns: int = 1) -> None:
+        """Construct the O(1) slice table.
+
+        The slice length is the shortest allocation on this core (the
+        paper's rule), floored at ``min_slice_len_ns`` as a memory
+        safeguard for degenerate tables.  When the floor is applied the
+        at-most-two-allocations invariant may no longer hold and lookups
+        transparently fall back to binary search for affected slices.
+        """
+        shortest = self.min_allocation_ns()
+        if shortest is None:
+            # An always-idle core: one slice covering the whole table.
+            self.slice_len_ns = self.length_ns
+            self.slices = [(-1, -1)]
+            self._starts = []
+            return
+        self.slice_len_ns = max(shortest, min_slice_len_ns)
+        slice_count = -(-self.length_ns // self.slice_len_ns)  # ceil div
+        slices: List[Tuple[int, int]] = []
+        alloc_index = 0
+        allocations = self.allocations
+        for s in range(slice_count):
+            lo = s * self.slice_len_ns
+            hi = min(lo + self.slice_len_ns, self.length_ns)
+            # Advance past allocations that end at or before this slice.
+            while alloc_index < len(allocations) and allocations[alloc_index].end <= lo:
+                alloc_index += 1
+            overlapping: List[int] = []
+            j = alloc_index
+            while j < len(allocations) and allocations[j].start < hi:
+                overlapping.append(j)
+                j += 1
+            if len(overlapping) > 2:
+                # Only possible when the min_slice_len floor kicked in.
+                overlapping = [-2, -2]  # sentinel: binary-search fallback
+            first = overlapping[0] if overlapping else -1
+            second = overlapping[1] if len(overlapping) > 1 else -1
+            slices.append((first, second))
+        self.slices = slices
+        self._starts = [a.start for a in allocations]
+
+    def lookup(self, now_ns: int) -> Optional[Allocation]:
+        """O(1) dispatch lookup: the allocation covering ``now_ns``, if any.
+
+        ``now_ns`` may be any absolute time; it is reduced modulo the
+        table length, exactly as the dispatcher does.
+        """
+        offset = now_ns % self.length_ns
+        if not self.slices:
+            self.build_slices()
+        index = min(offset // self.slice_len_ns, len(self.slices) - 1)
+        first, second = self.slices[index]
+        if first == -2:
+            return self._lookup_slow(offset)
+        for alloc_index in (first, second):
+            if alloc_index < 0:
+                continue
+            alloc = self.allocations[alloc_index]
+            if alloc.start <= offset < alloc.end:
+                return alloc
+        return None
+
+    def next_boundary(self, now_ns: int) -> int:
+        """Absolute time of the next allocation start/end after ``now_ns``.
+
+        The dispatcher programs its timer to this instant: either the
+        current allocation expires or a new one begins (or the table
+        wraps).  Always strictly greater than ``now_ns``.
+        """
+        offset = now_ns % self.length_ns
+        base = now_ns - offset
+        current = self.lookup(now_ns)
+        if current is not None:
+            return base + current.end
+        index = bisect_right(self._starts, offset)
+        if index < len(self._starts):
+            return base + self._starts[index]
+        return base + self.length_ns  # wrap to next cycle
+
+    def _lookup_slow(self, offset: int) -> Optional[Allocation]:
+        index = bisect_right(self._starts, offset) - 1
+        if index >= 0:
+            alloc = self.allocations[index]
+            if alloc.start <= offset < alloc.end:
+                return alloc
+        return None
+
+    def service_intervals(self, vcpu: str) -> List[Tuple[int, int]]:
+        return [(a.start, a.end) for a in self.allocations if a.vcpu == vcpu]
+
+
+@dataclass
+class SystemTable:
+    """The complete scheduling table for a machine.
+
+    Attributes:
+        length_ns: Common cycle length of all core tables.
+        cores: Per-core tables, indexed by physical core id.
+        vcpu_names: Stable vCPU name -> integer id mapping used for
+            serialization and by the dispatcher's compact encoding.
+        home_cores: For each vCPU, the cores it has allocations on, in
+            time order of its first allocation (the first entry is its
+            primary core for second-level scheduling; migrating vCPUs
+            have several entries and use the trailing-core policy).
+    """
+
+    length_ns: int
+    cores: Dict[int, CoreTable]
+    vcpu_names: List[str] = field(default_factory=list)
+    home_cores: Dict[str, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.vcpu_names or not self.home_cores:
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        names: List[str] = []
+        homes: Dict[str, List[Tuple[int, int]]] = {}
+        for cpu, table in sorted(self.cores.items()):
+            for alloc in table.allocations:
+                if alloc.vcpu is None:
+                    continue
+                if alloc.vcpu not in homes:
+                    names.append(alloc.vcpu)
+                    homes[alloc.vcpu] = []
+                entries = homes[alloc.vcpu]
+                if all(c != cpu for _, c in entries):
+                    entries.append((alloc.start, cpu))
+        self.vcpu_names = names
+        self.home_cores = {
+            name: [cpu for _, cpu in sorted(entries)]
+            for name, entries in homes.items()
+        }
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def vcpu_id(self, name: str) -> int:
+        return self.vcpu_names.index(name)
+
+    def core_of(self, vcpu: str) -> int:
+        """Primary core of a vCPU (the only core, for partitioned vCPUs)."""
+        return self.home_cores[vcpu][0]
+
+    def is_split(self, vcpu: str) -> bool:
+        return len(self.home_cores.get(vcpu, ())) > 1
+
+    def allocated_ns(self, vcpu: str) -> int:
+        return sum(
+            a.length
+            for table in self.cores.values()
+            for a in table.allocations
+            if a.vcpu == vcpu
+        )
+
+    def utilization_of(self, vcpu: str) -> float:
+        return self.allocated_ns(vcpu) / self.length_ns
+
+    def service_timeline(self, vcpu: str) -> List[Tuple[int, int, int]]:
+        """All ``(start, end, cpu)`` service intervals of a vCPU, time-ordered."""
+        intervals = [
+            (start, end, cpu)
+            for cpu, table in self.cores.items()
+            for (start, end) in table.service_intervals(vcpu)
+        ]
+        intervals.sort()
+        return intervals
+
+    def max_blackout_ns(self, vcpu: str) -> int:
+        """Longest service gap of a vCPU over the cyclic schedule.
+
+        Computed over two consecutive table cycles so the wrap-around gap
+        is included; this is the quantity the planner promises to keep
+        below the vCPU's latency goal L.
+        """
+        intervals = self.service_timeline(vcpu)
+        if not intervals:
+            return 2 * self.length_ns
+        merged: List[Tuple[int, int]] = []
+        for start, end, _cpu in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        worst = 0
+        for (_, prev_end), (next_start, _) in zip(merged, merged[1:]):
+            worst = max(worst, next_start - prev_end)
+        # Wrap-around gap between the last interval and the first one of
+        # the next cycle.
+        wrap = (merged[0][0] + self.length_ns) - merged[-1][1]
+        return max(worst, wrap)
+
+    def overlapping_service(self) -> List[Tuple[str, int, int]]:
+        """Detect any instant where a vCPU is scheduled on two cores at once.
+
+        Returns offending ``(vcpu, time, time)`` witnesses; must be empty
+        for a valid table (split subtasks are constructed to never run in
+        parallel).
+        """
+        witnesses: List[Tuple[str, int, int]] = []
+        by_vcpu: Dict[str, List[Tuple[int, int]]] = {}
+        for cpu, table in self.cores.items():
+            for alloc in table.allocations:
+                if alloc.vcpu is None:
+                    continue
+                by_vcpu.setdefault(alloc.vcpu, []).append((alloc.start, alloc.end))
+        for vcpu, intervals in by_vcpu.items():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                if s2 < e1:
+                    witnesses.append((vcpu, s2, min(e1, e2)))
+        return witnesses
+
+    def build_slices(self, min_slice_len_ns: int = 1) -> None:
+        for table in self.cores.values():
+            table.build_slices(min_slice_len_ns)
+
+    def validate(self) -> None:
+        """Structural validation: layout, lengths, and no parallel service."""
+        for cpu, table in self.cores.items():
+            if table.length_ns != self.length_ns:
+                raise PlanningError(
+                    f"cpu{cpu}: table length {table.length_ns} != system "
+                    f"length {self.length_ns}"
+                )
+            table.validate_layout()
+        overlaps = self.overlapping_service()
+        if overlaps:
+            vcpu, start, end = overlaps[0]
+            raise PlanningError(
+                f"vCPU {vcpu} scheduled on two cores during [{start}, {end})"
+            )
+
+
+def validate_against_tasks(
+    table: CoreTable,
+    tasks: Sequence[PeriodicTask],
+    tolerance_ns: int = 0,
+) -> None:
+    """Check that every job of every task receives its budget by its deadline.
+
+    This is the planner's ground-truth verification pass: regardless of
+    which generation technique produced the table (EDF simulation, C=D
+    splitting, DP-WRAP), the result must serve each job of task
+    ``(C, D, T, offset)`` at least ``C - tolerance`` ns within
+    ``[release, release + D)``.
+    """
+    for task in tasks:
+        intervals = table.service_intervals(task.name)
+        job_count = table.length_ns // task.period
+        for k in range(job_count):
+            release = k * task.period + task.offset
+            deadline = release + task.deadline
+            served = 0
+            for start, end in intervals:
+                lo = max(start, release)
+                hi = min(end, deadline)
+                if hi > lo:
+                    served += hi - lo
+            if served + tolerance_ns < task.cost:
+                raise PlanningError(
+                    f"cpu{table.cpu}: job {k} of {task.name} got {served} ns "
+                    f"of {task.cost} ns before its deadline at {deadline}"
+                )

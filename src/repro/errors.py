@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the Tableau reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch a single base class at API boundaries while tests can assert on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied parameter is out of range or inconsistent."""
+
+
+class AdmissionError(ReproError):
+    """The requested VM set over-utilizes the machine (rejected up front).
+
+    The paper treats over-utilization as a misconfiguration that the
+    planner rejects before attempting table generation (Sec. 5).
+    """
+
+
+class LatencyInfeasibleError(ReproError):
+    """No candidate period can satisfy a vCPU's latency goal.
+
+    Raised when ``2 * (1 - U) * T > L`` for even the smallest candidate
+    period (100 us), i.e., the latency goal is tighter than the dispatcher
+    can enforce given scheduling-overhead-driven granularity limits.
+    """
+
+
+class PlanningError(ReproError):
+    """Table generation failed.
+
+    The paper's three-stage progression (partitioning, semi-partitioning,
+    localized optimal scheduling) guarantees this never happens for
+    feasible inputs; this error therefore indicates either an internal
+    invariant violation or an infeasible input that slipped past
+    admission control.
+    """
+
+
+class TableFormatError(ReproError):
+    """A serialized scheduling table is malformed or has a bad magic/version."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

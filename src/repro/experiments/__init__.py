@@ -1,0 +1,86 @@
+"""Experiment harness: one module per paper table/figure family.
+
+``scenarios`` builds the evaluation matrix's machines; ``overheads``
+reproduces Tables 1-2; ``delay`` reproduces Figs. 5-6; ``webperf``
+reproduces Figs. 7-8; ``planner_scaling`` reproduces Figs. 3-4.
+"""
+
+from repro.experiments.delay import (
+    DelayResult,
+    PingResult,
+    delay_matrix,
+    intrinsic_latency,
+    ping_latency,
+)
+from repro.experiments.overheads import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    OverheadRow,
+    format_table,
+    measure_overheads,
+    overhead_table,
+)
+from repro.experiments.planner_scaling import (
+    LATENCY_GOALS_MS,
+    ScalingPoint,
+    format_sweep,
+    full_sweep,
+    measure_point,
+    scaling_curve,
+)
+from repro.experiments.scenarios import (
+    BACKGROUNDS,
+    SCHEDULERS,
+    VM_LATENCY_NS,
+    VM_UTILIZATION,
+    VMS_PER_CORE,
+    Scenario,
+    build_scenario,
+    make_scheduler,
+    plan_for,
+    schedulers_for,
+)
+from repro.experiments.webperf import (
+    FILE_SIZES,
+    SLA_P99_NS,
+    WebRunResult,
+    default_rates,
+    run_web_load,
+    sweep_rates,
+)
+
+__all__ = [
+    "BACKGROUNDS",
+    "DelayResult",
+    "FILE_SIZES",
+    "LATENCY_GOALS_MS",
+    "OverheadRow",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PingResult",
+    "SCHEDULERS",
+    "SLA_P99_NS",
+    "ScalingPoint",
+    "Scenario",
+    "VMS_PER_CORE",
+    "VM_LATENCY_NS",
+    "VM_UTILIZATION",
+    "WebRunResult",
+    "build_scenario",
+    "default_rates",
+    "delay_matrix",
+    "format_sweep",
+    "format_table",
+    "full_sweep",
+    "intrinsic_latency",
+    "make_scheduler",
+    "measure_overheads",
+    "measure_point",
+    "overhead_table",
+    "ping_latency",
+    "plan_for",
+    "run_web_load",
+    "scaling_curve",
+    "schedulers_for",
+    "sweep_rates",
+]

@@ -1,0 +1,154 @@
+"""Scheduling-delay experiments (Figs. 5 and 6 of the paper).
+
+Two probes measure the same phenomenon from different angles:
+
+* ``intrinsic_latency`` — redis-cli's CPU-bound loop inside the vantage
+  VM (Fig. 5): the largest observed gap in its own execution is the
+  scheduling delay the VM scheduler inflicted.
+* ``ping_latency`` — externally visible wake-up latency (Fig. 6): the
+  round-trip time of randomly spaced echo requests, dominated by how
+  quickly the scheduler dispatches the woken vCPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.scenarios import build_scenario, schedulers_for
+from repro.metrics import LatencySummary, summarize_ns
+from repro.topology import Topology
+from repro.workloads import IntrinsicLatencyProbe, PingResponder, run_ping_load
+
+MS = 1_000_000
+
+
+@dataclass
+class DelayResult:
+    scheduler: str
+    capped: bool
+    background: str
+    max_delay_ms: float
+    mean_delay_ms: float
+
+
+@dataclass
+class PingResult:
+    scheduler: str
+    capped: bool
+    background: str
+    summary: LatencySummary
+
+    @property
+    def avg_ms(self) -> float:
+        return self.summary.mean_ms
+
+    @property
+    def max_ms(self) -> float:
+        return self.summary.max_ms
+
+
+def intrinsic_latency(
+    scheduler: str,
+    capped: bool,
+    background: str,
+    duration_s: float = 2.0,
+    topology: Optional[Topology] = None,
+    seed: int = 42,
+    plan=None,
+) -> DelayResult:
+    """Fig. 5: max scheduling delay seen by a CPU-bound vantage VM."""
+    probe = IntrinsicLatencyProbe()
+    scenario = build_scenario(
+        scheduler,
+        vantage_workload=probe,
+        capped=capped,
+        background=background,
+        topology=topology,
+        seed=seed,
+        plan=plan,
+    )
+    scenario.run_seconds(duration_s)
+    return DelayResult(
+        scheduler=scheduler,
+        capped=capped,
+        background=background,
+        max_delay_ms=probe.max_gap_ns / MS,
+        mean_delay_ms=probe.mean_gap_ns / MS,
+    )
+
+
+def ping_latency(
+    scheduler: str,
+    capped: bool,
+    background: str,
+    duration_s: float = 2.0,
+    pings_per_thread: int = 200,
+    threads: int = 8,
+    max_spacing_ns: Optional[int] = None,
+    topology: Optional[Topology] = None,
+    seed: int = 42,
+    plan=None,
+) -> PingResult:
+    """Fig. 6: average and maximum ping round-trip to the vantage VM.
+
+    The paper sends 8 x 5,000 pings spaced uniformly in [0, 200 ms]
+    over a long run; scaled-down runs shrink the spacing so the probe
+    density per simulated second stays comparable.
+    """
+    responder = PingResponder()
+    scenario = build_scenario(
+        scheduler,
+        vantage_workload=responder,
+        capped=capped,
+        background=background,
+        topology=topology,
+        seed=seed,
+        plan=plan,
+    )
+    if max_spacing_ns is None:
+        # Spread each thread's pings uniformly over the whole run.
+        max_spacing_ns = max(1, int(duration_s * 1e9 / pings_per_thread))
+    run_ping_load(
+        scenario.machine,
+        responder,
+        threads=threads,
+        pings_per_thread=pings_per_thread,
+        max_spacing_ns=max_spacing_ns,
+    )
+    scenario.run_seconds(duration_s)
+    return PingResult(
+        scheduler=scheduler,
+        capped=capped,
+        background=background,
+        summary=summarize_ns(responder.latencies_ns),
+    )
+
+
+def delay_matrix(
+    kind: str = "intrinsic",
+    duration_s: float = 2.0,
+    backgrounds: Optional[List[str]] = None,
+    topology: Optional[Topology] = None,
+) -> List:
+    """Run the full Fig. 5/6 matrix: scheduler x capped x background."""
+    results = []
+    bgs = backgrounds if backgrounds is not None else ["none", "io", "cpu"]
+    for capped in (True, False):
+        plans: Dict[bool, object] = {}
+        for scheduler in schedulers_for(capped):
+            for background in bgs:
+                if kind == "intrinsic":
+                    results.append(
+                        intrinsic_latency(
+                            scheduler, capped, background, duration_s, topology
+                        )
+                    )
+                else:
+                    results.append(
+                        ping_latency(
+                            scheduler, capped, background, duration_s,
+                            topology=topology,
+                        )
+                    )
+    return results

@@ -1,0 +1,105 @@
+"""Scheduler-overhead microbenchmark (Tables 1 and 2 of the paper).
+
+Runs the I/O-intensive stress scenario under each scheduler and reports
+the mean cost of the three traced operations (schedule, wakeup,
+migrate), exactly as the paper's Sec. 7.2 tables do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.scenarios import build_scenario
+from repro.sim.tracing import OP_MIGRATE, OP_SCHEDULE, OP_WAKEUP
+from repro.topology import Topology
+from repro.workloads import IoLoop
+
+#: Paper values (us) for the 16-core machine (Table 1).
+PAPER_TABLE1 = {
+    "credit": {"schedule": 8.08, "wakeup": 2.12, "migrate": 0.32},
+    "credit2": {"schedule": 3.51, "wakeup": 5.19, "migrate": 5.55},
+    "rtds": {"schedule": 2.86, "wakeup": 3.90, "migrate": 9.42},
+    "tableau": {"schedule": 1.43, "wakeup": 1.06, "migrate": 0.43},
+}
+
+#: Paper values (us) for the 48-core machine (Table 2).
+PAPER_TABLE2 = {
+    "credit": {"schedule": 16.40, "wakeup": 7.07, "migrate": 0.42},
+    "credit2": {"schedule": 4.70, "wakeup": 5.61, "migrate": 18.19},
+    "rtds": {"schedule": 4.39, "wakeup": 19.16, "migrate": 168.62},
+    "tableau": {"schedule": 2.49, "wakeup": 1.82, "migrate": 0.66},
+}
+
+
+@dataclass
+class OverheadRow:
+    scheduler: str
+    schedule_us: float
+    wakeup_us: float
+    migrate_us: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "schedule": self.schedule_us,
+            "wakeup": self.wakeup_us,
+            "migrate": self.migrate_us,
+        }
+
+
+def measure_overheads(
+    scheduler: str,
+    topology: Optional[Topology] = None,
+    duration_s: float = 1.0,
+    seed: int = 42,
+) -> OverheadRow:
+    """Mean operation costs for one scheduler under the I/O stress load.
+
+    Credit2 cannot cap, so it runs uncapped; the others run capped —
+    matching how the paper's scenario matrix covers all four.
+    """
+    capped = scheduler != "credit2"
+    scenario = build_scenario(
+        scheduler,
+        vantage_workload=IoLoop(),
+        capped=capped,
+        background="io",
+        topology=topology,
+        seed=seed,
+    )
+    scenario.run_seconds(duration_s)
+    tracer = scenario.machine.tracer
+    return OverheadRow(
+        scheduler=scheduler,
+        schedule_us=tracer.mean_us(OP_SCHEDULE),
+        wakeup_us=tracer.mean_us(OP_WAKEUP),
+        migrate_us=tracer.mean_us(OP_MIGRATE),
+    )
+
+
+def overhead_table(
+    topology: Optional[Topology] = None,
+    duration_s: float = 1.0,
+    schedulers: Optional[List[str]] = None,
+) -> List[OverheadRow]:
+    """Reproduce a full overhead table (Table 1 or Table 2)."""
+    names = schedulers if schedulers is not None else list(PAPER_TABLE1)
+    return [measure_overheads(name, topology, duration_s) for name in names]
+
+
+def format_table(rows: List[OverheadRow], paper: Dict[str, Dict[str, float]]) -> str:
+    """Render measured-vs-paper rows the way the paper's tables read."""
+    lines = [
+        f"{'':10s} {'Schedule':>18s} {'Wakeup':>18s} {'Migrate':>18s}",
+        f"{'':10s} {'meas':>8s} {'paper':>9s} {'meas':>8s} {'paper':>9s} "
+        f"{'meas':>8s} {'paper':>9s}",
+    ]
+    for row in rows:
+        expected = paper.get(row.scheduler, {})
+        lines.append(
+            f"{row.scheduler:10s} "
+            f"{row.schedule_us:8.2f} {expected.get('schedule', 0):9.2f} "
+            f"{row.wakeup_us:8.2f} {expected.get('wakeup', 0):9.2f} "
+            f"{row.migrate_us:8.2f} {expected.get('migrate', 0):9.2f}"
+        )
+    return "\n".join(lines)

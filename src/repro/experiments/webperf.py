@@ -1,0 +1,130 @@
+"""nginx HTTPS throughput-vs-latency experiments (Figs. 7 and 8).
+
+For each (scheduler, capping, background, file size) cell, sweep the
+offered request rate and record the achieved throughput plus the
+mean / p99 / max latency triple — one curve per scheduler, exactly the
+axes of the paper's Figs. 7 and 8.  The SLA-aware peak throughput
+(Sec. 7.4's headline metric) falls out of each curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.scenarios import build_scenario
+from repro.metrics import OperatingPoint, ThroughputCurve
+from repro.topology import Topology
+from repro.workloads import KIB, MIB, VirtualNic, WebServerWorkload, Wrk2Client
+
+#: File sizes the paper serves (first/second/third row of Fig. 7).
+FILE_SIZES = {"1KiB": KIB, "100KiB": 100 * KIB, "1MiB": MIB}
+
+#: The paper's SLA example: 99th-percentile latency of at most 100 ms.
+SLA_P99_NS = 100_000_000
+
+
+@dataclass
+class WebRunResult:
+    """One operating point plus context."""
+
+    scheduler: str
+    capped: bool
+    background: str
+    size_bytes: int
+    point: OperatingPoint
+    nic_utilization: float
+    l2_share: Optional[float] = None
+
+
+def run_web_load(
+    scheduler: str,
+    rate_per_s: float,
+    size_bytes: int,
+    capped: bool = True,
+    background: str = "io",
+    duration_s: float = 2.0,
+    topology: Optional[Topology] = None,
+    seed: int = 42,
+    plan=None,
+    tracer=None,
+) -> WebRunResult:
+    """One cell at one offered rate: run, measure, summarize."""
+    nic = VirtualNic()
+    server = WebServerWorkload(nic=nic)
+    scenario = build_scenario(
+        scheduler,
+        vantage_workload=server,
+        capped=capped,
+        background=background,
+        topology=topology,
+        seed=seed,
+        plan=plan,
+        tracer=tracer,
+    )
+    duration_ns = int(duration_s * 1e9)
+    client = Wrk2Client(scenario.machine, server, rate_per_s, size_bytes, duration_ns)
+    client.start()
+    # Run past the load window so in-flight requests drain.
+    scenario.machine.run(duration_ns + int(0.5e9))
+    point = OperatingPoint(
+        offered_rate=rate_per_s,
+        achieved_rate=client.achieved_throughput(duration_ns),
+        latency=client.summary(),
+    )
+    l2_share = None
+    if tracer is not None and tracer.keep_dispatches:
+        l2_share = tracer.level2_share("vm00.vcpu0")
+    return WebRunResult(
+        scheduler=scheduler,
+        capped=capped,
+        background=background,
+        size_bytes=size_bytes,
+        point=point,
+        nic_utilization=nic.utilization(duration_ns),
+        l2_share=l2_share,
+    )
+
+
+def sweep_rates(
+    scheduler: str,
+    rates: Sequence[float],
+    size_bytes: int,
+    capped: bool = True,
+    background: str = "io",
+    duration_s: float = 2.0,
+    topology: Optional[Topology] = None,
+    seed: int = 42,
+    plan=None,
+) -> ThroughputCurve:
+    """A full throughput-latency curve for one scheduler/config."""
+    curve = ThroughputCurve(label=scheduler, points=[])
+    for rate in rates:
+        result = run_web_load(
+            scheduler,
+            rate,
+            size_bytes,
+            capped=capped,
+            background=background,
+            duration_s=duration_s,
+            topology=topology,
+            seed=seed,
+            plan=plan,
+        )
+        curve.add(result.point)
+    return curve
+
+
+def default_rates(size_bytes: int, capped: bool) -> List[float]:
+    """Offered-rate grids sized to bracket each configuration's knee.
+
+    Derived from the paper's curves: ~1,600 req/s peak at 1 KiB, several
+    hundred at 100 KiB, tens at 1 MiB.
+    """
+    if size_bytes <= 4 * KIB:
+        grid = [200, 400, 600, 800, 1_000, 1_200, 1_400, 1_600, 1_800, 2_000]
+    elif size_bytes <= 256 * KIB:
+        grid = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1_000]
+    else:
+        grid = [10, 20, 30, 40, 50, 60, 80, 100, 120]
+    return [float(rate) for rate in grid]

@@ -1,0 +1,27 @@
+"""Measurement utilities: latency summaries and SLA-aware throughput."""
+
+from repro.metrics.latency import (
+    EMPTY_SUMMARY,
+    LatencySummary,
+    corrected_latencies,
+    percentile_ns,
+    service_gaps_ns,
+    summarize_ns,
+)
+from repro.metrics.throughput import (
+    OperatingPoint,
+    ThroughputCurve,
+    compare_peaks,
+)
+
+__all__ = [
+    "EMPTY_SUMMARY",
+    "LatencySummary",
+    "OperatingPoint",
+    "ThroughputCurve",
+    "compare_peaks",
+    "corrected_latencies",
+    "percentile_ns",
+    "service_gaps_ns",
+    "summarize_ns",
+]

@@ -1,0 +1,80 @@
+"""SLA-aware throughput metrics (the paper's headline comparison).
+
+"Given a latency-based service-level agreement (SLA), Tableau supports a
+higher SLA-aware throughput" (Sec. 7.4): for a family of
+(offered rate -> achieved throughput, latency summary) measurements, the
+SLA-aware peak throughput is the highest *achieved* throughput among
+operating points whose latency percentile still meets the SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.metrics.latency import LatencySummary
+
+MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point on a throughput-latency curve."""
+
+    offered_rate: float  # requests/s the client generated
+    achieved_rate: float  # requests/s actually completed
+    latency: LatencySummary
+
+    def meets_sla(self, sla_ns: float, metric: str = "p99") -> bool:
+        value = {
+            "mean": self.latency.mean_ns,
+            "p99": self.latency.p99_ns,
+            "max": self.latency.max_ns,
+        }[metric]
+        return value <= sla_ns
+
+
+@dataclass
+class ThroughputCurve:
+    """A labelled sweep of operating points for one scheduler/config."""
+
+    label: str
+    points: List[OperatingPoint]
+
+    def add(self, point: OperatingPoint) -> None:
+        self.points.append(point)
+
+    def sla_peak_throughput(
+        self, sla_ns: float, metric: str = "p99"
+    ) -> Optional[float]:
+        """Highest achieved throughput with the SLA still met, or None."""
+        eligible = [p.achieved_rate for p in self.points if p.meets_sla(sla_ns, metric)]
+        return max(eligible) if eligible else None
+
+    def saturation_rate(self, efficiency: float = 0.95) -> Optional[float]:
+        """Offered rate at which achieved throughput falls below
+        ``efficiency`` of offered (the knee of the curve)."""
+        for point in sorted(self.points, key=lambda p: p.offered_rate):
+            if point.achieved_rate < efficiency * point.offered_rate:
+                return point.offered_rate
+        return None
+
+    def rows(self) -> List[tuple]:
+        """(offered, achieved, mean_ms, p99_ms, max_ms) rows for display."""
+        return [
+            (
+                p.offered_rate,
+                p.achieved_rate,
+                p.latency.mean_ms,
+                p.latency.p99_ms,
+                p.latency.max_ms,
+            )
+            for p in sorted(self.points, key=lambda p: p.offered_rate)
+        ]
+
+
+def compare_peaks(
+    curves: Sequence[ThroughputCurve], sla_ns: float, metric: str = "p99"
+) -> dict:
+    """SLA-aware peak throughput per curve label (None if SLA never met)."""
+    return {c.label: c.sla_peak_throughput(sla_ns, metric) for c in curves}

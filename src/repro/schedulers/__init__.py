@@ -1,0 +1,25 @@
+"""VM scheduler implementations compared in the paper.
+
+Tableau (the paper's contribution) plus the three stock Xen schedulers
+it is evaluated against: Credit, Credit2, and RTDS.  All implement the
+:class:`repro.schedulers.base.Scheduler` interface; a naive round-robin
+reference scheduler is included for tests and ablations.
+"""
+
+from repro.schedulers.base import Decision, Scheduler, WakeAction
+from repro.schedulers.credit import CreditScheduler
+from repro.schedulers.credit2 import Credit2Scheduler
+from repro.schedulers.rtds import RtdsScheduler
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.schedulers.tableau import TableauScheduler
+
+__all__ = [
+    "Credit2Scheduler",
+    "CreditScheduler",
+    "Decision",
+    "RoundRobinScheduler",
+    "RtdsScheduler",
+    "Scheduler",
+    "TableauScheduler",
+    "WakeAction",
+]

@@ -1,0 +1,99 @@
+"""The VM-scheduler interface the simulated hypervisor invokes.
+
+A scheduler implements four entry points mirroring the hooks Xen's
+``struct scheduler`` exposes (and which the paper instruments in
+Sec. 7.2): picking the next vCPU on a core (*schedule*), reacting to a
+vCPU waking up (*wakeup*), post-schedule work such as sending rescheduling
+IPIs or load balancing (*migrate*), and block notification.  Every entry
+point reports the modelled overhead of the operation, which the machine
+charges to the core and traces — that is how scheduler inefficiency
+translates into lost application throughput in this simulator, exactly
+as in the paper's argument (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.vm import VCpu
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+@dataclass
+class Decision:
+    """Result of one scheduling decision on a core.
+
+    Attributes:
+        vcpu: The vCPU to run, or ``None`` to idle.
+        quantum_end: Absolute time at which the scheduler wants to be
+            re-invoked on this core (budget exhaustion, slot boundary,
+            timeslice end); ``None`` means "only on wake/block events".
+        level: Which policy level made the decision (Tableau: 1 = table,
+            2 = second-level scheduler; others: 1).
+        cost_ns: Modelled duration of the decision, traced as "schedule".
+    """
+
+    vcpu: Optional[VCpu]
+    quantum_end: Optional[int] = None
+    level: int = 1
+    cost_ns: float = 0.0
+
+
+@dataclass
+class WakeAction:
+    """Result of processing a vCPU wakeup.
+
+    Attributes:
+        cpu: Core on which the wakeup processing is charged.
+        cost_ns: Modelled duration, traced as "wakeup".
+        resched_cpu: Core that should re-run its scheduler as a result
+            (``None`` if the wakeup does not trigger rescheduling).
+        ipi_delay_ns: Extra latency before the resched fires (IPI wire
+            time) when ``resched_cpu`` differs from the processing core.
+    """
+
+    cpu: int
+    cost_ns: float = 0.0
+    resched_cpu: Optional[int] = None
+    ipi_delay_ns: int = 0
+
+
+class Scheduler:
+    """Base class; concrete schedulers override all four entry points."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.machine: Optional["Machine"] = None
+
+    def attach(self, machine: "Machine") -> None:
+        """Called once when the machine is assembled."""
+        self.machine = machine
+
+    def add_vcpu(self, vcpu: VCpu) -> None:
+        """Register a vCPU (before the simulation starts)."""
+        raise NotImplementedError
+
+    def pick_next(self, cpu: int, now: int) -> Decision:
+        """Choose what runs next on ``cpu``."""
+        raise NotImplementedError
+
+    def on_block(self, vcpu: VCpu, now: int) -> None:
+        """``vcpu`` (previously running) just blocked."""
+
+    def on_wakeup(self, vcpu: VCpu, now: int) -> WakeAction:
+        """``vcpu`` just became runnable after blocking."""
+        raise NotImplementedError
+
+    def post_schedule(
+        self, cpu: int, prev: Optional[VCpu], chosen: Optional[VCpu], now: int
+    ) -> float:
+        """Post-context-switch work; returns cost traced as "migrate"."""
+        return 0.0
+
+    def runnable_on(self, cpu: int) -> int:
+        """Number of runnable vCPUs associated with ``cpu`` (diagnostics)."""
+        return 0

@@ -1,0 +1,200 @@
+"""Model of Xen's Credit2 scheduler.
+
+Credit2 replaces Credit's per-core runqueues and boosting with
+per-socket runqueues ordered by remaining credit (Sec. 7.2: it
+"eliminates Credit's priority boosting as it is now understood to cause
+performance unpredictability").  Credits burn at a weight-scaled rate
+while running; when the highest credit in a runqueue drops to zero the
+whole queue is reset.  Wakeups preempt the running vCPU only if the
+waker's credit exceeds it — a much milder heuristic than BOOST, which is
+why Credit2 shows good tail latency but cannot exploit I/O-friendly
+prioritization when it would help (Fig. 8, uncapped).
+
+Credit2 has no cap mechanism, matching the paper's use of it only in
+uncapped scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.schedulers.base import Decision, Scheduler, WakeAction
+from repro.sim.overheads import IPI_WIRE_NS
+from repro.sim.vm import VCpu
+
+#: Credits handed to every vCPU at a reset (ns of weighted runtime).
+CREDIT_INIT_NS = 10_000_000
+#: Minimum time a vCPU runs before wakeup preemption (Xen's ratelimit).
+RATELIMIT_NS = 1_000_000
+#: Maximum timeslice between scheduler invocations.  Credit2 sizes its
+#: slices dynamically; ~2 ms is typical under contention and keeps
+#: CPU-bound vCPUs interleaving finely (the behaviour behind its good
+#: latency with CPU-bound background load, Fig. 5b).
+TIMESLICE_NS = 2_000_000
+
+# Cost-model constants (ns), calibrated to the Credit2 column of
+# Tables 1/2.  Schedule and wakeup costs are dominated by per-socket
+# runqueue manipulation under a runqueue lock (roughly constant); the
+# migrate path scans core state and scales with machine size.
+PICK_BASE_NS = 2_320.0
+PICK_SCALED_NS = 1_190.0
+PICK_PER_ENTRY_NS = 45.0
+WAKE_BASE_NS = 4_770.0
+WAKE_SCALED_NS = 420.0
+MIGRATE_PER_CORE_NS = 360.0
+
+
+@dataclass
+class _Credit2State:
+    credits: float = CREDIT_INIT_NS
+    runtime_seen: int = 0  # vcpu.runtime_ns at the last settlement
+
+
+class Credit2Scheduler(Scheduler):
+    """Per-socket runqueues ordered by credit; no boosting, no caps."""
+
+    name = "credit2"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: Dict[str, _Credit2State] = {}
+        self._runq: Dict[int, List[VCpu]] = {}  # per socket
+        self._socket_of_vcpu: Dict[str, int] = {}
+        self._cpu_pool: List[int] = []
+        self._next = 0
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self._cpu_pool = machine.topology.guest_cores
+        for socket in range(machine.topology.sockets):
+            self._runq[socket] = []
+
+    def add_vcpu(self, vcpu: VCpu) -> None:
+        cpu = self._cpu_pool[self._next % len(self._cpu_pool)]
+        self._next += 1
+        socket = self.machine.topology.socket_of(cpu)
+        self._state[vcpu.name] = _Credit2State()
+        self._socket_of_vcpu[vcpu.name] = socket
+        vcpu.last_cpu = cpu
+
+    # ------------------------------------------------------------------
+
+    def _burn(self, vcpu: VCpu, now: int) -> None:
+        state = self._state[vcpu.name]
+        ran = vcpu.runtime_ns - state.runtime_seen
+        state.runtime_seen = vcpu.runtime_ns
+        # Burn rate is inversely proportional to weight (weight 256
+        # burns 1 credit per ns of runtime).
+        state.credits -= ran * (256.0 / vcpu.weight)
+
+    def _reset_if_needed(self, socket: int, extra: Optional[VCpu]) -> None:
+        members = list(self._runq[socket])
+        if extra is not None:
+            members.append(extra)
+        if not members:
+            return
+        if all(self._state[v.name].credits <= 0 for v in members):
+            for v in members:
+                self._state[v.name].credits += CREDIT_INIT_NS
+
+    # ------------------------------------------------------------------
+
+    def pick_next(self, cpu: int, now: int) -> Decision:
+        if cpu not in self._cpu_pool:
+            return Decision(None, quantum_end=None, cost_ns=0.0)
+        socket = self.machine.topology.socket_of(cpu)
+        queue = self._runq[socket]
+        cost = (
+            PICK_BASE_NS
+            + PICK_SCALED_NS * self.machine.costs.socket_factor
+            + PICK_PER_ENTRY_NS * len(queue)
+        )
+
+        current = self.machine.cpus[cpu].current
+        if current is not None:
+            self._burn(current, now)
+            if current.runnable:
+                self._enqueue(current)
+
+        self._reset_if_needed(socket, None)
+        chosen = self._dequeue_best(socket, cpu)
+        if chosen is None:
+            return Decision(None, quantum_end=None, cost_ns=cost)
+        return Decision(
+            chosen, quantum_end=now + TIMESLICE_NS, level=1, cost_ns=cost
+        )
+
+    def on_block(self, vcpu: VCpu, now: int) -> None:
+        self._burn(vcpu, now)
+        socket = self._socket_of_vcpu[vcpu.name]
+        if vcpu in self._runq[socket]:
+            self._runq[socket].remove(vcpu)
+
+    def on_wakeup(self, vcpu: VCpu, now: int) -> WakeAction:
+        cost = WAKE_BASE_NS + WAKE_SCALED_NS * self.machine.costs.socket_factor
+        self._enqueue(vcpu)
+        socket = self._socket_of_vcpu[vcpu.name]
+        self._reset_if_needed(socket, None)
+        target = self._preemption_target(socket, vcpu, now)
+        return WakeAction(
+            cpu=vcpu.last_cpu,
+            cost_ns=cost,
+            resched_cpu=target,
+            ipi_delay_ns=IPI_WIRE_NS,
+        )
+
+    def post_schedule(
+        self, cpu: int, prev: Optional[VCpu], chosen: Optional[VCpu], now: int
+    ) -> float:
+        return MIGRATE_PER_CORE_NS * self.machine.topology.num_cores
+
+    def runnable_on(self, cpu: int) -> int:
+        socket = self.machine.topology.socket_of(cpu)
+        return len(self._runq.get(socket, ()))
+
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, vcpu: VCpu) -> None:
+        socket = self._socket_of_vcpu[vcpu.name]
+        if vcpu not in self._runq[socket]:
+            self._runq[socket].append(vcpu)
+
+    def _dequeue_best(self, socket: int, cpu: int) -> Optional[VCpu]:
+        queue = self._runq[socket]
+        best: Optional[VCpu] = None
+        for vcpu in queue:
+            if not vcpu.runnable or (vcpu.pcpu is not None and vcpu.pcpu != cpu):
+                continue
+            if best is None or (
+                self._state[vcpu.name].credits > self._state[best.name].credits
+            ):
+                best = vcpu
+        if best is not None:
+            queue.remove(best)
+        return best
+
+    def _preemption_target(
+        self, socket: int, waker: VCpu, now: int
+    ) -> Optional[int]:
+        """Pick a core of the socket to preempt: idle first, else the one
+        running the lowest-credit vCPU below the waker's credit."""
+        waker_credits = self._state[waker.name].credits
+        worst_cpu: Optional[int] = None
+        worst_credits = waker_credits
+        for cpu in self._cpu_pool:
+            if self.machine.topology.socket_of(cpu) != socket:
+                continue
+            running = self.machine.cpus[cpu].current
+            if running is None:
+                return cpu
+            state = self._state.get(running.name)
+            if state is None:
+                continue
+            # Ratelimit: do not preempt a vCPU that just started running.
+            if now - self.machine.cpus[cpu].run_start < RATELIMIT_NS:
+                continue
+            if state.credits < worst_credits:
+                worst_credits = state.credits
+                worst_cpu = cpu
+        return worst_cpu

@@ -1,0 +1,86 @@
+"""A deliberately naive round-robin scheduler.
+
+Not part of the paper's comparison; it exists as (i) a minimal reference
+implementation of the scheduler interface, (ii) the fixture the machine
+tests use so they exercise dispatch mechanics without any policy
+complexity, and (iii) a sanity baseline in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.schedulers.base import Decision, Scheduler, WakeAction
+from repro.sim.vm import VCpu
+
+DEFAULT_SLICE_NS = 1_000_000
+
+
+class RoundRobinScheduler(Scheduler):
+    """Global FIFO queue, fixed timeslice, zero modelled overhead.
+
+    Args:
+        timeslice_ns: Preemption quantum.
+        cost_ns: Flat overhead charged per operation (zero by default so
+            machine tests can assert exact timings).
+    """
+
+    name = "round-robin"
+
+    def __init__(self, timeslice_ns: int = DEFAULT_SLICE_NS, cost_ns: float = 0.0):
+        super().__init__()
+        self.timeslice_ns = timeslice_ns
+        self.cost_ns = cost_ns
+        self._queue: Deque[VCpu] = deque()
+        self._cpu_pool: List[int] = []
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self._cpu_pool = machine.topology.guest_cores
+
+    def add_vcpu(self, vcpu: VCpu) -> None:
+        pass  # queued on wakeup / first pick
+
+    def pick_next(self, cpu: int, now: int) -> Decision:
+        if cpu not in self._cpu_pool:
+            return Decision(None, quantum_end=None, cost_ns=0.0)
+        current = self.machine.cpus[cpu].current
+        if current is not None and current.runnable:
+            self._queue.append(current)
+        chosen: Optional[VCpu] = None
+        for _ in range(len(self._queue)):
+            head = self._queue.popleft()
+            if head.runnable and (head.pcpu is None or head.pcpu == cpu):
+                chosen = head
+                break
+            if head.runnable:
+                self._queue.append(head)
+        if chosen is None:
+            return Decision(None, quantum_end=None, cost_ns=self.cost_ns)
+        return Decision(
+            chosen,
+            quantum_end=now + self.timeslice_ns,
+            level=1,
+            cost_ns=self.cost_ns,
+        )
+
+    def on_block(self, vcpu: VCpu, now: int) -> None:
+        if vcpu in self._queue:
+            self._queue.remove(vcpu)
+
+    def on_wakeup(self, vcpu: VCpu, now: int) -> WakeAction:
+        if vcpu not in self._queue:
+            self._queue.append(vcpu)
+        idle = next(
+            (
+                cpu
+                for cpu in self._cpu_pool
+                if self.machine.cpus[cpu].current is None
+            ),
+            None,
+        )
+        return WakeAction(cpu=vcpu.last_cpu, cost_ns=self.cost_ns, resched_cpu=idle)
+
+    def runnable_on(self, cpu: int) -> int:
+        return len(self._queue)

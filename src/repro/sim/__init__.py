@@ -1,0 +1,48 @@
+"""Discrete-event hypervisor simulator substrate.
+
+Provides the event engine, the multicore machine model with scheduler
+overhead charging, simulated VMs/vCPUs, the workload protocol, the
+tracing framework, and the calibrated cost model.
+"""
+
+from repro.sim.engine import EventHandle, SimEngine
+from repro.sim.machine import Machine
+from repro.sim.overheads import (
+    CONTEXT_SWITCH_NS,
+    IPI_WIRE_NS,
+    CostModel,
+    GlobalLock,
+    make_cost_model,
+)
+from repro.sim.tracing import (
+    ALL_OPS,
+    OP_MIGRATE,
+    OP_SCHEDULE,
+    OP_WAKEUP,
+    DispatchRecord,
+    OpStats,
+    Tracer,
+)
+from repro.sim.vm import VM, VCpu, VCpuState, Workload
+
+__all__ = [
+    "ALL_OPS",
+    "CONTEXT_SWITCH_NS",
+    "CostModel",
+    "DispatchRecord",
+    "EventHandle",
+    "GlobalLock",
+    "IPI_WIRE_NS",
+    "Machine",
+    "OP_MIGRATE",
+    "OP_SCHEDULE",
+    "OP_WAKEUP",
+    "OpStats",
+    "SimEngine",
+    "Tracer",
+    "VCpu",
+    "VCpuState",
+    "VM",
+    "Workload",
+    "make_cost_model",
+]

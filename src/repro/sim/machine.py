@@ -1,0 +1,314 @@
+"""The simulated multicore machine: dispatch loop, overhead charging.
+
+The machine owns the event engine, the physical cores, the vCPUs, and
+one scheduler.  Its job is purely mechanical — execute compute bursts,
+deliver wakeups, charge modelled overheads, emit trace records — while
+every *policy* decision is delegated to the scheduler.  This mirrors the
+paper's separation between Xen's scheduling framework and the pluggable
+schedulers being compared.
+
+Overhead charging: schedule/migrate costs delay the dispatch of the next
+vCPU; wakeup costs *steal* time from whatever is running on the core
+that processes the interrupt (its burst completion is pushed back).
+Cycles spent in the scheduler are thus unavailable to guests, which is
+exactly the throughput-tax mechanism of Sec. 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import EventHandle, SimEngine
+from repro.sim.overheads import (
+    CONTEXT_SWITCH_NS,
+    CostModel,
+    make_cost_model,
+)
+from repro.sim.tracing import OP_MIGRATE, OP_SCHEDULE, OP_WAKEUP, Tracer
+from repro.sim.vm import VCpu, VCpuState
+from repro.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.schedulers.base import Scheduler
+
+
+
+@dataclass
+class _Cpu:
+    """Per-core dispatch state."""
+
+    index: int
+    current: Optional[VCpu] = None
+    event: Optional[EventHandle] = None  # pending burst/quantum event
+    quantum_end: Optional[int] = None
+    run_start: int = 0  # when `current` last started making progress
+    resched: Optional[EventHandle] = None
+    busy_ns: int = 0
+    overhead_ns: float = 0.0
+
+
+class Machine:
+    """A multicore machine driven by one VM scheduler.
+
+    Args:
+        topology: Physical layout (cores, sockets).
+        scheduler: The policy under test.
+        seed: RNG seed (forwarded to the event engine for workloads).
+        tracer: Optional pre-configured tracer (e.g., with dispatch
+            logging enabled).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: "Scheduler",
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.engine = SimEngine(seed=seed)
+        self.scheduler = scheduler
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.costs = cost_model if cost_model is not None else make_cost_model(topology)
+        self.cpus: List[_Cpu] = [_Cpu(index=i) for i in range(topology.num_cores)]
+        self.vcpus: Dict[str, VCpu] = {}
+        self._started = False
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def add_vcpu(self, vcpu: VCpu) -> VCpu:
+        if self._started:
+            raise SimulationError("cannot add vCPUs after the simulation started")
+        if vcpu.name in self.vcpus:
+            raise ConfigurationError(f"duplicate vCPU {vcpu.name}")
+        self.vcpus[vcpu.name] = vcpu
+        vcpu.machine = self
+        vcpu.workload.bind(vcpu, self)
+        self.scheduler.add_vcpu(vcpu)
+        return vcpu
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ns: int) -> None:
+        """Run (or continue) the simulation for ``duration_ns``."""
+        if not self._started:
+            self._started = True
+            for vcpu in self.vcpus.values():
+                vcpu.workload.start(0)
+                if vcpu.runnable:
+                    # Announce initially-runnable vCPUs so queue-based
+                    # schedulers learn about them (free of charge: boot
+                    # is not part of any measured scenario).
+                    self.scheduler.on_wakeup(vcpu, 0)
+            for cpu in self.cpus:
+                self.request_resched(cpu.index)
+        self.engine.run_until(self.engine.now + duration_ns)
+        for cpu in self.cpus:
+            self._sync_current(cpu, self.engine.now)
+            self._arm_event(cpu, self.engine.now)
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Wakeups (called by workloads / external clients)
+    # ------------------------------------------------------------------
+
+    def wake(self, vcpu: VCpu) -> None:
+        """Deliver a (virtual) interrupt to a blocked vCPU."""
+        now = self.engine.now
+        if vcpu.state is not VCpuState.BLOCKED:
+            vcpu.workload.on_wake(now)
+            return
+        vcpu.workload.on_wake(now)
+        if not vcpu.runnable:
+            # The workload chose to ignore the event (no burst queued).
+            return
+        action = self.scheduler.on_wakeup(vcpu, now)
+        self.tracer.record_op(OP_WAKEUP, now, action.cpu, action.cost_ns)
+        self._steal(action.cpu, action.cost_ns)
+        if action.resched_cpu is not None:
+            delay = int(action.cost_ns) + (
+                action.ipi_delay_ns if action.resched_cpu != action.cpu else 0
+            )
+            self.request_resched(action.resched_cpu, delay=delay)
+
+    # ------------------------------------------------------------------
+    # Rescheduling machinery
+    # ------------------------------------------------------------------
+
+    def request_resched(self, cpu_index: int, delay: int = 0) -> None:
+        """Ask ``cpu_index`` to re-run its scheduler (coalescing repeats)."""
+        cpu = self.cpus[cpu_index]
+        when = self.engine.now + delay
+        if cpu.resched is not None and cpu.resched.active and cpu.resched.time <= when:
+            return
+        if cpu.resched is not None:
+            cpu.resched.cancel()
+        cpu.resched = self.engine.at(when, lambda: self._do_resched(cpu))
+
+    def _do_resched(self, cpu: _Cpu) -> None:
+        now = self.engine.now
+        if cpu.resched is not None:
+            cpu.resched.cancel()
+            cpu.resched = None
+        self._sync_current(cpu, now)
+        prev = cpu.current
+
+        decision = self.scheduler.pick_next(cpu.index, now)
+        self.tracer.record_op(OP_SCHEDULE, now, cpu.index, decision.cost_ns)
+        migrate_cost = self.scheduler.post_schedule(
+            cpu.index, prev, decision.vcpu, now
+        )
+        self.tracer.record_op(OP_MIGRATE, now, cpu.index, migrate_cost)
+        overhead = decision.cost_ns + migrate_cost
+        cpu.overhead_ns += overhead
+
+        chosen = decision.vcpu
+        if chosen is not None and not chosen.runnable:
+            raise SimulationError(
+                f"{self.scheduler.name} picked blocked vCPU {chosen.name}"
+            )
+        switching = chosen is not prev
+
+        if prev is not None and switching:
+            prev.pcpu = None
+            if prev.state is VCpuState.RUNNING:
+                prev.state = VCpuState.RUNNABLE
+            prev.workload.on_deschedule(now)
+
+        cpu.quantum_end = decision.quantum_end
+        if chosen is None:
+            cpu.current = None
+            self._arm_event(cpu, now)
+            return
+
+        dispatch_at = now + int(overhead)
+        if switching:
+            dispatch_at += CONTEXT_SWITCH_NS
+            migrated = chosen.last_cpu != cpu.index
+            self.tracer.record_context_switch(migrated)
+            chosen.dispatch_count += 1
+        cpu.current = chosen
+        chosen.state = VCpuState.RUNNING
+        chosen.pcpu = cpu.index
+        chosen.last_cpu = cpu.index
+        cpu.run_start = dispatch_at
+        self.tracer.record_dispatch(now, cpu.index, chosen.name, decision.level)
+        if switching:
+            chosen.workload.on_dispatch(dispatch_at)
+        self._arm_event(cpu, now)
+
+    def _arm_event(self, cpu: _Cpu, now: int) -> None:
+        """(Re)program the core's next dispatch event."""
+        if cpu.event is not None:
+            cpu.event.cancel()
+            cpu.event = None
+        candidates = []
+        if cpu.current is not None:
+            candidates.append(cpu.run_start + cpu.current.remaining_burst)
+        if cpu.quantum_end is not None:
+            candidates.append(max(cpu.quantum_end, now))
+        if not candidates:
+            return
+        when = min(candidates)
+        cpu.event = self.engine.at(when, lambda: self._on_cpu_event(cpu))
+
+    def _on_cpu_event(self, cpu: _Cpu) -> None:
+        now = self.engine.now
+        if cpu.event is not None:
+            cpu.event.cancel()
+            cpu.event = None
+        vcpu = cpu.current
+        if vcpu is None:
+            # Idle core reached a scheduler-requested check point.
+            self._do_resched(cpu)
+            return
+        burst_end = cpu.run_start + vcpu.remaining_burst
+        if now >= burst_end:
+            self._complete_burst(cpu, vcpu, now)
+        else:
+            # Quantum expiry: preemption point.
+            self._do_resched(cpu)
+
+    def _complete_burst(self, cpu: _Cpu, vcpu: VCpu, now: int) -> None:
+        consumed = min(now - cpu.run_start, vcpu.remaining_burst)
+        vcpu.consume(consumed)
+        cpu.busy_ns += consumed
+        cpu.run_start = now
+        vcpu.workload.on_burst_complete(now)
+        if vcpu.remaining_burst > 0:
+            # The workload queued more compute; keep running within quantum.
+            self._arm_event(cpu, now)
+        elif vcpu.state is VCpuState.BLOCKED:
+            vcpu.pcpu = None
+            self.scheduler.on_block(vcpu, now)
+            vcpu.workload.on_deschedule(now)
+            cpu.current = None
+            self._do_resched(cpu)
+        else:
+            raise SimulationError(
+                f"{vcpu.name}: workload neither queued a burst nor blocked"
+            )
+
+    def _sync_current(self, cpu: _Cpu, now: int) -> None:
+        """Account partial progress of the running vCPU up to ``now``."""
+        vcpu = cpu.current
+        if vcpu is None:
+            return
+        if cpu.event is not None:
+            cpu.event.cancel()
+            cpu.event = None
+        consumed = max(0, now - cpu.run_start)
+        consumed = min(consumed, vcpu.remaining_burst)
+        vcpu.consume(consumed)
+        cpu.busy_ns += consumed
+        cpu.run_start = now
+
+    def _steal(self, cpu_index: int, cost_ns: float) -> None:
+        """Charge interrupt-processing time against a core.
+
+        If a vCPU is running there, its progress window shifts by the
+        cost: the pending burst/quantum event is pushed back and the
+        progress origin moves forward, so the guest literally loses the
+        cycles the hypervisor spent.
+        """
+        cpu = self.cpus[cpu_index]
+        cpu.overhead_ns += cost_ns
+        charge = int(cost_ns)
+        if charge <= 0 or cpu.current is None or cpu.event is None:
+            return
+        when = cpu.event.time + charge
+        cpu.event.cancel()
+        cpu.run_start += charge
+        if cpu.quantum_end is not None and cpu.event.time == cpu.quantum_end:
+            cpu.quantum_end += charge
+        cpu.event = self.engine.at(when, lambda: self._on_cpu_event(cpu))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def utilization_of(self, vcpu_name: str, window_ns: Optional[int] = None) -> float:
+        window = window_ns if window_ns is not None else max(1, self.engine.now)
+        return self.vcpus[vcpu_name].runtime_ns / window
+
+    def total_overhead_ns(self) -> float:
+        return sum(c.overhead_ns for c in self.cpus)
+
+    def idle_fraction(self) -> float:
+        if self.engine.now == 0:
+            return 1.0
+        busy = sum(c.busy_ns for c in self.cpus)
+        return 1.0 - busy / (self.engine.now * len(self.cpus))

@@ -1,0 +1,151 @@
+"""Simulated VMs, vCPUs, and the workload protocol.
+
+A vCPU is the schedulable entity; its behaviour is driven by a
+:class:`Workload` that alternates *compute bursts* with *blocking*.
+The machine executes bursts while the vCPU is dispatched; when a burst
+finishes, the workload decides what happens next (another burst, or
+blocking until an I/O completion / external event wakes the vCPU).
+
+Workloads see a deliberately narrow surface — ``begin_burst``, ``block``,
+timers, and ``wake`` — which is exactly the set of interactions a guest
+has with the VM scheduler: consuming CPU, sleeping, and receiving
+(virtual) interrupts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class VCpuState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+
+
+class Workload:
+    """Base class for guest behaviour models.
+
+    Subclasses override :meth:`start` (must either start a burst or
+    block) and :meth:`on_burst_complete` (must do the same, so the vCPU
+    always has a defined next step).  The dispatch hooks let probes such
+    as the intrinsic-latency measurement observe scheduling decisions
+    without perturbing them.
+    """
+
+    def __init__(self) -> None:
+        self.vcpu: Optional["VCpu"] = None
+        self.machine: Optional["Machine"] = None
+
+    def bind(self, vcpu: "VCpu", machine: "Machine") -> None:
+        self.vcpu = vcpu
+        self.machine = machine
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, now: int) -> None:
+        """Called once at simulation start; default: block forever."""
+        self.vcpu.set_blocked()
+
+    def on_burst_complete(self, now: int) -> None:
+        """Called when the current compute burst has been fully executed."""
+        raise NotImplementedError
+
+    # -- observation hooks ----------------------------------------------
+    def on_dispatch(self, now: int) -> None:
+        """The vCPU just started running on a pCPU."""
+
+    def on_deschedule(self, now: int) -> None:
+        """The vCPU just stopped running (preempted or blocked)."""
+
+    def on_wake(self, now: int) -> None:
+        """The vCPU was woken while blocked (before it is scheduled)."""
+
+
+class VCpu:
+    """One virtual CPU.
+
+    Attributes:
+        name: Globally unique identifier (matches the planner's specs).
+        vm: Owning VM name.
+        workload: The behaviour model driving this vCPU.
+        capped: If True the vCPU may never exceed its reservation
+            (scheduler-interpreted; e.g., excluded from Tableau's
+            second-level scheduling and from Credit's spare cycles).
+        weight: Proportional-share weight (Credit/Credit2).
+        reservation: Optional (budget, period) attached by the harness
+            so RTDS/Tableau can be configured identically (Sec. 7.2).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        workload: Workload,
+        vm: Optional[str] = None,
+        capped: bool = False,
+        weight: int = 256,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("vCPU name must be non-empty")
+        self.name = name
+        self.vm = vm if vm is not None else name.split(".")[0]
+        self.workload = workload
+        self.capped = capped
+        self.weight = weight
+        self.state = VCpuState.BLOCKED
+        self.pcpu: Optional[int] = None  # core currently running us
+        self.last_cpu: int = 0
+        self.remaining_burst: int = 0
+        self.runtime_ns: int = 0  # total CPU time actually consumed
+        self.dispatch_count: int = 0
+        self.wake_pending: bool = False
+        self.sched_data: Dict[str, object] = {}  # scheduler-private state
+        self.machine: Optional["Machine"] = None
+
+    # -- API used by workloads -----------------------------------------
+
+    def begin_burst(self, duration_ns: int) -> None:
+        """Queue ``duration_ns`` of compute as the next thing this vCPU does."""
+        if duration_ns <= 0:
+            raise SimulationError(f"{self.name}: burst must be positive")
+        self.remaining_burst = duration_ns
+        if self.state is VCpuState.BLOCKED:
+            self.state = VCpuState.RUNNABLE
+
+    def set_blocked(self) -> None:
+        self.remaining_burst = 0
+        self.state = VCpuState.BLOCKED
+
+    # -- bookkeeping used by the machine ---------------------------------
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is not VCpuState.BLOCKED
+
+    def consume(self, ns: int) -> None:
+        if ns < 0 or ns > self.remaining_burst:
+            raise SimulationError(
+                f"{self.name}: consuming {ns} of {self.remaining_burst} ns burst"
+            )
+        self.remaining_burst -= ns
+        self.runtime_ns += ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VCpu {self.name} {self.state.value} burst={self.remaining_burst}>"
+
+
+class VM:
+    """A simulated VM: a named group of vCPUs (most tests use one)."""
+
+    def __init__(self, name: str, vcpus: Optional[list] = None) -> None:
+        self.name = name
+        self.vcpus = vcpus if vcpus is not None else []
+
+    def add(self, vcpu: VCpu) -> VCpu:
+        self.vcpus.append(vcpu)
+        return vcpu

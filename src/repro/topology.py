@@ -1,0 +1,107 @@
+"""Machine topology descriptions shared by the planner and the simulator.
+
+The evaluation platforms in the paper are a 16-core, 2-socket Xeon
+E5-2667 and a 48-core, 4-socket Xeon E7-8857; both are provided as
+ready-made constructors.  Topology matters in two places: the planner
+prefers clustering cores that share a socket (cheap migrations), and the
+simulator's overhead model makes cross-socket operations — and RTDS's
+global runqueue lock — more expensive as the socket count grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A multicore machine: cores grouped into sockets.
+
+    Attributes:
+        sockets: Number of processor sockets.
+        cores_per_socket: Cores on each socket.
+        reserved_cores: Core ids set aside for the control plane (dom0);
+            the planner never places guest vCPUs there, mirroring the
+            paper's setup of dedicating four cores to dom0.
+        frequency_ghz: Nominal clock, used to convert modelled cycle
+            counts into nanoseconds in the overhead model.
+    """
+
+    sockets: int
+    cores_per_socket: int
+    reserved_cores: Tuple[int, ...] = ()
+    frequency_ghz: float = 3.2
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigurationError("topology needs at least one core")
+        bad = [c for c in self.reserved_cores if not 0 <= c < self.num_cores]
+        if bad:
+            raise ConfigurationError(f"reserved cores out of range: {bad}")
+        if len(self.reserved_cores) >= self.num_cores:
+            raise ConfigurationError("cannot reserve every core for dom0")
+
+    @property
+    def num_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def guest_cores(self) -> List[int]:
+        """Cores available to guest vCPUs (everything not reserved)."""
+        reserved = set(self.reserved_cores)
+        return [c for c in range(self.num_cores) if c not in reserved]
+
+    def socket_of(self, core: int) -> int:
+        if not 0 <= core < self.num_cores:
+            raise ConfigurationError(f"core {core} out of range")
+        return core // self.cores_per_socket
+
+    @property
+    def socket_map(self) -> Dict[int, int]:
+        return {c: self.socket_of(c) for c in range(self.num_cores)}
+
+    def same_socket(self, a: int, b: int) -> bool:
+        return self.socket_of(a) == self.socket_of(b)
+
+    def cores_of_socket(self, socket: int) -> List[int]:
+        start = socket * self.cores_per_socket
+        return list(range(start, start + self.cores_per_socket))
+
+
+def xeon_16core(reserved_for_dom0: int = 4) -> Topology:
+    """The paper's main platform: 2 sockets x 8 cores, 3.2 GHz E5-2667."""
+    return Topology(
+        sockets=2,
+        cores_per_socket=8,
+        reserved_cores=tuple(range(reserved_for_dom0)),
+        frequency_ghz=3.2,
+        name="xeon-e5-2667-16c",
+    )
+
+
+def xeon_48core(reserved_for_dom0: int = 4) -> Topology:
+    """The scalability platform: 4 sockets x 12 cores, E7-8857."""
+    return Topology(
+        sockets=4,
+        cores_per_socket=12,
+        reserved_cores=tuple(range(reserved_for_dom0)),
+        frequency_ghz=3.0,
+        name="xeon-e7-8857-48c",
+    )
+
+
+def uniform(num_cores: int, sockets: int = 1, name: str = "uniform") -> Topology:
+    """A simple test topology with no reserved cores."""
+    if num_cores % sockets != 0:
+        raise ConfigurationError(
+            f"{num_cores} cores do not divide evenly into {sockets} sockets"
+        )
+    return Topology(
+        sockets=sockets,
+        cores_per_socket=num_cores // sockets,
+        name=name,
+    )

@@ -1,0 +1,49 @@
+"""Workload models reproducing the paper's evaluation drivers.
+
+stress-style CPU/I/O hogs, the redis-cli intrinsic-latency probe, the
+ping responder/client pair, and the nginx/wrk2 web-serving stack with
+its SR-IOV virtual NIC model.
+"""
+
+from repro.workloads.intrinsic import IntrinsicLatencyProbe
+from repro.workloads.netdev import (
+    DEFAULT_LINE_RATE_BPS,
+    DEFAULT_RING_BYTES,
+    VirtualNic,
+)
+from repro.workloads.pingprobe import (
+    ECHO_PROCESSING_NS,
+    WIRE_RTT_NS,
+    PingClient,
+    PingResponder,
+    run_ping_load,
+)
+from repro.workloads.stress import CpuHog, IoLoop
+from repro.workloads.webserver import (
+    BASE_CPU_NS,
+    CPU_PER_BYTE_NS,
+    KIB,
+    MIB,
+    WebServerWorkload,
+    Wrk2Client,
+)
+
+__all__ = [
+    "BASE_CPU_NS",
+    "CPU_PER_BYTE_NS",
+    "CpuHog",
+    "DEFAULT_LINE_RATE_BPS",
+    "DEFAULT_RING_BYTES",
+    "ECHO_PROCESSING_NS",
+    "IntrinsicLatencyProbe",
+    "IoLoop",
+    "KIB",
+    "MIB",
+    "PingClient",
+    "PingResponder",
+    "VirtualNic",
+    "WIRE_RTT_NS",
+    "WebServerWorkload",
+    "Wrk2Client",
+    "run_ping_load",
+]

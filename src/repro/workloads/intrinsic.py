@@ -1,0 +1,54 @@
+"""redis-cli --intrinsic-latency equivalent (Sec. 7.3).
+
+The real tool runs a tight CPU-bound loop at the highest SCHED_FIFO
+priority and records any gap between consecutive loop iterations; in a
+guest whose own scheduler is out of the picture, every observed gap is
+scheduling delay inflicted by the *VM* scheduler.  The simulated probe
+does the same thing at zero cost: it is a CPU hog that records the gaps
+between being descheduled and being dispatched again.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.vm import Workload
+
+
+class IntrinsicLatencyProbe(Workload):
+    """CPU-bound probe recording scheduler-induced service gaps.
+
+    Attributes (after a run):
+        max_gap_ns: Largest observed gap — the paper's Fig. 5 metric.
+        gaps_ns: All observed gaps (for distribution analysis).
+    """
+
+    def __init__(self, chunk_ns: int = 1_000_000) -> None:
+        super().__init__()
+        self.chunk_ns = chunk_ns
+        self.max_gap_ns = 0
+        self.gaps_ns: List[int] = []
+        self._descheduled_at: int = 0
+        self._ever_ran = False
+
+    def start(self, now: int) -> None:
+        self.vcpu.begin_burst(self.chunk_ns)
+
+    def on_burst_complete(self, now: int) -> None:
+        self.vcpu.begin_burst(self.chunk_ns)
+
+    def on_dispatch(self, now: int) -> None:
+        if self._ever_ran:
+            gap = now - self._descheduled_at
+            if gap > 0:
+                self.gaps_ns.append(gap)
+                if gap > self.max_gap_ns:
+                    self.max_gap_ns = gap
+        self._ever_ran = True
+
+    def on_deschedule(self, now: int) -> None:
+        self._descheduled_at = now
+
+    @property
+    def mean_gap_ns(self) -> float:
+        return sum(self.gaps_ns) / len(self.gaps_ns) if self.gaps_ns else 0.0

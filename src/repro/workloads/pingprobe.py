@@ -1,0 +1,125 @@
+"""Ping latency measurement (Sec. 7.3).
+
+ICMP echo requests are answered inside the guest kernel, so with the
+guest scheduler out of the picture the round-trip time is dominated by
+how quickly the VM scheduler dispatches the (blocked, now woken) vCPU.
+The model: a client injects echo requests at random intervals; each
+request wakes the vantage vCPU; the reply is sent after a tiny
+in-kernel processing burst once the vCPU actually runs.  Measured
+latency = wire RTT + scheduling delay + processing.
+
+The paper's setup — eight client threads, 5,000 pings each, spacing
+uniform in [0, 200 ms] — is the default of :func:`run_ping_load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sim.machine import Machine
+from repro.sim.vm import Workload
+
+#: One-way wire + NIC latency on the paper's quiet 10 GbE network.
+WIRE_RTT_NS = 60_000
+#: In-guest-kernel cost of answering one echo request.
+ECHO_PROCESSING_NS = 8_000
+
+
+class PingResponder(Workload):
+    """The vantage VM's kernel: answers echo requests when scheduled.
+
+    The vCPU sleeps unless requests are pending; each pending request
+    costs :data:`ECHO_PROCESSING_NS` of guest CPU, and its reply is
+    timestamped when that burst completes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: List[int] = []  # arrival timestamps (FIFO)
+        self.latencies_ns: List[int] = []
+
+    def start(self, now: int) -> None:
+        self.vcpu.set_blocked()
+
+    def inject(self, sent_at: int) -> None:
+        """Deliver an echo request (called by the client via the wire)."""
+        self._pending.append(sent_at)
+        self.machine.wake(self.vcpu)
+
+    def on_wake(self, now: int) -> None:
+        if self._pending and self.vcpu.remaining_burst == 0:
+            self.vcpu.begin_burst(ECHO_PROCESSING_NS)
+
+    def on_burst_complete(self, now: int) -> None:
+        sent_at = self._pending.pop(0)
+        # Reply hits the client half an RTT later; total latency includes
+        # both wire directions plus everything the scheduler added.
+        self.latencies_ns.append(now + WIRE_RTT_NS // 2 - sent_at)
+        if self._pending:
+            self.vcpu.begin_burst(ECHO_PROCESSING_NS)
+        else:
+            self.vcpu.set_blocked()
+
+    @property
+    def max_latency_ns(self) -> int:
+        return max(self.latencies_ns, default=0)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+
+@dataclass
+class PingClient:
+    """Client-side load generator: randomly spaced echo requests.
+
+    Args:
+        machine: The simulated machine (provides clock and RNG).
+        responder: The vantage VM's responder.
+        count: Requests this client thread sends.
+        max_spacing_ns: Spacing drawn uniformly from [0, max_spacing_ns]
+            (the paper uses 0-200 ms).
+    """
+
+    machine: Machine
+    responder: PingResponder
+    count: int = 5_000
+    max_spacing_ns: int = 200_000_000
+
+    def start(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("ping count must be >= 1")
+        self._send(remaining=self.count)
+
+    def _send(self, remaining: int) -> None:
+        delay = int(self.machine.engine.rng.uniform(0, self.max_spacing_ns))
+        def fire() -> None:
+            sent_at = self.machine.engine.now
+            # The request reaches the guest half an RTT after sending.
+            self.machine.engine.after(
+                WIRE_RTT_NS // 2, lambda: self.responder.inject(sent_at)
+            )
+            if remaining > 1:
+                self._send(remaining - 1)
+        self.machine.engine.after(delay, fire)
+
+
+def run_ping_load(
+    machine: Machine,
+    responder: PingResponder,
+    threads: int = 8,
+    pings_per_thread: int = 5_000,
+    max_spacing_ns: int = 200_000_000,
+) -> List[PingClient]:
+    """Start the paper's ping load: N threads of randomly spaced echoes."""
+    clients = [
+        PingClient(machine, responder, pings_per_thread, max_spacing_ns)
+        for _ in range(threads)
+    ]
+    for client in clients:
+        client.start()
+    return clients

@@ -1,0 +1,93 @@
+"""stress-style background workloads (Sec. 7.2: "an I/O-intensive
+workload based on the well-known stress benchmark").
+
+Two variants are used throughout the evaluation:
+
+* :class:`CpuHog` — the cache-thrashing, fully CPU-bound worker
+  (``stress -m``-like).  It never voluntarily invokes the VM scheduler,
+  which is why all schedulers look similar in Fig. 8's capped scenario.
+* :class:`IoLoop` — the I/O-intensive worker (``stress -i``-like): short
+  compute bursts separated by blocking I/O, generating a high rate of
+  block/wakeup events that stress the scheduler's hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.vm import Workload
+
+
+class CpuHog(Workload):
+    """Fully CPU-bound worker: computes forever, never blocks.
+
+    ``chunk_ns`` only controls internal burst granularity (the vCPU
+    re-queues compute immediately), so it has no scheduling-visible
+    effect beyond limiting how far the simulator plans ahead.
+    """
+
+    def __init__(self, chunk_ns: int = 5_000_000) -> None:
+        super().__init__()
+        if chunk_ns <= 0:
+            raise ConfigurationError("chunk must be positive")
+        self.chunk_ns = chunk_ns
+
+    def start(self, now: int) -> None:
+        self.vcpu.begin_burst(self.chunk_ns)
+
+    def on_burst_complete(self, now: int) -> None:
+        self.vcpu.begin_burst(self.chunk_ns)
+
+
+class IoLoop(Workload):
+    """I/O-intensive worker: compute briefly, block on I/O, repeat.
+
+    Args:
+        compute_ns: Mean compute burst between I/O operations.
+        io_ns: Mean blocking time (device service + queueing).
+        jitter: Relative uniform jitter applied to both phases
+            (0.2 -> durations drawn from [0.8x, 1.2x]).
+
+    The defaults (400 us compute / 500 us I/O) give each worker roughly
+    1 kHz of scheduler invocations at ~44% duty cycle — heavy enough
+    that four such VMs oversubscribe a core, the "frequently triggers
+    the VM scheduler" regime the paper targets with stress -i.
+    """
+
+    def __init__(
+        self,
+        compute_ns: int = 400_000,
+        io_ns: int = 500_000,
+        jitter: float = 0.3,
+    ) -> None:
+        super().__init__()
+        if compute_ns <= 0 or io_ns <= 0:
+            raise ConfigurationError("phase durations must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        self.compute_ns = compute_ns
+        self.io_ns = io_ns
+        self.jitter = jitter
+        self.io_completions = 0
+
+    def _jittered(self, mean: int) -> int:
+        if self.jitter == 0.0:
+            return mean
+        spread = self.jitter * mean
+        return max(1, int(self.machine.engine.rng.uniform(mean - spread, mean + spread)))
+
+    def start(self, now: int) -> None:
+        self.vcpu.begin_burst(self._jittered(self.compute_ns))
+
+    def on_burst_complete(self, now: int) -> None:
+        # Compute phase done: issue the I/O and block until it completes.
+        self.vcpu.set_blocked()
+        delay = self._jittered(self.io_ns)
+        self.machine.engine.after(delay, self._io_complete)
+
+    def _io_complete(self) -> None:
+        self.io_completions += 1
+        self.machine.wake(self.vcpu)
+
+    def on_wake(self, now: int) -> None:
+        if self.vcpu.remaining_burst == 0:
+            self.vcpu.begin_burst(self._jittered(self.compute_ns))

@@ -1,0 +1,30 @@
+"""Model of the Xen control plane around Tableau (Fig. 1 of the paper).
+
+dom0 hosts the toolstack and the planner daemon; new tables reach the
+in-hypervisor dispatcher through a validated hypercall with
+time-synchronized, lock-free activation.
+"""
+
+from repro.xen.daemon import PlannerDaemon, ReplanRecord
+from repro.xen.domain import Domain, DomainRegistry, DomainState
+from repro.xen.hypercall import PushRecord, TableHypercall
+from repro.xen.toolstack import (
+    XEN_CREATE_BASE_NS,
+    XEN_DESTROY_BASE_NS,
+    ProvisioningReport,
+    Toolstack,
+)
+
+__all__ = [
+    "Domain",
+    "DomainRegistry",
+    "DomainState",
+    "PlannerDaemon",
+    "ProvisioningReport",
+    "PushRecord",
+    "ReplanRecord",
+    "TableHypercall",
+    "Toolstack",
+    "XEN_CREATE_BASE_NS",
+    "XEN_DESTROY_BASE_NS",
+]

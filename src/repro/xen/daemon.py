@@ -1,0 +1,106 @@
+"""The Tableau planner daemon (userspace, dom0).
+
+In the paper the planner is "a daemon in the userspace of dom0" written
+in Python on SchedCAT (Sec. 6).  This module is that daemon: it owns the
+current guest census, replans on any change, and pushes the compiled
+table through the hypercall interface.  Its latency — the table
+generation time of Fig. 3 — is what inflates VM provisioning
+operations, so every replan is timed and recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import Planner, PlanResult, TableCache
+from repro.core.params import VMSpec, flatten_vcpus
+from repro.topology import Topology
+from repro.xen.hypercall import PushRecord, TableHypercall
+
+
+@dataclass
+class ReplanRecord:
+    """One planning episode: why, how long, what came out."""
+
+    reason: str
+    num_vms: int
+    generation_seconds: float
+    method: str
+    table_bytes: int
+    push: Optional[PushRecord] = None
+
+
+class PlannerDaemon:
+    """On-demand table generation for a changing VM census.
+
+    Args:
+        topology: The machine being managed.
+        hypercall: Optional hypervisor interface; when present every
+            replan is immediately compiled and pushed (the normal mode).
+            Without it the daemon just plans (useful for dry-run
+            admission checks and unit tests).
+        cache: Reuse tables across same-shape censuses (Sec. 7.1's
+            caching optimization) — a tier-based cloud hits this cache
+            on almost every create/destroy.
+        planner_kwargs: Forwarded to :class:`repro.core.Planner`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        hypercall: Optional[TableHypercall] = None,
+        cache: bool = False,
+        **planner_kwargs,
+    ) -> None:
+        self.planner = Planner(topology, **planner_kwargs)
+        self.hypercall = hypercall
+        self.cache = TableCache(self.planner) if cache else None
+        self.history: List[ReplanRecord] = []
+        self.current_plan: Optional[PlanResult] = None
+
+    def replan(self, specs: List[VMSpec], reason: str) -> PlanResult:
+        """Plan for ``specs``; push to the hypervisor when attached.
+
+        Raises :class:`repro.errors.AdmissionError` for infeasible
+        censuses *without* touching the currently installed table — a
+        failed VM creation must not degrade running guests.
+        """
+        if self.cache is not None:
+            result = self.cache.plan(flatten_vcpus(specs))
+        else:
+            result = self.planner.plan(specs)
+        push = None
+        if self.hypercall is not None:
+            push = self.hypercall.push_system_table(result.table)
+        self.current_plan = result
+        self.history.append(
+            ReplanRecord(
+                reason=reason,
+                num_vms=len(specs),
+                generation_seconds=result.stats.generation_seconds,
+                method=result.stats.method,
+                table_bytes=result.stats.table_bytes,
+                push=push,
+            )
+        )
+        return result
+
+    @property
+    def last_generation_seconds(self) -> float:
+        return self.history[-1].generation_seconds if self.history else 0.0
+
+    @property
+    def total_replans(self) -> int:
+        return len(self.history)
+
+    def rotate_table(self, specs: List[VMSpec]) -> PlanResult:
+        """Periodic regeneration rotating the split victim (Sec. 7.5).
+
+        For censuses requiring semi-partitioning, bumping the planner's
+        rotation changes which equal-utilization vCPU pays the
+        migration penalty, so the cost "evens out over time" as with
+        the dynamic schedulers.
+        """
+        self.planner.rotation += 1
+        return self.replan(specs, reason="rotate split victim")

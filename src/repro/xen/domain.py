@@ -1,0 +1,116 @@
+"""Domain (VM) lifecycle model for the Xen control-plane layer.
+
+Mirrors the pieces of Xen's domain management that matter to Tableau:
+domains are created by dom0's toolstack, have per-vCPU reservation
+parameters, and their creation / teardown / reconfiguration are the
+(infrequent) events that trigger replanning (Sec. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.params import VCpuSpec, VMSpec, make_vm
+from repro.errors import ConfigurationError
+
+
+class DomainState(enum.Enum):
+    CREATED = "created"  # admitted; table includes it; not yet booted
+    RUNNING = "running"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass
+class Domain:
+    """One guest domain and its scheduling parameters.
+
+    ``domid`` follows Xen conventions (dom0 is the control domain and is
+    never scheduled by the guest-facing planner — it owns reserved
+    cores).
+    """
+
+    domid: int
+    spec: VMSpec
+    state: DomainState = DomainState.CREATED
+    created_at_ns: int = 0
+    provision_delay_ns: int = 0  # extra latency added by planning
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def vcpus(self) -> List[VCpuSpec]:
+        return list(self.spec.vcpus)
+
+    @property
+    def total_utilization(self) -> float:
+        return self.spec.total_utilization
+
+    def reconfigured(self, utilization: float, latency_ns: int) -> "Domain":
+        """A copy of this domain with new uniform vCPU parameters."""
+        new_spec = make_vm(
+            self.spec.name,
+            utilization,
+            latency_ns,
+            vcpu_count=len(self.spec.vcpus),
+            capped=self.spec.vcpus[0].capped,
+        )
+        return Domain(
+            domid=self.domid,
+            spec=new_spec,
+            state=self.state,
+            created_at_ns=self.created_at_ns,
+            provision_delay_ns=self.provision_delay_ns,
+        )
+
+
+class DomainRegistry:
+    """dom0's view of all guest domains."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, Domain] = {}
+        self._next_domid = 1  # 0 is dom0
+
+    def add(self, spec: VMSpec, now_ns: int = 0) -> Domain:
+        if spec.name in self._domains:
+            raise ConfigurationError(f"domain {spec.name!r} already exists")
+        domain = Domain(domid=self._next_domid, spec=spec, created_at_ns=now_ns)
+        self._next_domid += 1
+        self._domains[spec.name] = domain
+        return domain
+
+    def remove(self, name: str) -> Domain:
+        try:
+            domain = self._domains.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"no such domain {name!r}") from None
+        domain.state = DomainState.SHUTDOWN
+        return domain
+
+    def replace(self, domain: Domain) -> None:
+        if domain.name not in self._domains:
+            raise ConfigurationError(f"no such domain {domain.name!r}")
+        self._domains[domain.name] = domain
+
+    def get(self, name: str) -> Domain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise ConfigurationError(f"no such domain {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    @property
+    def specs(self) -> List[VMSpec]:
+        return [d.spec for d in self._domains.values()]
+
+    @property
+    def domains(self) -> List[Domain]:
+        return list(self._domains.values())

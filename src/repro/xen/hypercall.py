@@ -1,0 +1,93 @@
+"""The planner -> hypervisor table-push interface (Sec. 6).
+
+The userspace planner compiles a table to the binary format and pushes
+it via a hypercall; the hypervisor validates it and stages it behind the
+per-core ``next_table`` pointers.  To keep the dispatcher hot path free
+of locks, activation is *time-synchronized*: the staging always happens
+"at a point in the middle of the next round of the current table", so no
+core can race a table wrap while the pointer changes, and every core
+flips at the same wrap (Sec. 6, "Lock-free table switches").
+
+Two rounds after the switch the old table is garbage-collected; this
+module tracks that bookkeeping so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.serialize import deserialize, serialize
+from repro.core.table import SystemTable
+from repro.errors import TableFormatError
+from repro.schedulers.tableau import TableauScheduler
+
+
+@dataclass
+class PushRecord:
+    """Audit record of one table push."""
+
+    pushed_at_ns: int
+    activation_cycle: int
+    table_bytes: int
+
+
+class TableHypercall:
+    """The hypervisor end of the table-push hypercall.
+
+    Args:
+        scheduler: The in-hypervisor Tableau dispatcher.
+        clock: Callable returning current time (defaults to the
+            scheduler's machine clock once attached).
+    """
+
+    def __init__(self, scheduler: TableauScheduler) -> None:
+        self.scheduler = scheduler
+        self.pushes: List[PushRecord] = []
+        self._retired_tables: List[SystemTable] = []
+
+    def _now(self) -> int:
+        machine = self.scheduler.machine
+        return machine.engine.now if machine is not None else 0
+
+    def push_table(self, payload: bytes) -> PushRecord:
+        """Validate and stage a serialized table.
+
+        The activation cycle is chosen so the pointer write lands mid-
+        round: if the push happens in the first half of the current
+        cycle, the table activates at the next wrap; pushes in the
+        second half (too close to the wrap to be race-free) activate one
+        cycle later.
+        """
+        table = deserialize(payload)  # raises TableFormatError when bad
+        table.validate()
+        now = self._now()
+        length = self.scheduler.table.length_ns
+        cycle = now // length
+        phase = now % length
+        # Mid-round rule: the pointer is written at the middle of the
+        # *next* round, so the earliest safe activation is the wrap after
+        # that write.
+        activation_cycle = cycle + (2 if phase > length // 2 else 1)
+        old = self.scheduler.table
+        self.scheduler.install_table(table, activation_cycle)
+        record = PushRecord(
+            pushed_at_ns=now,
+            activation_cycle=activation_cycle,
+            table_bytes=len(payload),
+        )
+        self.pushes.append(record)
+        self._retired_tables.append(old)
+        # Garbage collection: anything older than two rounds before the
+        # most recent activation can no longer be referenced by any core.
+        if len(self._retired_tables) > 2:
+            self._retired_tables = self._retired_tables[-2:]
+        return record
+
+    def push_system_table(self, table: SystemTable) -> PushRecord:
+        """Serialize-then-push convenience used by the planner daemon."""
+        return self.push_table(serialize(table))
+
+    @property
+    def retired_table_count(self) -> int:
+        return len(self._retired_tables)

@@ -1,0 +1,137 @@
+"""An ``xl``-like toolstack: VM lifecycle operations that trigger planning.
+
+Ties the control-plane pieces together the way Fig. 1 of the paper draws
+them: ``xl create`` / ``xl destroy`` / reconfiguration requests go to the
+toolstack in dom0, which updates the domain registry, asks the planner
+daemon for a new table, and (through the hypercall) stages it for a
+race-free switch.  The planning latency is charged to the operation's
+*provisioning time* — never to running guests (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import PlanResult
+from repro.core.params import make_vm
+from repro.errors import AdmissionError
+from repro.topology import Topology
+from repro.xen.daemon import PlannerDaemon
+from repro.xen.domain import Domain, DomainRegistry, DomainState
+from repro.xen.hypercall import TableHypercall
+
+#: Baseline cost of domain construction in Xen (memory setup, device
+#: model, etc.) — "VM creation under Xen already takes many seconds"
+#: (Sec. 7.1); we charge a conservative fixed cost and add planning time.
+XEN_CREATE_BASE_NS = 2_000_000_000
+XEN_DESTROY_BASE_NS = 500_000_000
+
+
+@dataclass
+class ProvisioningReport:
+    """What one lifecycle operation cost, split by cause."""
+
+    operation: str
+    domain: str
+    base_ns: int
+    planning_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return self.base_ns + self.planning_ns
+
+    @property
+    def planning_share(self) -> float:
+        return self.planning_ns / self.total_ns if self.total_ns else 0.0
+
+
+class Toolstack:
+    """dom0's VM management front end.
+
+    Args:
+        topology: Machine under management.
+        hypercall: Hypervisor table interface (optional: planning-only
+            mode when absent).
+        planner_kwargs: Forwarded to the planner daemon.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        hypercall: Optional[TableHypercall] = None,
+        **planner_kwargs,
+    ) -> None:
+        self.topology = topology
+        self.registry = DomainRegistry()
+        self.daemon = PlannerDaemon(topology, hypercall, **planner_kwargs)
+        self.reports: List[ProvisioningReport] = []
+
+    # ------------------------------------------------------------------
+
+    def create_vm(
+        self,
+        name: str,
+        utilization: float,
+        latency_ns: int,
+        vcpu_count: int = 1,
+        capped: bool = False,
+    ) -> Domain:
+        """``xl create``: admit, replan, stage the new table.
+
+        On admission failure the domain is not created and the installed
+        table is untouched.
+        """
+        spec = make_vm(name, utilization, latency_ns, vcpu_count, capped)
+        candidate = self.registry.specs + [spec]
+        plan = self.daemon.replan(candidate, reason=f"create {name}")
+        domain = self.registry.add(spec)
+        domain.state = DomainState.RUNNING
+        domain.provision_delay_ns = int(
+            self.daemon.last_generation_seconds * 1e9
+        )
+        self._report("create", name, XEN_CREATE_BASE_NS)
+        return domain
+
+    def destroy_vm(self, name: str) -> Domain:
+        """``xl destroy``: remove and replan for the survivors."""
+        domain = self.registry.remove(name)
+        self.daemon.replan(self.registry.specs, reason=f"destroy {name}")
+        self._report("destroy", name, XEN_DESTROY_BASE_NS)
+        return domain
+
+    def reconfigure_vm(
+        self, name: str, utilization: float, latency_ns: int
+    ) -> Domain:
+        """Change a running domain's reservation; replan; roll back on
+        admission failure."""
+        old = self.registry.get(name)
+        updated = old.reconfigured(utilization, latency_ns)
+        self.registry.replace(updated)
+        try:
+            self.daemon.replan(self.registry.specs, reason=f"reconfigure {name}")
+        except AdmissionError:
+            self.registry.replace(old)
+            raise
+        self._report("reconfigure", name, 0)
+        return updated
+
+    # ------------------------------------------------------------------
+
+    def _report(self, operation: str, domain: str, base_ns: int) -> None:
+        planning_ns = int(self.daemon.last_generation_seconds * 1e9)
+        self.reports.append(
+            ProvisioningReport(
+                operation=operation,
+                domain=domain,
+                base_ns=base_ns,
+                planning_ns=planning_ns,
+            )
+        )
+
+    @property
+    def current_plan(self) -> Optional[PlanResult]:
+        return self.daemon.current_plan
+
+    def domain_count(self) -> int:
+        return len(self.registry)

@@ -1,0 +1,67 @@
+"""Tests for admission control."""
+
+import pytest
+
+from repro.core.admission import admit_or_raise, check_admission
+from repro.core.params import MS, VCpuSpec
+from repro.errors import AdmissionError
+
+
+def vcpu(name, utilization, latency_ms=20):
+    return VCpuSpec(name, utilization, latency_ms * MS)
+
+
+class TestCheckAdmission:
+    def test_feasible_set_admitted(self):
+        vcpus = [vcpu(f"v{i}", 0.25) for i in range(16)]
+        report = check_admission(vcpus, num_cores=4)
+        assert report.admitted
+        assert report.shared_utilization == pytest.approx(4.0)
+
+    def test_exact_capacity_admitted(self):
+        vcpus = [vcpu(f"v{i}", 1.0) for i in range(4)]
+        report = check_admission(vcpus, num_cores=4)
+        assert report.admitted
+        assert len(report.dedicated) == 4
+
+    def test_over_utilization_rejected(self):
+        vcpus = [vcpu(f"v{i}", 0.3) for i in range(14)]  # 4.2 on 4 cores
+        report = check_admission(vcpus, num_cores=4)
+        assert not report.admitted
+        assert any("exceeds capacity" in r for r in report.reasons)
+
+    def test_too_many_dedicated_vcpus_rejected(self):
+        vcpus = [vcpu(f"v{i}", 1.0) for i in range(5)]
+        report = check_admission(vcpus, num_cores=4)
+        assert not report.admitted
+
+    def test_dedicated_vcpus_shrink_shared_pool(self):
+        vcpus = [vcpu("big", 1.0)] + [vcpu(f"v{i}", 0.5) for i in range(7)]
+        # 3.5 shared utilization on 3 remaining cores: over capacity.
+        report = check_admission(vcpus, num_cores=4)
+        assert not report.admitted
+        assert report.shared_cores == 3
+
+    def test_infeasible_latency_rejected(self):
+        vcpus = [VCpuSpec("v", 0.25, 10_000)]  # 10 us goal, impossible
+        report = check_admission(vcpus, num_cores=4)
+        assert not report.admitted
+        assert any("infeasible" in r for r in report.reasons)
+
+    def test_zero_cores_rejected(self):
+        report = check_admission([vcpu("v", 0.1)], num_cores=0)
+        assert not report.admitted
+
+    def test_empty_vcpu_set_admitted(self):
+        assert check_admission([], num_cores=4).admitted
+
+
+class TestAdmitOrRaise:
+    def test_raises_with_reasons(self):
+        vcpus = [vcpu(f"v{i}", 0.9) for i in range(6)]
+        with pytest.raises(AdmissionError, match="exceeds capacity"):
+            admit_or_raise(vcpus, num_cores=4)
+
+    def test_returns_report_on_success(self):
+        report = admit_or_raise([vcpu("v", 0.5)], num_cores=2)
+        assert report.admitted

@@ -1,0 +1,128 @@
+"""Tests for co-scheduling (affinity / anti-affinity) constraints."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.core.affinity import CoschedulingPolicy, constrained_worst_fit
+from repro.core.tasks import PeriodicTask
+from repro.errors import ConfigurationError, PlanningError
+from repro.topology import uniform
+
+
+def task(name, utilization, period=1_000_000):
+    return PeriodicTask(name=name, cost=int(utilization * period), period=period)
+
+
+class TestPolicyConstruction:
+    def test_build_normalizes_groups(self):
+        policy = CoschedulingPolicy.build(
+            affine=[("a", "b")], anti_affine=[("c", "d")]
+        )
+        assert policy.affine == (frozenset({"a", "b"}),)
+        assert policy.anti_affine == (frozenset({"c", "d"}),)
+
+    def test_non_pairwise_anti_affinity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoschedulingPolicy.build(anti_affine=[("a", "b", "c")])
+
+    def test_contradictory_rules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoschedulingPolicy.build(
+                affine=[("a", "b")], anti_affine=[("a", "b")]
+            )
+
+    def test_transitive_affinity_merging(self):
+        policy = CoschedulingPolicy.build(affine=[("a", "b"), ("b", "c")])
+        groups = policy.merged_groups(["a", "b", "c", "d"])
+        merged = next(g for g in groups if "a" in g)
+        assert merged == {"a", "b", "c"}
+        assert {"d"} in groups
+
+
+class TestConstrainedWorstFit:
+    def test_affine_tasks_share_a_core(self):
+        tasks = [task("a", 0.3), task("b", 0.3), task("c", 0.3), task("d", 0.3)]
+        policy = CoschedulingPolicy.build(affine=[("a", "b")])
+        result = constrained_worst_fit(tasks, [0, 1], policy)
+        assert result.success
+        core_of = {
+            t.name: core for core, ts in result.assignment.items() for t in ts
+        }
+        assert core_of["a"] == core_of["b"]
+
+    def test_anti_affine_tasks_separated(self):
+        tasks = [task("a", 0.3), task("b", 0.3)]
+        policy = CoschedulingPolicy.build(anti_affine=[("a", "b")])
+        result = constrained_worst_fit(tasks, [0, 1], policy)
+        assert result.success
+        core_of = {
+            t.name: core for core, ts in result.assignment.items() for t in ts
+        }
+        assert core_of["a"] != core_of["b"]
+
+    def test_oversized_affine_group_unassignable(self):
+        tasks = [task("a", 0.6), task("b", 0.6)]
+        policy = CoschedulingPolicy.build(affine=[("a", "b")])
+        result = constrained_worst_fit(tasks, [0, 1], policy)
+        assert not result.success
+        assert {t.name for t in result.unassigned} == {"a", "b"}
+
+    def test_anti_affinity_can_force_failure(self):
+        # Three mutually anti-affine tasks on two cores cannot be placed.
+        tasks = [task("a", 0.1), task("b", 0.1), task("c", 0.1)]
+        policy = CoschedulingPolicy.build(
+            anti_affine=[("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        result = constrained_worst_fit(tasks, [0, 1], policy)
+        assert not result.success
+
+    def test_no_rules_behaves_like_wfd(self):
+        tasks = [task(f"t{i}", 0.25) for i in range(8)]
+        policy = CoschedulingPolicy.build()
+        result = constrained_worst_fit(tasks, [0, 1], policy)
+        assert result.success
+        assert all(len(ts) == 4 for ts in result.assignment.values())
+
+
+class TestPlannerIntegration:
+    def test_planner_honors_anti_affinity(self):
+        policy = CoschedulingPolicy.build(
+            anti_affine=[("replica0.vcpu0", "replica1.vcpu0")]
+        )
+        vms = [make_vm(f"replica{i}", 0.3, 20 * MS) for i in range(2)]
+        vms += [make_vm(f"fill{i}", 0.3, 20 * MS) for i in range(2)]
+        result = Planner(uniform(2), policy=policy).plan(vms)
+        assert result.table.core_of("replica0.vcpu0") != result.table.core_of(
+            "replica1.vcpu0"
+        )
+
+    def test_planner_honors_affinity(self):
+        policy = CoschedulingPolicy.build(
+            affine=[("pair.vcpu0", "pair.vcpu1")]
+        )
+        vms = [make_vm("pair", 0.2, 20 * MS, vcpu_count=2),
+               make_vm("other", 0.4, 20 * MS)]
+        result = Planner(uniform(2), policy=policy).plan(vms)
+        assert result.table.core_of("pair.vcpu0") == result.table.core_of(
+            "pair.vcpu1"
+        )
+
+    def test_unsatisfiable_policy_raises(self):
+        policy = CoschedulingPolicy.build(
+            affine=[("a.vcpu0", "b.vcpu0")]
+        )
+        vms = [make_vm("a", 0.6, 50 * MS), make_vm("b", 0.6, 50 * MS)]
+        with pytest.raises(PlanningError, match="co-scheduling"):
+            Planner(uniform(2), policy=policy).plan(vms)
+
+    def test_guarantees_hold_under_policy(self):
+        policy = CoschedulingPolicy.build(
+            anti_affine=[("a.vcpu0", "b.vcpu0")]
+        )
+        vms = [make_vm(n, 0.25, 20 * MS) for n in ("a", "b", "c", "d")]
+        result = Planner(uniform(2), policy=policy).plan(vms)
+        for name in result.vcpus:
+            assert result.table.utilization_of(name) == pytest.approx(
+                0.25, abs=1e-3
+            )
+            assert result.table.max_blackout_ns(name) <= 20 * MS

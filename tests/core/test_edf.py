@@ -1,0 +1,93 @@
+"""Tests for the per-core EDF table simulation."""
+
+import pytest
+
+from repro.core.edf import preemption_count, simulate_edf
+from repro.core.table import validate_against_tasks
+from repro.core.tasks import PeriodicTask
+from repro.errors import ConfigurationError, PlanningError
+
+
+def task(name, cost, period, deadline=None, offset=0):
+    return PeriodicTask(name=name, cost=cost, period=period, deadline=deadline, offset=offset)
+
+
+class TestSimulateEdf:
+    def test_single_task_runs_at_period_start(self):
+        table = simulate_edf([task("a", 250, 1_000)], 2_000)
+        assert [(a.start, a.end, a.vcpu) for a in table.allocations] == [
+            (0, 250, "a"),
+            (1_000, 1_250, "a"),
+        ]
+
+    def test_full_utilization_has_no_idle(self):
+        tasks = [task(f"t{i}", 250, 1_000) for i in range(4)]
+        table = simulate_edf(tasks, 2_000)
+        assert table.busy_ns == 2_000
+
+    def test_every_job_served_by_deadline(self):
+        tasks = [task("a", 300, 1_000), task("b", 500, 2_000), task("c", 100, 500)]
+        table = simulate_edf(tasks, 10_000)
+        validate_against_tasks(table, tasks)
+
+    def test_harmonic_tasks_rate_monotonic_shape(self):
+        # With harmonic periods EDF serves the short-period task first in
+        # each of its periods.
+        tasks = [task("fast", 200, 1_000), task("slow", 1_000, 4_000)]
+        table = simulate_edf(tasks, 4_000)
+        assert table.allocations[0].vcpu == "fast"
+        validate_against_tasks(table, tasks)
+
+    def test_offset_task_not_served_before_release(self):
+        tasks = [task("a", 200, 1_000, deadline=500, offset=500)]
+        table = simulate_edf(tasks, 2_000)
+        for alloc in table.allocations:
+            assert alloc.start % 1_000 >= 500
+
+    def test_cd_chain_pieces_never_overlap_in_time(self):
+        # A C=D piece on this core plus the remainder's window elsewhere.
+        piece = task("x#0", 300, 1_000, deadline=300)
+        table = simulate_edf([piece, task("y", 600, 1_000)], 2_000)
+        for start, end in table.service_intervals("x#0"):
+            assert start % 1_000 >= 0 and end % 1_000 <= 300 or end % 1_000 == 0
+
+    def test_overload_raises_planning_error(self):
+        tasks = [task("a", 600, 1_000), task("b", 600, 1_000)]
+        with pytest.raises(PlanningError):
+            simulate_edf(tasks, 2_000)
+
+    def test_horizon_must_be_period_multiple(self):
+        with pytest.raises(ConfigurationError):
+            simulate_edf([task("a", 100, 1_000)], 1_500)
+
+    def test_idle_gaps_not_materialized(self):
+        table = simulate_edf([task("a", 100, 1_000)], 1_000)
+        assert all(a.vcpu is not None for a in table.allocations)
+
+    def test_deterministic_output(self):
+        tasks = [task("a", 300, 1_000), task("b", 300, 1_000), task("c", 300, 1_000)]
+        t1 = simulate_edf(tasks, 3_000)
+        t2 = simulate_edf(tasks, 3_000)
+        assert t1.allocations == t2.allocations
+
+    def test_same_period_tasks_run_round_robin_per_period(self):
+        tasks = [task(f"t{i}", 250, 1_000) for i in range(4)]
+        table = simulate_edf(tasks, 1_000)
+        assert [a.vcpu for a in table.allocations] == ["t0", "t1", "t2", "t3"]
+
+    def test_table_layout_is_valid(self):
+        tasks = [task("a", 333, 1_000), task("b", 500, 2_000)]
+        table = simulate_edf(tasks, 2_000)
+        table.validate_layout()  # must not raise
+
+
+class TestPreemptionCount:
+    def test_no_preemptions_for_single_task(self):
+        tasks = [task("a", 250, 1_000)]
+        table = simulate_edf(tasks, 2_000)
+        assert preemption_count(table, tasks) == 0
+
+    def test_long_job_preempted_by_short_period_task(self):
+        tasks = [task("fast", 200, 1_000), task("slow", 2_400, 4_000)]
+        table = simulate_edf(tasks, 4_000)
+        assert preemption_count(table, tasks) > 0

@@ -1,0 +1,105 @@
+"""Tests for NUMA-aware partitioning."""
+
+import pytest
+
+from repro.core.numa import numa_worst_fit
+from repro.core.params import VCpuSpec, make_vm
+from repro.core.tasks import PeriodicTask, vcpus_to_tasks
+from repro.core.params import flatten_vcpus
+from repro.topology import uniform
+
+MS = 1_000_000
+
+
+def tasks_for(vms):
+    return vcpus_to_tasks(flatten_vcpus(vms))
+
+
+class TestNumaWorstFit:
+    def test_multi_vcpu_vm_stays_on_one_socket(self):
+        topo = uniform(8, sockets=2)
+        vms = [make_vm("smp", 0.4, 50 * MS, vcpu_count=4)]
+        result, report = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert result.success
+        assert report.vm_sockets["smp"] == [0] or report.vm_sockets["smp"] == [1]
+        cores_used = {
+            core for core, ts in result.assignment.items() if ts
+        }
+        sockets_used = {topo.socket_of(c) for c in cores_used}
+        assert len(sockets_used) == 1
+
+    def test_vms_balance_across_sockets(self):
+        topo = uniform(8, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.5, 50 * MS, vcpu_count=2) for i in range(4)]
+        result, report = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert result.success
+        sockets = [report.vm_sockets[f"vm{i}"][0] for i in range(4)]
+        assert sockets.count(0) == 2 and sockets.count(1) == 2
+
+    def test_locality_rate_full_when_everything_fits(self):
+        topo = uniform(8, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.25, 50 * MS, vcpu_count=2) for i in range(6)]
+        result, report = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert result.success
+        assert report.locality_rate == 1.0
+        assert report.remote_vms == []
+
+    def test_oversized_vm_spills_across_sockets(self):
+        # A VM too big for one socket still gets placed (locality is
+        # best-effort, capacity is a guarantee).
+        topo = uniform(4, sockets=2)
+        vms = [make_vm("big", 0.75, 50 * MS, vcpu_count=4)]
+        result, report = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert result.success
+        assert "big" in report.remote_vms
+        assert report.locality_rate == 0.0
+
+    def test_no_core_overloaded(self):
+        topo = uniform(4, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.3, 50 * MS, vcpu_count=2) for i in range(3)]
+        result, _ = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        for core in topo.guest_cores:
+            assert result.utilization_of(core) <= 1.0 + 1e-9
+
+    def test_infeasible_reports_unassigned(self):
+        topo = uniform(2, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.9, 50 * MS) for i in range(3)]
+        result, _ = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert not result.success
+        assert len(result.unassigned) == 1
+
+    def test_single_socket_machine_degenerates_to_wfd(self):
+        topo = uniform(4, sockets=1)
+        vms = [make_vm(f"vm{i}", 0.25, 50 * MS) for i in range(8)]
+        result, report = numa_worst_fit(tasks_for(vms), topo.guest_cores, topo)
+        assert result.success
+        assert report.locality_rate == 1.0
+
+
+class TestPlannerNumaIntegration:
+    def test_planner_numa_option_places_vms_locally(self):
+        from repro.core import MS as CMS
+        from repro.core import Planner
+
+        topo = uniform(8, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.4, 50 * CMS, vcpu_count=2) for i in range(4)]
+        planner = Planner(topo, numa=True)
+        plan = planner.plan(vms)
+        assert planner.last_numa_report.locality_rate == 1.0
+        for i in range(4):
+            sockets = {
+                topo.socket_of(plan.table.core_of(f"vm{i}.vcpu{j}"))
+                for j in range(2)
+            }
+            assert len(sockets) == 1
+
+    def test_planner_numa_guarantees_unchanged(self):
+        from repro.core import MS as CMS
+        from repro.core import Planner
+
+        topo = uniform(4, sockets=2)
+        vms = [make_vm(f"vm{i}", 0.25, 20 * CMS, vcpu_count=2) for i in range(4)]
+        plan = Planner(topo, numa=True).plan(vms)
+        for name in plan.vcpus:
+            assert plan.table.utilization_of(name) == pytest.approx(0.25, abs=1e-3)
+            assert plan.table.max_blackout_ns(name) <= 20 * CMS

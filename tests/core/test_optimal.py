@@ -1,0 +1,113 @@
+"""Tests for DP-WRAP localized optimal scheduling and cluster growth."""
+
+import pytest
+
+from repro.core.optimal import dp_wrap_schedule, grow_cluster
+from repro.core.tasks import PeriodicTask
+from repro.errors import ConfigurationError, PlanningError
+
+HORIZON = 1_200_000
+
+
+def task(name, utilization, period=1_200_000):
+    return PeriodicTask(name=name, cost=int(utilization * period), period=period)
+
+
+class TestDpWrap:
+    def test_three_heavy_tasks_on_two_cores(self):
+        # The case partitioning cannot solve: three 0.9 tasks, two cores.
+        # Wait -- total 2.7 > 2; use 0.65 each (total 1.95 < 2).
+        tasks = [task(f"t{i}", 0.65) for i in range(3)]
+        tables = dp_wrap_schedule(tasks, [0, 1], HORIZON)
+        assert set(tables) == {0, 1}
+
+    def test_every_job_gets_full_budget(self):
+        tasks = [
+            task("a", 0.65, 600_000),
+            task("b", 0.65, 400_000),
+            task("c", 0.65, 1_200_000),
+        ]
+        # Validation is built into dp_wrap_schedule; reaching here means
+        # every job of every task met its deadline.
+        tables = dp_wrap_schedule(tasks, [0, 1], HORIZON)
+        total = sum(
+            a.length
+            for t in tables.values()
+            for a in t.allocations
+            if a.vcpu == "a"
+        )
+        assert total == tasks[0].cost * (HORIZON // tasks[0].period)
+
+    def test_no_parallel_execution(self):
+        tasks = [task(f"t{i}", 0.65) for i in range(3)]
+        tables = dp_wrap_schedule(tasks, [0, 1], HORIZON)
+        intervals = sorted(
+            (a.start, a.end)
+            for t in tables.values()
+            for a in t.allocations
+            if a.vcpu == "t1"
+        )
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+    def test_full_cluster_utilization(self):
+        tasks = [task(f"t{i}", 0.5, 600_000) for i in range(4)]
+        tables = dp_wrap_schedule(tasks, [0, 1], HORIZON)
+        busy = sum(t.busy_ns for t in tables.values())
+        assert busy == 2 * HORIZON
+
+    def test_over_utilized_cluster_rejected(self):
+        tasks = [task(f"t{i}", 0.8) for i in range(3)]
+        with pytest.raises(PlanningError):
+            dp_wrap_schedule(tasks, [0, 1], HORIZON)
+
+    def test_constrained_deadline_tasks_rejected(self):
+        bad = PeriodicTask(name="x", cost=100, period=1_200_000, deadline=500)
+        with pytest.raises(ConfigurationError):
+            dp_wrap_schedule([bad], [0, 1], HORIZON)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dp_wrap_schedule([task("a", 0.5)], [], HORIZON)
+
+    def test_single_core_cluster_behaves_like_uniprocessor(self):
+        tasks = [task("a", 0.4), task("b", 0.5)]
+        tables = dp_wrap_schedule(tasks, [7], HORIZON)
+        assert set(tables) == {7}
+        assert tables[7].utilization == pytest.approx(0.9, abs=1e-6)
+
+    def test_mixed_periods_with_many_boundaries(self):
+        tasks = [
+            task("a", 0.3, 200_000),
+            task("b", 0.4, 300_000),
+            task("c", 0.5, 400_000),
+            task("d", 0.45, 600_000),
+        ]
+        tables = dp_wrap_schedule(tasks, [0, 1], HORIZON)
+        assert sum(t.busy_ns for t in tables.values()) > 0
+
+
+class TestGrowCluster:
+    def test_starts_with_least_loaded_core(self):
+        cluster = grow_cluster({0: 0.9, 1: 0.1, 2: 0.5}, None, demand=0.5)
+        assert cluster == [1]
+
+    def test_grows_until_demand_met(self):
+        cluster = grow_cluster({0: 0.5, 1: 0.5, 2: 0.5}, None, demand=1.2)
+        assert len(cluster) == 3
+
+    def test_prefers_same_socket(self):
+        sockets = {0: 0, 1: 0, 2: 1, 3: 1}
+        loads = {0: 0.5, 1: 0.5, 2: 0.0, 3: 0.5}
+        # Seed is core 2 (least loaded, socket 1); next preferred core
+        # should be 3 (same socket) even though 0/1 tie on load.
+        cluster = grow_cluster(loads, sockets, demand=1.2)
+        assert cluster[:2] == [2, 3] or set(cluster[:2]) == {2, 3}
+
+    def test_insufficient_total_capacity_raises(self):
+        with pytest.raises(PlanningError):
+            grow_cluster({0: 0.9, 1: 0.9}, None, demand=0.5)
+
+    def test_no_cores_raises(self):
+        with pytest.raises(PlanningError):
+            grow_cluster({}, None, demand=0.1)

@@ -1,0 +1,94 @@
+"""Tests for worst-fit-decreasing (and first-fit) partitioning."""
+
+import pytest
+
+from repro.core.partition import (
+    first_fit_decreasing,
+    worst_fit_decreasing,
+)
+from repro.core.tasks import PeriodicTask
+
+
+def task(name, utilization, period=1_000_000):
+    return PeriodicTask(name=name, cost=int(utilization * period), period=period)
+
+
+class TestWorstFitDecreasing:
+    def test_exact_fit_four_quarters_per_core(self):
+        tasks = [task(f"t{i}", 0.25) for i in range(8)]
+        result = worst_fit_decreasing(tasks, [0, 1])
+        assert result.success
+        assert all(len(ts) == 4 for ts in result.assignment.values())
+
+    def test_load_spread_evenly(self):
+        tasks = [task(f"t{i}", 0.2) for i in range(10)]
+        result = worst_fit_decreasing(tasks, [0, 1, 2, 3, 4])
+        utils = [result.utilization_of(c) for c in range(5)]
+        assert max(utils) - min(utils) < 1e-9
+
+    def test_wfd_spreads_while_ffd_concentrates(self):
+        tasks = [task(f"t{i}", 0.3) for i in range(4)]
+        wfd = worst_fit_decreasing(tasks, [0, 1, 2, 3])
+        ffd = first_fit_decreasing(tasks, [0, 1, 2, 3])
+        assert wfd.spread() < ffd.spread()
+        # FFD packs three 0.3 tasks on core 0; WFD puts one per core.
+        assert len(ffd.assignment[0]) == 3
+        assert all(len(ts) == 1 for ts in wfd.assignment.values())
+
+    def test_unassignable_task_reported(self):
+        tasks = [task("big1", 0.6), task("big2", 0.6), task("big3", 0.6)]
+        result = worst_fit_decreasing(tasks, [0, 1])
+        assert not result.success
+        assert [t.name for t in result.unassigned] == ["big3"]
+
+    def test_decreasing_order_places_large_tasks_first(self):
+        tasks = [task("small", 0.1), task("large", 0.9)]
+        result = worst_fit_decreasing(tasks, [0, 1])
+        assert result.success
+        large_core = next(
+            c for c, ts in result.assignment.items() if any(t.name == "large" for t in ts)
+        )
+        assert result.utilization_of(large_core) <= 1.0
+
+    def test_capacity_limits_respected(self):
+        tasks = [task("a", 0.5), task("b", 0.5)]
+        result = worst_fit_decreasing(tasks, [0, 1], capacities={0: 0.4, 1: 0.6})
+        assert not result.success or all(
+            result.utilization_of(c) <= cap + 1e-9
+            for c, cap in {0: 0.4, 1: 0.6}.items()
+        )
+
+    def test_empty_task_set(self):
+        result = worst_fit_decreasing([], [0, 1])
+        assert result.success
+        assert result.assignment == {0: [], 1: []}
+
+    def test_deterministic_tie_breaking(self):
+        tasks = [task(f"t{i}", 0.25) for i in range(8)]
+        r1 = worst_fit_decreasing(tasks, [0, 1])
+        r2 = worst_fit_decreasing(tasks, [0, 1])
+        assert {c: [t.name for t in ts] for c, ts in r1.assignment.items()} == {
+            c: [t.name for t in ts] for c, ts in r2.assignment.items()
+        }
+
+    def test_rounded_costs_still_pack_exactly(self):
+        # Regression: ceil-rounded costs used to make 4x0.25 unpackable.
+        period = 12_837_825  # not divisible by 4
+        tasks = [
+            PeriodicTask(name=f"t{i}", cost=period // 4, period=period)
+            for i in range(8)
+        ]
+        result = worst_fit_decreasing(tasks, [0, 1])
+        assert result.success
+
+
+class TestFirstFitDecreasing:
+    def test_exact_fit(self):
+        tasks = [task(f"t{i}", 0.5) for i in range(4)]
+        result = first_fit_decreasing(tasks, [0, 1])
+        assert result.success
+
+    def test_reports_unassigned(self):
+        tasks = [task(f"t{i}", 0.7) for i in range(3)]
+        result = first_fit_decreasing(tasks, [0, 1])
+        assert len(result.unassigned) == 1

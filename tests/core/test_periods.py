@@ -1,0 +1,172 @@
+"""Tests for candidate-period selection (Sec. 5, "Bounding table lengths")."""
+
+import pytest
+
+from repro.core.periods import (
+    HYPERPERIOD_NS,
+    MIN_PERIOD_NS,
+    achievable_latency_ns,
+    all_divisors,
+    candidate_periods,
+    factorize,
+    hyperperiod_of,
+    max_blackout_ns,
+    select_period,
+)
+from repro.errors import ConfigurationError, LatencyInfeasibleError
+
+
+class TestFactorize:
+    def test_small_composite(self):
+        assert factorize(12) == [(2, 2), (3, 1)]
+
+    def test_prime(self):
+        assert factorize(97) == [(97, 1)]
+
+    def test_one_has_no_factors(self):
+        assert factorize(1) == []
+
+    def test_paper_hyperperiod_factorization(self):
+        # 102,702,600 = 2^3 * 3^3 * 5^2 * 7 * 11 * 13 * 19
+        assert factorize(HYPERPERIOD_NS) == [
+            (2, 3),
+            (3, 3),
+            (5, 2),
+            (7, 1),
+            (11, 1),
+            (13, 1),
+            (19, 1),
+        ]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            factorize(0)
+
+
+class TestAllDivisors:
+    def test_divisors_of_12(self):
+        assert all_divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_divisor_count_of_hyperperiod(self):
+        # 768 = 4*4*3*2*2*2*2 divisors in total.
+        assert len(all_divisors(HYPERPERIOD_NS)) == 768
+
+    def test_all_results_divide(self):
+        for d in all_divisors(360):
+            assert 360 % d == 0
+
+    def test_sorted_ascending(self):
+        divisors = all_divisors(5040)
+        assert divisors == sorted(divisors)
+
+
+class TestCandidatePeriods:
+    def test_paper_reports_186_candidates(self):
+        # The paper: "186 integer divisors above the 100 us threshold".
+        assert len(candidate_periods()) == 186
+
+    def test_all_candidates_divide_hyperperiod(self):
+        for period in candidate_periods():
+            assert HYPERPERIOD_NS % period == 0
+
+    def test_all_candidates_exceed_min_period(self):
+        assert all(p > MIN_PERIOD_NS for p in candidate_periods())
+
+    def test_largest_candidate_is_hyperperiod(self):
+        assert candidate_periods()[-1] == HYPERPERIOD_NS
+
+    def test_custom_hyperperiod(self):
+        periods = candidate_periods(1_000_000, 100_000)
+        assert periods == (125_000, 200_000, 250_000, 500_000, 1_000_000)
+
+    def test_degenerate_hyperperiod_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_periods(50_000, 100_000)
+
+
+class TestMaxBlackout:
+    def test_paper_example(self):
+        # (C, T) = (10 ms, 100 ms): blackout bounded by 180 ms.
+        assert max_blackout_ns(0.1, 100_000_000) == pytest.approx(180_000_000)
+
+    def test_full_utilization_has_no_blackout(self):
+        assert max_blackout_ns(1.0, 50_000_000) == 0.0
+
+    def test_scales_linearly_with_period(self):
+        assert max_blackout_ns(0.5, 2_000_000) == 2 * max_blackout_ns(0.5, 1_000_000)
+
+
+class TestSelectPeriod:
+    def test_result_is_candidate(self):
+        period = select_period(0.25, 20_000_000)
+        assert period in candidate_periods()
+
+    def test_blackout_bound_respected(self):
+        for latency_ms in (1, 10, 30, 60, 100):
+            period = select_period(0.25, latency_ms * 1_000_000)
+            assert max_blackout_ns(0.25, period) <= latency_ms * 1_000_000
+
+    def test_largest_satisfying_period_chosen(self):
+        period = select_period(0.25, 20_000_000)
+        larger = [p for p in candidate_periods() if p > period]
+        for p in larger[:5]:
+            assert max_blackout_ns(0.25, p) > 20_000_000
+
+    def test_paper_config_yields_about_13ms(self):
+        # Sec 7.2: L=20 ms at U=0.25 "results in the planner picking a
+        # period of roughly 13 ms".
+        period = select_period(0.25, 20_000_000)
+        assert 12_000_000 <= period <= 14_000_000
+
+    def test_infeasible_latency_raises(self):
+        # U=0.25 with L=10us: even the 100us minimum period blacks out 150us.
+        with pytest.raises(LatencyInfeasibleError):
+            select_period(0.25, 10_000)
+
+    def test_infeasible_latency_clamped_when_not_strict(self):
+        period = select_period(0.25, 10_000, strict=False)
+        assert period == candidate_periods()[0]
+
+    def test_full_utilization_gets_hyperperiod(self):
+        assert select_period(1.0, 1_000) == HYPERPERIOD_NS
+
+    def test_tighter_latency_gives_smaller_or_equal_period(self):
+        previous = None
+        for latency_ms in (100, 60, 30, 10, 1):
+            period = select_period(0.5, latency_ms * 1_000_000)
+            if previous is not None:
+                assert period <= previous
+            previous = period
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_period(0.0, 1_000_000)
+        with pytest.raises(ConfigurationError):
+            select_period(1.5, 1_000_000)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_period(0.5, 0)
+
+
+class TestAchievableLatency:
+    def test_matches_min_period_blackout(self):
+        assert achievable_latency_ns(0.25) == max_blackout_ns(
+            0.25, candidate_periods()[0]
+        )
+
+    def test_goal_at_achievable_bound_is_feasible(self):
+        bound = achievable_latency_ns(0.5)
+        assert select_period(0.5, int(bound)) == candidate_periods()[0]
+
+
+class TestHyperperiodOf:
+    def test_divisors_of_hyperperiod_never_exceed_it(self):
+        subset = candidate_periods()[:20]
+        assert HYPERPERIOD_NS % hyperperiod_of(subset) == 0
+
+    def test_coprime_periods_multiply(self):
+        assert hyperperiod_of([3, 5, 7]) == 105
+
+    def test_single_period(self):
+        assert hyperperiod_of([42]) == 42

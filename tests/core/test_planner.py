@@ -1,0 +1,184 @@
+"""End-to-end tests for the Tableau planner."""
+
+import pytest
+
+from repro.core import (
+    METHOD_CLUSTERED,
+    METHOD_PARTITIONED,
+    METHOD_SEMI_PARTITIONED,
+    MS,
+    Planner,
+    VCpuSpec,
+    deserialize,
+    make_vm,
+    serialize,
+)
+from repro.errors import AdmissionError, PlanningError
+from repro.topology import uniform, xeon_16core
+
+
+def plan_uniform(num_vms, utilization, latency_ms, cores=4, **kwargs):
+    vms = [make_vm(f"vm{i:03d}", utilization, latency_ms * MS) for i in range(num_vms)]
+    return Planner(uniform(cores), **kwargs).plan(vms)
+
+
+class TestPaperConfiguration:
+    """The paper's evaluation setup: 4 single-vCPU VMs per core at 25%."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        vms = [make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(48)]
+        return Planner(xeon_16core()).plan(vms)
+
+    def test_partitioning_suffices(self, result):
+        assert result.stats.method == METHOD_PARTITIONED
+
+    def test_period_matches_paper(self, result):
+        # Sec 7.2: "period of roughly 13 ms with a budget of about 3.2 ms".
+        task = result.task_of("vm00.vcpu0")
+        assert 12 * MS <= task.period <= 14 * MS
+        assert 3 * MS <= task.cost <= 3_400_000
+
+    def test_blackout_under_latency_goal_for_all_vms(self, result):
+        for name in result.vcpus:
+            assert result.table.max_blackout_ns(name) <= 20 * MS
+
+    def test_utilization_guarantee_for_all_vms(self, result):
+        for name in result.vcpus:
+            assert result.table.utilization_of(name) == pytest.approx(0.25, abs=1e-4)
+
+    def test_guest_cores_only(self, result):
+        reserved = set(xeon_16core().reserved_cores)
+        assert not (set(result.table.cores) & reserved)
+
+    def test_four_vms_per_core(self, result):
+        for core, tasks in result.assignment.items():
+            assert len(tasks) == 4
+
+    def test_no_split_vcpus(self, result):
+        assert all(not result.table.is_split(v) for v in result.vcpus)
+
+    def test_table_round_trips(self, result):
+        restored = deserialize(serialize(result.table))
+        assert restored.length_ns == result.table.length_ns
+
+
+class TestMethodEscalation:
+    def test_easy_set_is_partitioned(self):
+        result = plan_uniform(8, 0.25, 100, cores=2)
+        assert result.stats.method == METHOD_PARTITIONED
+
+    def test_awkward_set_is_semi_partitioned(self):
+        result = plan_uniform(3, 0.6, 100, cores=2)
+        assert result.stats.method == METHOD_SEMI_PARTITIONED
+        assert result.stats.split_tasks >= 1
+
+    def test_semi_partitioned_guarantees_hold(self):
+        result = plan_uniform(3, 0.6, 100, cores=2)
+        for name in result.vcpus:
+            assert result.table.utilization_of(name) == pytest.approx(0.6, abs=1e-3)
+            assert result.table.max_blackout_ns(name) <= 100 * MS
+
+    def test_split_vcpu_flagged_in_table(self):
+        result = plan_uniform(3, 0.6, 100, cores=2)
+        assert any(result.table.is_split(v) for v in result.vcpus)
+
+    def test_no_parallel_service_for_split_vcpus(self):
+        result = plan_uniform(3, 0.6, 100, cores=2)
+        assert result.table.overlapping_service() == []
+
+
+class TestDedicatedCores:
+    def test_full_utilization_vcpu_gets_own_core(self):
+        vms = [make_vm("big", 1.0, MS)] + [
+            make_vm(f"small{i}", 0.25, 100 * MS) for i in range(4)
+        ]
+        result = Planner(uniform(2)).plan(vms)
+        core = result.table.core_of("big.vcpu0")
+        allocations = result.table.cores[core].allocations
+        assert len(allocations) == 1
+        assert allocations[0].vcpu == "big.vcpu0"
+        assert allocations[0].length == result.table.length_ns
+
+    def test_dedicated_vcpu_has_zero_blackout(self):
+        vms = [make_vm("big", 1.0, MS)]
+        result = Planner(uniform(1)).plan(vms)
+        assert result.table.max_blackout_ns("big.vcpu0") == 0
+
+
+class TestAdmission:
+    def test_over_utilization_rejected(self):
+        with pytest.raises(AdmissionError):
+            plan_uniform(20, 0.25, 100, cores=4)  # 5.0 on 4 cores
+
+    def test_infeasible_latency_rejected(self):
+        vms = [make_vm("vm0", 0.25, 1)]  # 1 ns latency goal
+        with pytest.raises(AdmissionError):
+            Planner(uniform(1)).plan(vms)
+
+    def test_empty_workload_yields_idle_table(self):
+        result = Planner(uniform(2)).plan([])
+        assert result.table.num_cores == 0 or all(
+            not t.allocations for t in result.table.cores.values()
+        )
+
+
+class TestHeterogeneousWorkloads:
+    def test_mixed_latency_goals(self):
+        vms = [
+            make_vm("tight", 0.3, 1 * MS),
+            make_vm("medium", 0.3, 30 * MS),
+            make_vm("loose", 0.3, 100 * MS),
+        ]
+        result = Planner(uniform(2)).plan(vms)
+        tight = result.task_of("tight.vcpu0")
+        loose = result.task_of("loose.vcpu0")
+        assert tight.period < loose.period
+        assert result.table.max_blackout_ns("tight.vcpu0") <= 1 * MS
+
+    def test_mixed_utilizations(self):
+        vms = [
+            make_vm("a", 0.7, 50 * MS),
+            make_vm("b", 0.5, 50 * MS),
+            make_vm("c", 0.4, 50 * MS),
+            make_vm("d", 0.3, 50 * MS),
+        ]
+        result = Planner(uniform(2)).plan(vms)
+        for vm in vms:
+            name = vm.vcpus[0].name
+            assert result.table.utilization_of(name) == pytest.approx(
+                vm.vcpus[0].utilization, abs=1e-3
+            )
+
+    def test_multi_vcpu_vms(self):
+        vms = [make_vm("smp", 0.4, 50 * MS, vcpu_count=4)]
+        result = Planner(uniform(2)).plan(vms)
+        assert len(result.vcpus) == 4
+        for vcpu in vms[0].vcpus:
+            assert result.table.utilization_of(vcpu.name) == pytest.approx(
+                0.4, abs=1e-3
+            )
+
+
+class TestPlanStats:
+    def test_generation_time_recorded(self):
+        result = plan_uniform(8, 0.25, 100, cores=2)
+        assert result.stats.generation_seconds > 0
+
+    def test_table_bytes_recorded(self):
+        result = plan_uniform(8, 0.25, 100, cores=2)
+        assert result.stats.table_bytes > 0
+
+    def test_vcpu_and_task_counts(self):
+        result = plan_uniform(8, 0.25, 100, cores=2)
+        assert result.stats.num_vcpus == 8
+        assert result.stats.num_tasks == 8
+
+
+class TestSliceInvariant:
+    def test_slices_built_for_all_cores(self):
+        result = plan_uniform(8, 0.25, 30, cores=2)
+        for table in result.table.cores.values():
+            assert table.slices
+            if table.allocations:
+                assert table.slice_len_ns == table.min_allocation_ns()

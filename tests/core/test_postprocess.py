@@ -1,0 +1,114 @@
+"""Tests for table post-processing (coalescing)."""
+
+import pytest
+
+from repro.core.postprocess import coalesce, idle_intervals, merge_adjacent
+from repro.core.table import Allocation, CoreTable
+
+
+def table(allocs, length=100_000):
+    return CoreTable(
+        cpu=0,
+        length_ns=length,
+        allocations=[Allocation(s, e, v) for s, e, v in allocs],
+    )
+
+
+class TestMergeAdjacent:
+    def test_merges_touching_same_vcpu(self):
+        merged, count = merge_adjacent(
+            [Allocation(0, 100, "a"), Allocation(100, 200, "a")]
+        )
+        assert count == 1
+        assert merged == [Allocation(0, 200, "a")]
+
+    def test_keeps_gap_separated_allocations(self):
+        allocs = [Allocation(0, 100, "a"), Allocation(200, 300, "a")]
+        merged, count = merge_adjacent(allocs)
+        assert count == 0
+        assert merged == allocs
+
+    def test_different_vcpus_not_merged(self):
+        allocs = [Allocation(0, 100, "a"), Allocation(100, 200, "b")]
+        merged, _ = merge_adjacent(allocs)
+        assert len(merged) == 2
+
+
+class TestCoalesce:
+    def test_no_op_when_all_above_threshold(self):
+        original = table([(0, 50_000, "a"), (50_000, 99_000, "b")])
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert result.allocations == original.allocations
+        assert report.max_lost_ns == 0
+
+    def test_short_allocation_absorbed_by_same_vcpu_neighbour(self):
+        original = table([(0, 50_000, "a"), (50_000, 51_000, "a"), (51_000, 99_000, "b")])
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert result.allocations[0] == Allocation(0, 51_000, "a")
+        # Same-vCPU absorption moves no budget between vCPUs.
+        assert report.lost_ns == {}
+
+    def test_short_allocation_donated_to_other_vcpu(self):
+        original = table([(0, 50_000, "a"), (50_000, 51_000, "b"), (51_000, 99_000, "c")])
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert len(result.allocations) == 2
+        assert report.lost_ns == {"b": 1_000}
+        assert sum(report.gained_ns.values()) == 1_000
+
+    def test_isolated_short_allocation_becomes_idle(self):
+        original = table([(0, 50_000, "a"), (60_000, 61_000, "b")])
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert len(result.allocations) == 1
+        assert report.dropped_count == 1
+        assert report.lost_ns == {"b": 1_000}
+
+    def test_donation_prefers_longer_neighbour(self):
+        original = table(
+            [(0, 60_000, "long"), (60_000, 61_000, "tiny"), (61_000, 80_000, "short")]
+        )
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert report.gained_ns == {"long": 1_000}
+        assert result.allocations[0].end == 61_000
+
+    def test_total_time_conserved(self):
+        original = table(
+            [(0, 40_000, "a"), (40_000, 41_000, "b"), (41_000, 90_000, "c")]
+        )
+        result, _ = coalesce(original, threshold_ns=10_000)
+        assert sum(a.length for a in result.allocations) == sum(
+            a.length for a in original.allocations
+        )
+
+    def test_iterates_to_fixed_point(self):
+        # Removing the middle sliver makes two "a" allocations adjacent;
+        # they must then merge into one.
+        original = table([(0, 40_000, "a"), (40_000, 41_000, "b"), (41_000, 90_000, "a")])
+        result, report = coalesce(original, threshold_ns=10_000)
+        assert result.allocations == [Allocation(0, 90_000, "a")]
+
+    def test_result_layout_valid(self):
+        original = table(
+            [(0, 5_000, "a"), (5_000, 6_000, "b"), (6_000, 7_000, "c"), (7_000, 99_000, "d")]
+        )
+        result, _ = coalesce(original, threshold_ns=2_000)
+        result.validate_layout()
+
+    def test_zero_threshold_only_merges(self):
+        original = table([(0, 100, "a"), (100, 200, "a"), (300, 400, "b")])
+        result, report = coalesce(original, threshold_ns=0)
+        assert result.allocations == [Allocation(0, 200, "a"), Allocation(300, 400, "b")]
+        assert report.dropped_count == 0
+
+
+class TestIdleIntervals:
+    def test_gaps_detected(self):
+        t = table([(1_000, 2_000, "a"), (5_000, 6_000, "b")], length=10_000)
+        assert idle_intervals(t) == [(0, 1_000), (2_000, 5_000), (6_000, 10_000)]
+
+    def test_fully_busy_core_has_no_idle(self):
+        t = table([(0, 10_000, "a")], length=10_000)
+        assert idle_intervals(t) == []
+
+    def test_empty_core_fully_idle(self):
+        t = table([], length=10_000)
+        assert idle_intervals(t) == [(0, 10_000)]

@@ -1,0 +1,77 @@
+"""Tests for QPA (Quick Processor-demand Analysis) and its agreement
+with the exhaustive demand-bound test."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulability import edf_schedulable, qpa_schedulable
+from repro.core.tasks import PeriodicTask
+
+HORIZON = 1_200_000
+PERIODS = [100_000, 150_000, 200_000, 300_000, 400_000, 600_000, 1_200_000]
+
+
+def task(name, cost, period, deadline=None):
+    return PeriodicTask(name=name, cost=cost, period=period, deadline=deadline)
+
+
+class TestQpaBasics:
+    def test_empty_set(self):
+        assert qpa_schedulable([], HORIZON)
+
+    def test_full_utilization_implicit(self):
+        tasks = [task(f"t{i}", 300_000, 1_200_000) for i in range(4)]
+        assert qpa_schedulable(tasks, HORIZON)
+
+    def test_over_utilization_rejected(self):
+        tasks = [task(f"t{i}", 400_000, 1_200_000) for i in range(4)]
+        assert not qpa_schedulable(tasks, HORIZON)
+
+    def test_tight_deadline_infeasibility(self):
+        tasks = [
+            task("a", 500, 1_000),
+            task("b", 550, 1_200, deadline=560),
+        ]
+        assert not qpa_schedulable(tasks, 1_200_000)
+
+    def test_zero_laxity_pair(self):
+        tasks = [
+            task("a", 300, 1_200, deadline=300),
+            task("b", 300, 1_200, deadline=600),
+        ]
+        assert qpa_schedulable(tasks, 1_200_000)
+
+
+class TestAgreementWithDbf:
+    @st.composite
+    def random_task_set(draw):
+        count = draw(st.integers(min_value=1, max_value=5))
+        tasks = []
+        for i in range(count):
+            period = draw(st.sampled_from(PERIODS))
+            cost = draw(st.integers(min_value=1, max_value=period))
+            deadline = draw(st.integers(min_value=cost, max_value=period))
+            tasks.append(task(f"t{i}", cost, period, deadline))
+        return tasks
+
+    @given(tasks=random_task_set())
+    @settings(max_examples=200, deadline=None)
+    def test_qpa_equals_dbf_on_random_sets(self, tasks):
+        assert qpa_schedulable(tasks, HORIZON) == edf_schedulable(tasks, HORIZON)
+
+    def test_seeded_fuzz_agreement(self):
+        rng = random.Random(42)
+        for _ in range(300):
+            count = rng.randint(1, 6)
+            tasks = []
+            for i in range(count):
+                period = rng.choice(PERIODS)
+                cost = rng.randint(1, period)
+                deadline = rng.randint(cost, period)
+                tasks.append(task(f"t{i}", cost, period, deadline))
+            assert qpa_schedulable(tasks, HORIZON) == edf_schedulable(
+                tasks, HORIZON
+            ), [(t.cost, t.deadline, t.period) for t in tasks]

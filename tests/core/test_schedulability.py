@@ -1,0 +1,123 @@
+"""Tests for the demand-bound EDF schedulability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedulability import (
+    demand_bound,
+    edf_schedulable,
+    max_cd_piece,
+)
+from repro.core.tasks import PeriodicTask
+
+
+def task(name, cost, period, deadline=None):
+    return PeriodicTask(name=name, cost=cost, period=period, deadline=deadline)
+
+
+HORIZON = 1_200_000  # common multiple of the periods used below
+
+
+class TestDemandBound:
+    def test_implicit_deadline_demand_at_period(self):
+        tasks = [task("a", 300, 1_000)]
+        demand = demand_bound(tasks, np.array([1_000, 2_000, 2_500], dtype=np.int64))
+        # One full job by t=1000, two by t=2000; the third job's deadline
+        # (t=3000) is beyond 2500, so demand stays at 2 jobs.
+        assert list(demand) == [300, 600, 600]
+
+    def test_constrained_deadline_shifts_demand(self):
+        tasks = [task("a", 300, 1_000, deadline=500)]
+        demand = demand_bound(tasks, np.array([499, 500, 1_499, 1_500], dtype=np.int64))
+        assert list(demand) == [0, 300, 300, 600]
+
+    def test_demand_is_additive(self):
+        a, b = task("a", 200, 1_000), task("b", 100, 2_000)
+        times = np.array([2_000, 4_000], dtype=np.int64)
+        combined = demand_bound([a, b], times)
+        assert list(combined) == [
+            demand_bound([a], times)[0] + demand_bound([b], times)[0],
+            demand_bound([a], times)[1] + demand_bound([b], times)[1],
+        ]
+
+
+class TestEdfSchedulable:
+    def test_empty_set_schedulable(self):
+        assert edf_schedulable([], HORIZON)
+
+    def test_full_utilization_implicit_deadlines(self):
+        tasks = [task(f"t{i}", 250, 1_000) for i in range(4)]
+        assert edf_schedulable(tasks, HORIZON)
+
+    def test_over_utilization_rejected(self):
+        tasks = [task(f"t{i}", 300, 1_000) for i in range(4)]
+        assert not edf_schedulable(tasks, HORIZON)
+
+    def test_constrained_deadlines_can_fail_at_low_utilization(self):
+        # Two zero-laxity tasks with the same period cannot coexist if
+        # their combined cost exceeds the shorter deadline.
+        tasks = [
+            task("a", 400, 1_200, deadline=400),
+            task("b", 300, 1_200, deadline=300),
+        ]
+        assert not edf_schedulable(tasks, HORIZON)
+
+    def test_compatible_zero_laxity_pair(self):
+        tasks = [
+            task("a", 300, 1_200, deadline=300),
+            task("b", 300, 1_200, deadline=600),
+        ]
+        assert edf_schedulable(tasks, HORIZON)
+
+    def test_classic_dbf_counterexample(self):
+        # Utilization ~0.96 but a tight deadline makes it infeasible:
+        # dbf(1000) = 500 + 550 = 1050 > 1000.
+        tasks = [
+            task("a", 500, 1_000),
+            task("b", 550, 1_200, deadline=560),
+        ]
+        assert not edf_schedulable(tasks, HORIZON)
+
+
+class TestMaxCdPiece:
+    def test_empty_core_fits_full_piece(self):
+        piece = max_cd_piece([], period=1_000, max_cost=400, horizon=HORIZON)
+        assert piece == 400
+
+    def test_full_core_fits_nothing(self):
+        existing = [task("a", 1_000, 1_000)]
+        assert max_cd_piece(existing, 1_000, 400, HORIZON) is None
+
+    def test_piece_bounded_by_utilization_slack(self):
+        existing = [task("a", 600, 1_200)]  # U = 0.5
+        piece = max_cd_piece(existing, period=1_200, max_cost=1_200, horizon=HORIZON)
+        assert piece is not None
+        assert piece <= 600
+
+    def test_result_is_actually_schedulable(self):
+        existing = [task("a", 400, 1_000), task("b", 100, 2_000)]
+        piece = max_cd_piece(existing, period=2_000, max_cost=2_000, horizon=HORIZON)
+        assert piece is not None
+        probe = task("p", piece, 2_000, deadline=piece)
+        assert edf_schedulable(existing + [probe], HORIZON)
+
+    def test_result_is_maximal(self):
+        existing = [task("a", 400, 1_000)]
+        piece = max_cd_piece(existing, period=2_000, max_cost=2_000, horizon=HORIZON)
+        assert piece is not None
+        bigger = task("p", piece + 1, 2_000, deadline=piece + 1)
+        assert not edf_schedulable(existing + [bigger], HORIZON)
+
+    def test_min_piece_respected(self):
+        existing = [task("a", 990, 1_000)]
+        piece = max_cd_piece(
+            existing, period=1_000, max_cost=500, horizon=HORIZON, min_piece_ns=50
+        )
+        assert piece is None  # only ~10ns of slack exists, below the minimum
+
+    def test_monotone_in_available_budget(self):
+        existing = [task("a", 300, 1_000)]
+        small = max_cd_piece(existing, 1_000, 200, HORIZON)
+        large = max_cd_piece(existing, 1_000, 700, HORIZON)
+        assert small is not None and large is not None
+        assert small <= large

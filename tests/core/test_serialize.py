@@ -1,0 +1,118 @@
+"""Tests for the binary scheduling-table format."""
+
+import struct
+
+import pytest
+
+from repro.core.serialize import (
+    MAGIC,
+    deserialize,
+    serialize,
+    table_size_bytes,
+)
+from repro.core.table import Allocation, CoreTable, SystemTable
+from repro.errors import TableFormatError
+
+
+def sample_system():
+    return SystemTable(
+        length_ns=10_000,
+        cores={
+            0: CoreTable(
+                cpu=0,
+                length_ns=10_000,
+                allocations=[Allocation(0, 2_500, "vm0.vcpu0"), Allocation(2_500, 5_000, "vm1.vcpu0")],
+            ),
+            1: CoreTable(
+                cpu=1,
+                length_ns=10_000,
+                allocations=[Allocation(1_000, 4_000, "vm2.vcpu0"), Allocation(6_000, 7_000, None)],
+            ),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_allocations_survive(self):
+        system = sample_system()
+        restored = deserialize(serialize(system))
+        for cpu in system.cores:
+            assert restored.cores[cpu].allocations == system.cores[cpu].allocations
+
+    def test_length_and_core_count_survive(self):
+        restored = deserialize(serialize(sample_system()))
+        assert restored.length_ns == 10_000
+        assert restored.num_cores == 2
+
+    def test_slice_tables_survive(self):
+        system = sample_system()
+        system.build_slices()
+        restored = deserialize(serialize(system))
+        for cpu in system.cores:
+            assert restored.cores[cpu].slices == system.cores[cpu].slices
+            assert restored.cores[cpu].slice_len_ns == system.cores[cpu].slice_len_ns
+
+    def test_lookups_agree_after_round_trip(self):
+        system = sample_system()
+        system.build_slices()
+        restored = deserialize(serialize(system))
+        for t in range(0, 10_000, 113):
+            for cpu in system.cores:
+                assert restored.cores[cpu].lookup(t) == system.cores[cpu].lookup(t)
+
+    def test_idle_allocation_round_trips(self):
+        restored = deserialize(serialize(sample_system()))
+        assert restored.cores[1].allocations[1].vcpu is None
+
+    def test_empty_table_round_trips(self):
+        system = SystemTable(length_ns=5_000, cores={0: CoreTable(cpu=0, length_ns=5_000)})
+        restored = deserialize(serialize(system))
+        assert restored.cores[0].allocations == []
+
+
+class TestFormatErrors:
+    def test_bad_magic_rejected(self):
+        payload = bytearray(serialize(sample_system()))
+        payload[:4] = b"XXXX"
+        with pytest.raises(TableFormatError):
+            deserialize(bytes(payload))
+
+    def test_bad_version_rejected(self):
+        payload = bytearray(serialize(sample_system()))
+        struct.pack_into("<H", payload, 4, 99)
+        with pytest.raises(TableFormatError):
+            deserialize(bytes(payload))
+
+    def test_truncated_payload_rejected(self):
+        payload = serialize(sample_system())
+        with pytest.raises(TableFormatError):
+            deserialize(payload[: len(payload) // 2])
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(TableFormatError):
+            deserialize(b"")
+
+
+class TestTableSize:
+    def test_size_matches_serialized_length(self):
+        system = sample_system()
+        assert table_size_bytes(system) == len(serialize(system))
+
+    def test_size_grows_with_allocations(self):
+        small = sample_system()
+        big = SystemTable(
+            length_ns=10_000,
+            cores={
+                0: CoreTable(
+                    cpu=0,
+                    length_ns=10_000,
+                    allocations=[
+                        Allocation(i * 100, i * 100 + 50, f"v{i}") for i in range(50)
+                    ],
+                )
+            },
+        )
+        assert table_size_bytes(big) > table_size_bytes(small)
+
+    def test_magic_is_first_bytes(self):
+        assert serialize(sample_system())[:4] == MAGIC

@@ -1,0 +1,74 @@
+"""Fuzz tests for the binary table decoder.
+
+The hypercall boundary is hostile territory: dom0's planner daemon is
+trusted, but the decoder must still fail cleanly (``TableFormatError``,
+never a crash or a silently corrupt table) on any malformed payload.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import deserialize, serialize
+from repro.core.table import Allocation, CoreTable, SystemTable
+from repro.errors import ReproError, TableFormatError
+
+
+def sample_payload():
+    system = SystemTable(
+        length_ns=10_000,
+        cores={
+            0: CoreTable(
+                cpu=0,
+                length_ns=10_000,
+                allocations=[
+                    Allocation(0, 2_500, "vm0.vcpu0"),
+                    Allocation(2_500, 5_000, "vm1.vcpu0"),
+                ],
+            )
+        },
+    )
+    system.build_slices()
+    return serialize(system)
+
+
+class TestFuzzDecoder:
+    @given(data=st.binary(min_size=0, max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            deserialize(data)
+        except ReproError:
+            pass  # clean rejection is the contract
+
+    @given(
+        position=st.integers(min_value=0, max_value=200),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_single_byte_corruption_never_crashes(self, position, value):
+        payload = bytearray(sample_payload())
+        position %= len(payload)
+        payload[position] = value
+        try:
+            restored = deserialize(bytes(payload))
+        except ReproError:
+            return
+        # If it decoded, the structural invariants must still hold (the
+        # hypervisor validates before installing).
+        for table in restored.cores.values():
+            table.validate_layout()
+
+    @given(cut=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_always_rejected_cleanly(self, cut):
+        payload = sample_payload()
+        cut %= len(payload)
+        if cut == len(payload):
+            return
+        with pytest.raises(ReproError):
+            deserialize(payload[:cut])
+
+    def test_good_payload_still_accepted(self):
+        restored = deserialize(sample_payload())
+        assert restored.length_ns == 10_000

@@ -1,0 +1,117 @@
+"""Tests for C=D semi-partitioning."""
+
+import pytest
+
+from repro.core.edf import simulate_edf
+from repro.core.schedulability import edf_schedulable
+from repro.core.splitting import pieces_of, semi_partition, verify_chain
+from repro.core.table import validate_against_tasks
+from repro.core.tasks import PeriodicTask
+
+PERIOD = 1_000_000
+HORIZON = 4_000_000
+
+
+def task(name, utilization, period=PERIOD):
+    return PeriodicTask(name=name, cost=int(utilization * period), period=period)
+
+
+class TestSemiPartition:
+    def test_partitionable_set_needs_no_splits(self):
+        tasks = [task(f"t{i}", 0.25) for i in range(8)]
+        result = semi_partition(tasks, [0, 1], HORIZON)
+        assert result.success
+        assert result.split_count == 0
+
+    def test_classic_three_tasks_two_cores(self):
+        # Three 0.6 tasks cannot be partitioned on two cores but are
+        # trivially semi-partitionable (total utilization 1.8 < 2).
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        assert result.success
+        assert result.split_count == 1
+
+    def test_split_chain_is_consistent(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        (split_name, placed) = next(iter(result.splits.items()))
+        original = next(t for t in tasks if t.name == split_name)
+        assert verify_chain([p for _c, p in placed], original)
+
+    def test_pieces_live_on_distinct_cores(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        for placed in result.splits.values():
+            cores = [core for core, _p in placed]
+            assert len(cores) == len(set(cores))
+
+    def test_each_core_remains_schedulable(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        for core_tasks in result.assignment.values():
+            assert edf_schedulable(core_tasks, HORIZON)
+
+    def test_edf_simulation_validates_split_schedule(self):
+        # Ground truth: simulate each core and check every job's budget.
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        for core, core_tasks in result.assignment.items():
+            table = simulate_edf(core_tasks, HORIZON, cpu=core)
+            validate_against_tasks(table, core_tasks)
+
+    def test_pieces_never_execute_in_parallel(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        tables = {
+            core: simulate_edf(core_tasks, HORIZON, cpu=core)
+            for core, core_tasks in result.assignment.items()
+        }
+        for split_name, placed in result.splits.items():
+            intervals = []
+            for core, piece in placed:
+                intervals.extend(tables[core].service_intervals(piece.name))
+            intervals.sort()
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1, f"{split_name} runs in parallel at {s2}"
+
+    def test_high_density_near_full_system(self):
+        # 0.95 utilization per core across 4 cores with awkward task sizes.
+        tasks = [task(f"t{i}", 0.38) for i in range(10)]  # total 3.8
+        result = semi_partition(tasks, [0, 1, 2, 3], HORIZON, min_piece_ns=1_000)
+        assert result.success
+
+    def test_genuinely_infeasible_set_reports_unassigned(self):
+        tasks = [task(f"t{i}", 0.9) for i in range(3)]  # total 2.7 on 2 cores
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        assert not result.success
+        assert result.unassigned
+
+    def test_budget_conserved_across_split(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        for split_name, placed in result.splits.items():
+            original = next(t for t in tasks if t.name == split_name)
+            assert sum(p.cost for _c, p in placed) == original.cost
+
+    def test_pieces_of_accessor(self):
+        tasks = [task(f"t{i}", 0.6) for i in range(3)]
+        result = semi_partition(tasks, [0, 1], HORIZON, min_piece_ns=1_000)
+        split_name = next(iter(result.splits))
+        assert pieces_of(result, split_name)
+        assert pieces_of(result, "t-does-not-exist") == []
+
+
+class TestVerifyChain:
+    def test_valid_chain(self):
+        original = task("t", 0.6)
+        piece, remainder = original.split(200_000)
+        assert verify_chain([piece, remainder], original)
+
+    def test_rejects_wrong_budget(self):
+        original = task("t", 0.6)
+        piece, remainder = original.split(200_000)
+        bad_piece, _ = original.split(100_000)
+        assert not verify_chain([bad_piece, remainder], original)
+
+    def test_rejects_empty_chain(self):
+        assert not verify_chain([], task("t", 0.5))

@@ -1,0 +1,212 @@
+"""Tests for table data structures: slice tables, lookups, blackout."""
+
+import pytest
+
+from repro.core.table import Allocation, CoreTable, SystemTable
+from repro.errors import ConfigurationError, PlanningError
+
+
+def core_table(allocs, length=10_000, cpu=0):
+    table = CoreTable(
+        cpu=cpu,
+        length_ns=length,
+        allocations=[Allocation(s, e, v) for s, e, v in allocs],
+    )
+    table.validate_layout()
+    return table
+
+
+class TestAllocation:
+    def test_length(self):
+        assert Allocation(100, 350, "v").length == 250
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            Allocation(100, 100, "v")
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            Allocation(-1, 100, "v")
+
+
+class TestLayoutValidation:
+    def test_overlap_detected(self):
+        table = CoreTable(
+            cpu=0,
+            length_ns=1_000,
+            allocations=[Allocation(0, 500, "a"), Allocation(400, 800, "b")],
+        )
+        with pytest.raises(PlanningError):
+            table.validate_layout()
+
+    def test_allocation_beyond_table_detected(self):
+        table = CoreTable(cpu=0, length_ns=1_000, allocations=[Allocation(0, 2_000, "a")])
+        with pytest.raises(PlanningError):
+            table.validate_layout()
+
+
+class TestSliceTable:
+    def test_slice_len_equals_shortest_allocation(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 2_500, "b"), (5_000, 9_000, "c")])
+        table.build_slices()
+        assert table.slice_len_ns == 500
+
+    def test_at_most_two_allocations_per_slice(self):
+        # The paper's key invariant for O(1) dispatch.
+        table = core_table(
+            [(0, 700, "a"), (700, 1_400, "b"), (1_500, 2_200, "c"), (2_300, 9_100, "d")]
+        )
+        table.build_slices()
+        for first, second in table.slices:
+            assert first != -2  # never needs the fallback path
+        # Reconstruct overlap counts independently.
+        for index in range(len(table.slices)):
+            lo = index * table.slice_len_ns
+            hi = min(lo + table.slice_len_ns, table.length_ns)
+            overlapping = [
+                a for a in table.allocations if a.start < hi and a.end > lo
+            ]
+            assert len(overlapping) <= 2
+
+    def test_lookup_hits_correct_allocation(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        assert table.lookup(500).vcpu == "a"
+        assert table.lookup(2_500).vcpu == "b"
+
+    def test_lookup_idle_gap_returns_none(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        assert table.lookup(1_500) is None
+        assert table.lookup(3_500) is None
+
+    def test_lookup_wraps_modulo_table_length(self):
+        table = core_table([(0, 1_000, "a")])
+        table.build_slices()
+        assert table.lookup(10_500).vcpu == "a"  # 10_500 % 10_000 = 500
+        assert table.lookup(123 * 10_000 + 999).vcpu == "a"
+
+    def test_lookup_boundary_semantics(self):
+        table = core_table([(1_000, 2_000, "a")])
+        table.build_slices()
+        assert table.lookup(1_000).vcpu == "a"  # inclusive start
+        assert table.lookup(2_000) is None  # exclusive end
+
+    def test_lookup_matches_linear_scan_everywhere(self):
+        table = core_table(
+            [(0, 600, "a"), (600, 1_800, "b"), (2_500, 3_100, "c"), (4_000, 9_999, "d")]
+        )
+        table.build_slices()
+        for t in range(0, 10_000, 37):
+            expected = next(
+                (a for a in table.allocations if a.start <= t < a.end), None
+            )
+            assert table.lookup(t) == expected
+
+    def test_idle_core_single_slice(self):
+        table = core_table([])
+        table.build_slices()
+        assert table.slices == [(-1, -1)]
+        assert table.lookup(1_234) is None
+
+    def test_min_slice_floor_falls_back_to_search(self):
+        table = core_table([(0, 10, "a"), (5_000, 9_000, "b")])
+        table.build_slices(min_slice_len_ns=1_000)
+        assert table.lookup(5).vcpu == "a"
+        assert table.lookup(6_000).vcpu == "b"
+        assert table.lookup(20) is None
+
+
+class TestNextBoundary:
+    def test_inside_allocation_returns_its_end(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        assert table.next_boundary(500) == 1_000
+
+    def test_in_gap_returns_next_start(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        assert table.next_boundary(1_500) == 2_000
+
+    def test_after_last_allocation_wraps(self):
+        table = core_table([(0, 1_000, "a")])
+        table.build_slices()
+        assert table.next_boundary(5_000) == 10_000
+
+    def test_strictly_increasing(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        t = 0
+        for _ in range(10):
+            nxt = table.next_boundary(t)
+            assert nxt > t
+            t = nxt
+
+
+class TestSystemTable:
+    def _system(self):
+        return SystemTable(
+            length_ns=10_000,
+            cores={
+                0: core_table([(0, 2_500, "a"), (2_500, 5_000, "b")]),
+                1: core_table([(0, 5_000, "c"), (6_000, 7_000, "a")], cpu=1),
+            },
+        )
+
+    def test_vcpu_index_built(self):
+        system = self._system()
+        assert set(system.vcpu_names) == {"a", "b", "c"}
+
+    def test_home_cores_ordered_by_first_allocation(self):
+        system = self._system()
+        assert system.home_cores["a"] == [0, 1]
+        assert system.core_of("a") == 0
+
+    def test_split_detection(self):
+        system = self._system()
+        assert system.is_split("a")
+        assert not system.is_split("b")
+
+    def test_allocated_ns_sums_across_cores(self):
+        system = self._system()
+        assert system.allocated_ns("a") == 2_500 + 1_000
+
+    def test_utilization_of(self):
+        system = self._system()
+        assert system.utilization_of("b") == pytest.approx(0.25)
+
+    def test_max_blackout_includes_wraparound(self):
+        system = SystemTable(
+            length_ns=10_000, cores={0: core_table([(4_000, 5_000, "x")])}
+        )
+        # Gap from 5_000 to 14_000 across the wrap.
+        assert system.max_blackout_ns("x") == 9_000
+
+    def test_blackout_of_unserved_vcpu_is_two_cycles(self):
+        system = self._system()
+        assert system.max_blackout_ns("ghost") == 2 * system.length_ns
+
+    def test_overlapping_service_detected(self):
+        system = SystemTable(
+            length_ns=10_000,
+            cores={
+                0: core_table([(0, 2_000, "x")]),
+                1: core_table([(1_000, 3_000, "x")], cpu=1),
+            },
+        )
+        assert system.overlapping_service()
+        with pytest.raises(PlanningError):
+            system.validate()
+
+    def test_validate_checks_core_lengths(self):
+        bad = SystemTable(
+            length_ns=10_000,
+            cores={0: CoreTable(cpu=0, length_ns=5_000, allocations=[])},
+        )
+        with pytest.raises(PlanningError):
+            bad.validate()
+
+    def test_service_timeline_ordered(self):
+        system = self._system()
+        timeline = system.service_timeline("a")
+        assert timeline == [(0, 2_500, 0), (6_000, 7_000, 1)]

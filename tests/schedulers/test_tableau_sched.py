@@ -1,0 +1,184 @@
+"""Tests for the Tableau dispatcher (two-level table-driven scheduler)."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.errors import ConfigurationError
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, Tracer, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IntrinsicLatencyProbe, IoLoop
+
+
+def plan_two_vms(capped=True, cores=1):
+    vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=capped) for i in range(2 * cores)]
+    return Planner(uniform(cores)).plan(vms)
+
+
+def machine_for(plan, workloads, capped=True, tracer=None, **sched_kwargs):
+    sched = TableauScheduler(plan.table, **sched_kwargs)
+    m = Machine(uniform(len(plan.table.cores) or 1), sched, seed=1, tracer=tracer)
+    for (name, workload) in workloads:
+        m.add_vcpu(VCpu(name, workload, capped=capped))
+    return m, sched
+
+
+class TestFirstLevel:
+    def test_capped_hog_gets_exactly_its_reservation(self):
+        plan = plan_two_vms()
+        m, _ = machine_for(plan, [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", CpuHog())])
+        m.run(500 * MS)
+        assert m.utilization_of("vm0.vcpu0") == pytest.approx(0.25, abs=0.01)
+        assert m.utilization_of("vm1.vcpu0") == pytest.approx(0.25, abs=0.01)
+
+    def test_blackout_bounded_by_latency_goal(self):
+        plan = plan_two_vms()
+        probe = IntrinsicLatencyProbe()
+        m, _ = machine_for(plan, [("vm0.vcpu0", probe), ("vm1.vcpu0", CpuHog())])
+        m.run(500 * MS)
+        assert probe.max_gap_ns <= 20 * MS
+
+    def test_unknown_vcpu_rejected(self):
+        plan = plan_two_vms()
+        sched = TableauScheduler(plan.table)
+        m = Machine(uniform(1), sched)
+        with pytest.raises(ConfigurationError):
+            m.add_vcpu(VCpu("ghost.vcpu0", CpuHog()))
+
+    def test_level1_dispatches_traced(self):
+        plan = plan_two_vms()
+        tracer = Tracer(keep_dispatches=True)
+        m, _ = machine_for(
+            plan, [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", CpuHog())], tracer=tracer
+        )
+        m.run(200 * MS)
+        levels = {d.level for d in tracer.dispatches if d.vcpu == "vm0.vcpu0"}
+        assert levels == {1}  # capped: table slots only
+
+
+class TestSecondLevel:
+    def test_uncapped_vcpu_harvests_idle_cycles(self):
+        plan = plan_two_vms(capped=False)
+        m, _ = machine_for(
+            plan,
+            [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", IoLoop())],
+            capped=False,
+        )
+        m.run(500 * MS)
+        # The hog gets its 25% slots plus most of the I/O VM's unused time.
+        assert m.utilization_of("vm0.vcpu0") > 0.45
+
+    def test_capped_vcpu_never_exceeds_reservation_even_when_idle(self):
+        plan = plan_two_vms(capped=True)
+        m, _ = machine_for(
+            plan,
+            [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", IoLoop())],
+            capped=True,
+        )
+        m.run(500 * MS)
+        assert m.utilization_of("vm0.vcpu0") == pytest.approx(0.25, abs=0.01)
+
+    def test_l2_dispatches_recorded_as_level2(self):
+        plan = plan_two_vms(capped=False)
+        tracer = Tracer(keep_dispatches=True)
+        m, _ = machine_for(
+            plan,
+            [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", IoLoop())],
+            capped=False,
+            tracer=tracer,
+        )
+        m.run(300 * MS)
+        hog_levels = [d.level for d in tracer.dispatches if d.vcpu == "vm0.vcpu0"]
+        assert 2 in hog_levels
+        assert tracer.level2_share("vm0.vcpu0") > 0.3
+
+    def test_work_conserving_disabled_leaves_idle_time(self):
+        plan = plan_two_vms(capped=False)
+        m, _ = machine_for(
+            plan,
+            [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", IoLoop())],
+            capped=False,
+            work_conserving=False,
+        )
+        m.run(500 * MS)
+        # Without the second level the hog is stuck with its table slots.
+        assert m.utilization_of("vm0.vcpu0") == pytest.approx(0.25, abs=0.01)
+
+    def test_l2_shares_idle_time_between_uncapped_vcpus(self):
+        plan = plan_two_vms(capped=False)
+        m, _ = machine_for(
+            plan,
+            [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", CpuHog())],
+            capped=False,
+        )
+        m.run(500 * MS)
+        a = m.utilization_of("vm0.vcpu0")
+        b = m.utilization_of("vm1.vcpu0")
+        assert a + b > 0.95  # work conserving
+        assert abs(a - b) < 0.1  # and roughly fair
+
+    def test_invalid_split_policy_rejected(self):
+        plan = plan_two_vms()
+        with pytest.raises(ConfigurationError):
+            TableauScheduler(plan.table, split_l2_policy="bogus")
+
+
+class TestWakeups:
+    def test_wakeup_during_own_slot_is_fast(self):
+        plan = plan_two_vms(capped=True)
+        from repro.workloads import PingResponder, run_ping_load
+
+        responder = PingResponder()
+        m, _ = machine_for(
+            plan, [("vm0.vcpu0", responder), ("vm1.vcpu0", IoLoop())], capped=True
+        )
+        run_ping_load(m, responder, threads=2, pings_per_thread=100,
+                      max_spacing_ns=10 * MS)
+        m.run(1_000 * MS)
+        # Max latency bounded by the table structure (blackout + processing).
+        assert responder.max_latency_ns <= 20 * MS
+        assert responder.latencies_ns
+
+    def test_capped_wakeup_outside_slot_waits_for_slot(self):
+        plan = plan_two_vms(capped=True)
+        from repro.workloads import PingResponder
+
+        responder = PingResponder()
+        m, _ = machine_for(
+            plan, [("vm0.vcpu0", responder), ("vm1.vcpu0", CpuHog())], capped=True
+        )
+        m.run(1 * MS)
+        # Inject one ping: served within one table period, not instantly.
+        responder.inject(m.engine.now)
+        m.run(30 * MS)
+        assert len(responder.latencies_ns) == 1
+
+
+class TestTableSwitch:
+    def test_pending_table_activates_at_cycle(self):
+        plan = plan_two_vms()
+        m, sched = machine_for(
+            plan, [("vm0.vcpu0", CpuHog()), ("vm1.vcpu0", CpuHog())]
+        )
+        m.run(10 * MS)
+        new_plan = plan_two_vms()
+        cycle = m.engine.now // plan.table.length_ns + 1
+        sched.install_table(new_plan.table, cycle)
+        assert sched.table is plan.table  # not yet
+        m.run(2 * plan.table.length_ns)
+        assert sched.table is new_plan.table
+        assert sched.table_switches == 1
+
+    def test_schedule_keeps_guarantees_across_switch(self):
+        plan = plan_two_vms()
+        probe = IntrinsicLatencyProbe()
+        m, sched = machine_for(
+            plan, [("vm0.vcpu0", probe), ("vm1.vcpu0", CpuHog())]
+        )
+        m.run(150 * MS)
+        sched.install_table(
+            plan_two_vms().table, m.engine.now // plan.table.length_ns + 1
+        )
+        m.run(400 * MS)
+        assert probe.max_gap_ns <= 20 * MS
+        assert m.utilization_of("vm0.vcpu0") == pytest.approx(0.25, abs=0.01)

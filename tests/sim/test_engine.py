@@ -1,0 +1,119 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimEngine()
+        order = []
+        engine.at(300, lambda: order.append("c"))
+        engine.at(100, lambda: order.append("a"))
+        engine.at(200, lambda: order.append("b"))
+        engine.run_until(1_000)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = SimEngine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.at(100, lambda t=tag: order.append(t))
+        engine.run_until(100)
+        assert order == ["first", "second", "third"]
+
+    def test_after_is_relative(self):
+        engine = SimEngine()
+        times = []
+        engine.at(500, lambda: engine.after(250, lambda: times.append(engine.now)))
+        engine.run_until(1_000)
+        assert times == [750]
+
+    def test_clock_advances_to_end_even_without_events(self):
+        engine = SimEngine()
+        engine.run_until(12_345)
+        assert engine.now == 12_345
+
+    def test_events_beyond_horizon_not_run(self):
+        engine = SimEngine()
+        fired = []
+        engine.at(2_000, lambda: fired.append(True))
+        engine.run_until(1_000)
+        assert not fired
+        engine.run_until(2_000)
+        assert fired
+
+    def test_past_scheduling_rejected(self):
+        engine = SimEngine()
+        engine.at(100, lambda: None)
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimEngine()
+        with pytest.raises(SimulationError):
+            engine.after(-1, lambda: None)
+
+    def test_callbacks_can_schedule_at_current_time(self):
+        engine = SimEngine()
+        order = []
+        def chain():
+            order.append("outer")
+            engine.at(engine.now, lambda: order.append("inner"))
+        engine.at(100, chain)
+        engine.run_until(100)
+        assert order == ["outer", "inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.at(100, lambda: fired.append(True))
+        handle.cancel()
+        engine.run_until(1_000)
+        assert not fired
+
+    def test_cancel_is_idempotent(self):
+        engine = SimEngine()
+        handle = engine.at(100, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_pending_count_excludes_cancelled(self):
+        engine = SimEngine()
+        keep = engine.at(100, lambda: None)
+        drop = engine.at(200, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+
+    def test_peek_skips_cancelled(self):
+        engine = SimEngine()
+        first = engine.at(100, lambda: None)
+        engine.at(200, lambda: None)
+        first.cancel()
+        assert engine.peek_next_time() == 200
+
+
+class TestDeterminism:
+    def test_rng_reproducible_across_engines(self):
+        a, b = SimEngine(seed=7), SimEngine(seed=7)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = SimEngine(seed=1), SimEngine(seed=2)
+        assert a.rng.random() != b.rng.random()
+
+    def test_run_until_not_reentrant(self):
+        engine = SimEngine()
+        def recurse():
+            engine.run_until(500)
+        engine.at(100, recurse)
+        with pytest.raises(SimulationError):
+            engine.run_until(1_000)

@@ -1,0 +1,107 @@
+"""Edge-case tests for machine dispatch mechanics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.schedulers.base import Decision, Scheduler, WakeAction
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.sim import Machine, VCpu, VCpuState, Workload
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+
+MS = 1_000_000
+
+
+class TestQuantumBurstInteraction:
+    def test_burst_shorter_than_quantum_blocks_early(self):
+        machine = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=50 * MS))
+        workload = IoLoop(compute_ns=MS, io_ns=MS, jitter=0.0)
+        machine.add_vcpu(VCpu("io", workload))
+        machine.run(20 * MS)
+        # ~10 compute phases of 1 ms each despite the 50 ms quantum.
+        assert workload.io_completions >= 8
+
+    def test_quantum_shorter_than_burst_preempts(self):
+        machine = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=MS))
+        machine.add_vcpu(VCpu("a", CpuHog(chunk_ns=100 * MS)))
+        machine.add_vcpu(VCpu("b", CpuHog(chunk_ns=100 * MS)))
+        machine.run(20 * MS)
+        # Both progressed despite 100 ms bursts: quantum preemption works
+        # mid-burst and progress is preserved across preemptions.
+        assert machine.utilization_of("a") > 0.4
+        assert machine.utilization_of("b") > 0.4
+
+
+class TestStolenTime:
+    def test_wakeup_charges_delay_running_vcpu(self):
+        class ExpensiveWakeScheduler(RoundRobinScheduler):
+            def on_wakeup(self, vcpu, now):
+                action = super().on_wakeup(vcpu, now)
+                return WakeAction(
+                    cpu=0, cost_ns=500_000, resched_cpu=action.resched_cpu
+                )
+
+        def run(scheduler):
+            machine = Machine(uniform(1), scheduler)
+            machine.add_vcpu(VCpu("hog", CpuHog()))
+            machine.add_vcpu(
+                VCpu("io", IoLoop(compute_ns=100_000, io_ns=400_000, jitter=0.0))
+            )
+            machine.run(200 * MS)
+            return machine
+
+        taxed = run(ExpensiveWakeScheduler(timeslice_ns=5 * MS))
+        lossless = run(RoundRobinScheduler(timeslice_ns=5 * MS))
+        taxed_total = sum(v.runtime_ns for v in taxed.vcpus.values())
+        lossless_total = sum(v.runtime_ns for v in lossless.vcpus.values())
+        # Each I/O wake steals 0.5 ms from whoever runs on cpu 0, so the
+        # taxed machine delivers visibly less guest runtime.
+        assert taxed_total < lossless_total
+        assert taxed.total_overhead_ns() > lossless.total_overhead_ns()
+
+
+class TestMisbehavingWorkloads:
+    def test_workload_that_does_nothing_after_burst_raises(self):
+        class Broken(Workload):
+            def start(self, now):
+                self.vcpu.begin_burst(MS)
+
+            def on_burst_complete(self, now):
+                pass  # neither blocks nor queues another burst
+
+        machine = Machine(uniform(1), RoundRobinScheduler())
+        machine.add_vcpu(VCpu("broken", Broken()))
+        with pytest.raises(SimulationError):
+            machine.run(10 * MS)
+
+    def test_scheduler_returning_blocked_vcpu_raises(self):
+        class Dishonest(Scheduler):
+            name = "dishonest"
+
+            def add_vcpu(self, vcpu):
+                self.victim = vcpu
+
+            def pick_next(self, cpu, now):
+                return Decision(self.victim, quantum_end=None)
+
+            def on_wakeup(self, vcpu, now):
+                return WakeAction(cpu=0)
+
+        machine = Machine(uniform(1), Dishonest())
+        machine.add_vcpu(VCpu("sleeper", Workload()))  # stays BLOCKED
+        with pytest.raises(SimulationError):
+            machine.run(MS)
+
+
+class TestRescheduleCoalescing:
+    def test_repeated_resched_requests_coalesce(self):
+        machine = Machine(uniform(1), RoundRobinScheduler())
+        machine.add_vcpu(VCpu("hog", CpuHog()))
+        machine.run(MS)
+        before = machine.tracer.ops["schedule"].count
+        for _ in range(10):
+            machine.request_resched(0)
+        machine.run(MS)
+        after = machine.tracer.ops["schedule"].count
+        # Ten requests at the same instant collapse into few decisions.
+        assert after - before <= 4

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for simulator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+
+MS = 1_000_000
+
+
+def build_machine(num_hogs, num_io, cores, seed, timeslice_ms=1):
+    machine = Machine(
+        uniform(cores),
+        RoundRobinScheduler(timeslice_ns=timeslice_ms * MS),
+        seed=seed,
+    )
+    for i in range(num_hogs):
+        machine.add_vcpu(VCpu(f"hog{i}", CpuHog()))
+    for i in range(num_io):
+        machine.add_vcpu(VCpu(f"io{i}", IoLoop()))
+    return machine
+
+
+class TestConservationLaws:
+    @given(
+        num_hogs=st.integers(min_value=0, max_value=4),
+        num_io=st.integers(min_value=0, max_value=4),
+        cores=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_runtime_never_exceeds_wall_capacity(self, num_hogs, num_io, cores, seed):
+        machine = build_machine(num_hogs, num_io, cores, seed)
+        machine.run(50 * MS)
+        total = sum(v.runtime_ns for v in machine.vcpus.values())
+        assert total <= 50 * MS * cores
+
+    @given(
+        num_hogs=st.integers(min_value=0, max_value=4),
+        num_io=st.integers(min_value=0, max_value=4),
+        cores=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_busy_accounting_matches_vcpu_runtime(self, num_hogs, num_io, cores, seed):
+        machine = build_machine(num_hogs, num_io, cores, seed)
+        machine.run(50 * MS)
+        busy = sum(c.busy_ns for c in machine.cpus)
+        runtime = sum(v.runtime_ns for v in machine.vcpus.values())
+        assert busy == runtime
+
+    @given(
+        cores=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hogs_saturate_available_cores(self, cores, seed):
+        machine = build_machine(num_hogs=cores + 2, num_io=0, cores=cores, seed=seed)
+        machine.run(50 * MS)
+        # Work-conserving round robin with zero cost: near-full machine.
+        assert machine.idle_fraction() < 0.02
+
+
+class TestFairnessProperties:
+    @given(
+        num_hogs=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_identical_hogs_get_equal_shares(self, num_hogs, seed):
+        machine = build_machine(num_hogs, 0, cores=1, seed=seed)
+        machine.run(100 * MS)
+        utils = [machine.utilization_of(f"hog{i}") for i in range(num_hogs)]
+        assert max(utils) - min(utils) < 0.05
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism_across_identical_runs(self, seed):
+        def fingerprint():
+            machine = build_machine(2, 2, cores=2, seed=seed)
+            machine.run(40 * MS)
+            return tuple(sorted((n, v.runtime_ns) for n, v in machine.vcpus.items()))
+
+        assert fingerprint() == fingerprint()
+
+
+class TestTableauInvariantsUnderRandomWorkloads:
+    @given(
+        io_count=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_capped_reservation_is_hard_under_any_mix(self, io_count, seed):
+        from repro.core import MS as CMS
+        from repro.core import Planner, make_vm
+        from repro.schedulers import TableauScheduler
+
+        vms = [make_vm(f"vm{i}", 0.25, 20 * CMS, capped=True) for i in range(4)]
+        plan = Planner(uniform(1)).plan(vms)
+        machine = Machine(uniform(1), TableauScheduler(plan.table), seed=seed)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+        for i in range(1, 1 + io_count):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", IoLoop(), capped=True))
+        for i in range(1 + io_count, 4):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        machine.run(200 * MS)
+        # The hard reservation: the hog gets its 25%, never much more.
+        assert 0.22 < machine.utilization_of("vm0.vcpu0") < 0.27

@@ -1,0 +1,135 @@
+"""Tests for the tracing framework and overhead cost primitives."""
+
+import pytest
+
+from repro.sim.overheads import CostModel, GlobalLock, make_cost_model
+from repro.sim.tracing import (
+    OP_MIGRATE,
+    OP_SCHEDULE,
+    OP_WAKEUP,
+    DispatchRecord,
+    OpStats,
+    Tracer,
+)
+from repro.topology import uniform, xeon_16core, xeon_48core
+
+
+class TestOpStats:
+    def test_streaming_mean(self):
+        stats = OpStats()
+        for value in (1_000, 2_000, 3_000):
+            stats.add(value)
+        assert stats.mean_ns == 2_000
+        assert stats.mean_us == 2.0
+
+    def test_max_tracked(self):
+        stats = OpStats()
+        stats.add(10)
+        stats.add(500)
+        stats.add(20)
+        assert stats.max_ns == 500
+
+    def test_empty_mean_is_zero(self):
+        assert OpStats().mean_ns == 0.0
+
+
+class TestTracer:
+    def test_record_op_aggregates(self):
+        tracer = Tracer()
+        tracer.record_op(OP_SCHEDULE, 0, 0, 1_000)
+        tracer.record_op(OP_SCHEDULE, 10, 1, 3_000)
+        assert tracer.mean_us(OP_SCHEDULE) == 2.0
+
+    def test_samples_kept_only_when_enabled(self):
+        silent = Tracer(keep_samples=False)
+        silent.record_op(OP_WAKEUP, 0, 0, 1_000)
+        assert silent.samples[OP_WAKEUP] == []
+        chatty = Tracer(keep_samples=True)
+        chatty.record_op(OP_WAKEUP, 5, 2, 1_000)
+        assert chatty.samples[OP_WAKEUP] == [(5, 2, 1_000)]
+
+    def test_dispatches_kept_only_when_enabled(self):
+        tracer = Tracer(keep_dispatches=True)
+        tracer.record_dispatch(0, 0, "v", level=1)
+        tracer.record_dispatch(1, 0, "v", level=2)
+        assert len(tracer.dispatches) == 2
+
+    def test_level2_share(self):
+        tracer = Tracer(keep_dispatches=True)
+        for level in (1, 2, 2, 2):
+            tracer.record_dispatch(0, 0, "vantage", level)
+        tracer.record_dispatch(0, 0, "other", 1)
+        assert tracer.level2_share("vantage") == pytest.approx(0.75)
+
+    def test_level2_share_no_data(self):
+        assert Tracer(keep_dispatches=True).level2_share("ghost") == 0.0
+
+    def test_context_switch_and_migration_counters(self):
+        tracer = Tracer()
+        tracer.record_context_switch(migrated=False)
+        tracer.record_context_switch(migrated=True)
+        assert tracer.context_switches == 2
+        assert tracer.migrations == 1
+
+    def test_summary_structure(self):
+        tracer = Tracer()
+        tracer.record_op(OP_MIGRATE, 0, 0, 500)
+        summary = tracer.summary()
+        assert summary[OP_MIGRATE]["count"] == 1
+        assert summary[OP_MIGRATE]["mean_us"] == 0.5
+
+
+class TestCostModel:
+    def test_two_sockets_is_baseline(self):
+        model = make_cost_model(xeon_16core())
+        assert model.socket_factor == 1.0
+
+    def test_four_sockets_scales_up(self):
+        model = make_cost_model(xeon_48core())
+        assert model.socket_factor == 2.0
+
+    def test_remote_costs_more_than_local(self):
+        model = make_cost_model(xeon_16core())
+        assert model.remote() > model.local()
+
+    def test_scan_scales_with_entries(self):
+        model = make_cost_model(xeon_16core())
+        assert model.scan(10) == 10 * model.scan(1)
+
+
+class TestGlobalLock:
+    def test_uncontended_acquire_is_free(self):
+        lock = GlobalLock()
+        assert lock.acquire(1_000, hold_ns=500) == 0.0
+
+    def test_back_to_back_acquire_waits(self):
+        lock = GlobalLock()
+        lock.acquire(1_000, hold_ns=500)
+        wait = lock.acquire(1_200, hold_ns=500)
+        assert wait == pytest.approx(300)
+
+    def test_wait_capped_by_max_waiters(self):
+        lock = GlobalLock(max_waiters=2)
+        lock.acquire(0, hold_ns=10_000)
+        for _ in range(10):
+            lock.acquire(0, hold_ns=10_000)
+        wait = lock.acquire(0, hold_ns=10_000)
+        assert wait <= 2 * 10_000
+
+    def test_short_path_wait_bound(self):
+        lock = GlobalLock(max_waiters=64)
+        lock.acquire(0, hold_ns=100_000)
+        wait = lock.acquire(0, hold_ns=1_000, max_wait_holds=4)
+        assert wait <= 4 * 1_000
+
+    def test_statistics(self):
+        lock = GlobalLock()
+        lock.acquire(0, 100)
+        lock.acquire(0, 100)
+        assert lock.acquisitions == 2
+        assert lock.mean_wait_ns == pytest.approx(50)
+
+    def test_lock_frees_over_time(self):
+        lock = GlobalLock()
+        lock.acquire(0, hold_ns=1_000)
+        assert lock.acquire(10_000, hold_ns=1_000) == 0.0

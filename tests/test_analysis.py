@@ -1,0 +1,95 @@
+"""Tests for the analysis exporters and (smoke) the claim report."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import (
+    delay_rows,
+    overhead_rows,
+    ping_rows,
+    scaling_rows,
+    throughput_rows,
+    to_csv,
+    write_csv,
+)
+from repro.experiments.delay import DelayResult, PingResult
+from repro.experiments.overheads import OverheadRow
+from repro.experiments.planner_scaling import ScalingPoint
+from repro.metrics import LatencySummary, OperatingPoint, ThroughputCurve
+
+
+def sample_summary(p99_ms):
+    ns = p99_ms * 1_000_000
+    return LatencySummary(count=10, mean_ns=ns / 3, p50_ns=ns / 3, p99_ns=ns, max_ns=2 * ns)
+
+
+class TestTidyRows:
+    def test_overhead_rows_one_per_operation(self):
+        rows = overhead_rows(
+            [OverheadRow("tableau", 1.4, 1.0, 0.4)], machine="16core"
+        )
+        assert len(rows) == 3
+        assert {r["operation"] for r in rows} == {"schedule", "wakeup", "migrate"}
+
+    def test_scaling_rows(self):
+        rows = scaling_rows(
+            [ScalingPoint(num_vms=44, latency_ms=1, generation_s=0.5,
+                          table_bytes=1024 * 1024)]
+        )
+        assert rows[0]["table_mib"] == pytest.approx(1.0)
+
+    def test_delay_and_ping_rows(self):
+        d = delay_rows([DelayResult("tableau", True, "io", 9.6, 9.6)])
+        assert d[0]["max_delay_ms"] == 9.6
+        p = ping_rows([PingResult("credit", False, "cpu", sample_summary(15))])
+        assert p[0]["max_ms"] == pytest.approx(30.0)
+
+    def test_throughput_rows(self):
+        curve = ThroughputCurve(
+            label="tableau",
+            points=[OperatingPoint(800, 799, sample_summary(10))],
+        )
+        rows = throughput_rows([curve], capped=True, size_bytes=1024,
+                               background="io")
+        assert rows[0]["scheduler"] == "tableau"
+        assert rows[0]["achieved_rps"] == 799
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        rows = scaling_rows(
+            [
+                ScalingPoint(44, 1, 0.5, 1024),
+                ScalingPoint(88, 30, 0.1, 2048),
+            ]
+        )
+        parsed = list(csv.DictReader(io.StringIO(to_csv(rows))))
+        assert len(parsed) == 2
+        assert parsed[1]["num_vms"] == "88"
+
+    def test_empty_rows_empty_csv(self):
+        assert to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = write_csv(scaling_rows([ScalingPoint(44, 1, 0.5, 1024)]), str(path))
+        assert count == 1
+        assert "num_vms" in path.read_text()
+
+
+class TestClaimReport:
+    def test_planner_claims_all_pass(self):
+        from repro.analysis.report import check_planner_claims
+
+        claims = check_planner_claims()
+        assert all(c.passed for c in claims), [
+            c.description for c in claims if not c.passed
+        ]
+
+    def test_report_renders(self):
+        from repro.analysis.report import Claim
+
+        claim = Claim("sample", "1", "1", True)
+        assert claim.passed

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.vms == 48
+        assert args.utilization == 0.25
+        assert args.topology == "16core"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestPlanCommand:
+    def test_basic_plan(self, capsys):
+        assert main(["plan", "--vms", "8", "--topology", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "method=partitioned" in out
+        assert "worst blackout" in out
+
+    def test_verbose_lists_cores(self, capsys):
+        main(["plan", "--vms", "8", "--topology", "2", "--verbose"])
+        out = capsys.readouterr().out
+        assert "pCPU 0" in out
+
+    def test_custom_parameters_flow_through(self, capsys):
+        main(
+            [
+                "plan",
+                "--vms",
+                "4",
+                "--utilization",
+                "0.5",
+                "--latency-ms",
+                "10",
+                "--topology",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "goal 10.0ms" in out
+
+
+class TestDelayCommand:
+    def test_intrinsic_probe_runs(self, capsys):
+        assert main(["delay", "--probe", "intrinsic", "--seconds", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "tableau" in out
+        assert "max" in out
+
+    def test_ping_probe_runs(self, capsys):
+        assert main(
+            ["delay", "--probe", "ping", "--seconds", "0.3", "--uncapped"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "credit2" in out  # uncapped matrix includes credit2
+
+
+class TestWebCommand:
+    def test_single_operating_point(self, capsys):
+        assert main(["web", "--rate", "200", "--seconds", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "p99" in out
+
+
+class TestScalingCommand:
+    def test_runs_full_sweep(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "gen (s)" in out
+        assert "176" in out

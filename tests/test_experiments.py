@@ -1,0 +1,120 @@
+"""Integration tests for the experiment harness (scaled-down runs).
+
+Each test runs a miniature version of a paper experiment and asserts the
+*shape* of the result — who wins, what is bounded — rather than absolute
+values, mirroring the reproduction's goals.  Durations are kept short so
+the whole module stays in CI territory.
+"""
+
+import pytest
+
+from repro.core import MS
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    PAPER_TABLE1,
+    build_scenario,
+    intrinsic_latency,
+    measure_overheads,
+    measure_point,
+    ping_latency,
+    plan_for,
+    run_web_load,
+    schedulers_for,
+)
+from repro.topology import uniform, xeon_16core
+from repro.workloads import KIB, CpuHog, IoLoop
+
+
+class TestScenarioBuilder:
+    def test_paper_census_is_48_vms(self):
+        scenario = build_scenario("tableau", CpuHog(), capped=True)
+        assert len(scenario.machine.vcpus) == 48
+        assert scenario.vantage.name == "vm00.vcpu0"
+
+    def test_scheduler_matrix_matches_paper(self):
+        assert schedulers_for(capped=True) == ["credit", "rtds", "tableau"]
+        assert schedulers_for(capped=False) == ["credit", "credit2", "tableau"]
+
+    def test_credit2_cannot_be_capped(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("credit2", CpuHog(), capped=True)
+
+    def test_rtds_cannot_be_uncapped(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("rtds", CpuHog(), capped=False)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("cfs", CpuHog())
+
+    def test_plan_reuse(self):
+        plan = plan_for(xeon_16core(), 48, capped=True)
+        scenario = build_scenario("tableau", CpuHog(), plan=plan)
+        assert scenario.plan is plan
+
+
+class TestOverheadExperiment:
+    def test_tableau_cheapest_scheduler(self):
+        rows = {
+            name: measure_overheads(name, duration_s=0.3)
+            for name in ("tableau", "credit")
+        }
+        assert rows["tableau"].schedule_us < rows["credit"].schedule_us
+
+    def test_tableau_matches_table1_closely(self):
+        row = measure_overheads("tableau", duration_s=0.5)
+        expected = PAPER_TABLE1["tableau"]
+        assert row.schedule_us == pytest.approx(expected["schedule"], rel=0.25)
+        assert row.wakeup_us == pytest.approx(expected["wakeup"], rel=0.25)
+
+
+class TestDelayExperiments:
+    def test_tableau_bounded_regardless_of_background(self):
+        for background in ("none", "io", "cpu"):
+            result = intrinsic_latency("tableau", True, background, duration_s=0.6)
+            assert result.max_delay_ms <= 10.5
+
+    def test_credit_worse_than_tableau_when_capped(self):
+        credit = intrinsic_latency("credit", True, "cpu", duration_s=0.6)
+        tableau = intrinsic_latency("tableau", True, "cpu", duration_s=0.6)
+        assert credit.max_delay_ms > tableau.max_delay_ms
+
+    def test_ping_uncapped_idle_fast_for_all(self):
+        for scheduler in schedulers_for(capped=False):
+            result = ping_latency(
+                scheduler, False, "none", duration_s=1.0, pings_per_thread=40
+            )
+            assert result.avg_ms < 1.0, scheduler
+
+    def test_tableau_ping_bounded_by_table(self):
+        result = ping_latency(
+            "tableau", True, "io", duration_s=1.0, pings_per_thread=40
+        )
+        assert result.max_ms <= 10.5
+
+
+class TestWebExperiment:
+    def test_light_load_served_fully(self):
+        result = run_web_load("tableau", 200, KIB, duration_s=0.8)
+        assert result.point.achieved_rate == pytest.approx(200, rel=0.05)
+
+    def test_overload_shows_in_p99(self):
+        light = run_web_load("tableau", 400, KIB, duration_s=0.8)
+        heavy = run_web_load("tableau", 2_400, KIB, duration_s=0.8)
+        assert heavy.point.latency.p99_ns > 3 * light.point.latency.p99_ns
+
+    def test_nic_utilization_reported(self):
+        result = run_web_load("tableau", 200, 100 * KIB, duration_s=0.8)
+        assert 0.0 < result.nic_utilization < 1.0
+
+
+class TestPlannerScaling:
+    def test_generation_time_and_size_positive(self):
+        point = measure_point(16, latency_ms=30, topology=uniform(4))
+        assert point.generation_s > 0
+        assert point.table_bytes > 0
+
+    def test_tighter_latency_bigger_tables(self):
+        loose = measure_point(16, latency_ms=100, topology=uniform(4))
+        tight = measure_point(16, latency_ms=1, topology=uniform(4))
+        assert tight.table_bytes > loose.table_bytes

@@ -1,0 +1,60 @@
+"""Tests for the experiment harness's text renderers."""
+
+import pytest
+
+from repro.experiments.overheads import (
+    PAPER_TABLE1,
+    OverheadRow,
+    format_table,
+)
+from repro.experiments.planner_scaling import ScalingPoint, format_sweep
+
+
+class TestFormatTable:
+    def test_contains_measured_and_paper_columns(self):
+        rows = [OverheadRow("tableau", 1.43, 1.06, 0.43)]
+        text = format_table(rows, PAPER_TABLE1)
+        assert "meas" in text and "paper" in text
+        assert "1.43" in text
+        assert "tableau" in text
+
+    def test_unknown_scheduler_renders_zero_paper_values(self):
+        rows = [OverheadRow("mystery", 1.0, 2.0, 3.0)]
+        text = format_table(rows, PAPER_TABLE1)
+        assert "mystery" in text
+        assert "0.00" in text
+
+    def test_one_line_per_scheduler_plus_header(self):
+        rows = [
+            OverheadRow("tableau", 1.4, 1.0, 0.4),
+            OverheadRow("credit", 8.0, 2.1, 0.3),
+        ]
+        text = format_table(rows, PAPER_TABLE1)
+        assert len(text.splitlines()) == 2 + 2  # two header lines + rows
+
+
+class TestFormatSweep:
+    def test_sorted_by_goal_then_count(self):
+        points = [
+            ScalingPoint(88, 30, 0.1, 1024),
+            ScalingPoint(44, 1, 0.5, 2048),
+            ScalingPoint(44, 30, 0.05, 512),
+        ]
+        text = format_sweep(points)
+        lines = text.splitlines()[1:]
+        goals = [int(line.split()[1]) for line in lines]
+        assert goals == sorted(goals)
+
+    def test_sizes_rendered_in_mib(self):
+        points = [ScalingPoint(44, 1, 0.5, 2 * 1024 * 1024)]
+        assert "2.000" in format_sweep(points)
+
+
+class TestOverheadRowDict:
+    def test_as_dict_keys(self):
+        row = OverheadRow("rtds", 2.9, 3.9, 9.4)
+        assert row.as_dict() == {
+            "schedule": 2.9,
+            "wakeup": 3.9,
+            "migrate": 9.4,
+        }

@@ -1,0 +1,129 @@
+"""Full-stack integration tests: planner -> binary table -> hypercall ->
+dispatcher -> workloads, including live reconfiguration under load.
+
+These exercise the complete pipeline the paper's Fig. 1 draws, end to
+end, inside one simulation.
+"""
+
+import pytest
+
+from repro.core import MS, Planner, deserialize, make_vm, serialize
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, Tracer, VCpu
+from repro.topology import uniform, xeon_16core
+from repro.workloads import CpuHog, IntrinsicLatencyProbe, IoLoop
+from repro.xen import TableHypercall
+
+
+class TestPlannerToDispatcherPipeline:
+    def test_binary_table_drives_dispatcher(self):
+        """The dispatcher can run directly from a deserialized payload,
+        as the hypervisor does after a hypercall."""
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(8)]
+        plan = Planner(uniform(2)).plan(vms)
+        restored = deserialize(serialize(plan.table))
+
+        sched = TableauScheduler(restored)
+        machine = Machine(uniform(2), sched, seed=3)
+        for i in range(8):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        machine.run(300 * MS)
+        for i in range(8):
+            assert machine.utilization_of(f"vm{i}.vcpu0") == pytest.approx(
+                0.25, abs=0.01
+            )
+
+    def test_split_vcpu_runs_correctly_end_to_end(self):
+        """Semi-partitioned plans execute without parallel self-execution
+        and deliver the reserved utilization."""
+        vms = [make_vm(f"vm{i}", 0.6, 100 * MS, capped=True) for i in range(3)]
+        plan = Planner(uniform(2)).plan(vms)
+        assert plan.stats.split_tasks == 1
+        split_name = next(n for n in plan.vcpus if plan.table.is_split(n))
+
+        sched = TableauScheduler(plan.table)
+        machine = Machine(uniform(2), sched, seed=3)
+        for i in range(3):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        machine.run(500 * MS)
+        for i in range(3):
+            assert machine.utilization_of(f"vm{i}.vcpu0") == pytest.approx(
+                0.6, abs=0.02
+            )
+        # The split vCPU really ran on both of its cores.
+        assert len(plan.table.home_cores[split_name]) == 2
+
+
+class TestLiveReconfiguration:
+    def test_reconfigure_under_load_preserves_guarantees(self):
+        """Push a new table mid-run (the VM census changes); the probe's
+        bound must hold before, across, and after the switch."""
+        topo = uniform(2)
+        old_vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(8)]
+        plan = Planner(topo).plan(old_vms)
+        sched = TableauScheduler(plan.table)
+        machine = Machine(topo, sched, seed=3)
+        hypercall = TableHypercall(sched)
+
+        probe = IntrinsicLatencyProbe()
+        machine.add_vcpu(VCpu("vm0.vcpu0", probe, capped=True))
+        for i in range(1, 8):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", IoLoop(), capped=True))
+        machine.run(150 * MS)
+
+        # vm7 "is destroyed": replan for the remaining census, push.
+        new_plan = Planner(topo).plan(old_vms[:-1])
+        hypercall.push_system_table(new_plan.table)
+        machine.run(600 * MS)
+
+        assert sched.table_switches == 1
+        assert probe.max_gap_ns <= 20 * MS
+        assert machine.utilization_of("vm0.vcpu0") == pytest.approx(
+            0.25, abs=0.02
+        )
+
+    def test_departed_vcpu_stops_being_scheduled_after_switch(self):
+        topo = uniform(1)
+        vms = [make_vm(f"vm{i}", 0.25, 50 * MS, capped=True) for i in range(4)]
+        plan = Planner(topo).plan(vms)
+        sched = TableauScheduler(plan.table)
+        machine = Machine(topo, sched, seed=3)
+        hypercall = TableHypercall(sched)
+        for i in range(4):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        machine.run(150 * MS)
+
+        survivor_plan = Planner(topo).plan(vms[:3])
+        hypercall.push_system_table(survivor_plan.table)
+        machine.run(300 * MS)
+        departed = machine.vcpus["vm3.vcpu0"]
+        runtime_at_switch = departed.runtime_ns
+        machine.run(300 * MS)
+        # No allocations in the new table -> no further runtime.
+        assert departed.runtime_ns == runtime_at_switch
+
+
+class TestPaperScenarioEndToEnd:
+    def test_full_16core_census_through_binary_format(self):
+        """The paper's 48-VM census, planned, serialized, deserialized,
+        dispatched, and measured — one pipeline."""
+        topo = xeon_16core()
+        vms = [make_vm(f"vm{i:02d}", 0.25, 20 * MS, capped=True) for i in range(48)]
+        plan = Planner(topo).plan(vms)
+        payload = serialize(plan.table)
+        assert len(payload) < 64 * 1024  # one hypercall-sized blob
+
+        sched = TableauScheduler(deserialize(payload))
+        tracer = Tracer(keep_dispatches=True)
+        machine = Machine(topo, sched, seed=9, tracer=tracer)
+        probe = IntrinsicLatencyProbe()
+        machine.add_vcpu(VCpu("vm00.vcpu0", probe, capped=True))
+        for i in range(1, 48):
+            machine.add_vcpu(VCpu(f"vm{i:02d}.vcpu0", IoLoop(), capped=True))
+        machine.run(400 * MS)
+
+        assert probe.max_gap_ns <= 20 * MS
+        assert machine.utilization_of("vm00.vcpu0") == pytest.approx(
+            0.25, abs=0.02
+        )
+        assert tracer.mean_us("schedule") < 2.5  # Tableau's Table 1 regime

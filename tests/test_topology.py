@@ -1,0 +1,77 @@
+"""Tests for machine topology descriptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import Topology, uniform, xeon_16core, xeon_48core
+
+
+class TestPaperPlatforms:
+    def test_16core_shape(self):
+        topo = xeon_16core()
+        assert topo.num_cores == 16
+        assert topo.sockets == 2
+        assert len(topo.guest_cores) == 12  # 4 reserved for dom0
+
+    def test_48core_shape(self):
+        topo = xeon_48core()
+        assert topo.num_cores == 48
+        assert topo.sockets == 4
+        assert len(topo.guest_cores) == 44
+
+    def test_dom0_cores_are_lowest(self):
+        assert xeon_16core().reserved_cores == (0, 1, 2, 3)
+
+    def test_custom_dom0_reservation(self):
+        topo = xeon_16core(reserved_for_dom0=2)
+        assert len(topo.guest_cores) == 14
+
+
+class TestSocketMapping:
+    def test_socket_of(self):
+        topo = xeon_16core()
+        assert topo.socket_of(0) == 0
+        assert topo.socket_of(7) == 0
+        assert topo.socket_of(8) == 1
+        assert topo.socket_of(15) == 1
+
+    def test_same_socket(self):
+        topo = xeon_16core()
+        assert topo.same_socket(4, 7)
+        assert not topo.same_socket(7, 8)
+
+    def test_cores_of_socket(self):
+        topo = xeon_48core()
+        assert topo.cores_of_socket(1) == list(range(12, 24))
+
+    def test_socket_map_covers_all_cores(self):
+        topo = xeon_48core()
+        assert set(topo.socket_map) == set(range(48))
+
+    def test_out_of_range_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xeon_16core().socket_of(16)
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(sockets=0, cores_per_socket=8)
+
+    def test_reserving_everything_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(sockets=1, cores_per_socket=2, reserved_cores=(0, 1))
+
+    def test_reserved_core_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(sockets=1, cores_per_socket=2, reserved_cores=(5,))
+
+    def test_uniform_requires_even_split(self):
+        with pytest.raises(ConfigurationError):
+            uniform(10, sockets=3)
+
+    def test_uniform_defaults(self):
+        topo = uniform(8)
+        assert topo.num_cores == 8
+        assert topo.sockets == 1
+        assert topo.guest_cores == list(range(8))

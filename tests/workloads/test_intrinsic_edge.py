@@ -1,0 +1,62 @@
+"""Edge-case tests for probes under Tableau-specific conditions."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IntrinsicLatencyProbe, IoLoop, PingResponder
+
+
+class TestProbeUnderTableau:
+    def test_gap_distribution_matches_table_structure(self):
+        # A capped probe alone with three hogs: its gaps are exactly the
+        # inter-slot distances of the table (one dominant mode).
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(4)]
+        plan = Planner(uniform(1)).plan(vms)
+        probe = IntrinsicLatencyProbe()
+        machine = Machine(uniform(1), TableauScheduler(plan.table), seed=2)
+        machine.add_vcpu(VCpu("vm0.vcpu0", probe, capped=True))
+        for i in range(1, 4):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        machine.run(500 * MS)
+        assert probe.gaps_ns
+        expected_gap = plan.table.max_blackout_ns("vm0.vcpu0")
+        # Nearly every gap equals the blackout (slot-to-slot distance).
+        near = [g for g in probe.gaps_ns if abs(g - expected_gap) < MS]
+        assert len(near) / len(probe.gaps_ns) > 0.9
+
+    def test_uncapped_probe_sees_only_small_gaps_on_idle_core(self):
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS) for i in range(2)]
+        plan = Planner(uniform(1)).plan(vms)
+        probe = IntrinsicLatencyProbe()
+        machine = Machine(uniform(1), TableauScheduler(plan.table), seed=2)
+        machine.add_vcpu(VCpu("vm0.vcpu0", probe))
+        machine.add_vcpu(VCpu("vm1.vcpu0", IoLoop()))
+        machine.run(300 * MS)
+        # With L2 harvesting, the probe runs almost continuously.
+        assert machine.utilization_of("vm0.vcpu0") > 0.6
+
+    def test_ping_latency_histogram_under_capped_tableau(self):
+        # Capped responder: latencies are uniformly spread across the
+        # blackout window (requests land anywhere between slots).
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(4)]
+        plan = Planner(uniform(1)).plan(vms)
+        responder = PingResponder()
+        machine = Machine(uniform(1), TableauScheduler(plan.table), seed=2)
+        machine.add_vcpu(VCpu("vm0.vcpu0", responder, capped=True))
+        for i in range(1, 4):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        from repro.workloads import run_ping_load
+
+        run_ping_load(machine, responder, threads=4, pings_per_thread=100,
+                      max_spacing_ns=10 * MS)
+        machine.run(1_200 * MS)
+        assert responder.latencies_ns
+        blackout = plan.table.max_blackout_ns("vm0.vcpu0")
+        assert responder.max_latency_ns <= blackout + MS
+        # Mean should sit near half the blackout (uniform arrivals).
+        assert responder.mean_latency_ns == pytest.approx(
+            blackout / 2, rel=0.4
+        )

@@ -1,0 +1,107 @@
+"""Tests for the virtual NIC ring-buffer model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.netdev import VirtualNic
+
+
+def nic(rate_bps=8e9, ring=100_000):
+    # 8 Gbit/s = 1 byte/ns for easy arithmetic.
+    return VirtualNic(line_rate_bps=rate_bps, ring_bytes=ring)
+
+
+class TestEnqueue:
+    def test_empty_ring_accepts_fully(self):
+        device = nic()
+        accepted, finish = device.enqueue(50_000, now=0)
+        assert accepted == 50_000
+        assert finish == 50_000  # 1 byte/ns
+
+    def test_backlog_serializes_transmissions(self):
+        device = nic()
+        device.enqueue(50_000, now=0)
+        _, finish = device.enqueue(30_000, now=10_000)
+        assert finish == 80_000  # queued behind the first frame
+
+    def test_idle_gap_restarts_clock(self):
+        device = nic()
+        device.enqueue(10_000, now=0)  # drains by t=10_000
+        _, finish = device.enqueue(10_000, now=50_000)
+        assert finish == 60_000
+
+    def test_full_ring_partially_accepts(self):
+        device = nic(ring=100_000)
+        device.enqueue(100_000, now=0)
+        accepted, _ = device.enqueue(50_000, now=0)
+        assert accepted == 0
+        accepted, _ = device.enqueue(50_000, now=30_000)
+        assert accepted == 30_000  # exactly what drained so far
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            nic().enqueue(0, now=0)
+
+
+class TestOccupancy:
+    def test_occupancy_decays_at_line_rate(self):
+        device = nic()
+        device.enqueue(100_000, now=0)
+        assert device.occupancy(0) == 100_000
+        assert device.occupancy(40_000) == 60_000
+        assert device.occupancy(100_000) == 0
+
+    def test_free_space_complements_occupancy(self):
+        device = nic(ring=100_000)
+        device.enqueue(70_000, now=0)
+        assert device.free_space(0) == 30_000
+        assert device.free_space(70_000) == 100_000
+
+
+class TestTimeUntilSpace:
+    def test_zero_when_space_available(self):
+        device = nic()
+        assert device.time_until_space(10_000, now=0) == 0
+
+    def test_wait_for_drain(self):
+        device = nic(ring=100_000)
+        device.enqueue(100_000, now=0)
+        wait = device.time_until_space(40_000, now=0)
+        assert wait == pytest.approx(40_000, abs=2)
+
+    def test_impossible_request_rejected(self):
+        device = nic(ring=100_000)
+        with pytest.raises(ConfigurationError):
+            device.time_until_space(200_000, now=0)
+
+
+class TestUtilization:
+    def test_busy_time_accumulates(self):
+        device = nic()
+        device.enqueue(100_000, now=0)
+        assert device.utilization(window_ns=200_000) == pytest.approx(0.5)
+
+    def test_the_paper_drain_then_idle_effect(self):
+        # Sec. 7.5: a descheduled VM's NIC drains its ring, then idles.
+        # One ring-full of data per 1 ms "slot" bounds utilization at
+        # ring/(rate*period).
+        device = nic(ring=100_000)
+        for slot in range(10):
+            device.enqueue(100_000, now=slot * 1_000_000)
+        # 10 slots x 100 us of wire time each = 1 ms busy out of 10 ms.
+        assert device.utilization(10_000_000) == pytest.approx(0.1)
+
+    def test_zero_window(self):
+        assert nic().utilization(0) == 0.0
+
+    def test_bytes_sent_counter(self):
+        device = nic()
+        device.enqueue(30_000, now=0)
+        device.enqueue(20_000, now=0)
+        assert device.bytes_sent == 50_000
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualNic(line_rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            VirtualNic(ring_bytes=0)

@@ -1,0 +1,123 @@
+"""Tests for the measurement probes (intrinsic latency, ping)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import (
+    ECHO_PROCESSING_NS,
+    WIRE_RTT_NS,
+    CpuHog,
+    IntrinsicLatencyProbe,
+    PingClient,
+    PingResponder,
+    run_ping_load,
+)
+
+MS = 1_000_000
+
+
+class TestIntrinsicLatencyProbe:
+    def test_uncontended_probe_sees_no_gaps(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        probe = IntrinsicLatencyProbe()
+        m.add_vcpu(VCpu("probe", probe))
+        m.run(200 * MS)
+        assert probe.max_gap_ns == 0
+
+    def test_contended_probe_measures_scheduling_gaps(self):
+        m = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=2 * MS))
+        probe = IntrinsicLatencyProbe()
+        m.add_vcpu(VCpu("probe", probe))
+        m.add_vcpu(VCpu("rival", CpuHog()))
+        m.run(200 * MS)
+        # Round-robin at 2 ms: the probe is off-core ~2 ms at a time.
+        assert probe.max_gap_ns == pytest.approx(2 * MS, rel=0.1)
+
+    def test_mean_gap_tracks_contention(self):
+        m = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=MS))
+        probe = IntrinsicLatencyProbe()
+        m.add_vcpu(VCpu("probe", probe))
+        for i in range(3):
+            m.add_vcpu(VCpu(f"rival{i}", CpuHog()))
+        m.run(200 * MS)
+        # Three rivals at 1 ms slices: gaps of ~3 ms.
+        assert probe.mean_gap_ns == pytest.approx(3 * MS, rel=0.15)
+
+    def test_gap_samples_collected(self):
+        m = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=MS))
+        probe = IntrinsicLatencyProbe()
+        m.add_vcpu(VCpu("probe", probe))
+        m.add_vcpu(VCpu("rival", CpuHog()))
+        m.run(100 * MS)
+        assert len(probe.gaps_ns) > 10
+
+
+class TestPingResponder:
+    def test_idle_system_latency_is_wire_plus_processing(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        m.run(1 * MS)
+        responder.inject(m.engine.now)
+        m.run(5 * MS)
+        assert len(responder.latencies_ns) == 1
+        latency = responder.latencies_ns[0]
+        assert latency >= ECHO_PROCESSING_NS + WIRE_RTT_NS // 2
+        assert latency < MS  # dispatched almost immediately
+
+    def test_burst_of_pings_all_answered(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        m.run(1 * MS)
+        for _ in range(10):
+            responder.inject(m.engine.now)
+        m.run(10 * MS)
+        assert len(responder.latencies_ns) == 10
+
+    def test_latency_reflects_scheduler_delay(self):
+        # With a hog monopolizing the core under long timeslices, the
+        # responder's wake-to-dispatch delay dominates ping latency.
+        m = Machine(uniform(1), RoundRobinScheduler(timeslice_ns=10 * MS))
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        m.add_vcpu(VCpu("hog", CpuHog()))
+        m.run(5 * MS)
+        responder.inject(m.engine.now)
+        m.run(30 * MS)
+        assert responder.max_latency_ns > MS
+
+    def test_statistics_empty_before_traffic(self):
+        responder = PingResponder()
+        assert responder.max_latency_ns == 0
+        assert responder.mean_latency_ns == 0.0
+
+
+class TestPingClient:
+    def test_sends_requested_count(self):
+        m = Machine(uniform(1), RoundRobinScheduler(), seed=5)
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        client = PingClient(m, responder, count=25, max_spacing_ns=2 * MS)
+        client.start()
+        m.run(200 * MS)
+        assert len(responder.latencies_ns) == 25
+
+    def test_run_ping_load_aggregates_threads(self):
+        m = Machine(uniform(1), RoundRobinScheduler(), seed=5)
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        run_ping_load(m, responder, threads=4, pings_per_thread=10,
+                      max_spacing_ns=MS)
+        m.run(100 * MS)
+        assert len(responder.latencies_ns) == 40
+
+    def test_rejects_bad_count(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        responder = PingResponder()
+        m.add_vcpu(VCpu("vantage", responder))
+        with pytest.raises(ConfigurationError):
+            PingClient(m, responder, count=0).start()

@@ -1,0 +1,77 @@
+"""Tests for the stress-like background workloads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+
+MS = 1_000_000
+
+
+def run_alone(workload, duration=300 * MS, seed=0):
+    m = Machine(uniform(1), RoundRobinScheduler(), seed=seed)
+    m.add_vcpu(VCpu("w", workload))
+    m.run(duration)
+    return m
+
+
+class TestCpuHog:
+    def test_consumes_everything(self):
+        m = run_alone(CpuHog())
+        assert m.utilization_of("w") > 0.999
+
+    def test_never_blocks(self):
+        m = run_alone(CpuHog(chunk_ns=100_000))
+        assert m.tracer.ops["wakeup"].count == 0
+
+    def test_chunk_size_invisible_to_utilization(self):
+        small = run_alone(CpuHog(chunk_ns=100_000))
+        large = run_alone(CpuHog(chunk_ns=10 * MS))
+        assert small.utilization_of("w") == pytest.approx(
+            large.utilization_of("w"), abs=0.001
+        )
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ConfigurationError):
+            CpuHog(chunk_ns=0)
+
+
+class TestIoLoop:
+    def test_duty_cycle_without_jitter(self):
+        workload = IoLoop(compute_ns=300_000, io_ns=700_000, jitter=0.0)
+        m = run_alone(workload)
+        assert m.utilization_of("w") == pytest.approx(0.3, abs=0.02)
+
+    def test_jitter_preserves_mean_duty(self):
+        workload = IoLoop(compute_ns=300_000, io_ns=700_000, jitter=0.3)
+        m = run_alone(workload, duration=900 * MS)
+        assert m.utilization_of("w") == pytest.approx(0.3, abs=0.04)
+
+    def test_io_completions_counted(self):
+        workload = IoLoop(compute_ns=100_000, io_ns=100_000, jitter=0.0)
+        run_alone(workload)
+        # ~1500 cycles in 300 ms at 200 us per cycle (minus switches).
+        assert workload.io_completions > 1_000
+
+    def test_triggers_frequent_scheduler_invocations(self):
+        workload = IoLoop(jitter=0.0)
+        m = run_alone(workload)
+        # Each cycle blocks and wakes: the high-density regime's defining
+        # property (Sec. 2.2).
+        assert m.tracer.ops["wakeup"].count > 200
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            IoLoop(compute_ns=0)
+        with pytest.raises(ConfigurationError):
+            IoLoop(io_ns=0)
+        with pytest.raises(ConfigurationError):
+            IoLoop(jitter=1.5)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = run_alone(IoLoop(), seed=11).utilization_of("w")
+        b = run_alone(IoLoop(), seed=11).utilization_of("w")
+        assert a == b

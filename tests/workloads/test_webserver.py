@@ -1,0 +1,107 @@
+"""Tests for the nginx/wrk2 web-serving model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.simple import RoundRobinScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import KIB, MIB, VirtualNic, WebServerWorkload, Wrk2Client
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def serve(rate, size, duration_ns=SEC, connections=8, nic=None, cores=1):
+    m = Machine(uniform(cores), RoundRobinScheduler(), seed=3)
+    server = WebServerWorkload(nic=nic)
+    m.add_vcpu(VCpu("web", server))
+    client = Wrk2Client(m, server, rate, size, duration_ns, connections=connections)
+    client.start()
+    m.run(duration_ns + 200 * MS)
+    return m, server, client
+
+
+class TestRequestLifecycle:
+    def test_all_requests_complete_under_light_load(self):
+        _, server, client = serve(rate=100, size=KIB)
+        assert len(server.completed) == client.issued
+        assert client.issued == 100
+
+    def test_latency_includes_wire_and_service(self):
+        _, _, client = serve(rate=50, size=KIB)
+        summary = client.summary()
+        # base CPU 140 us + tiny streaming + wire: sub-millisecond.
+        assert 150_000 < summary.p50_ns < 1_000_000
+
+    def test_larger_files_take_longer(self):
+        _, _, small = serve(rate=50, size=KIB)
+        _, _, large = serve(rate=20, size=100 * KIB)
+        assert large.summary().p50_ns > small.summary().p50_ns
+
+    def test_fifo_order_preserved(self):
+        _, server, _ = serve(rate=200, size=KIB)
+        finished = [r.intended_at for r in server.completed]
+        assert finished == sorted(finished)
+
+    def test_throughput_reported(self):
+        _, _, client = serve(rate=100, size=KIB)
+        assert client.achieved_throughput(SEC) == pytest.approx(100, abs=2)
+
+
+class TestOverload:
+    def test_cpu_saturation_shows_in_latency(self):
+        # One full core serves ~6,600 1-KiB requests/s; offering 8,000
+        # must blow up the coordinated-omission-corrected latency.
+        _, _, ok = serve(rate=3_000, size=KIB)
+        _, _, overloaded = serve(rate=8_000, size=KIB)
+        assert overloaded.summary().p99_ns > 5 * ok.summary().p99_ns
+
+    def test_connection_pool_limits_inflight(self):
+        m = Machine(uniform(1), RoundRobinScheduler(), seed=3)
+        server = WebServerWorkload()
+        m.add_vcpu(VCpu("web", server))
+        client = Wrk2Client(m, server, 5_000, KIB, SEC, connections=4)
+        client.start()
+        m.run(300 * MS)
+        assert server.queue_depth <= 4
+
+
+class TestNicInteraction:
+    def test_large_file_bounded_by_ring_when_descheduled(self):
+        # A slow NIC + large responses: the server must block on the
+        # ring and completion follows the wire, not the CPU.
+        slow_nic = VirtualNic(line_rate_bps=1e9, ring_bytes=64 * KIB)
+        _, server, client = serve(rate=10, size=MIB, nic=slow_nic)
+        # 1 MiB at 1 Gbit/s = ~8.4 ms of pure wire time per response.
+        assert client.summary().p50_ns > 8_000_000
+
+    def test_nic_utilization_tracked(self):
+        nic = VirtualNic()
+        _, _, client = serve(rate=100, size=100 * KIB, nic=nic)
+        assert nic.utilization(SEC) > 0.02
+
+    def test_ring_blocking_wakes_and_finishes(self):
+        tiny_ring = VirtualNic(line_rate_bps=2.5e9, ring_bytes=32 * KIB)
+        _, server, client = serve(rate=20, size=MIB, nic=tiny_ring, duration_ns=SEC)
+        assert len(server.completed) >= client.issued - 2
+
+
+class TestValidation:
+    def test_bad_rate_rejected(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        server = WebServerWorkload()
+        m.add_vcpu(VCpu("web", server))
+        with pytest.raises(ConfigurationError):
+            Wrk2Client(m, server, 0, KIB, SEC)
+
+    def test_bad_connections_rejected(self):
+        m = Machine(uniform(1), RoundRobinScheduler())
+        server = WebServerWorkload()
+        m.add_vcpu(VCpu("web", server))
+        with pytest.raises(ConfigurationError):
+            Wrk2Client(m, server, 10, KIB, SEC, connections=0)
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WebServerWorkload(chunk_bytes=0)

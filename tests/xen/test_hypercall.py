@@ -1,0 +1,101 @@
+"""Tests for the table-push hypercall and lock-free table switches."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm, serialize
+from repro.errors import TableFormatError
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IntrinsicLatencyProbe
+from repro.xen import TableHypercall
+
+
+def build(num_vms=2, cores=1):
+    vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(num_vms)]
+    plan = Planner(uniform(cores)).plan(vms)
+    sched = TableauScheduler(plan.table)
+    machine = Machine(uniform(cores), sched, seed=1)
+    return plan, sched, machine
+
+
+class TestPushValidation:
+    def test_valid_push_staged(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        new_plan = Planner(uniform(1)).plan(
+            [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(2)]
+        )
+        record = hypercall.push_table(serialize(new_plan.table))
+        assert record.activation_cycle >= 1
+        assert hypercall.pushes
+
+    def test_garbage_payload_rejected(self):
+        _, sched, _ = build()
+        hypercall = TableHypercall(sched)
+        with pytest.raises(TableFormatError):
+            hypercall.push_table(b"garbage bytes here")
+        assert not hypercall.pushes  # nothing staged
+
+    def test_rejected_push_does_not_disturb_dispatcher(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        try:
+            hypercall.push_table(b"\x00" * 64)
+        except TableFormatError:
+            pass
+        assert sched.table is plan.table
+
+
+class TestActivationTiming:
+    def test_push_early_in_cycle_activates_next_wrap(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+        machine.add_vcpu(VCpu("vm1.vcpu0", CpuHog(), capped=True))
+        length = plan.table.length_ns
+        machine.run(length // 4)  # first quarter of cycle 0
+        record = hypercall.push_system_table(plan.table)
+        assert record.activation_cycle == 1
+
+    def test_push_late_in_cycle_defers_one_extra_wrap(self):
+        # Sec 6: "tables are never set during or close to a table wrap".
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+        machine.add_vcpu(VCpu("vm1.vcpu0", CpuHog(), capped=True))
+        length = plan.table.length_ns
+        machine.run(length - length // 10)  # last tenth of cycle 0
+        record = hypercall.push_system_table(plan.table)
+        assert record.activation_cycle == 2
+
+    def test_switch_happens_and_is_counted(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+        machine.add_vcpu(VCpu("vm1.vcpu0", CpuHog(), capped=True))
+        machine.run(10 * MS)
+        new_plan = Planner(uniform(1)).plan(
+            [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(2)]
+        )
+        hypercall.push_system_table(new_plan.table)
+        machine.run(3 * plan.table.length_ns)
+        assert sched.table_switches == 1
+
+    def test_guarantees_hold_across_push(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        probe = IntrinsicLatencyProbe()
+        machine.add_vcpu(VCpu("vm0.vcpu0", probe, capped=True))
+        machine.add_vcpu(VCpu("vm1.vcpu0", CpuHog(), capped=True))
+        machine.run(50 * MS)
+        hypercall.push_system_table(plan.table)
+        machine.run(400 * MS)
+        assert probe.max_gap_ns <= 20 * MS
+
+    def test_old_tables_garbage_collected(self):
+        plan, sched, machine = build()
+        hypercall = TableHypercall(sched)
+        for _ in range(5):
+            hypercall.push_system_table(plan.table)
+        assert hypercall.retired_table_count <= 2

@@ -1,0 +1,107 @@
+"""Tests for the Xen control-plane model (toolstack, daemon, domains)."""
+
+import pytest
+
+from repro.core import MS
+from repro.errors import AdmissionError, ConfigurationError
+from repro.topology import uniform
+from repro.xen import DomainState, Toolstack
+from repro.xen.domain import DomainRegistry
+from repro.core.params import make_vm
+
+
+class TestDomainRegistry:
+    def test_domids_monotonic_from_one(self):
+        registry = DomainRegistry()
+        a = registry.add(make_vm("a", 0.2, 10 * MS))
+        b = registry.add(make_vm("b", 0.2, 10 * MS))
+        assert (a.domid, b.domid) == (1, 2)
+
+    def test_duplicate_rejected(self):
+        registry = DomainRegistry()
+        registry.add(make_vm("a", 0.2, 10 * MS))
+        with pytest.raises(ConfigurationError):
+            registry.add(make_vm("a", 0.2, 10 * MS))
+
+    def test_remove_marks_shutdown(self):
+        registry = DomainRegistry()
+        registry.add(make_vm("a", 0.2, 10 * MS))
+        domain = registry.remove("a")
+        assert domain.state is DomainState.SHUTDOWN
+        assert "a" not in registry
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainRegistry().remove("ghost")
+
+    def test_domids_not_reused(self):
+        registry = DomainRegistry()
+        registry.add(make_vm("a", 0.2, 10 * MS))
+        registry.remove("a")
+        b = registry.add(make_vm("b", 0.2, 10 * MS))
+        assert b.domid == 2
+
+
+class TestToolstack:
+    def test_create_triggers_replan(self):
+        ts = Toolstack(uniform(4))
+        ts.create_vm("web", 0.25, 20 * MS)
+        assert ts.daemon.total_replans == 1
+        assert ts.current_plan is not None
+        assert "web.vcpu0" in ts.current_plan.vcpus
+
+    def test_destroy_triggers_replan(self):
+        ts = Toolstack(uniform(4))
+        ts.create_vm("web", 0.25, 20 * MS)
+        ts.create_vm("db", 0.25, 20 * MS)
+        ts.destroy_vm("web")
+        assert ts.domain_count() == 1
+        assert "web.vcpu0" not in ts.current_plan.vcpus
+
+    def test_admission_failure_leaves_registry_unchanged(self):
+        ts = Toolstack(uniform(1))
+        ts.create_vm("a", 0.6, 50 * MS)
+        with pytest.raises(AdmissionError):
+            ts.create_vm("b", 0.6, 50 * MS)
+        assert ts.domain_count() == 1
+        # Current plan still describes only the admitted domain.
+        assert set(ts.current_plan.vcpus) == {"a.vcpu0"}
+
+    def test_reconfigure_changes_reservation(self):
+        ts = Toolstack(uniform(2))
+        ts.create_vm("web", 0.25, 20 * MS)
+        ts.reconfigure_vm("web", 0.5, 10 * MS)
+        vcpu = ts.current_plan.vcpus["web.vcpu0"]
+        assert vcpu.utilization == 0.5
+        assert vcpu.latency_ns == 10 * MS
+
+    def test_reconfigure_rolls_back_on_admission_failure(self):
+        ts = Toolstack(uniform(1))
+        ts.create_vm("a", 0.5, 50 * MS)
+        ts.create_vm("b", 0.4, 50 * MS)
+        with pytest.raises(AdmissionError):
+            ts.reconfigure_vm("b", 0.9, 50 * MS)
+        assert ts.registry.get("b").spec.vcpus[0].utilization == 0.4
+        assert ts.current_plan.vcpus["b.vcpu0"].utilization == 0.4
+
+    def test_provisioning_reports_attribute_planning_time(self):
+        ts = Toolstack(uniform(4))
+        ts.create_vm("web", 0.25, 20 * MS)
+        report = ts.reports[-1]
+        assert report.operation == "create"
+        assert report.planning_ns > 0
+        assert 0 < report.planning_share < 1
+
+    def test_planning_cheap_relative_to_xen_create(self):
+        # Sec 7.1's argument: planning delay is small next to the many 
+        # seconds a Xen domain build takes.
+        ts = Toolstack(uniform(8))
+        for i in range(16):
+            ts.create_vm(f"vm{i}", 0.25, 20 * MS)
+        report = ts.reports[-1]
+        assert report.planning_share < 0.5
+
+    def test_multi_vcpu_domain(self):
+        ts = Toolstack(uniform(4))
+        ts.create_vm("smp", 0.25, 20 * MS, vcpu_count=4)
+        assert len(ts.current_plan.vcpus) == 4
