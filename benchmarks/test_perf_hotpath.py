@@ -1,0 +1,66 @@
+"""Perf-regression smoke checks for the two hot paths.
+
+Quick-scale versions of ``benchmarks/hotpath.py``: the dispatch loop and
+the planner's replanning burst, each published as events/plans per
+second.  These are smoke checks, not gates — container timing is far too
+noisy for hard thresholds in CI — but they do hard-assert the properties
+an optimization must not break:
+
+* same-seed simulations are bit-identical (trace fingerprints match);
+* repeated replanning converges on the same table (plan fingerprint);
+* the planner's core-table memo actually hits on incremental replans.
+
+Full-scale numbers (and the frozen seed baseline) live in
+``BENCH_hotpath.json``; regenerate with
+``PYTHONPATH=src python benchmarks/hotpath.py``.
+"""
+
+from __future__ import annotations
+
+from conftest import sim_seconds, publish
+
+from hotpath import (
+    bench_daemon_regeneration,
+    bench_dispatch,
+    bench_planner,
+)
+from repro.core import MS, Planner, make_vm
+from repro.topology import xeon_16core
+
+
+def test_dispatch_throughput():
+    result = bench_dispatch(sim_seconds=sim_seconds(0.1, 0.5), runs=2)
+    # bench_dispatch raises if the two same-seed runs' traces diverge.
+    assert result["events"] > 0
+    publish(
+        "perf_dispatch_hotpath",
+        "dispatch-loop throughput (quick scale)\n"
+        f"events/cycle      {result['events']}\n"
+        f"events_per_sec    {result['events_per_sec']:.0f}\n"
+        f"trace fingerprint {result['fingerprint'][:16]}",
+    )
+
+
+def test_planner_throughput():
+    result = bench_planner(repeats=1)
+    regen = bench_daemon_regeneration(cycles=4)
+    assert result["plans"] == 16
+    assert result["fingerprint"] is not None
+    publish(
+        "perf_planner_hotpath",
+        "planner replanning throughput (quick scale)\n"
+        f"burst plans_per_sec  {result['plans_per_sec']:.0f}\n"
+        f"regen plans_per_sec  {regen['plans_per_sec']:.0f}\n"
+        f"plan fingerprint     {result['fingerprint'][:16]}",
+    )
+
+
+def test_incremental_replan_hits_core_cache():
+    planner = Planner(xeon_16core())
+    planner.plan([make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(40)])
+    assert planner.core_cache_hits == 0
+    misses_first = planner.core_cache_misses
+    # One more VM: only the cores receiving new tasks should re-simulate.
+    planner.plan([make_vm(f"vm{i:02d}", 0.25, 20 * MS) for i in range(41)])
+    assert planner.core_cache_hits > 0
+    assert planner.core_cache_misses - misses_first < misses_first

@@ -18,9 +18,11 @@ the result before handing it to the dispatcher.
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.admission import AdmissionReport, admit_or_raise
 from repro.core.affinity import CoschedulingPolicy, constrained_worst_fit
@@ -52,6 +54,25 @@ from repro.topology import Topology, uniform
 METHOD_PARTITIONED = "partitioned"
 METHOD_SEMI_PARTITIONED = "semi-partitioned"
 METHOD_CLUSTERED = "clustered"
+
+#: Estimated job releases across all uncached cores before per-core EDF
+#: materialization is farmed out to worker processes.  Below this the
+#: fork/pickle overhead dwarfs the simulation itself (typical replans
+#: finish in single-digit milliseconds); the pool only engages for
+#: genuinely large task systems.
+PARALLEL_MIN_JOBS = 20_000
+
+#: Maximum per-core table memo entries kept by one planner (LRU).
+CORE_CACHE_SIZE = 512
+
+
+@dataclass
+class _CoreRecord:
+    """Cached outcome of materializing one core's task set."""
+
+    table: CoreTable
+    coalesce: CoalesceReport
+    peephole: Optional[PeepholeReport]
 
 
 @dataclass
@@ -115,6 +136,16 @@ class Planner:
             NUMA-aware extension of Sec. 8); locality is best-effort and
             placement falls back to plain worst-fit when a VM cannot fit
             one socket.
+        parallel: Materialize per-core EDF schedules in worker processes
+            when the task system is large enough to amortize the pool
+            (see ``PARALLEL_MIN_JOBS``); the result is bit-identical to
+            the serial path, so this is purely a wall-clock knob.
+
+    The planner memoizes finished core tables keyed by the exact task
+    set handed to a core, so replanning an incrementally changed census
+    (the daemon's create/teardown pattern, the split-compensation retry,
+    periodic regeneration) only re-simulates cores whose task sets
+    actually changed.
     """
 
     def __init__(
@@ -130,6 +161,7 @@ class Planner:
         split_compensation: float = 0.0,
         rotation: int = 0,
         numa: bool = False,
+        parallel: bool = True,
     ) -> None:
         if isinstance(topology, int):
             topology = uniform(topology)
@@ -144,7 +176,11 @@ class Planner:
         self.split_compensation = split_compensation
         self.rotation = rotation
         self.numa = numa
+        self.parallel = parallel
         self.last_numa_report: Optional[NumaReport] = None
+        self._core_cache: "OrderedDict[Tuple, _CoreRecord]" = OrderedDict()
+        self.core_cache_hits = 0
+        self.core_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -222,7 +258,9 @@ class Planner:
             )
 
         system = SystemTable(length_ns=self.hyperperiod_ns, cores=core_tables)
-        system.build_slices()
+        # Cache-hit cores arrive with their slice tables already built
+        # (shared with the cached template); only fresh cores pay.
+        system.build_slices(only_missing=True)
         system.validate()
 
         task_index = {t.name: t for t in tasks}
@@ -333,53 +371,123 @@ class Planner:
         return assignment, METHOD_CLUSTERED, cluster, 0
 
     def _materialize(self, assignment, cluster_cores):
-        """Simulate schedules, rename task pieces to vCPUs, coalesce."""
+        """Simulate schedules, rename task pieces to vCPUs, coalesce.
+
+        A finished core table depends only on the (ordered) task set it
+        was generated from, so results are memoized: cores whose task
+        set is unchanged since an earlier plan reuse the cached table
+        (sharing its allocation and slice lists) and skip EDF simulation
+        and validation entirely.  Cache misses are materialized serially
+        or, for large task systems, in a process pool — both produce
+        identical tables.
+        """
         report = CoalesceReport()
         core_tables: Dict[int, CoreTable] = {}
         cluster_tasks = assignment.pop("__cluster__", None)
-
         peephole_report: Optional[PeepholeReport] = None
+
+        cache = self._core_cache
+        pending: List[Tuple[int, List[PeriodicTask], Tuple]] = []
         for core, tasks in assignment.items():
-            table = simulate_edf(tasks, self.hyperperiod_ns, cpu=core)
-            validate_against_tasks(table, tasks)
-            if self.peephole:
-                table, core_report = optimize_core(table, tasks)
-                if peephole_report is None:
-                    peephole_report = core_report
-                else:
-                    peephole_report = PeepholeReport(
-                        swaps_applied=peephole_report.swaps_applied
-                        + core_report.swaps_applied,
-                        swaps_rejected=peephole_report.swaps_rejected
-                        + core_report.swaps_rejected,
-                        preemptions_before=peephole_report.preemptions_before
-                        + core_report.preemptions_before,
-                        preemptions_after=peephole_report.preemptions_after
-                        + core_report.preemptions_after,
-                    )
-            core_tables[core] = self._finish_core(table, report)
+            key = self._core_key(tasks)
+            record = cache.get(key)
+            if record is not None:
+                cache.move_to_end(key)
+                self.core_cache_hits += 1
+                core_tables[core] = _reissue_table(record.table, core)
+                report.merge(record.coalesce)
+                peephole_report = _merge_peephole(peephole_report, record.peephole)
+            else:
+                self.core_cache_misses += 1
+                pending.append((core, tasks, key))
+
+        for (core, _tasks, key), outcome in zip(
+            pending, self._materialize_pending(pending)
+        ):
+            table, core_coalesce, core_peephole = outcome
+            core_tables[core] = table
+            report.merge(core_coalesce)
+            peephole_report = _merge_peephole(peephole_report, core_peephole)
+            cache[key] = _CoreRecord(table, core_coalesce, core_peephole)
+            if len(cache) > CORE_CACHE_SIZE:
+                cache.popitem(last=False)
 
         if cluster_tasks is not None:
             cluster_tables = dp_wrap_schedule(
                 cluster_tasks, cluster_cores, self.hyperperiod_ns
             )
             for core, table in cluster_tables.items():
-                core_tables[core] = self._finish_core(table, report)
+                finished, core_report = _rename_and_coalesce(
+                    table, self.coalesce_threshold_ns
+                )
+                report.merge(core_report)
+                core_tables[core] = finished
             assignment["__cluster__"] = cluster_tasks
         return core_tables, report, peephole_report
 
-    def _finish_core(self, table: CoreTable, report: CoalesceReport) -> CoreTable:
-        renamed = CoreTable(
-            cpu=table.cpu,
-            length_ns=table.length_ns,
-            allocations=[
-                Allocation(a.start, a.end, _vcpu_name_of(a.vcpu))
-                for a in table.allocations
-            ],
+    def _core_key(self, tasks: Sequence[PeriodicTask]) -> Tuple:
+        # Order matters: EDF breaks deadline ties by release sequence,
+        # which follows task position, so the key must be the ordered
+        # tuple (plus every planner knob the materialization reads).
+        return (
+            tuple((t.name, t.cost, t.period, t.deadline, t.offset) for t in tasks),
+            self.hyperperiod_ns,
+            self.coalesce_threshold_ns,
+            self.peephole,
         )
-        coalesced, core_report = coalesce(renamed, self.coalesce_threshold_ns)
-        report.merge(core_report)
-        return coalesced
+
+    def _materialize_pending(self, pending):
+        """Materialize cache-miss cores, in processes when large enough."""
+        if self.parallel and len(pending) >= 2:
+            jobs = sum(
+                self.hyperperiod_ns // task.period
+                for _core, tasks, _key in pending
+                for task in tasks
+            )
+            if jobs >= PARALLEL_MIN_JOBS:
+                results = self._materialize_parallel(pending)
+                if results is not None:
+                    return results
+        return [
+            _materialize_core(
+                core,
+                tasks,
+                self.hyperperiod_ns,
+                self.peephole,
+                self.coalesce_threshold_ns,
+            )
+            for core, tasks, _key in pending
+        ]
+
+    def _materialize_parallel(self, pending):
+        """Fan cache-miss cores out to a process pool (None on failure).
+
+        Workers receive plain task tuples (cheap to pickle, no VCpuSpec
+        payload) and return finished tables; any pool-level failure —
+        unpicklable input, missing multiprocessing support — falls back
+        to the serial path, which computes the identical result.
+        """
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payloads = [
+                (
+                    core,
+                    tuple(
+                        (t.name, t.cost, t.period, t.deadline, t.offset)
+                        for t in tasks
+                    ),
+                    self.hyperperiod_ns,
+                    self.peephole,
+                    self.coalesce_threshold_ns,
+                )
+                for core, tasks, _key in pending
+            ]
+            workers = min(len(pending), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_materialize_core_worker, payloads))
+        except Exception:
+            return None
 
     def _check_guarantees(
         self,
@@ -393,9 +501,14 @@ class Planner:
         allocation boundary, so both checks carry a matching tolerance.
         """
         tolerance = 2 * self.coalesce_threshold_ns
+        # One pass over the table yields every vCPU's timeline; the
+        # previous per-vCPU allocated_ns/max_blackout_ns scans made this
+        # audit quadratic in machine size.
+        timelines = system.service_index()
         for vcpu in vcpus:
             task = tasks[vcpu.name]
-            allocated = system.allocated_ns(vcpu.name)
+            timeline = timelines.get(vcpu.name, [])
+            allocated = sum(end - start for start, end, _cpu in timeline)
             promised = task.cost * (self.hyperperiod_ns // task.period)
             if allocated + tolerance < promised:
                 raise PlanningError(
@@ -404,7 +517,7 @@ class Planner:
                 )
             if vcpu.needs_dedicated_core:
                 continue
-            blackout = system.max_blackout_ns(vcpu.name)
+            blackout = system.max_blackout_ns(vcpu.name, timeline=timeline)
             if blackout > vcpu.latency_ns + tolerance:
                 raise PlanningError(
                     f"{vcpu.name}: worst-case blackout {blackout} ns exceeds "
@@ -417,6 +530,90 @@ def _vcpu_name_of(task_name: Optional[str]) -> Optional[str]:
     if task_name is None:
         return None
     return task_name.split("#")[0]
+
+
+def _rename_and_coalesce(
+    table: CoreTable, threshold_ns: int
+) -> Tuple[CoreTable, CoalesceReport]:
+    """Task-piece names -> vCPU names, then coalesce short allocations."""
+    renamed = CoreTable(
+        cpu=table.cpu,
+        length_ns=table.length_ns,
+        allocations=[
+            Allocation(a.start, a.end, _vcpu_name_of(a.vcpu))
+            for a in table.allocations
+        ],
+    )
+    return coalesce(renamed, threshold_ns)
+
+
+def _materialize_core(
+    core: int,
+    tasks: Sequence[PeriodicTask],
+    horizon: int,
+    peephole: bool,
+    threshold_ns: int,
+) -> Tuple[CoreTable, CoalesceReport, Optional[PeepholeReport]]:
+    """The full per-core pipeline: EDF, validate, peephole, coalesce.
+
+    Module-level (not a method) so the process pool can pickle it by
+    reference; everything it needs travels in the arguments.
+    """
+    table = simulate_edf(tasks, horizon, cpu=core)
+    validate_against_tasks(table, tasks)
+    peephole_report: Optional[PeepholeReport] = None
+    if peephole:
+        table, peephole_report = optimize_core(table, tasks)
+    finished, coalesce_report = _rename_and_coalesce(table, threshold_ns)
+    return finished, coalesce_report, peephole_report
+
+
+def _materialize_core_worker(payload):
+    """Process-pool entry: rebuild tasks from plain tuples and materialize."""
+    core, task_tuples, horizon, peephole, threshold_ns = payload
+    tasks = [
+        PeriodicTask(name=name, cost=cost, period=period, deadline=deadline, offset=offset)
+        for name, cost, period, deadline, offset in task_tuples
+    ]
+    return _materialize_core(core, tasks, horizon, peephole, threshold_ns)
+
+
+def _reissue_table(template: CoreTable, cpu: int) -> CoreTable:
+    """A cached core table re-targeted at ``cpu``.
+
+    Allocation and slice lists are shared with the template — they are
+    never mutated in place (rebuilds always assign fresh lists) — so a
+    cache hit costs one small object, not a table copy.
+    """
+    return CoreTable(
+        cpu=cpu,
+        length_ns=template.length_ns,
+        allocations=template.allocations,
+        slice_len_ns=template.slice_len_ns,
+        slices=template.slices,
+        _starts=template._starts,
+        _bounds=template._bounds,
+    )
+
+
+def _merge_peephole(
+    total: Optional[PeepholeReport], part: Optional[PeepholeReport]
+) -> Optional[PeepholeReport]:
+    if part is None:
+        return total
+    if total is None:
+        return PeepholeReport(
+            swaps_applied=part.swaps_applied,
+            swaps_rejected=part.swaps_rejected,
+            preemptions_before=part.preemptions_before,
+            preemptions_after=part.preemptions_after,
+        )
+    return PeepholeReport(
+        swaps_applied=total.swaps_applied + part.swaps_applied,
+        swaps_rejected=total.swaps_rejected + part.swaps_rejected,
+        preemptions_before=total.preemptions_before + part.preemptions_before,
+        preemptions_after=total.preemptions_after + part.preemptions_after,
+    )
 
 
 def plan_tables(

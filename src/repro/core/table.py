@@ -67,6 +67,17 @@ class CoreTable:
     slice_len_ns: int = 0
     slices: List[Tuple[int, int]] = field(default_factory=list)
     _starts: List[int] = field(default_factory=list, repr=False)
+    #: All allocation boundaries (starts, ends, table length), sorted —
+    #: precomputed by :meth:`build_slices` so ``next_boundary`` is a
+    #: single bisect instead of a lookup plus a scan.
+    _bounds: List[int] = field(default_factory=list, repr=False, compare=False)
+    #: Last lookup memo ``(abs_from, abs_to, allocation)``: within that
+    #: absolute-time window the lookup answer (and next boundary) cannot
+    #: change, so consecutive dispatches in one slot are two integer
+    #: compares instead of a divide + slice probe.
+    _memo: Optional[Tuple[int, int, Optional[Allocation]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def validate_layout(self) -> None:
         """Check ordering, bounds, and non-overlap of the allocations."""
@@ -105,12 +116,14 @@ class CoreTable:
         at-most-two-allocations invariant may no longer hold and lookups
         transparently fall back to binary search for affected slices.
         """
+        self._memo = None
         shortest = self.min_allocation_ns()
         if shortest is None:
             # An always-idle core: one slice covering the whole table.
             self.slice_len_ns = self.length_ns
             self.slices = [(-1, -1)]
             self._starts = []
+            self._bounds = [self.length_ns]
             return
         self.slice_len_ns = max(shortest, min_slice_len_ns)
         slice_count = -(-self.length_ns // self.slice_len_ns)  # ceil div
@@ -136,27 +149,50 @@ class CoreTable:
             slices.append((first, second))
         self.slices = slices
         self._starts = [a.start for a in allocations]
+        bounds = {a.start for a in allocations}
+        bounds.update(a.end for a in allocations)
+        bounds.add(self.length_ns)
+        self._bounds = sorted(bounds)
 
     def lookup(self, now_ns: int) -> Optional[Allocation]:
         """O(1) dispatch lookup: the allocation covering ``now_ns``, if any.
 
         ``now_ns`` may be any absolute time; it is reduced modulo the
-        table length, exactly as the dispatcher does.
+        table length, exactly as the dispatcher does.  The answer for
+        the enclosing slot is memoized, so repeated lookups within one
+        slot (the common case: a core re-picking inside its current
+        allocation) skip the modulo and slice probe entirely.
         """
-        offset = now_ns % self.length_ns
+        memo = self._memo
+        if memo is not None and memo[0] <= now_ns < memo[1]:
+            return memo[2]
         if not self.slices:
             self.build_slices()
-        index = min(offset // self.slice_len_ns, len(self.slices) - 1)
+        offset = now_ns % self.length_ns
+        base = now_ns - offset
+        index = offset // self.slice_len_ns
+        if index >= len(self.slices):
+            index = len(self.slices) - 1
         first, second = self.slices[index]
         if first == -2:
-            return self._lookup_slow(offset)
-        for alloc_index in (first, second):
-            if alloc_index < 0:
-                continue
-            alloc = self.allocations[alloc_index]
-            if alloc.start <= offset < alloc.end:
-                return alloc
-        return None
+            found = self._lookup_slow(offset)
+        else:
+            found = None
+            for alloc_index in (first, second):
+                if alloc_index < 0:
+                    continue
+                alloc = self.allocations[alloc_index]
+                if alloc.start <= offset < alloc.end:
+                    found = alloc
+                    break
+        if found is not None:
+            self._memo = (base + found.start, base + found.end, found)
+        else:
+            # Idle until the next allocation begins (or the table wraps).
+            nxt = bisect_right(self._starts, offset)
+            until = self._starts[nxt] if nxt < len(self._starts) else self.length_ns
+            self._memo = (now_ns, base + until, None)
+        return found
 
     def next_boundary(self, now_ns: int) -> int:
         """Absolute time of the next allocation start/end after ``now_ns``.
@@ -165,15 +201,14 @@ class CoreTable:
         current allocation expires or a new one begins (or the table
         wraps).  Always strictly greater than ``now_ns``.
         """
+        memo = self._memo
+        if memo is not None and memo[0] <= now_ns < memo[1]:
+            return memo[1]
+        if not self.slices:
+            self.build_slices()
         offset = now_ns % self.length_ns
-        base = now_ns - offset
-        current = self.lookup(now_ns)
-        if current is not None:
-            return base + current.end
-        index = bisect_right(self._starts, offset)
-        if index < len(self._starts):
-            return base + self._starts[index]
-        return base + self.length_ns  # wrap to next cycle
+        bounds = self._bounds
+        return now_ns - offset + bounds[bisect_right(bounds, offset)]
 
     def _lookup_slow(self, offset: int) -> Optional[Allocation]:
         index = bisect_right(self._starts, offset) - 1
@@ -206,6 +241,7 @@ class SystemTable:
     cores: Dict[int, CoreTable]
     vcpu_names: List[str] = field(default_factory=list)
     home_cores: Dict[str, List[int]] = field(default_factory=dict)
+    _vcpu_ids: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.vcpu_names or not self.home_cores:
@@ -225,6 +261,7 @@ class SystemTable:
                 if all(c != cpu for _, c in entries):
                     entries.append((alloc.start, cpu))
         self.vcpu_names = names
+        self._vcpu_ids = {name: i for i, name in enumerate(names)}
         self.home_cores = {
             name: [cpu for _, cpu in sorted(entries)]
             for name, entries in homes.items()
@@ -235,7 +272,16 @@ class SystemTable:
         return len(self.cores)
 
     def vcpu_id(self, name: str) -> int:
-        return self.vcpu_names.index(name)
+        ids = self._vcpu_ids
+        if len(ids) != len(self.vcpu_names):
+            # vcpu_names was supplied (or replaced) directly, e.g. by the
+            # deserializer; derive the reverse mapping once.
+            ids = {n: i for i, n in enumerate(self.vcpu_names)}
+            self._vcpu_ids = ids
+        try:
+            return ids[name]
+        except KeyError:
+            raise ValueError(f"{name!r} is not in the table") from None
 
     def core_of(self, vcpu: str) -> int:
         """Primary core of a vCPU (the only core, for partitioned vCPUs)."""
@@ -265,14 +311,38 @@ class SystemTable:
         intervals.sort()
         return intervals
 
-    def max_blackout_ns(self, vcpu: str) -> int:
+    def service_index(self) -> Dict[str, List[Tuple[int, int, int]]]:
+        """Per-vCPU service timelines, built in one pass over the table.
+
+        Equivalent to calling :meth:`service_timeline` for every vCPU,
+        but O(total allocations) instead of O(vCPUs × allocations) —
+        the planner's guarantee audit iterates every vCPU, so the
+        per-query rescan was quadratic in machine size.
+        """
+        index: Dict[str, List[Tuple[int, int, int]]] = {}
+        for cpu, table in self.cores.items():
+            for alloc in table.allocations:
+                if alloc.vcpu is not None:
+                    index.setdefault(alloc.vcpu, []).append(
+                        (alloc.start, alloc.end, cpu)
+                    )
+        for intervals in index.values():
+            intervals.sort()
+        return index
+
+    def max_blackout_ns(
+        self,
+        vcpu: str,
+        timeline: Optional[List[Tuple[int, int, int]]] = None,
+    ) -> int:
         """Longest service gap of a vCPU over the cyclic schedule.
 
         Computed over two consecutive table cycles so the wrap-around gap
         is included; this is the quantity the planner promises to keep
-        below the vCPU's latency goal L.
+        below the vCPU's latency goal L.  Pass ``timeline`` (an entry of
+        :meth:`service_index`) to skip the per-call table scan.
         """
-        intervals = self.service_timeline(vcpu)
+        intervals = timeline if timeline is not None else self.service_timeline(vcpu)
         if not intervals:
             return 2 * self.length_ns
         merged: List[Tuple[int, int]] = []
@@ -310,8 +380,18 @@ class SystemTable:
                     witnesses.append((vcpu, s2, min(e1, e2)))
         return witnesses
 
-    def build_slices(self, min_slice_len_ns: int = 1) -> None:
+    def build_slices(self, min_slice_len_ns: int = 1, only_missing: bool = False) -> None:
+        """Build per-core slice tables.
+
+        With ``only_missing`` cores whose slice table already exists are
+        skipped — the planner uses this so memoized core tables (whose
+        slices were built when first materialized) are not rebuilt on
+        every replan.  Allocation lists are never mutated after slices
+        are built, so an existing slice table is always consistent.
+        """
         for table in self.cores.values():
+            if only_missing and table.slices:
+                continue
             table.build_slices(min_slice_len_ns)
 
     def validate(self) -> None:
@@ -343,19 +423,34 @@ def validate_against_tasks(
     splitting, DP-WRAP), the result must serve each job of task
     ``(C, D, T, offset)`` at least ``C - tolerance`` ns within
     ``[release, release + D)``.
+
+    Jobs are checked with a single pointer sweep over the task's
+    time-ordered intervals: releases are monotonic, so the cursor only
+    advances and the pass is O(jobs + intervals) per task rather than
+    O(jobs × intervals).
     """
     for task in tasks:
         intervals = table.service_intervals(task.name)
+        intervals.sort()  # the sweep requires start order; usually a no-op
         job_count = table.length_ns // task.period
+        count = len(intervals)
+        cursor = 0
         for k in range(job_count):
             release = k * task.period + task.offset
             deadline = release + task.deadline
+            while cursor < count and intervals[cursor][1] <= release:
+                cursor += 1
             served = 0
-            for start, end in intervals:
-                lo = max(start, release)
-                hi = min(end, deadline)
+            index = cursor
+            while index < count:
+                start, end = intervals[index]
+                if start >= deadline:
+                    break
+                lo = release if start < release else start
+                hi = deadline if end > deadline else end
                 if hi > lo:
                     served += hi - lo
+                index += 1
             if served + tolerance_ns < task.cost:
                 raise PlanningError(
                     f"cpu{table.cpu}: job {k} of {task.name} got {served} ns "

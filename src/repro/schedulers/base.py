@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.machine import Machine
 
 
-@dataclass
+@dataclass(slots=True)
 class Decision:
     """Result of one scheduling decision on a core.
 
@@ -42,7 +42,7 @@ class Decision:
     cost_ns: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class WakeAction:
     """Result of processing a vCPU wakeup.
 

@@ -24,13 +24,13 @@ The implementation mirrors the paper's key mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.table import SystemTable
 from repro.errors import ConfigurationError
 from repro.schedulers.base import Decision, Scheduler, WakeAction
 from repro.sim.overheads import IPI_WIRE_NS
-from repro.sim.vm import VCpu
+from repro.sim.vm import VCpu, VCpuState
 
 #: Cost-model constants (ns), calibrated so the 16-core I/O scenario
 #: reproduces the Tableau column of Table 1 (1.43 / 1.06 / 0.43 us).
@@ -107,6 +107,19 @@ class TableauScheduler(Scheduler):
         self._pending_table: Optional[SystemTable] = None
         self._pending_cycle: int = 0
         self.table_switches = 0
+        # Entry-point costs are fixed per machine (socket_factor is a
+        # topology constant); precomputed at attach so the hot path does
+        # not re-derive them on every invocation.
+        self._pick_cost = PICK_LOCAL_NS + PICK_SCALED_NS
+        self._wake_cost = WAKE_LOCAL_NS + WAKE_SCALED_NS
+        self._migrate_cost = MIGRATE_LOCAL_NS + MIGRATE_SCALED_NS
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        factor = machine.costs.socket_factor
+        self._pick_cost = PICK_LOCAL_NS + PICK_SCALED_NS * factor
+        self._wake_cost = WAKE_LOCAL_NS + WAKE_SCALED_NS * factor
+        self._migrate_cost = MIGRATE_LOCAL_NS + MIGRATE_SCALED_NS * factor
 
     # ------------------------------------------------------------------
     # Assembly and table management
@@ -149,44 +162,69 @@ class TableauScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def pick_next(self, cpu: int, now: int) -> Decision:
-        self._maybe_switch(now)
-        self._settle_l2(cpu, now)
-        cost = PICK_LOCAL_NS + PICK_SCALED_NS * self.machine.costs.socket_factor
+        if self._pending_table is not None:
+            self._maybe_switch(now)
+        state = self._l2.get(cpu)
 
+        # Settle the previous pick's second-level budget (inlined
+        # _settle_l2: this runs on every decision, so the common
+        # level-1/idle case must exit in a couple of compares).
+        last = self._last_pick.get(cpu)
+        if last is not None and last[2] == 2:
+            prev_vcpu, runtime_seen, _level = last
+            if state is None:
+                state = self._l2[cpu] = _L2State()
+            consumed = prev_vcpu.runtime_ns - runtime_seen
+            if consumed > 0:
+                remaining = state.budgets.get(prev_vcpu.name, 0) - consumed
+                state.budgets[prev_vcpu.name] = remaining if remaining > 0 else 0
+
+        cost = self._pick_cost
         core_table = self.table.cores.get(cpu)
         if core_table is None:
             return Decision(None, quantum_end=None, cost_ns=cost)
-        alloc = core_table.lookup(now)
-        cycle_base = now - (now % core_table.length_ns)
-        boundary = core_table.next_boundary(now)
+        # The lookup memo covers the slot enclosing ``now`` (lookup()
+        # installs it on miss), so one tuple yields the allocation, the
+        # level-1 quantum end, and the next timer boundary.
+        memo = core_table._memo
+        if memo is None or not memo[0] <= now < memo[1]:
+            core_table.lookup(now)
+            memo = core_table._memo
+        alloc = memo[2]
 
         if alloc is not None and alloc.vcpu is not None:
             vcpu = self._vcpus.get(alloc.vcpu)
-            if vcpu is not None and vcpu.runnable:
+            if vcpu is not None and vcpu.state is not VCpuState.BLOCKED:
                 if vcpu.pcpu is not None and vcpu.pcpu != cpu:
                     # Scheduled elsewhere (overlapping split-allocation
                     # race): register for an IPI on deschedule and fall
                     # through to the second level meanwhile.
                     vcpu.sched_data["tableau.waiter"] = cpu
                 else:
-                    end = cycle_base + alloc.end
-                    self._record_pick(cpu, vcpu, now, level=1)
-                    return Decision(vcpu, quantum_end=end, level=1, cost_ns=cost)
+                    self._last_pick[cpu] = (vcpu, vcpu.runtime_ns, 1)
+                    return Decision(vcpu, quantum_end=memo[1], level=1, cost_ns=cost)
+
+        boundary = memo[1]
 
         # Idle slot (or blocked/busy owner): try the second level.
         if self.work_conserving:
-            candidate, budget = self._l2_pick(cpu, now)
+            candidate, budget = self._l2_pick(cpu, now, state)
             if candidate is not None:
-                cost += L2_SCAN_NS * len(self._l2.get(cpu, _L2State()).members)
-                quantum = min(boundary, now + min(budget, self.l2_slice_ns))
-                self._record_pick(cpu, candidate, now, level=2)
+                if self.split_l2_policy != "none":
+                    state = self._l2.get(cpu)
+                cost += L2_SCAN_NS * (len(state.members) if state is not None else 0)
+                slice_ns = budget if budget < self.l2_slice_ns else self.l2_slice_ns
+                quantum = now + slice_ns
+                if boundary < quantum:
+                    quantum = boundary
+                self._last_pick[cpu] = (candidate, candidate.runtime_ns, 2)
                 return Decision(candidate, quantum_end=quantum, level=2, cost_ns=cost)
 
-        self._record_pick(cpu, None, now, level=0)
+        self._last_pick[cpu] = (None, 0, 0)
         return Decision(None, quantum_end=boundary, cost_ns=cost)
 
     def on_wakeup(self, vcpu: VCpu, now: int) -> WakeAction:
-        cost = WAKE_LOCAL_NS + WAKE_SCALED_NS * self.machine.costs.socket_factor
+        cost = self._wake_cost
         processing = vcpu.last_cpu
         # The table tells us where the vCPU currently has an allocation.
         for core in self.table.home_cores.get(vcpu.name, ()):
@@ -216,9 +254,7 @@ class TableauScheduler(Scheduler):
     def post_schedule(
         self, cpu: int, prev: Optional[VCpu], chosen: Optional[VCpu], now: int
     ) -> float:
-        cost = (
-            MIGRATE_LOCAL_NS + MIGRATE_SCALED_NS * self.machine.costs.socket_factor
-        )
+        cost = self._migrate_cost
         if prev is not None and prev is not chosen:
             waiter = prev.sched_data.pop("tableau.waiter", None)
             if waiter is not None:
@@ -266,43 +302,48 @@ class TableauScheduler(Scheduler):
             )
         return members
 
-    def _l2_pick(self, cpu: int, now: int) -> Tuple[Optional[VCpu], int]:
-        state = self._l2.setdefault(cpu, _L2State())
-        candidates = [
-            v
-            for v in self._l2_members(cpu)
-            if v.runnable and (v.pcpu is None or v.pcpu == cpu)
-        ]
+    def _l2_pick(
+        self, cpu: int, now: int, state: Optional[_L2State] = None
+    ) -> Tuple[Optional[VCpu], int]:
+        if self.split_l2_policy == "none":
+            # Fast path: the membership list is fixed after assembly, so
+            # iterate it in place instead of rebuilding a copy per pick
+            # (the caller passes the per-core state it already fetched).
+            if state is None:
+                state = self._l2.get(cpu)
+                if state is None:
+                    return None, 0
+            members: Sequence[VCpu] = state.members
+        else:
+            state = self._l2.setdefault(cpu, _L2State())
+            members = self._l2_members(cpu)
+        budgets = state.budgets
+        candidates: List[VCpu] = []
+        any_replenished = False
+        blocked = VCpuState.BLOCKED
+        for v in members:
+            if v.state is not blocked and (v.pcpu is None or v.pcpu == cpu):
+                candidates.append(v)
+                if budgets.get(v.name, 0) >= L2_MIN_BUDGET_NS:
+                    any_replenished = True
         if not candidates:
             return None, 0
-        if all(
-            state.budgets.get(v.name, 0) < L2_MIN_BUDGET_NS for v in candidates
-        ):
+        if not any_replenished:
             # Replenish: divide the epoch evenly among runnable vCPUs.
             share = self.l2_epoch_ns // len(candidates)
             for v in candidates:
-                state.budgets[v.name] = share
-        best = max(candidates, key=lambda v: (state.budgets.get(v.name, 0), v.name))
-        budget = state.budgets.get(best.name, 0)
-        if budget < L2_MIN_BUDGET_NS:
+                budgets[v.name] = share
+        best: Optional[VCpu] = None
+        best_budget = 0
+        for v in candidates:
+            budget = budgets.get(v.name, 0)
+            if (
+                best is None
+                or budget > best_budget
+                or (budget == best_budget and v.name > best.name)
+            ):
+                best = v
+                best_budget = budget
+        if best_budget < L2_MIN_BUDGET_NS:
             return None, 0
-        return best, budget
-
-    def _record_pick(
-        self, cpu: int, vcpu: Optional[VCpu], now: int, level: int
-    ) -> None:
-        runtime = vcpu.runtime_ns if vcpu is not None else 0
-        self._last_pick[cpu] = (vcpu, runtime, level)
-
-    def _settle_l2(self, cpu: int, now: int) -> None:
-        """Charge the runtime consumed since the previous pick to its budget."""
-        previous = self._last_pick.get(cpu)
-        if previous is None:
-            return
-        vcpu, runtime_seen, level = previous
-        if vcpu is None or level != 2:
-            return
-        state = self._l2.setdefault(cpu, _L2State())
-        consumed = max(0, vcpu.runtime_ns - runtime_seen)
-        current = state.budgets.get(vcpu.name, 0)
-        state.budgets[vcpu.name] = max(0, current - consumed)
+        return best, best_budget

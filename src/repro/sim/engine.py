@@ -1,47 +1,55 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are ``(time, seq, callback)``
+A minimal, deterministic event loop: events are ``(time, seq, event)``
 triples in a binary heap; ``seq`` makes ordering stable for simultaneous
 events, which keeps every simulation bit-reproducible for a given seed.
 Time is integer nanoseconds throughout, matching the planner.
+
+The loop is the simulator's hottest path (every dispatch, wakeup, and
+I/O completion goes through it), so the implementation avoids per-event
+garbage: heap entries are plain tuples ordered by ``(time, seq)``, the
+event *is* its own cancellation handle (one ``__slots__`` object per
+scheduled callback), cancellation is lazy (cancelled entries stay in
+the heap and are skipped on pop), and the pending-event count is an
+O(1) live counter instead of a heap scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
-class _Event:
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A scheduled event and its cancellable reference, in one object.
 
-    __slots__ = ("_event",)
+    ``_dead`` is set either by :meth:`cancel` or when the callback runs,
+    so a cancel arriving after the event fired is a harmless no-op (the
+    live count is only decremented once per event).
+    """
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    __slots__ = ("time", "seq", "callback", "_dead", "_engine")
+
+    def __init__(
+        self, time: int, seq: int, callback: Callable[[], None], engine: "SimEngine"
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._dead = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        self._event.cancelled = True
-
-    @property
-    def time(self) -> int:
-        return self._event.time
+        if not self._dead:
+            self._dead = True
+            self._engine._live -= 1
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled
+        return not self._dead
 
 
 class SimEngine:
@@ -51,13 +59,20 @@ class SimEngine:
         seed: Seed for the engine-owned RNG handed to stochastic
             workloads; two runs with the same seed produce identical
             event sequences.
+
+    Attributes:
+        events_processed: Number of (non-cancelled) callbacks executed
+            so far — the numerator of the dispatch-loop throughput
+            benchmark (``benchmarks/hotpath.py``).
     """
 
     def __init__(self, seed: int = 0) -> None:
         self.now: int = 0
         self.rng = random.Random(seed)
-        self._heap: List[_Event] = []
+        self._heap: List[Tuple[int, int, EventHandle]] = []
         self._seq = 0
+        self._live = 0  # scheduled, not yet executed, not cancelled
+        self.events_processed = 0
         self._running = False
 
     def at(self, time: int, callback: Callable[[], None]) -> EventHandle:
@@ -66,10 +81,12 @@ class SimEngine:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self.now}"
             )
-        event = _Event(time, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = EventHandle(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        return event
 
     def after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` ``delay`` ns from now."""
@@ -86,22 +103,30 @@ class SimEngine:
         if self._running:
             raise SimulationError("run_until is not re-entrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
         try:
-            while self._heap and self._heap[0].time <= end_time:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
+            while heap and heap[0][0] <= end_time:
+                time, _seq, event = pop(heap)
+                if event._dead:
                     continue
-                self.now = event.time
+                event._dead = True
+                self._live -= 1
+                self.now = time
+                executed += 1
                 event.callback()
             self.now = max(self.now, end_time)
         finally:
+            self.events_processed += executed
             self._running = False
 
     def peek_next_time(self) -> Optional[int]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2]._dead:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live

@@ -17,7 +17,8 @@ exactly the throughput-tax mechanism of Sec. 2.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from functools import partial
+from typing import Callable, Dict, List, Optional
 
 from typing import TYPE_CHECKING
 
@@ -49,6 +50,10 @@ class _Cpu:
     resched: Optional[EventHandle] = None
     busy_ns: int = 0
     overhead_ns: float = 0.0
+    # Reusable event callbacks (bound once at machine assembly) so the
+    # dispatch loop never allocates a closure per scheduled event.
+    resched_cb: Optional[Callable[[], None]] = None
+    event_cb: Optional[Callable[[], None]] = None
 
 
 class Machine:
@@ -76,6 +81,9 @@ class Machine:
         self.tracer = tracer if tracer is not None else Tracer()
         self.costs = cost_model if cost_model is not None else make_cost_model(topology)
         self.cpus: List[_Cpu] = [_Cpu(index=i) for i in range(topology.num_cores)]
+        for cpu in self.cpus:
+            cpu.resched_cb = partial(self._do_resched, cpu)
+            cpu.event_cb = partial(self._on_cpu_event, cpu)
         self.vcpus: Dict[str, VCpu] = {}
         self._started = False
         scheduler.attach(self)
@@ -132,7 +140,7 @@ class Machine:
             vcpu.workload.on_wake(now)
             return
         vcpu.workload.on_wake(now)
-        if not vcpu.runnable:
+        if vcpu.state is VCpuState.BLOCKED:
             # The workload chose to ignore the event (no burst queued).
             return
         action = self.scheduler.on_wakeup(vcpu, now)
@@ -156,7 +164,7 @@ class Machine:
             return
         if cpu.resched is not None:
             cpu.resched.cancel()
-        cpu.resched = self.engine.at(when, lambda: self._do_resched(cpu))
+        cpu.resched = self.engine.at(when, cpu.resched_cb)
 
     def _do_resched(self, cpu: _Cpu) -> None:
         now = self.engine.now
@@ -165,20 +173,20 @@ class Machine:
             cpu.resched = None
         self._sync_current(cpu, now)
         prev = cpu.current
+        scheduler = self.scheduler
+        tracer = self.tracer
 
-        decision = self.scheduler.pick_next(cpu.index, now)
-        self.tracer.record_op(OP_SCHEDULE, now, cpu.index, decision.cost_ns)
-        migrate_cost = self.scheduler.post_schedule(
-            cpu.index, prev, decision.vcpu, now
-        )
-        self.tracer.record_op(OP_MIGRATE, now, cpu.index, migrate_cost)
+        decision = scheduler.pick_next(cpu.index, now)
+        chosen = decision.vcpu
+        tracer.record_op(OP_SCHEDULE, now, cpu.index, decision.cost_ns)
+        migrate_cost = scheduler.post_schedule(cpu.index, prev, chosen, now)
+        tracer.record_op(OP_MIGRATE, now, cpu.index, migrate_cost)
         overhead = decision.cost_ns + migrate_cost
         cpu.overhead_ns += overhead
 
-        chosen = decision.vcpu
-        if chosen is not None and not chosen.runnable:
+        if chosen is not None and chosen.state is VCpuState.BLOCKED:
             raise SimulationError(
-                f"{self.scheduler.name} picked blocked vCPU {chosen.name}"
+                f"{scheduler.name} picked blocked vCPU {chosen.name}"
             )
         switching = chosen is not prev
 
@@ -198,14 +206,14 @@ class Machine:
         if switching:
             dispatch_at += CONTEXT_SWITCH_NS
             migrated = chosen.last_cpu != cpu.index
-            self.tracer.record_context_switch(migrated)
+            tracer.record_context_switch(migrated)
             chosen.dispatch_count += 1
         cpu.current = chosen
         chosen.state = VCpuState.RUNNING
         chosen.pcpu = cpu.index
         chosen.last_cpu = cpu.index
         cpu.run_start = dispatch_at
-        self.tracer.record_dispatch(now, cpu.index, chosen.name, decision.level)
+        tracer.record_dispatch(now, cpu.index, chosen.name, decision.level)
         if switching:
             chosen.workload.on_dispatch(dispatch_at)
         self._arm_event(cpu, now)
@@ -215,15 +223,18 @@ class Machine:
         if cpu.event is not None:
             cpu.event.cancel()
             cpu.event = None
-        candidates = []
+        quantum_end = cpu.quantum_end
         if cpu.current is not None:
-            candidates.append(cpu.run_start + cpu.current.remaining_burst)
-        if cpu.quantum_end is not None:
-            candidates.append(max(cpu.quantum_end, now))
-        if not candidates:
+            when = cpu.run_start + cpu.current.remaining_burst
+            if quantum_end is not None:
+                clamped = quantum_end if quantum_end > now else now
+                if clamped < when:
+                    when = clamped
+        elif quantum_end is not None:
+            when = quantum_end if quantum_end > now else now
+        else:
             return
-        when = min(candidates)
-        cpu.event = self.engine.at(when, lambda: self._on_cpu_event(cpu))
+        cpu.event = self.engine.at(when, cpu.event_cb)
 
     def _on_cpu_event(self, cpu: _Cpu) -> None:
         now = self.engine.now
@@ -294,7 +305,7 @@ class Machine:
         cpu.run_start += charge
         if cpu.quantum_end is not None and cpu.event.time == cpu.quantum_end:
             cpu.quantum_end += charge
-        cpu.event = self.engine.at(when, lambda: self._on_cpu_event(cpu))
+        cpu.event = self.engine.at(when, cpu.event_cb)
 
     # ------------------------------------------------------------------
     # Introspection

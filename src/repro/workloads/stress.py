@@ -68,14 +68,19 @@ class IoLoop(Workload):
         self.io_ns = io_ns
         self.jitter = jitter
         self.io_completions = 0
+        self._uniform = None  # bound rng.uniform, cached at start()
 
     def _jittered(self, mean: int) -> int:
         if self.jitter == 0.0:
             return mean
         spread = self.jitter * mean
-        return max(1, int(self.machine.engine.rng.uniform(mean - spread, mean + spread)))
+        draw = self._uniform(mean - spread, mean + spread)
+        return 1 if draw < 1 else int(draw)
 
     def start(self, now: int) -> None:
+        # The engine's RNG is fixed for the machine's lifetime; caching
+        # the bound method keeps the (very hot) jitter draw to one call.
+        self._uniform = self.machine.engine.rng.uniform
         self.vcpu.begin_burst(self._jittered(self.compute_ns))
 
     def on_burst_complete(self, now: int) -> None:

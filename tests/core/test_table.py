@@ -210,3 +210,97 @@ class TestSystemTable:
         system = self._system()
         timeline = system.service_timeline("a")
         assert timeline == [(0, 2_500, 0), (6_000, 7_000, 1)]
+
+
+class TestLookupMemo:
+    """The per-core lookup memo must never change a lookup's answer."""
+
+    def test_memoized_lookups_match_linear_scan(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b"), (3_000, 4_500, "a")])
+        table.build_slices()
+        for t in list(range(0, 30_000, 7)) + list(range(29_999, 0, -13)):
+            expected = next(
+                (a for a in table.allocations if a.start <= t % 10_000 < a.end),
+                None,
+            )
+            assert table.lookup(t) == expected
+
+    def test_memo_valid_across_floored_slow_path(self):
+        # The min-slice floor forces the binary-search fallback; the memo
+        # installed by a fallback lookup must stay correct.
+        table = core_table([(0, 10, "a"), (5_000, 9_000, "b")])
+        table.build_slices(min_slice_len_ns=1_000)
+        assert table.lookup(5).vcpu == "a"
+        assert table.lookup(6).vcpu == "a"  # memo hit inside [0, 10)
+        assert table.lookup(20) is None  # past the memo window
+        assert table.lookup(6_000).vcpu == "b"
+        assert table.lookup(8_999).vcpu == "b"
+        assert table.lookup(9_000) is None
+
+    def test_next_boundary_consistent_with_memo(self):
+        table = core_table([(0, 1_000, "a"), (2_000, 3_000, "b")])
+        table.build_slices()
+        assert table.next_boundary(500) == 1_000
+        table.lookup(2_500)  # install a memo for b's slot
+        assert table.next_boundary(2_500) == 3_000
+        assert table.next_boundary(12_500) == 13_000  # next cycle
+        assert table.next_boundary(3_000) == 10_000  # trailing idle gap
+
+    def test_build_slices_invalidates_memo(self):
+        table = core_table([(0, 1_000, "a")])
+        table.build_slices()
+        assert table.lookup(500).vcpu == "a"
+        table.allocations = [Allocation(0, 1_000, "z")]
+        table.build_slices()
+        assert table.lookup(500).vcpu == "z"
+
+
+class TestVcpuIdIndex:
+    def _system(self):
+        return SystemTable(
+            length_ns=10_000,
+            cores={
+                0: core_table([(0, 2_500, "a"), (2_500, 5_000, "b")]),
+                1: core_table([(6_000, 7_000, "a")], cpu=1),
+            },
+        )
+
+    def test_ids_follow_name_order(self):
+        system = self._system()
+        assert [system.vcpu_id(n) for n in system.vcpu_names] == list(
+            range(len(system.vcpu_names))
+        )
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError):
+            self._system().vcpu_id("ghost")
+
+    def test_index_rebuilt_after_names_replaced(self):
+        # The deserializer assigns vcpu_names directly; the reverse map
+        # must lazily follow.
+        system = self._system()
+        system.vcpu_names = ["x", "y", "z"]
+        system._vcpu_ids = {}
+        assert system.vcpu_id("z") == 2
+
+
+class TestServiceIndex:
+    def test_matches_per_vcpu_timelines(self):
+        system = SystemTable(
+            length_ns=10_000,
+            cores={
+                0: core_table([(0, 2_500, "a"), (2_500, 5_000, "b")]),
+                1: core_table([(6_000, 7_000, "a")], cpu=1),
+            },
+        )
+        index = system.service_index()
+        assert set(index) == {"a", "b"}
+        for name, timeline in index.items():
+            assert timeline == system.service_timeline(name)
+
+    def test_blackout_accepts_prebuilt_timeline(self):
+        system = SystemTable(
+            length_ns=10_000, cores={0: core_table([(4_000, 5_000, "x")])}
+        )
+        timeline = system.service_index()["x"]
+        assert system.max_blackout_ns("x", timeline=timeline) == 9_000

@@ -182,3 +182,55 @@ class TestTableSwitch:
         m.run(400 * MS)
         assert probe.max_gap_ns <= 20 * MS
         assert m.utilization_of("vm0.vcpu0") == pytest.approx(0.25, abs=0.01)
+
+    def test_mid_run_switch_with_io_load_is_lock_free_and_safe(self):
+        """A table installed while I/O-bound vCPUs churn the second level
+        activates at the wrap without a stale-lookup window: level-1
+        dispatches after the switch follow only the new table."""
+        plan = plan_two_vms(capped=False)
+        tracer = Tracer(keep_dispatches=True)
+        m, sched = machine_for(
+            plan,
+            [("vm0.vcpu0", IoLoop()), ("vm1.vcpu0", IoLoop())],
+            capped=False,
+            tracer=tracer,
+        )
+        m.run(30 * MS)
+        new_plan = plan_two_vms(capped=False)
+        cycle = m.engine.now // plan.table.length_ns + 1
+        sched.install_table(new_plan.table, cycle)
+        m.run(300 * MS)
+        assert sched.table is new_plan.table
+        assert sched.table_switches == 1
+        switch_ns = cycle * plan.table.length_ns
+        new_table = new_plan.table.cores[0]
+        for record in tracer.dispatches:
+            if record.level == 1 and record.time >= switch_ns:
+                alloc = new_table.lookup(record.time)
+                assert alloc is not None and alloc.vcpu == record.vcpu
+        # Work conservation survives the switch: both uncapped vCPUs keep
+        # making progress at their I/O duty cycle.
+        for name in ("vm0.vcpu0", "vm1.vcpu0"):
+            assert m.utilization_of(name) > 0.2
+
+    def test_switch_trace_is_deterministic(self):
+        def run_once():
+            plan = plan_two_vms(capped=False)
+            tracer = Tracer(keep_dispatches=True)
+            m, sched = machine_for(
+                plan,
+                [("vm0.vcpu0", IoLoop()), ("vm1.vcpu0", IoLoop())],
+                capped=False,
+                tracer=tracer,
+            )
+            m.run(20 * MS)
+            sched.install_table(
+                plan_two_vms(capped=False).table,
+                m.engine.now // plan.table.length_ns + 1,
+            )
+            m.run(150 * MS)
+            return [
+                (d.time, d.cpu, d.vcpu, d.level) for d in tracer.dispatches
+            ]
+
+        assert run_once() == run_once()

@@ -1,0 +1,50 @@
+"""Same-seed simulations must be bit-identical, trace and all.
+
+The perf harness (``benchmarks/hotpath.py``) relies on this property to
+prove optimizations change no simulated behavior: its before/after
+comparison hashes the full trace.  This test pins the property at the
+machine level — not just final runtimes, but every dispatch record,
+every operation count, and the exact accumulated overheads.
+"""
+
+from repro.core import MS, Planner, make_vm
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, Tracer, VCpu
+from repro.topology import uniform
+from repro.workloads import IoLoop
+
+
+def full_trace(seed):
+    plan = Planner(uniform(2)).plan(
+        [make_vm(f"vm{i}", 0.25, 20 * MS, capped=False) for i in range(4)]
+    )
+    tracer = Tracer(keep_dispatches=True)
+    machine = Machine(
+        uniform(2), TableauScheduler(plan.table), seed=seed, tracer=tracer
+    )
+    for name in plan.vcpus:
+        machine.add_vcpu(VCpu(name, IoLoop(), capped=False))
+    machine.run(200 * MS)
+    return {
+        "dispatches": [
+            (d.time, d.cpu, d.vcpu, d.level) for d in tracer.dispatches
+        ],
+        "ops": {
+            op: (stats.count, stats.total_ns, stats.max_ns)
+            for op, stats in tracer.ops.items()
+        },
+        "context_switches": tracer.context_switches,
+        "migrations": tracer.migrations,
+        "runtimes": {n: v.runtime_ns for n, v in machine.vcpus.items()},
+        "overhead_ns": machine.total_overhead_ns(),
+        "now": machine.engine.now,
+        "pending": machine.engine.pending_events,
+    }
+
+
+class TestFullTraceDeterminism:
+    def test_identical_seeds_produce_identical_traces(self):
+        assert full_trace(7) == full_trace(7)
+
+    def test_different_seeds_diverge(self):
+        assert full_trace(7)["dispatches"] != full_trace(8)["dispatches"]
