@@ -26,21 +26,25 @@ from repro import core, topology
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    InvariantViolation,
     LatencyInfeasibleError,
     PlanningError,
     ReproError,
     SimulationError,
     TableFormatError,
+    TablePushError,
 )
 
 __all__ = [
     "AdmissionError",
     "ConfigurationError",
+    "InvariantViolation",
     "LatencyInfeasibleError",
     "PlanningError",
     "ReproError",
     "SimulationError",
     "TableFormatError",
+    "TablePushError",
     "core",
     "topology",
 ]

@@ -48,5 +48,26 @@ class TableFormatError(ReproError):
     """A serialized scheduling table is malformed or has a bad magic/version."""
 
 
+class TablePushError(ReproError):
+    """The table-push hypercall failed before the table was staged.
+
+    Covers transport-level failures (dom0 <-> hypervisor) and hypervisor-
+    side rejections other than format validation.  A push failure never
+    disturbs the currently installed table: the hypervisor keeps serving
+    the last good table and the daemon may retry (Sec. 6's contract that
+    a rejected census leaves running guests untouched).
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class InvariantViolation(SimulationError):
+    """The runtime invariant auditor found control-plane state divergence.
+
+    Raised (in strict mode) when the installed table, the committed
+    census, and the hypercall's staged/retired accounting disagree —
+    i.e., exactly the inconsistencies a failed lifecycle operation must
+    never leave behind.
+    """

@@ -1,0 +1,35 @@
+"""Fault injection and failure-recovery auditing for the control path.
+
+This package is the crash-safety counterpart of :mod:`repro.xen`: a
+seeded, deterministic :class:`FaultPlan` that the hypercall, planner
+daemon, and toolstack consult at their decision points, plus an
+:class:`InvariantAuditor` that proves no failure mode — injected or
+organic — leaves the registry, the committed plan, and the installed
+table disagreeing.  See EXPERIMENTS.md ("Fault injection") for usage.
+"""
+
+from repro.faults.audit import InvariantAuditor
+from repro.faults.plan import (
+    KNOWN_SITES,
+    SITE_ACTIVATION,
+    SITE_PAYLOAD,
+    SITE_PLAN,
+    SITE_PUSH,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_payload,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InvariantAuditor",
+    "KNOWN_SITES",
+    "SITE_ACTIVATION",
+    "SITE_PAYLOAD",
+    "SITE_PLAN",
+    "SITE_PUSH",
+    "corrupt_payload",
+]

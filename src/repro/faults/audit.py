@@ -1,0 +1,166 @@
+"""Runtime invariant auditor for the planner -> hypervisor pipeline.
+
+The control path maintains three cross-layer invariants that no failure
+mode may break (they are exactly what the transactional-replan and
+rollback logic exists to protect):
+
+1. **Census consistency** — the table the hypervisor is serving (or has
+   staged to serve next) schedules precisely the vCPUs of the last
+   *committed* plan, which in turn covers precisely the domains in the
+   toolstack registry.  A failed create/destroy/reconfigure must leave
+   all three views agreeing on the previous census.
+2. **Staged-table accounting** — every table ever pushed is either the
+   one currently staged, has activated, or was retired (including tables
+   overwritten by a later push before they ever ran).  Nothing is lost.
+3. **No use-after-GC** — no core's current or pending table has been
+   garbage-collected by the hypercall's two-round retirement rule.
+
+The auditor checks these on demand (:meth:`InvariantAuditor.check`) or
+periodically from simulated time (:meth:`InvariantAuditor.attach`, using
+the engine's recurring-event support).  In strict mode a violation
+raises :class:`repro.errors.InvariantViolation`; otherwise violations
+accumulate in :attr:`InvariantAuditor.violations` for post-run asserts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.sim.engine import RecurringHandle
+    from repro.sim.machine import Machine
+    from repro.xen.daemon import PlannerDaemon
+    from repro.xen.domain import DomainRegistry
+    from repro.xen.hypercall import TableHypercall
+
+
+class InvariantAuditor:
+    """Cross-layer consistency checks over hypercall, daemon, registry.
+
+    Args:
+        hypercall: The hypervisor table interface (always required; it
+            owns the staged/retired accounting).
+        daemon: The planner daemon, for census-vs-plan checks (optional).
+        registry: The toolstack's domain registry, for plan-vs-registry
+            checks (optional).
+        strict: Raise :class:`InvariantViolation` on the first violation
+            instead of only recording it.
+    """
+
+    def __init__(
+        self,
+        hypercall: "TableHypercall",
+        daemon: Optional["PlannerDaemon"] = None,
+        registry: Optional["DomainRegistry"] = None,
+        strict: bool = True,
+    ) -> None:
+        self.hypercall = hypercall
+        self.daemon = daemon
+        self.registry = registry
+        self.strict = strict
+        self.audits = 0
+        self.violations: List[str] = []
+        self._handle: Optional["RecurringHandle"] = None
+
+    @classmethod
+    def for_toolstack(
+        cls, toolstack, hypercall: "TableHypercall", strict: bool = True
+    ) -> "InvariantAuditor":
+        """Audit a full control stack (registry + daemon + hypercall)."""
+        return cls(
+            hypercall,
+            daemon=toolstack.daemon,
+            registry=toolstack.registry,
+            strict=strict,
+        )
+
+    # ------------------------------------------------------------------
+    # Periodic auditing from simulated time
+    # ------------------------------------------------------------------
+
+    def attach(self, machine: "Machine", period_ns: int) -> None:
+        """Audit every ``period_ns`` of simulated time on ``machine``."""
+        if self._handle is not None:
+            self._handle.cancel()
+        self._handle = machine.engine.every(period_ns, self.check)
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # The checks
+    # ------------------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """Run all invariant checks once; return this round's violations."""
+        problems: List[str] = []
+        hc = self.hypercall
+        scheduler = hc.scheduler
+        serving = scheduler.table
+        pending = scheduler.pending_table
+
+        # 3. No core runs (or is about to run) a garbage-collected table.
+        if hc.was_garbage_collected(serving):
+            problems.append("serving table has been garbage-collected")
+        if pending is not None and hc.was_garbage_collected(pending):
+            problems.append("pending table has been garbage-collected")
+
+        # 2. Every pushed table is staged, activated, or retired.
+        staged = hc.staged_table
+        accounted = hc.activations + hc.retired_unactivated + (
+            1 if staged is not None else 0
+        )
+        if len(hc.pushes) != accounted:
+            problems.append(
+                f"staged-table accounting leak: {len(hc.pushes)} pushes != "
+                f"{hc.activations} activated + {hc.retired_unactivated} "
+                f"retired-unactivated + {1 if staged is not None else 0} staged"
+            )
+        if staged is not None and pending is not staged and serving is not staged:
+            problems.append(
+                "hypercall's staged table is neither pending nor active in "
+                "the dispatcher"
+            )
+
+        # 1. Installed/staged table matches the committed census.
+        if self.daemon is not None and self.daemon.current_plan is not None:
+            plan_table = self.daemon.current_plan.table
+            target = staged if staged is not None else serving
+            if not self._same_census(target, plan_table):
+                problems.append(
+                    "table being served/staged does not match the committed "
+                    "plan's census"
+                )
+            if self.registry is not None:
+                registry_vcpus = {
+                    vcpu.name
+                    for spec in self.registry.specs
+                    for vcpu in spec.vcpus
+                }
+                if set(plan_table.home_cores) != registry_vcpus:
+                    problems.append(
+                        "committed plan census does not match the domain "
+                        "registry"
+                    )
+
+        self.audits += 1
+        if problems:
+            self.violations.extend(problems)
+            if self.strict:
+                raise InvariantViolation("; ".join(problems))
+        return problems
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    @staticmethod
+    def _same_census(a, b) -> bool:
+        """Structural census equality (push round-trips copy the table)."""
+        return a.length_ns == b.length_ns and set(a.home_cores) == set(
+            b.home_cores
+        )

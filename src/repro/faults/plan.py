@@ -1,0 +1,238 @@
+"""Deterministic fault plans for the planner -> hypervisor control path.
+
+The paper's central control-plane guarantee is that a failed operation
+never degrades running guests (Sec. 6: a rejected census leaves the
+installed table untouched).  This module provides the adversary that
+keeps that guarantee honest: a seeded, reproducible :class:`FaultPlan`
+describing *where* and *when* the pipeline misbehaves.  Components
+consult the plan at their decision points:
+
+* ``hypercall.push`` -- the table-push hypercall fails outright
+  (:class:`repro.errors.TablePushError`) before anything is staged;
+* ``hypercall.payload`` -- the serialized table is corrupted in flight,
+  so hypervisor-side validation rejects it
+  (:class:`repro.errors.TableFormatError`);
+* ``hypercall.activation`` -- the push succeeds but activation is
+  delayed by extra table cycles (a slow staging path);
+* ``planner.plan`` -- the planner daemon itself dies mid-generation
+  (:class:`repro.errors.PlanningError`).
+
+Determinism contract: a :class:`FaultPlan` is a pure function of its
+specs, its seed, and the sequence of ``fires()`` calls it has answered.
+Two runs that consult it identically observe identical faults, so every
+chaos test is bit-reproducible.  With no plan installed (the default
+everywhere) the control path takes zero extra branches that affect
+behaviour — the fault-free fingerprints are unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Fault sites consulted by the control path.  Site names are plain
+#: strings so experiment code can define additional private sites
+#: without touching this module.
+SITE_PUSH = "hypercall.push"
+SITE_PAYLOAD = "hypercall.payload"
+SITE_ACTIVATION = "hypercall.activation"
+SITE_PLAN = "planner.plan"
+
+KNOWN_SITES = (SITE_PUSH, SITE_PAYLOAD, SITE_ACTIVATION, SITE_PLAN)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One rule describing when a site misbehaves.
+
+    Attributes:
+        site: Which decision point this rule applies to.
+        calls: 1-based invocation indices of the site at which the fault
+            fires (transient faults: fire, then recover).
+        persistent_from: When set, the fault fires at every invocation
+            with index >= this value (persistent faults never recover).
+        probability: Seeded per-invocation firing probability, for
+            stochastic chaos runs; evaluated only if neither ``calls``
+            nor ``persistent_from`` matched.
+        delay_cycles: For ``hypercall.activation`` faults, how many
+            extra table cycles the activation slips.
+        note: Free-form label echoed into the injection log.
+    """
+
+    site: str
+    calls: Tuple[int, ...] = ()
+    persistent_from: Optional[int] = None
+    probability: float = 0.0
+    delay_cycles: int = 1
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.persistent_from is not None and self.persistent_from < 1:
+            raise ConfigurationError("persistent_from is a 1-based call index")
+        if any(c < 1 for c in self.calls):
+            raise ConfigurationError("fault call indices are 1-based")
+        if self.delay_cycles < 0:
+            raise ConfigurationError("delay_cycles must be non-negative")
+
+    def matches(self, call_index: int) -> bool:
+        """Deterministic (non-stochastic) match for ``call_index``."""
+        if call_index in self.calls:
+            return True
+        return (
+            self.persistent_from is not None
+            and call_index >= self.persistent_from
+        )
+
+
+@dataclass
+class InjectedFault:
+    """Audit record of one fault the plan actually fired."""
+
+    site: str
+    call_index: int
+    spec: FaultSpec
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of control-path faults.
+
+    Args:
+        specs: The fault rules; multiple rules per site are allowed and
+            evaluated in order (first match fires).
+        seed: Seed for the plan-owned RNG driving probabilistic rules.
+
+    Attributes:
+        injected: Every fault fired so far, in firing order — the chaos
+            suite asserts against this log.
+    """
+
+    specs: Sequence[FaultSpec] = ()
+    seed: int = 0
+    injected: List[InjectedFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_site: Dict[str, List[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+        self._rng = random.Random(self.seed)
+        self._calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # The consultation protocol
+    # ------------------------------------------------------------------
+
+    def fires(self, site: str) -> Optional[FaultSpec]:
+        """Consult the plan at a decision point.
+
+        Every call increments the site's invocation counter (so call
+        indices in specs line up with the component's own operation
+        count).  Returns the matching spec when a fault fires, else
+        ``None``.
+        """
+        index = self._calls.get(site, 0) + 1
+        self._calls[site] = index
+        for spec in self._by_site.get(site, ()):
+            hit = spec.matches(index)
+            if not hit and spec.probability > 0.0:
+                hit = self._rng.random() < spec.probability
+            if hit:
+                self.injected.append(InjectedFault(site, index, spec))
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def calls_seen(self, site: str) -> int:
+        """How many times ``site`` consulted the plan."""
+        return self._calls.get(site, 0)
+
+    def injected_at(self, site: str) -> List[InjectedFault]:
+        return [f for f in self.injected if f.site == site]
+
+    @property
+    def total_injected(self) -> int:
+        return len(self.injected)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the common chaos shapes
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def transient_push_failure(
+        cls, calls: Sequence[int] = (1,), seed: int = 0
+    ) -> "FaultPlan":
+        """Push fails at the given attempt indices, then recovers."""
+        return cls(
+            specs=[FaultSpec(SITE_PUSH, calls=tuple(calls), note="transient push")],
+            seed=seed,
+        )
+
+    @classmethod
+    def persistent_push_failure(cls, start: int = 1, seed: int = 0) -> "FaultPlan":
+        """Every push from attempt ``start`` onwards fails."""
+        return cls(
+            specs=[
+                FaultSpec(SITE_PUSH, persistent_from=start, note="persistent push")
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def corrupted_payload(
+        cls, calls: Sequence[int] = (1,), seed: int = 0
+    ) -> "FaultPlan":
+        """The serialized table is corrupted in flight at those pushes."""
+        return cls(
+            specs=[
+                FaultSpec(SITE_PAYLOAD, calls=tuple(calls), note="corrupt payload")
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def planner_crash(cls, calls: Sequence[int] = (1,), seed: int = 0) -> "FaultPlan":
+        """The planner raises mid-generation at those replans."""
+        return cls(
+            specs=[FaultSpec(SITE_PLAN, calls=tuple(calls), note="planner crash")],
+            seed=seed,
+        )
+
+    @classmethod
+    def delayed_activation(
+        cls, calls: Sequence[int] = (1,), delay_cycles: int = 2, seed: int = 0
+    ) -> "FaultPlan":
+        """Pushes at those indices activate ``delay_cycles`` cycles late."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_ACTIVATION,
+                    calls=tuple(calls),
+                    delay_cycles=delay_cycles,
+                    note="delayed activation",
+                )
+            ],
+            seed=seed,
+        )
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Deterministically damage a serialized table.
+
+    Flips the first byte (part of the format magic), so hypervisor-side
+    validation is guaranteed to reject the payload with
+    :class:`repro.errors.TableFormatError` — the corruption is detected,
+    never silently installed.
+    """
+    if not payload:
+        return payload
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]

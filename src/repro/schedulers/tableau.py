@@ -24,7 +24,7 @@ The implementation mirrors the paper's key mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.table import SystemTable
 from repro.errors import ConfigurationError
@@ -107,6 +107,12 @@ class TableauScheduler(Scheduler):
         self._pending_table: Optional[SystemTable] = None
         self._pending_cycle: int = 0
         self.table_switches = 0
+        # Invoked as (old_table, new_table, now) at the wrap where a
+        # staged table becomes active; the hypercall layer uses it to
+        # retire the outgoing table the moment no core references it.
+        self.on_table_switch: Optional[
+            Callable[[SystemTable, SystemTable, int], None]
+        ] = None
         # Entry-point costs are fixed per machine (socket_factor is a
         # topology constant); precomputed at attach so the hot path does
         # not re-derive them on every invocation.
@@ -153,9 +159,21 @@ class TableauScheduler(Scheduler):
         if self._pending_table is None:
             return
         if now // self.table.length_ns >= self._pending_cycle:
+            old = self.table
             self.table = self._pending_table
             self._pending_table = None
             self.table_switches += 1
+            if self.on_table_switch is not None:
+                self.on_table_switch(old, self.table, now)
+
+    @property
+    def pending_table(self) -> Optional[SystemTable]:
+        """The staged table (if any) awaiting its activation wrap."""
+        return self._pending_table
+
+    @property
+    def pending_cycle(self) -> int:
+        return self._pending_cycle
 
     # ------------------------------------------------------------------
     # Scheduling entry points

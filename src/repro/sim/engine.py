@@ -52,6 +52,42 @@ class EventHandle:
         return not self._dead
 
 
+class RecurringHandle:
+    """A periodic callback and its cancellable reference.
+
+    Created by :meth:`SimEngine.every`.  After each firing the next
+    occurrence is scheduled ``period`` ns later; :meth:`cancel` stops
+    the series (a no-op once already cancelled).  If the callback raises
+    — e.g. a strict invariant auditor — the series stops with it.
+    """
+
+    __slots__ = ("period", "callback", "fires", "_engine", "_event")
+
+    def __init__(
+        self, engine: "SimEngine", period: int, callback: Callable[[], None], start: int
+    ) -> None:
+        self.period = period
+        self.callback = callback
+        self.fires = 0
+        self._engine = engine
+        self._event: Optional[EventHandle] = engine.at(start, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fires += 1
+        self.callback()
+        self._event = self._engine.at(self._engine.now + self.period, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and self._event.active
+
+
 class SimEngine:
     """The event loop: schedule callbacks at absolute simulated times.
 
@@ -93,6 +129,16 @@ class SimEngine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self.now + delay, callback)
+
+    def every(
+        self, period: int, callback: Callable[[], None], start: Optional[int] = None
+    ) -> RecurringHandle:
+        """Schedule ``callback`` every ``period`` ns (first at ``start``,
+        defaulting to one period from now)."""
+        if period <= 0:
+            raise SimulationError(f"recurring period must be positive, got {period}")
+        first = self.now + period if start is None else start
+        return RecurringHandle(self, period, callback, first)
 
     def run_until(self, end_time: int) -> None:
         """Process events in time order until ``end_time`` (inclusive).

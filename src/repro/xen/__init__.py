@@ -5,7 +5,13 @@ in-hypervisor dispatcher through a validated hypercall with
 time-synchronized, lock-free activation.
 """
 
-from repro.xen.daemon import PlannerDaemon, ReplanRecord
+from repro.xen.daemon import (
+    STATUS_COMMITTED,
+    STATUS_PLAN_FAILED,
+    STATUS_PUSH_FAILED,
+    PlannerDaemon,
+    ReplanRecord,
+)
 from repro.xen.domain import Domain, DomainRegistry, DomainState
 from repro.xen.hypercall import PushRecord, TableHypercall
 from repro.xen.toolstack import (
@@ -23,6 +29,9 @@ __all__ = [
     "ProvisioningReport",
     "PushRecord",
     "ReplanRecord",
+    "STATUS_COMMITTED",
+    "STATUS_PLAN_FAILED",
+    "STATUS_PUSH_FAILED",
     "TableHypercall",
     "Toolstack",
     "XEN_CREATE_BASE_NS",

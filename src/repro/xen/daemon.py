@@ -6,22 +6,46 @@ current guest census, replans on any change, and pushes the compiled
 table through the hypercall interface.  Its latency — the table
 generation time of Fig. 3 — is what inflates VM provisioning
 operations, so every replan is timed and recorded.
+
+Replans are **transactional**: a replan either fully commits (plan
+generated, table pushed and staged, ``current_plan`` and ``history``
+updated together) or leaves every observable piece of daemon state as it
+was — the hypervisor keeps serving the last good table, and the failed
+episode is recorded in :class:`ReplanRecord` with a non-``committed``
+status.  Transient push failures are retried with bounded exponential
+backoff before the episode is declared failed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.core import Planner, PlanResult, TableCache
 from repro.core.params import VMSpec, flatten_vcpus
+from repro.errors import PlanningError, ReproError, TableFormatError, TablePushError
+from repro.faults.plan import SITE_PLAN
 from repro.topology import Topology
 from repro.xen.hypercall import PushRecord, TableHypercall
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
+
+#: Replan episode outcomes recorded in :attr:`ReplanRecord.status`.
+STATUS_COMMITTED = "committed"
+STATUS_PLAN_FAILED = "plan-failed"
+STATUS_PUSH_FAILED = "push-failed"
 
 
 @dataclass
 class ReplanRecord:
-    """One planning episode: why, how long, what came out."""
+    """One planning episode: why, how long, what came out.
+
+    ``status`` distinguishes committed episodes from failed ones (which
+    are kept in the history for auditing but never became the current
+    plan); ``push_retries`` counts transient push failures absorbed
+    before the final outcome.
+    """
 
     reason: str
     num_vms: int
@@ -29,6 +53,13 @@ class ReplanRecord:
     method: str
     table_bytes: int
     push: Optional[PushRecord] = None
+    status: str = STATUS_COMMITTED
+    push_retries: int = 0
+    error: str = ""
+
+    @property
+    def committed(self) -> bool:
+        return self.status == STATUS_COMMITTED
 
 
 class PlannerDaemon:
@@ -43,6 +74,14 @@ class PlannerDaemon:
         cache: Reuse tables across same-shape censuses (Sec. 7.1's
             caching optimization) — a tier-based cloud hits this cache
             on almost every create/destroy.
+        faults: Optional fault plan consulted before each planning pass
+            (site ``planner.plan``); push-site faults are consulted by
+            the hypercall itself.
+        push_retries: How many times a failed push is retried before the
+            replan is declared failed (transient faults recover here).
+        push_backoff_ns: Base backoff charged between push attempts;
+            doubles per retry.  Recorded in :attr:`push_backoffs_ns` so
+            callers can charge it to provisioning time.
         planner_kwargs: Forwarded to :class:`repro.core.Planner`.
     """
 
@@ -51,28 +90,68 @@ class PlannerDaemon:
         topology: Topology,
         hypercall: Optional[TableHypercall] = None,
         cache: bool = False,
+        faults: Optional["FaultPlan"] = None,
+        push_retries: int = 3,
+        push_backoff_ns: int = 1_000_000,
         **planner_kwargs,
     ) -> None:
         self.planner = Planner(topology, **planner_kwargs)
         self.hypercall = hypercall
         self.cache = TableCache(self.planner) if cache else None
+        self.faults = faults
+        self.push_retries = push_retries
+        self.push_backoff_ns = push_backoff_ns
+        self.push_backoffs_ns: List[int] = []
         self.history: List[ReplanRecord] = []
         self.current_plan: Optional[PlanResult] = None
 
     def replan(self, specs: List[VMSpec], reason: str) -> PlanResult:
         """Plan for ``specs``; push to the hypervisor when attached.
 
-        Raises :class:`repro.errors.AdmissionError` for infeasible
-        censuses *without* touching the currently installed table — a
-        failed VM creation must not degrade running guests.
+        Raises :class:`repro.errors.AdmissionError` (and every other
+        planning- or push-phase error) *without* touching the currently
+        installed table or ``current_plan`` — a failed VM creation must
+        not degrade running guests.  The failed episode is appended to
+        :attr:`history` with a descriptive status before the error
+        propagates, so the control plane's audit log is complete even
+        across crashes.
         """
-        if self.cache is not None:
-            result = self.cache.plan(flatten_vcpus(specs))
-        else:
-            result = self.planner.plan(specs)
+        if self.faults is not None and self.faults.fires(SITE_PLAN) is not None:
+            error = PlanningError("injected planner fault")
+            self._record_failure(reason, specs, STATUS_PLAN_FAILED, error)
+            raise error
+        try:
+            if self.cache is not None:
+                result = self.cache.plan(flatten_vcpus(specs))
+            else:
+                result = self.planner.plan(specs)
+        except ReproError as error:
+            self._record_failure(reason, specs, STATUS_PLAN_FAILED, error)
+            raise
         push = None
+        retries = 0
         if self.hypercall is not None:
-            push = self.hypercall.push_system_table(result.table)
+            while True:
+                try:
+                    push = self.hypercall.push_system_table(result.table)
+                    break
+                except (TablePushError, TableFormatError) as error:
+                    if retries >= self.push_retries:
+                        self._record_failure(
+                            reason,
+                            specs,
+                            STATUS_PUSH_FAILED,
+                            error,
+                            result=result,
+                            push_retries=retries,
+                        )
+                        raise
+                    # Bounded exponential backoff; the simulated control
+                    # plane records rather than sleeps the delay.
+                    self.push_backoffs_ns.append(self.push_backoff_ns << retries)
+                    retries += 1
+        # Commit point: all observable state flips together, only after
+        # the new table is safely staged in the hypervisor.
         self.current_plan = result
         self.history.append(
             ReplanRecord(
@@ -82,9 +161,36 @@ class PlannerDaemon:
                 method=result.stats.method,
                 table_bytes=result.stats.table_bytes,
                 push=push,
+                status=STATUS_COMMITTED,
+                push_retries=retries,
             )
         )
         return result
+
+    def _record_failure(
+        self,
+        reason: str,
+        specs: List[VMSpec],
+        status: str,
+        error: Exception,
+        result: Optional[PlanResult] = None,
+        push_retries: int = 0,
+    ) -> None:
+        self.history.append(
+            ReplanRecord(
+                reason=reason,
+                num_vms=len(specs),
+                generation_seconds=(
+                    result.stats.generation_seconds if result is not None else 0.0
+                ),
+                method=result.stats.method if result is not None else "none",
+                table_bytes=result.stats.table_bytes if result is not None else 0,
+                push=None,
+                status=status,
+                push_retries=push_retries,
+                error=f"{type(error).__name__}: {error}",
+            )
+        )
 
     @property
     def last_generation_seconds(self) -> float:
@@ -94,13 +200,27 @@ class PlannerDaemon:
     def total_replans(self) -> int:
         return len(self.history)
 
+    @property
+    def committed_replans(self) -> int:
+        return sum(1 for r in self.history if r.committed)
+
+    @property
+    def failed_replans(self) -> int:
+        return sum(1 for r in self.history if not r.committed)
+
     def rotate_table(self, specs: List[VMSpec]) -> PlanResult:
         """Periodic regeneration rotating the split victim (Sec. 7.5).
 
         For censuses requiring semi-partitioning, bumping the planner's
         rotation changes which equal-utilization vCPU pays the
         migration penalty, so the cost "evens out over time" as with
-        the dynamic schedulers.
+        the dynamic schedulers.  The bump only commits when the replan
+        does: a failed rotation must not silently change which vCPU
+        pays the penalty on the *next* successful replan.
         """
         self.planner.rotation += 1
-        return self.replan(specs, reason="rotate split victim")
+        try:
+            return self.replan(specs, reason="rotate split victim")
+        except ReproError:
+            self.planner.rotation -= 1
+            raise

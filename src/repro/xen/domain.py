@@ -90,6 +90,20 @@ class DomainRegistry:
         domain.state = DomainState.SHUTDOWN
         return domain
 
+    def snapshot(self) -> Dict[str, Domain]:
+        """A shallow copy of the registry for transactional rollback.
+
+        Captures membership and iteration order (which feeds the
+        planner's census order); the :class:`Domain` objects themselves
+        are shared, so callers that mutate domain state must restore it
+        separately.
+        """
+        return dict(self._domains)
+
+    def restore(self, snapshot: Dict[str, Domain]) -> None:
+        """Roll the registry back to a previously taken snapshot."""
+        self._domains = dict(snapshot)
+
     def replace(self, domain: Domain) -> None:
         if domain.name not in self._domains:
             raise ConfigurationError(f"no such domain {domain.name!r}")

@@ -8,19 +8,35 @@ of locks, activation is *time-synchronized*: the staging always happens
 core can race a table wrap while the pointer changes, and every core
 flips at the same wrap (Sec. 6, "Lock-free table switches").
 
-Two rounds after the switch the old table is garbage-collected; this
-module tracks that bookkeeping so tests can assert on it.
+Table lifecycle bookkeeping is explicit so failure paths stay auditable:
+a pushed table is **staged** until its activation wrap; the outgoing
+table is retired only when the staged table actually activates (the
+dispatcher reports the switch through ``on_table_switch``); a staged
+table overwritten by a later push before it ever ran is retired as
+*unactivated* and counted separately.  Two rounds after a switch the old
+table is garbage-collected; collected tables are marked so the invariant
+auditor can prove no core still references one.
+
+A :class:`repro.faults.FaultPlan` may be installed to inject push
+failures, in-flight payload corruption, and delayed activations at this
+boundary — all failures fire *before* anything is staged, so a failed
+push never disturbs the serving table.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional, TYPE_CHECKING
+
 from dataclasses import dataclass
-from typing import List
 
 from repro.core.serialize import deserialize, serialize
 from repro.core.table import SystemTable
-from repro.errors import TableFormatError
+from repro.errors import TableFormatError, TablePushError
+from repro.faults.plan import SITE_ACTIVATION, SITE_PAYLOAD, SITE_PUSH, corrupt_payload
 from repro.schedulers.tableau import TableauScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -30,25 +46,73 @@ class PushRecord:
     pushed_at_ns: int
     activation_cycle: int
     table_bytes: int
+    delayed_cycles: int = 0  # extra cycles added by an activation fault
 
 
 class TableHypercall:
     """The hypervisor end of the table-push hypercall.
 
     Args:
-        scheduler: The in-hypervisor Tableau dispatcher.
-        clock: Callable returning current time (defaults to the
-            scheduler's machine clock once attached).
+        scheduler: The in-hypervisor Tableau dispatcher.  The hypercall
+            registers itself as the dispatcher's table-switch observer;
+            a scheduler has at most one hypercall front end.
+        faults: Optional fault plan consulted on every push.
     """
 
-    def __init__(self, scheduler: TableauScheduler) -> None:
+    def __init__(
+        self, scheduler: TableauScheduler, faults: Optional["FaultPlan"] = None
+    ) -> None:
         self.scheduler = scheduler
+        self.faults = faults
         self.pushes: List[PushRecord] = []
         self._retired_tables: List[SystemTable] = []
+        self._staged: Optional[SystemTable] = None
+        self.activations = 0
+        self.retired_unactivated = 0
+        scheduler.on_table_switch = self._on_table_switch
 
     def _now(self) -> int:
         machine = self.scheduler.machine
         return machine.engine.now if machine is not None else 0
+
+    # ------------------------------------------------------------------
+    # Table lifecycle accounting
+    # ------------------------------------------------------------------
+
+    def _on_table_switch(
+        self, old: SystemTable, new: SystemTable, now: int
+    ) -> None:
+        """Dispatcher callback: the staged table just became active."""
+        if new is self._staged:
+            self._staged = None
+            self.activations += 1
+        self._retire(old)
+
+    def _retire(self, table: SystemTable) -> None:
+        self._retired_tables.append(table)
+        # Garbage collection: anything older than two rounds before the
+        # most recent activation can no longer be referenced by any core.
+        if len(self._retired_tables) > 2:
+            for dropped in self._retired_tables[:-2]:
+                dropped._gc_dropped = True
+            self._retired_tables = self._retired_tables[-2:]
+
+    @staticmethod
+    def was_garbage_collected(table: SystemTable) -> bool:
+        return getattr(table, "_gc_dropped", False)
+
+    @property
+    def staged_table(self) -> Optional[SystemTable]:
+        """The pushed table (if any) not yet activated or overwritten."""
+        return self._staged
+
+    @property
+    def retired_table_count(self) -> int:
+        return len(self._retired_tables)
+
+    # ------------------------------------------------------------------
+    # The hypercall itself
+    # ------------------------------------------------------------------
 
     def push_table(self, payload: bytes) -> PushRecord:
         """Validate and stage a serialized table.
@@ -57,11 +121,26 @@ class TableHypercall:
         round: if the push happens in the first half of the current
         cycle, the table activates at the next wrap; pushes in the
         second half (too close to the wrap to be race-free) activate one
-        cycle later.
+        cycle later.  The cycle index and the wrap check both use the
+        *currently serving* table's length, so the math stays consistent
+        even when the staged table's ``length_ns`` differs.
+
+        All failure exits happen before :meth:`TableauScheduler.
+        install_table`: a rejected push leaves the serving table, the
+        staged table, and all accounting untouched.
         """
+        faults = self.faults
+        if faults is not None:
+            if faults.fires(SITE_PUSH) is not None:
+                raise TablePushError("injected table-push failure")
+            if faults.fires(SITE_PAYLOAD) is not None:
+                payload = corrupt_payload(payload)
         table = deserialize(payload)  # raises TableFormatError when bad
         table.validate()
         now = self._now()
+        # The dispatcher checks the activation cycle against the length
+        # of the table serving *at the wrap*; both sides use the current
+        # table's length, never the staged table's.
         length = self.scheduler.table.length_ns
         cycle = now // length
         phase = now % length
@@ -69,25 +148,29 @@ class TableHypercall:
         # *next* round, so the earliest safe activation is the wrap after
         # that write.
         activation_cycle = cycle + (2 if phase > length // 2 else 1)
-        old = self.scheduler.table
+        delayed = 0
+        if faults is not None:
+            spec = faults.fires(SITE_ACTIVATION)
+            if spec is not None:
+                delayed = spec.delay_cycles
+                activation_cycle += delayed
+        if self._staged is not None:
+            # Overwritten before its activation wrap: the staged table
+            # never ran, but it must not vanish from the accounting.
+            self._retire(self._staged)
+            self.retired_unactivated += 1
+            self._staged = None
         self.scheduler.install_table(table, activation_cycle)
+        self._staged = table
         record = PushRecord(
             pushed_at_ns=now,
             activation_cycle=activation_cycle,
             table_bytes=len(payload),
+            delayed_cycles=delayed,
         )
         self.pushes.append(record)
-        self._retired_tables.append(old)
-        # Garbage collection: anything older than two rounds before the
-        # most recent activation can no longer be referenced by any core.
-        if len(self._retired_tables) > 2:
-            self._retired_tables = self._retired_tables[-2:]
         return record
 
     def push_system_table(self, table: SystemTable) -> PushRecord:
         """Serialize-then-push convenience used by the planner daemon."""
         return self.push_table(serialize(table))
-
-    @property
-    def retired_table_count(self) -> int:
-        return len(self._retired_tables)

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.core import PlanResult
 from repro.core.params import make_vm
-from repro.errors import AdmissionError
+from repro.errors import ReproError
 from repro.topology import Topology
 from repro.xen.daemon import PlannerDaemon
 from repro.xen.domain import Domain, DomainRegistry, DomainState
@@ -94,23 +94,42 @@ class Toolstack:
         return domain
 
     def destroy_vm(self, name: str) -> Domain:
-        """``xl destroy``: remove and replan for the survivors."""
+        """``xl destroy``: remove and replan for the survivors.
+
+        If the replan (or the table push) fails, the domain is restored
+        — registry and installed table must never diverge, so a guest
+        whose removal could not be planned keeps running under the last
+        good table.
+        """
+        snapshot = self.registry.snapshot()
+        prior_state = self.registry.get(name).state
         domain = self.registry.remove(name)
-        self.daemon.replan(self.registry.specs, reason=f"destroy {name}")
+        try:
+            self.daemon.replan(self.registry.specs, reason=f"destroy {name}")
+        except ReproError:
+            domain.state = prior_state
+            self.registry.restore(snapshot)
+            raise
         self._report("destroy", name, XEN_DESTROY_BASE_NS)
         return domain
 
     def reconfigure_vm(
         self, name: str, utilization: float, latency_ns: int
     ) -> Domain:
-        """Change a running domain's reservation; replan; roll back on
-        admission failure."""
+        """Change a running domain's reservation; replan; roll back the
+        registry on *any* planning or push failure.
+
+        Admission rejections, infeasible latency goals, planner crashes,
+        and push failures all leave the old reservation committed — only
+        a fully staged table may change what the registry claims is
+        running.
+        """
         old = self.registry.get(name)
         updated = old.reconfigured(utilization, latency_ns)
         self.registry.replace(updated)
         try:
             self.daemon.replan(self.registry.specs, reason=f"reconfigure {name}")
-        except AdmissionError:
+        except ReproError:
             self.registry.replace(old)
             raise
         self._report("reconfigure", name, 0)

@@ -1,0 +1,256 @@
+"""Regression tests for the control-path failure-mode bugfixes.
+
+Each test here fails against the pre-fix code: the toolstack used to
+roll back only on ``AdmissionError``, ``destroy_vm`` never restored the
+registry, ``rotate_table`` leaked its rotation bump on failure, and the
+hypercall lost staged-but-overwritten tables from its accounting.
+"""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.errors import LatencyInfeasibleError, PlanningError, TablePushError
+from repro.faults import FaultPlan, FaultSpec, InvariantAuditor, SITE_PLAN
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog
+from repro.xen import DomainState, TableHypercall, Toolstack
+from repro.xen.daemon import PlannerDaemon
+
+
+def _raise_once(exc):
+    """A planner stand-in that fails on its next invocation only."""
+    state = {"armed": True}
+
+    def plan(specs, **kwargs):
+        if state["armed"]:
+            state["armed"] = False
+            raise exc
+        raise AssertionError("planner called again after the failure")
+
+    return plan
+
+
+class TestReconfigureRollback:
+    def _stack(self):
+        ts = Toolstack(uniform(2))
+        ts.create_vm("a", 0.3, 20 * MS)
+        ts.create_vm("b", 0.3, 20 * MS)
+        return ts
+
+    def test_rolls_back_on_latency_infeasible(self, monkeypatch):
+        ts = self._stack()
+        monkeypatch.setattr(
+            ts.daemon.planner,
+            "plan",
+            _raise_once(LatencyInfeasibleError("goal too tight")),
+        )
+        with pytest.raises(LatencyInfeasibleError):
+            ts.reconfigure_vm("b", 0.3, 1)  # 1 ns goal: infeasible
+        assert ts.registry.get("b").spec.vcpus[0].latency_ns == 20 * MS
+        assert ts.current_plan.vcpus["b.vcpu0"].latency_ns == 20 * MS
+
+    def test_rolls_back_on_planning_error(self, monkeypatch):
+        ts = self._stack()
+        monkeypatch.setattr(
+            ts.daemon.planner, "plan", _raise_once(PlanningError("boom"))
+        )
+        with pytest.raises(PlanningError):
+            ts.reconfigure_vm("b", 0.5, 20 * MS)
+        assert ts.registry.get("b").spec.vcpus[0].utilization == 0.3
+
+    def test_rolls_back_on_injected_planner_crash(self):
+        # Same failure mode through the real fault-injection path: the
+        # third replan (the reconfigure) dies inside the daemon.
+        ts = Toolstack(uniform(2), faults=FaultPlan.planner_crash(calls=(3,)))
+        ts.create_vm("a", 0.3, 20 * MS)
+        ts.create_vm("b", 0.3, 20 * MS)
+        with pytest.raises(PlanningError):
+            ts.reconfigure_vm("b", 0.5, 20 * MS)
+        assert ts.registry.get("b").spec.vcpus[0].utilization == 0.3
+        # The failed episode is on the audit log; the committed plan is not.
+        assert ts.daemon.history[-1].status == "plan-failed"
+        assert ts.current_plan.vcpus["b.vcpu0"].utilization == 0.3
+
+
+class TestDestroyRollback:
+    def test_registry_restored_on_replan_failure(self, monkeypatch):
+        ts = Toolstack(uniform(2))
+        ts.create_vm("a", 0.3, 20 * MS)
+        ts.create_vm("b", 0.3, 20 * MS)
+        monkeypatch.setattr(
+            ts.daemon.planner, "plan", _raise_once(PlanningError("boom"))
+        )
+        with pytest.raises(PlanningError):
+            ts.destroy_vm("b")
+        # Registry and installed plan still agree on both domains.
+        assert ts.domain_count() == 2
+        assert ts.registry.get("b").state is DomainState.RUNNING
+        assert set(ts.current_plan.vcpus) == {"a.vcpu0", "b.vcpu0"}
+
+    def test_registry_order_preserved_across_rollback(self, monkeypatch):
+        ts = Toolstack(uniform(4))
+        for name in ("a", "b", "c"):
+            ts.create_vm(name, 0.2, 20 * MS)
+        monkeypatch.setattr(
+            ts.daemon.planner, "plan", _raise_once(PlanningError("boom"))
+        )
+        with pytest.raises(PlanningError):
+            ts.destroy_vm("b")
+        # Census order feeds the planner; rollback must not reshuffle it.
+        assert [d.name for d in ts.registry.domains] == ["a", "b", "c"]
+
+    def test_destroy_rollback_on_push_failure(self):
+        # Full stack: the destroy replan succeeds but the push dies for
+        # good; the domain must survive in the registry.
+        topo = uniform(2)
+        specs = [make_vm(n, 0.3, 20 * MS) for n in ("a", "b")]
+        plan = Planner(topo).plan(specs)
+        sched = TableauScheduler(plan.table)
+        hypercall = TableHypercall(
+            sched, faults=FaultPlan.persistent_push_failure(start=3)
+        )
+        ts = Toolstack(topo, hypercall)
+        ts.create_vm("a", 0.3, 20 * MS)  # push 1
+        ts.create_vm("b", 0.3, 20 * MS)  # push 2
+        with pytest.raises(TablePushError):
+            ts.destroy_vm("b")
+        assert ts.domain_count() == 2
+        assert set(ts.current_plan.vcpus) == {"a.vcpu0", "b.vcpu0"}
+
+
+class TestRotationRollback:
+    def _split_specs(self):
+        # Three 0.6 VMs on two cores: one must be split.
+        return [make_vm(f"vm{i}", 0.6, 100 * MS) for i in range(3)]
+
+    def test_failed_rotation_leaves_counter_unchanged(self, monkeypatch):
+        daemon = PlannerDaemon(uniform(2))
+        daemon.replan(self._split_specs(), reason="boot")
+        monkeypatch.setattr(
+            daemon.planner, "plan", _raise_once(PlanningError("boom"))
+        )
+        with pytest.raises(PlanningError):
+            daemon.rotate_table(self._split_specs())
+        assert daemon.planner.rotation == 0
+
+    def test_victim_after_failed_rotation_matches_clean_run(self):
+        # A failed rotation must not silently shift which vCPU pays the
+        # migration penalty on the next successful rotation.
+        specs = self._split_specs()
+
+        clean = PlannerDaemon(uniform(2))
+        clean.replan(specs, reason="boot")
+        clean_plan = clean.rotate_table(specs)
+        clean_victim = next(
+            n for n in clean_plan.vcpus if clean_plan.table.is_split(n)
+        )
+
+        faulty = PlannerDaemon(
+            uniform(2), faults=FaultPlan.planner_crash(calls=(2,))
+        )
+        faulty.replan(specs, reason="boot")
+        with pytest.raises(PlanningError):
+            faulty.rotate_table(specs)  # plan call 2: dies
+        assert faulty.planner.rotation == 0
+        plan = faulty.rotate_table(specs)  # recovers
+        victim = next(n for n in plan.vcpus if plan.table.is_split(n))
+        assert victim == clean_victim
+
+
+class TestStagedTableAccounting:
+    def _stack(self, cores=1, vms=2):
+        specs = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(vms)]
+        plan = Planner(uniform(cores)).plan(specs)
+        sched = TableauScheduler(plan.table)
+        machine = Machine(uniform(cores), sched, seed=1)
+        for i in range(vms):
+            machine.add_vcpu(VCpu(f"vm{i}.vcpu0", CpuHog(), capped=True))
+        return plan, sched, machine, specs
+
+    def test_overwritten_staged_table_is_accounted(self):
+        plan, sched, machine, specs = self._stack()
+        hypercall = TableHypercall(sched)
+        planner = Planner(uniform(1))
+        hypercall.push_system_table(planner.plan(specs).table)
+        hypercall.push_system_table(planner.plan(specs).table)
+        # The first staged table never activated; it must be retired as
+        # unactivated, not silently dropped.
+        assert len(hypercall.pushes) == 2
+        assert hypercall.retired_unactivated == 1
+        assert hypercall.activations == 0
+        assert hypercall.staged_table is not None
+        InvariantAuditor(hypercall).check()  # accounting balances
+
+    def test_current_table_retired_only_at_activation(self):
+        plan, sched, machine, specs = self._stack()
+        hypercall = TableHypercall(sched)
+        original = sched.table
+        hypercall.push_system_table(Planner(uniform(1)).plan(specs).table)
+        # Pre-activation: the serving table is still live, not retired.
+        assert hypercall.retired_table_count == 0
+        assert sched.table is original
+        machine.run(3 * plan.table.length_ns)
+        assert sched.table_switches == 1
+        assert hypercall.activations == 1
+        assert hypercall.staged_table is None
+        assert hypercall.retired_table_count == 1
+        InvariantAuditor(hypercall).check()
+
+    def test_double_push_then_activation_serves_second_table(self):
+        plan, sched, machine, specs = self._stack()
+        hypercall = TableHypercall(sched)
+        planner = Planner(uniform(1))
+        hypercall.push_system_table(planner.plan(specs).table)
+        second = hypercall.push_system_table(planner.plan(specs).table)
+        machine.run(4 * plan.table.length_ns)
+        assert sched.table_switches == 1  # only the second push activates
+        assert hypercall.activations == 1
+        assert hypercall.retired_unactivated == 1
+        assert sched.table is not plan.table
+        assert second.activation_cycle >= 1
+        InvariantAuditor(hypercall).check()
+
+    def test_gc_keeps_two_rounds_of_retired_tables(self):
+        plan, sched, machine, specs = self._stack()
+        hypercall = TableHypercall(sched)
+        planner = Planner(uniform(1))
+        for _ in range(5):
+            hypercall.push_system_table(planner.plan(specs).table)
+        assert hypercall.retired_table_count <= 2
+        # The serving and pending tables were never garbage-collected.
+        assert not hypercall.was_garbage_collected(sched.table)
+        assert not hypercall.was_garbage_collected(sched.pending_table)
+
+    def test_activation_cycle_uses_current_table_length(self):
+        # The staged table is twice as long as the serving one; the
+        # activation math must still be expressed in the *serving*
+        # table's cycle units on both the push and the dispatch side.
+        from repro.core.table import Allocation, CoreTable, SystemTable
+
+        length = 10 * MS
+
+        def table_of(cycle_len, vcpu="vm0.vcpu0"):
+            return SystemTable(
+                length_ns=cycle_len,
+                cores={
+                    0: CoreTable(
+                        cpu=0,
+                        length_ns=cycle_len,
+                        allocations=[Allocation(0, cycle_len // 2, vcpu)],
+                    )
+                },
+            )
+
+        sched = TableauScheduler(table_of(length))
+        machine = Machine(uniform(1), sched, seed=1)
+        machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+        hypercall = TableHypercall(sched)
+        machine.run(length // 4)  # early in cycle 0 of the short table
+        record = hypercall.push_system_table(table_of(2 * length))
+        assert record.activation_cycle == 1  # in serving-table cycles
+        machine.run(2 * length)
+        assert sched.table_switches == 1
+        assert sched.table.length_ns == 2 * length
+        InvariantAuditor(hypercall).check()

@@ -1,0 +1,107 @@
+"""Unit tests for the deterministic fault plan (repro.faults.plan)."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm, serialize, deserialize
+from repro.errors import ConfigurationError, TableFormatError
+from repro.faults import (
+    SITE_PLAN,
+    SITE_PUSH,
+    FaultPlan,
+    FaultSpec,
+    corrupt_payload,
+)
+from repro.topology import uniform
+
+
+class TestFaultSpecValidation:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_PUSH, probability=1.5)
+
+    def test_zero_based_call_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_PUSH, calls=(0,))
+
+    def test_persistent_from_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_PUSH, persistent_from=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_PUSH, delay_cycles=-1)
+
+
+class TestTransientFaults:
+    def test_fires_only_at_listed_calls(self):
+        plan = FaultPlan.transient_push_failure(calls=(2,))
+        assert plan.fires(SITE_PUSH) is None
+        assert plan.fires(SITE_PUSH) is not None
+        assert plan.fires(SITE_PUSH) is None
+
+    def test_injection_log_records_site_and_index(self):
+        plan = FaultPlan.transient_push_failure(calls=(1, 3))
+        for _ in range(3):
+            plan.fires(SITE_PUSH)
+        assert [f.call_index for f in plan.injected_at(SITE_PUSH)] == [1, 3]
+        assert plan.total_injected == 2
+
+
+class TestPersistentFaults:
+    def test_fires_forever_from_start_index(self):
+        plan = FaultPlan.persistent_push_failure(start=3)
+        outcomes = [plan.fires(SITE_PUSH) is not None for _ in range(6)]
+        assert outcomes == [False, False, True, True, True, True]
+
+
+class TestSiteIndependence:
+    def test_sites_have_independent_counters(self):
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(SITE_PUSH, calls=(1,)),
+                FaultSpec(SITE_PLAN, calls=(2,)),
+            ]
+        )
+        assert plan.fires(SITE_PLAN) is None  # plan call 1
+        assert plan.fires(SITE_PUSH) is not None  # push call 1
+        assert plan.fires(SITE_PLAN) is not None  # plan call 2
+        assert plan.calls_seen(SITE_PUSH) == 1
+        assert plan.calls_seen(SITE_PLAN) == 2
+
+    def test_unknown_site_never_fires(self):
+        plan = FaultPlan.transient_push_failure()
+        assert plan.fires("some.other.site") is None
+
+
+class TestSeededDeterminism:
+    def _pattern(self, seed):
+        plan = FaultPlan(
+            specs=[FaultSpec(SITE_PUSH, probability=0.5)], seed=seed
+        )
+        return [plan.fires(SITE_PUSH) is not None for _ in range(64)]
+
+    def test_same_seed_same_firing_pattern(self):
+        assert self._pattern(7) == self._pattern(7)
+
+    def test_different_seed_different_pattern(self):
+        assert self._pattern(7) != self._pattern(8)
+
+    def test_stochastic_faults_actually_fire(self):
+        assert any(self._pattern(7))
+
+
+class TestPayloadCorruption:
+    def test_corrupted_payload_fails_validation(self):
+        plan_result = Planner(uniform(1)).plan(
+            [make_vm("vm0", 0.25, 20 * MS, capped=True)]
+        )
+        payload = serialize(plan_result.table)
+        assert deserialize(payload) is not None
+        with pytest.raises(TableFormatError):
+            deserialize(corrupt_payload(payload))
+
+    def test_corruption_is_deterministic(self):
+        assert corrupt_payload(b"abc") == corrupt_payload(b"abc")
+
+    def test_empty_payload_passthrough(self):
+        assert corrupt_payload(b"") == b""

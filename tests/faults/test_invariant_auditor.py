@@ -1,0 +1,129 @@
+"""Tests for the runtime invariant auditor (repro.faults.audit)."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.errors import InvariantViolation, TablePushError
+from repro.faults import FaultPlan, InvariantAuditor
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+from repro.xen import TableHypercall, Toolstack
+
+
+def full_stack(faults=None, cores=2, names=("vm0", "vm1")):
+    """Toolstack + daemon + hypercall + dispatcher + machine, consistent.
+
+    The dispatcher boots from a table covering ``names``; the toolstack
+    then re-creates the same census through the real control path, so
+    registry, committed plan, and (staged) table all agree.
+    """
+    topo = uniform(cores)
+    specs = [make_vm(n, 0.2, 20 * MS) for n in names]
+    boot = Planner(topo).plan(specs)
+    sched = TableauScheduler(boot.table)
+    machine = Machine(topo, sched, seed=5)
+    hypercall = TableHypercall(sched, faults=faults)
+    ts = Toolstack(topo, hypercall)
+    for n in names:
+        ts.create_vm(n, 0.2, 20 * MS)
+    for n in names:
+        machine.add_vcpu(VCpu(f"{n}.vcpu0", IoLoop()))
+    return ts, hypercall, sched, machine
+
+
+class TestHealthyRuns:
+    def test_clean_after_lifecycle_operations(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall)
+        machine.run(100 * MS)
+        assert auditor.check() == []
+        assert auditor.clean
+        assert auditor.audits == 1
+
+    def test_periodic_attach_audits_from_simulated_time(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall)
+        auditor.attach(machine, period_ns=10 * MS)
+        machine.run(100 * MS)
+        assert auditor.audits >= 9
+        assert auditor.clean
+        auditor.detach()
+        audits = auditor.audits
+        machine.run(50 * MS)
+        assert auditor.audits == audits  # detached: no more firings
+
+    def test_hypercall_only_auditing(self):
+        # The auditor degrades gracefully without daemon/registry views.
+        specs = [make_vm("vm0", 0.25, 20 * MS, capped=True)]
+        plan = Planner(uniform(1)).plan(specs)
+        sched = TableauScheduler(plan.table)
+        hypercall = TableHypercall(sched)
+        assert InvariantAuditor(hypercall).check() == []
+
+
+class TestFaultedRuns:
+    def test_clean_under_transient_push_faults(self):
+        ts, hypercall, sched, machine = full_stack(
+            faults=FaultPlan.transient_push_failure(calls=(2,))
+        )
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall)
+        auditor.attach(machine, period_ns=10 * MS)
+        machine.run(200 * MS)
+        assert auditor.clean
+        assert sched.table_switches >= 1
+
+    def test_persistent_failure_serves_last_good_table_and_stays_clean(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall)
+        machine.run(150 * MS)  # past the first wrap: committed table active
+        before = ts.current_plan
+        hypercall.faults = FaultPlan.persistent_push_failure()
+        with pytest.raises(TablePushError):
+            ts.destroy_vm("vm1")
+        machine.run(100 * MS)
+        # Rolled back: both guests still scheduled, all views agree.
+        assert ts.domain_count() == 2
+        assert ts.current_plan is before
+        assert set(sched.table.home_cores) == {"vm0.vcpu0", "vm1.vcpu0"}
+        assert auditor.check() == []
+
+
+class TestViolationDetection:
+    def test_census_divergence_detected(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall, strict=False)
+        # Plant the pre-fix destroy bug: drop the domain from the
+        # registry without replanning.
+        ts.registry.remove("vm1")
+        problems = auditor.check()
+        assert any("registry" in p for p in problems)
+        assert not auditor.clean
+
+    def test_staged_accounting_leak_detected(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor(hypercall, strict=False)
+        hypercall.activations += 1  # plant a lost table
+        assert any("accounting" in p for p in auditor.check())
+
+    def test_use_after_gc_detected(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor(hypercall, strict=False)
+        sched.table._gc_dropped = True  # plant a collected serving table
+        assert any("garbage-collected" in p for p in auditor.check())
+
+    def test_strict_mode_raises(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall, strict=True)
+        ts.registry.remove("vm1")
+        with pytest.raises(InvariantViolation):
+            auditor.check()
+
+    def test_strict_periodic_audit_stops_the_run(self):
+        ts, hypercall, sched, machine = full_stack()
+        auditor = InvariantAuditor.for_toolstack(ts, hypercall, strict=True)
+        auditor.attach(machine, period_ns=10 * MS)
+        ts.registry.remove("vm1")
+        with pytest.raises(InvariantViolation):
+            machine.run(50 * MS)

@@ -1,0 +1,189 @@
+"""Fault-injected daemon runs: transactional replans, retries, degradation."""
+
+import hashlib
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.errors import AdmissionError, PlanningError, TablePushError
+from repro.faults import FaultPlan, FaultSpec, SITE_PAYLOAD, SITE_PUSH
+from repro.schedulers import TableauScheduler
+from repro.topology import uniform
+from repro.xen import (
+    STATUS_COMMITTED,
+    STATUS_PLAN_FAILED,
+    STATUS_PUSH_FAILED,
+    TableHypercall,
+    Toolstack,
+)
+from repro.xen.daemon import PlannerDaemon
+
+
+def plan_digest(result):
+    """Stable digest of a plan's table layout (mirrors the perf harness)."""
+    hasher = hashlib.sha256()
+    for cpu in sorted(result.table.cores):
+        for alloc in result.table.cores[cpu].allocations:
+            hasher.update(f"{cpu}:{alloc.start}:{alloc.end}:{alloc.vcpu};".encode())
+    return hasher.hexdigest()
+
+
+def census(n=4, utilization=0.2):
+    return [make_vm(f"vm{i}", utilization, 20 * MS) for i in range(n)]
+
+
+def stack(faults=None, cores=2, **daemon_kwargs):
+    """A daemon wired to a real dispatcher through a (faulty) hypercall."""
+    boot = Planner(uniform(cores)).plan(census())
+    sched = TableauScheduler(boot.table)
+    hypercall = TableHypercall(sched, faults=faults)
+    daemon = PlannerDaemon(uniform(cores), hypercall, **daemon_kwargs)
+    return daemon, hypercall, sched
+
+
+class TestCommittedPath:
+    def test_no_fault_replan_is_committed_with_zero_retries(self):
+        daemon, _, _ = stack()
+        daemon.replan(census(), reason="boot")
+        record = daemon.history[-1]
+        assert record.status == STATUS_COMMITTED
+        assert record.committed
+        assert record.push_retries == 0
+        assert daemon.committed_replans == 1
+        assert daemon.failed_replans == 0
+
+
+class TestTransientPushFailure:
+    def test_retry_succeeds_and_commits(self):
+        daemon, hypercall, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        result = daemon.replan(census(), reason="create vm3")
+        record = daemon.history[-1]
+        assert record.status == STATUS_COMMITTED
+        assert record.push_retries == 1
+        assert daemon.current_plan is result
+        assert len(hypercall.pushes) == 1  # the failed attempt staged nothing
+        assert daemon.push_backoffs_ns == [daemon.push_backoff_ns]
+
+    def test_same_plan_fingerprint_as_fault_free_run(self):
+        clean, _, _ = stack()
+        clean_result = clean.replan(census(), reason="create vm3")
+
+        faulty, _, _ = stack(faults=FaultPlan.transient_push_failure(calls=(1,)))
+        faulty_result = faulty.replan(census(), reason="create vm3")
+
+        assert plan_digest(faulty_result) == plan_digest(clean_result)
+
+    def test_backoff_doubles_per_retry(self):
+        daemon, _, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1, 2)),
+            push_backoff_ns=1000,
+        )
+        daemon.replan(census(), reason="create")
+        assert daemon.push_backoffs_ns == [1000, 2000]
+        assert daemon.history[-1].push_retries == 2
+
+    def test_corrupted_payload_retried_clean(self):
+        daemon, _, _ = stack(faults=FaultPlan.corrupted_payload(calls=(1,)))
+        daemon.replan(census(), reason="create")
+        record = daemon.history[-1]
+        assert record.status == STATUS_COMMITTED
+        assert record.push_retries == 1
+
+
+class TestPersistentPushFailure:
+    def test_last_good_table_keeps_serving(self):
+        daemon, hypercall, sched = stack()
+        good = daemon.replan(census(), reason="boot")
+        hypercall.faults = FaultPlan.persistent_push_failure()
+        with pytest.raises(TablePushError):
+            daemon.replan(census(6), reason="create vm4+vm5")
+        record = daemon.history[-1]
+        assert record.status == STATUS_PUSH_FAILED
+        assert record.push_retries == daemon.push_retries
+        assert "TablePushError" in record.error
+        # Graceful degradation: the committed plan and the staged table
+        # are still the last good ones.
+        assert daemon.current_plan is good
+        assert hypercall.staged_table is not None
+        assert set(hypercall.staged_table.home_cores) == {
+            f"vm{i}.vcpu0" for i in range(4)
+        }
+
+    def test_retry_budget_is_bounded(self):
+        daemon, _, _ = stack(
+            faults=FaultPlan.persistent_push_failure(), push_retries=2
+        )
+        with pytest.raises(TablePushError):
+            daemon.replan(census(), reason="boot")
+        # 1 initial + 2 retries, then give up.
+        assert daemon.history[-1].push_retries == 2
+        assert len(daemon.push_backoffs_ns) == 2
+
+
+class TestPlanningFailure:
+    def test_injected_planner_crash_recorded_and_state_untouched(self):
+        daemon, hypercall, _ = stack()
+        good = daemon.replan(census(), reason="boot")
+        daemon.faults = FaultPlan.planner_crash(calls=(1,))
+        with pytest.raises(PlanningError):
+            daemon.replan(census(6), reason="create")
+        record = daemon.history[-1]
+        assert record.status == STATUS_PLAN_FAILED
+        assert record.push is None
+        assert daemon.current_plan is good
+        assert len(hypercall.pushes) == 1  # only the boot push
+
+    def test_organic_admission_failure_recorded(self):
+        daemon = PlannerDaemon(uniform(1))
+        daemon.replan([make_vm("a", 0.6, 50 * MS)], reason="boot")
+        with pytest.raises(AdmissionError):
+            daemon.replan(
+                [make_vm("a", 0.6, 50 * MS), make_vm("b", 0.6, 50 * MS)],
+                reason="create b",
+            )
+        record = daemon.history[-1]
+        assert record.status == STATUS_PLAN_FAILED
+        assert "AdmissionError" in record.error
+        assert daemon.failed_replans == 1
+        assert daemon.committed_replans == 1
+
+
+class TestToolstackUnderFaults:
+    def test_failed_create_leaves_no_domain_behind(self):
+        topo = uniform(2)
+        boot = Planner(topo).plan(census())
+        sched = TableauScheduler(boot.table)
+        hypercall = TableHypercall(
+            sched, faults=FaultPlan.persistent_push_failure()
+        )
+        ts = Toolstack(topo, hypercall)
+        with pytest.raises(TablePushError):
+            ts.create_vm("vm0", 0.2, 20 * MS)
+        assert ts.domain_count() == 0
+        assert ts.current_plan is None
+
+    def test_mixed_fault_run_keeps_registry_and_plan_consistent(self):
+        # A chaos schedule with pushes failing transiently and one
+        # planner crash; after the dust settles, registry == plan.
+        faults = FaultPlan(
+            specs=[
+                FaultSpec(SITE_PUSH, calls=(2, 5)),
+                FaultSpec(SITE_PAYLOAD, calls=(7,)),
+            ]
+        )
+        topo = uniform(4)
+        boot = Planner(topo).plan(census(8))
+        sched = TableauScheduler(boot.table)
+        hypercall = TableHypercall(sched, faults=faults)
+        ts = Toolstack(topo, hypercall)
+        for i in range(6):
+            ts.create_vm(f"vm{i}", 0.2, 20 * MS)
+        ts.destroy_vm("vm3")
+        survivors = {f"vm{i}.vcpu0" for i in range(6) if i != 3}
+        assert set(ts.current_plan.vcpus) == survivors
+        assert {
+            v.name for spec in ts.registry.specs for v in spec.vcpus
+        } == survivors
+        assert faults.total_injected == 3
