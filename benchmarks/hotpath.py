@@ -54,12 +54,24 @@ SEED_BASELINE = {
 # ----------------------------------------------------------------------
 
 
-def dispatch_scenario(seed: int = 42):
-    """The benchmark machine: the paper's 16-core, 4-VMs/core I/O matrix."""
+def dispatch_scenario(seed: int = 42, health: bool = False):
+    """The benchmark machine: the paper's 16-core, 4-VMs/core I/O matrix.
+
+    With ``health=True`` the full :mod:`repro.health` supervision layer
+    (per-core watchdogs, guarantee monitor, supervisor sweep) is armed
+    before the run.  On a fault-free machine it is purely observational,
+    so the trace fingerprint must not change.
+    """
     tracer = Tracer(keep_dispatches=True)
-    return build_scenario(
+    scenario = build_scenario(
         "tableau", IoLoop(), capped=False, background="io", seed=seed, tracer=tracer
     )
+    if health:
+        from repro.health import HealthSupervisor
+
+        supervisor = HealthSupervisor(scenario.machine, scenario.machine.scheduler)
+        supervisor.start()
+    return scenario
 
 
 def trace_fingerprint(scenario) -> str:
@@ -88,19 +100,23 @@ def trace_fingerprint(scenario) -> str:
 
 
 def bench_dispatch(
-    sim_seconds: float = 0.5, seed: int = 42, runs: int = 3
+    sim_seconds: float = 0.5, seed: int = 42, runs: int = 3, health: bool = False
 ) -> Dict[str, object]:
     """Run the dispatch-loop benchmark and return throughput + fingerprint.
 
     The wall time is the median over ``runs`` independent simulations
     (container timing is noisy); all runs must produce the same trace
     fingerprint, which doubles as a same-seed determinism check.
+
+    ``health=True`` arms the supervision layer.  Note that the health
+    timers add engine events, so ``events``/``events_per_sec`` are not
+    comparable across the two modes — compare ``wall_s`` instead.
     """
     walls: List[float] = []
     events = 0
     fingerprint = None
     for _ in range(max(1, runs)):
-        scenario = dispatch_scenario(seed=seed)
+        scenario = dispatch_scenario(seed=seed, health=health)
         start = time.perf_counter()
         scenario.run_seconds(sim_seconds)
         walls.append(time.perf_counter() - start)

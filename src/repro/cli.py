@@ -7,7 +7,9 @@ Subcommands map onto the paper's artifacts:
 * ``delay``     — reproduce a Fig. 5/6 cell (intrinsic latency or ping);
 * ``web``       — reproduce a Fig. 7/8 operating point;
 * ``scaling``   — reproduce the Fig. 3/4 planner sweeps;
-* ``report``    — run the full claim checklist (paper vs. measured).
+* ``report``    — run the full claim checklist (paper vs. measured);
+* ``chaos``     — run the stack under runtime fault injection with the
+  health layer (watchdogs, (U, L) monitors, quarantine, recovery).
 """
 
 from __future__ import annotations
@@ -137,6 +139,32 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import runtime_preset
+    from repro.health import run_chaos
+    from repro.metrics import chaos_report_json, format_chaos_report
+
+    faults = (
+        None
+        if args.fault_plan == "none"
+        else runtime_preset(args.fault_plan, seed=args.seed)
+    )
+    result = run_chaos(
+        faults,
+        seconds=args.seconds,
+        seed=args.seed,
+        topology=_topology(args.topology),
+        health=args.health,
+        strict_audit=args.strict_audit,
+    )
+    print(format_chaos_report(result))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(chaos_report_json(result) + "\n")
+        print(f"wrote {args.report}")
+    return 0 if result.audit_clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tableau-repro",
@@ -189,6 +217,41 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seconds", type=float, default=0.5,
                         help="simulated seconds per runtime measurement")
     report.set_defaults(func=cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the stack under runtime fault injection with health "
+        "supervision; exits non-zero if the invariant audit is dirty",
+    )
+    chaos.add_argument(
+        "--fault-plan",
+        default="chaos",
+        help="runtime fault preset: none | lost-ipi | delayed-ipi | "
+        "clock-skew | timer-jitter | stuck-vcpu | table-corrupt | chaos "
+        "(default: chaos)",
+    )
+    chaos.add_argument("--seconds", type=float, default=0.5,
+                       help="simulated seconds (default: 0.5)")
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--topology", default="16core")
+    chaos.add_argument(
+        "--health",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="enable the health layer (watchdogs, monitors, quarantine, "
+        "recovery); --no-health shows unsupervised fault behavior",
+    )
+    chaos.add_argument(
+        "--strict-audit",
+        action="store_true",
+        help="crash on the first invariant violation instead of recording",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        help="also write the JSON report to this path (the CI artifact)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -10,26 +10,46 @@ table disagreeing.  See EXPERIMENTS.md ("Fault injection") for usage.
 
 from repro.faults.audit import InvariantAuditor
 from repro.faults.plan import (
+    CONTROL_SITES,
     KNOWN_SITES,
+    RUNTIME_PRESETS,
+    RUNTIME_SITES,
     SITE_ACTIVATION,
+    SITE_CLOCK_SKEW,
+    SITE_IPI_DELAY,
+    SITE_IPI_LOST,
     SITE_PAYLOAD,
     SITE_PLAN,
     SITE_PUSH,
+    SITE_TABLE_SWITCH,
+    SITE_TIMER_JITTER,
+    SITE_VCPU_STUCK,
     FaultPlan,
     FaultSpec,
     InjectedFault,
     corrupt_payload,
+    runtime_preset,
 )
 
 __all__ = [
+    "CONTROL_SITES",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "InvariantAuditor",
     "KNOWN_SITES",
+    "RUNTIME_PRESETS",
+    "RUNTIME_SITES",
     "SITE_ACTIVATION",
+    "SITE_CLOCK_SKEW",
+    "SITE_IPI_DELAY",
+    "SITE_IPI_LOST",
     "SITE_PAYLOAD",
     "SITE_PLAN",
     "SITE_PUSH",
+    "SITE_TABLE_SWITCH",
+    "SITE_TIMER_JITTER",
+    "SITE_VCPU_STUCK",
     "corrupt_payload",
+    "runtime_preset",
 ]

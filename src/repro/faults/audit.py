@@ -109,16 +109,21 @@ class InvariantAuditor:
         if pending is not None and hc.was_garbage_collected(pending):
             problems.append("pending table has been garbage-collected")
 
-        # 2. Every pushed table is staged, activated, or retired.
+        # 2. Every pushed table is staged, activated, retired, or failed
+        # its activation (runtime switch-fault injection).
         staged = hc.staged_table
-        accounted = hc.activations + hc.retired_unactivated + (
-            1 if staged is not None else 0
+        accounted = (
+            hc.activations
+            + hc.retired_unactivated
+            + hc.failed_activations
+            + (1 if staged is not None else 0)
         )
         if len(hc.pushes) != accounted:
             problems.append(
                 f"staged-table accounting leak: {len(hc.pushes)} pushes != "
                 f"{hc.activations} activated + {hc.retired_unactivated} "
-                f"retired-unactivated + {1 if staged is not None else 0} staged"
+                f"retired-unactivated + {hc.failed_activations} "
+                f"failed-activation + {1 if staged is not None else 0} staged"
             )
         if staged is not None and pending is not staged and serving is not staged:
             problems.append(

@@ -1,11 +1,13 @@
-"""Deterministic fault plans for the planner -> hypervisor control path.
+"""Deterministic fault plans for the control path and the runtime.
 
 The paper's central control-plane guarantee is that a failed operation
 never degrades running guests (Sec. 6: a rejected census leaves the
 installed table untouched).  This module provides the adversary that
 keeps that guarantee honest: a seeded, reproducible :class:`FaultPlan`
 describing *where* and *when* the pipeline misbehaves.  Components
-consult the plan at their decision points:
+consult the plan at their decision points.
+
+Control-path sites (consulted by :mod:`repro.xen`):
 
 * ``hypercall.push`` -- the table-push hypercall fails outright
   (:class:`repro.errors.TablePushError`) before anything is staged;
@@ -17,12 +19,35 @@ consult the plan at their decision points:
 * ``planner.plan`` -- the planner daemon itself dies mid-generation
   (:class:`repro.errors.PlanningError`).
 
+Runtime sites (consulted by :mod:`repro.sim.machine` and
+:class:`repro.schedulers.tableau.TableauScheduler` at the fragile
+machinery the dispatcher depends on — wakeup IPIs, synchronized core
+clocks, per-core timers, guest cooperation, and table switches):
+
+* ``runtime.ipi.lost`` -- a cross-core rescheduling IPI is dropped on
+  the wire (the target core never re-runs its scheduler);
+* ``runtime.ipi.delay`` -- the IPI is delivered ``delay_ns`` late;
+* ``runtime.clock.skew`` -- a core's clock is offset by ``skew_ns``,
+  so its table lookups and timer programming use the wrong instant;
+* ``runtime.timer.jitter`` -- a core's dispatch timer fires
+  ``delay_ns`` late (a missed or coalesced timer interrupt);
+* ``runtime.vcpu.stuck`` -- a vCPU that should block keeps computing
+  for ``extra_burst_ns`` more, overrunning its (U, L) contract;
+* ``runtime.table.switch`` -- a staged table fails to activate at its
+  wrap; with ``corrupt=True`` the affected cores are left with an
+  unusable table and must fall back to degraded dispatch.
+
+Runtime sites are consulted with a *scope key* (``cpu<i>`` or the vCPU
+name): invocation counters are kept per ``(site, key)``, and a spec may
+pin itself to one key (``key="cpu3"``) or apply to all (``key=None``).
+
 Determinism contract: a :class:`FaultPlan` is a pure function of its
 specs, its seed, and the sequence of ``fires()`` calls it has answered.
 Two runs that consult it identically observe identical faults, so every
 chaos test is bit-reproducible.  With no plan installed (the default
-everywhere) the control path takes zero extra branches that affect
-behaviour — the fault-free fingerprints are unchanged.
+everywhere) neither the control path nor the dispatch loop takes any
+extra branch that affects behaviour — the fault-free fingerprints are
+unchanged.
 """
 
 from __future__ import annotations
@@ -41,7 +66,24 @@ SITE_PAYLOAD = "hypercall.payload"
 SITE_ACTIVATION = "hypercall.activation"
 SITE_PLAN = "planner.plan"
 
-KNOWN_SITES = (SITE_PUSH, SITE_PAYLOAD, SITE_ACTIVATION, SITE_PLAN)
+#: Runtime fault sites consulted by the machine and the dispatcher.
+SITE_IPI_LOST = "runtime.ipi.lost"
+SITE_IPI_DELAY = "runtime.ipi.delay"
+SITE_CLOCK_SKEW = "runtime.clock.skew"
+SITE_TIMER_JITTER = "runtime.timer.jitter"
+SITE_VCPU_STUCK = "runtime.vcpu.stuck"
+SITE_TABLE_SWITCH = "runtime.table.switch"
+
+CONTROL_SITES = (SITE_PUSH, SITE_PAYLOAD, SITE_ACTIVATION, SITE_PLAN)
+RUNTIME_SITES = (
+    SITE_IPI_LOST,
+    SITE_IPI_DELAY,
+    SITE_CLOCK_SKEW,
+    SITE_TIMER_JITTER,
+    SITE_VCPU_STUCK,
+    SITE_TABLE_SWITCH,
+)
+KNOWN_SITES = CONTROL_SITES + RUNTIME_SITES
 
 
 @dataclass(frozen=True)
@@ -59,6 +101,22 @@ class FaultSpec:
             nor ``persistent_from`` matched.
         delay_cycles: For ``hypercall.activation`` faults, how many
             extra table cycles the activation slips.
+        key: Scope of the rule for key-consulted runtime sites: a core
+            (``"cpu3"``) or a vCPU name.  ``None`` applies to every key
+            (each key still keeps its own invocation counter).
+        delay_ns: Extra delivery delay for ``runtime.ipi.delay`` and
+            lateness for ``runtime.timer.jitter`` faults.
+        skew_ns: Per-core clock offset for ``runtime.clock.skew``
+            faults (may be negative: a core whose clock runs behind).
+        extra_burst_ns: Overrun length for ``runtime.vcpu.stuck``
+            faults: how much extra compute the stuck vCPU queues each
+            time the fault fires instead of blocking.
+        cpu: For ``runtime.table.switch`` faults, the core whose
+            ``next_table`` pointer is corrupted (``None``: all cores).
+        corrupt: For ``runtime.table.switch`` faults, whether the
+            failed switch leaves the affected cores' table unusable
+            (forcing degraded-mode dispatch) or merely loses the
+            pending table while the old one keeps serving.
         note: Free-form label echoed into the injection log.
     """
 
@@ -67,6 +125,12 @@ class FaultSpec:
     persistent_from: Optional[int] = None
     probability: float = 0.0
     delay_cycles: int = 1
+    key: Optional[str] = None
+    delay_ns: int = 0
+    skew_ns: int = 0
+    extra_burst_ns: int = 0
+    cpu: Optional[int] = None
+    corrupt: bool = False
     note: str = ""
 
     def __post_init__(self) -> None:
@@ -80,6 +144,10 @@ class FaultSpec:
             raise ConfigurationError("fault call indices are 1-based")
         if self.delay_cycles < 0:
             raise ConfigurationError("delay_cycles must be non-negative")
+        if self.delay_ns < 0:
+            raise ConfigurationError("delay_ns must be non-negative")
+        if self.extra_burst_ns < 0:
+            raise ConfigurationError("extra_burst_ns must be non-negative")
 
     def matches(self, call_index: int) -> bool:
         """Deterministic (non-stochastic) match for ``call_index``."""
@@ -98,6 +166,7 @@ class InjectedFault:
     site: str
     call_index: int
     spec: FaultSpec
+    key: Optional[str] = None
 
 
 @dataclass
@@ -123,41 +192,78 @@ class FaultPlan:
         for spec in self.specs:
             self._by_site.setdefault(spec.site, []).append(spec)
         self._rng = random.Random(self.seed)
-        self._calls: Dict[str, int] = {}
+        self._calls: Dict[Tuple[str, Optional[str]], int] = {}
+        self._skew_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # The consultation protocol
     # ------------------------------------------------------------------
 
-    def fires(self, site: str) -> Optional[FaultSpec]:
+    def fires(self, site: str, key: Optional[str] = None) -> Optional[FaultSpec]:
         """Consult the plan at a decision point.
 
-        Every call increments the site's invocation counter (so call
-        indices in specs line up with the component's own operation
-        count).  Returns the matching spec when a fault fires, else
-        ``None``.
+        Every call increments the ``(site, key)`` invocation counter (so
+        call indices in specs line up with the component's own operation
+        count; runtime sites count per core or per vCPU).  Returns the
+        matching spec when a fault fires, else ``None``.  Specs pinned
+        to a ``key`` only match consultations with that key.
         """
-        index = self._calls.get(site, 0) + 1
-        self._calls[site] = index
+        counter = (site, key)
+        index = self._calls.get(counter, 0) + 1
+        self._calls[counter] = index
         for spec in self._by_site.get(site, ()):
+            if spec.key is not None and spec.key != key:
+                continue
             hit = spec.matches(index)
             if not hit and spec.probability > 0.0:
                 hit = self._rng.random() < spec.probability
             if hit:
-                self.injected.append(InjectedFault(site, index, spec))
+                self.injected.append(InjectedFault(site, index, spec, key))
                 return spec
         return None
+
+    def has_site(self, site: str) -> bool:
+        """Whether any rule targets ``site`` (cheap hot-path pre-check)."""
+        return site in self._by_site
+
+    def clock_skew_ns(self, cpu: int) -> int:
+        """Static clock offset of ``cpu`` (sum of matching skew rules).
+
+        Unlike :meth:`fires`, skew is a property of the core, not of an
+        event: it is resolved once (per core) and does not consume call
+        indices or RNG draws.  The first resolution of a non-zero skew
+        is recorded in the injection log.
+        """
+        cached = self._skew_cache.get(cpu)
+        if cached is not None:
+            return cached
+        key = f"cpu{cpu}"
+        skew = 0
+        for spec in self._by_site.get(SITE_CLOCK_SKEW, ()):
+            if spec.key is None or spec.key == key:
+                skew += spec.skew_ns
+                if spec.skew_ns:
+                    self.injected.append(InjectedFault(SITE_CLOCK_SKEW, 0, spec, key))
+        self._skew_cache[cpu] = skew
+        return skew
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
-    def calls_seen(self, site: str) -> int:
-        """How many times ``site`` consulted the plan."""
-        return self._calls.get(site, 0)
+    def calls_seen(self, site: str, key: Optional[str] = None) -> int:
+        """How many times ``site`` consulted the plan (under ``key``)."""
+        return self._calls.get((site, key), 0)
 
     def injected_at(self, site: str) -> List[InjectedFault]:
         return [f for f in self.injected if f.site == site]
+
+    def injected_by_site(self) -> Dict[str, int]:
+        """Injection counts per site (for chaos reports)."""
+        counts: Dict[str, int] = {}
+        for fault in self.injected:
+            counts[fault.site] = counts.get(fault.site, 0) + 1
+        return counts
 
     @property
     def total_injected(self) -> int:
@@ -223,6 +329,223 @@ class FaultPlan:
             ],
             seed=seed,
         )
+
+    # -- runtime fault shapes ------------------------------------------
+
+    @classmethod
+    def lost_ipi(
+        cls,
+        cpu: Optional[int] = None,
+        calls: Sequence[int] = (),
+        persistent_from: Optional[int] = None,
+        probability: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Rescheduling IPIs to ``cpu`` (or any core) are dropped."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_IPI_LOST,
+                    calls=tuple(calls),
+                    persistent_from=persistent_from,
+                    probability=probability,
+                    key=None if cpu is None else f"cpu{cpu}",
+                    note="lost wakeup IPI",
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def delayed_ipi(
+        cls,
+        delay_ns: int,
+        cpu: Optional[int] = None,
+        calls: Sequence[int] = (),
+        persistent_from: Optional[int] = 1,
+        probability: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Rescheduling IPIs to ``cpu`` (or any core) arrive late."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_IPI_DELAY,
+                    calls=tuple(calls),
+                    persistent_from=persistent_from,
+                    probability=probability,
+                    key=None if cpu is None else f"cpu{cpu}",
+                    delay_ns=delay_ns,
+                    note="delayed wakeup IPI",
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def clock_skew(cls, skew_ns: int, cpu: int, seed: int = 0) -> "FaultPlan":
+        """One core's clock runs ``skew_ns`` ahead (negative: behind)."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_CLOCK_SKEW,
+                    key=f"cpu{cpu}",
+                    skew_ns=skew_ns,
+                    note="core clock skew",
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def timer_jitter(
+        cls,
+        delay_ns: int,
+        cpu: Optional[int] = None,
+        probability: float = 1.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Dispatch timers on ``cpu`` (or any core) fire ``delay_ns`` late."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_TIMER_JITTER,
+                    probability=probability,
+                    key=None if cpu is None else f"cpu{cpu}",
+                    delay_ns=delay_ns,
+                    note="timer jitter",
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def stuck_vcpu(
+        cls,
+        vcpu: Optional[str] = None,
+        extra_burst_ns: int = 1_000_000,
+        calls: Sequence[int] = (),
+        persistent_from: Optional[int] = 1,
+        probability: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """``vcpu`` (or any vCPU) keeps computing instead of blocking."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_VCPU_STUCK,
+                    calls=tuple(calls),
+                    persistent_from=persistent_from,
+                    probability=probability,
+                    key=vcpu,
+                    extra_burst_ns=extra_burst_ns,
+                    note="stuck vCPU overrun",
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def table_switch_failure(
+        cls,
+        calls: Sequence[int] = (1,),
+        cpu: Optional[int] = None,
+        corrupt: bool = True,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Table activations at those wraps fail (optionally corrupting)."""
+        return cls(
+            specs=[
+                FaultSpec(
+                    SITE_TABLE_SWITCH,
+                    calls=tuple(calls),
+                    cpu=cpu,
+                    corrupt=corrupt,
+                    note="table-switch failure",
+                )
+            ],
+            seed=seed,
+        )
+
+
+#: CLI preset names accepted by ``tableau-repro chaos --fault-plan``.
+RUNTIME_PRESETS = (
+    "none",
+    "lost-ipi",
+    "delayed-ipi",
+    "clock-skew",
+    "timer-jitter",
+    "stuck-vcpu",
+    "table-corrupt",
+    "chaos",
+)
+
+
+def runtime_preset(name: str, seed: int = 0) -> FaultPlan:
+    """Build one of the named runtime chaos plans used by the CLI and CI.
+
+    ``chaos`` combines every runtime failure mode at low, seeded
+    probabilities plus a one-shot corrupting table-switch failure — the
+    "as many scenarios as you can imagine" mix every experiment should
+    survive.
+
+    Core-targeted presets aim at the canonical 16-core machine
+    (:func:`repro.topology.xeon_16core`), whose first guest cores are
+    4 and 5 — cores 0-3 are reserved for dom0 and host no guest vCPUs,
+    so faults pinned there would never bite.
+    """
+    if name == "none":
+        return FaultPlan(seed=seed)
+    if name == "lost-ipi":
+        return FaultPlan.lost_ipi(cpu=4, persistent_from=1, seed=seed)
+    if name == "delayed-ipi":
+        return FaultPlan.delayed_ipi(delay_ns=2_000_000, seed=seed)
+    if name == "clock-skew":
+        return FaultPlan.clock_skew(skew_ns=500_000, cpu=5, seed=seed)
+    if name == "timer-jitter":
+        return FaultPlan.timer_jitter(delay_ns=200_000, probability=0.05, seed=seed)
+    if name == "stuck-vcpu":
+        return FaultPlan.stuck_vcpu(probability=0.02, seed=seed)
+    if name == "table-corrupt":
+        return FaultPlan.table_switch_failure(calls=(1,), cpu=4, seed=seed)
+    if name == "chaos":
+        return FaultPlan(
+            specs=[
+                FaultSpec(SITE_IPI_LOST, probability=0.02, note="chaos: lost IPI"),
+                FaultSpec(
+                    SITE_IPI_DELAY,
+                    probability=0.05,
+                    delay_ns=1_000_000,
+                    note="chaos: delayed IPI",
+                ),
+                FaultSpec(
+                    SITE_CLOCK_SKEW, key="cpu5", skew_ns=250_000, note="chaos: skew"
+                ),
+                FaultSpec(
+                    SITE_TIMER_JITTER,
+                    probability=0.02,
+                    delay_ns=100_000,
+                    note="chaos: timer jitter",
+                ),
+                FaultSpec(
+                    SITE_VCPU_STUCK,
+                    probability=0.01,
+                    extra_burst_ns=2_000_000,
+                    note="chaos: stuck vCPU",
+                ),
+                FaultSpec(
+                    SITE_TABLE_SWITCH,
+                    calls=(1,),
+                    cpu=4,
+                    corrupt=True,
+                    note="chaos: corrupt switch",
+                ),
+            ],
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown fault plan {name!r} (choose from {', '.join(RUNTIME_PRESETS)})"
+    )
 
 
 def corrupt_payload(payload: bytes) -> bytes:

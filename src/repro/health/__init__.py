@@ -1,0 +1,49 @@
+"""Runtime health supervision for the Tableau stack.
+
+The planner proves (U, L) guarantees at plan time; this package defends
+them at run time.  Per-core watchdogs (:mod:`repro.health.watchdog`)
+catch dispatch stalls with bounded latency, online guarantee monitors
+(:mod:`repro.health.guarantees`) watch delivered service against the
+installed table's contract, and the supervisor
+(:mod:`repro.health.supervisor`) turns observations into actions:
+quarantining misbehaving guests (with toolstack-driven reconfiguration)
+and replanning degraded cores back to table-driven dispatch.  The chaos
+harness (:mod:`repro.health.chaos`) wires the whole stack up under a
+seeded :class:`~repro.faults.FaultPlan` — see EXPERIMENTS.md ("Chaos and
+degraded mode") for recipes.
+"""
+
+from repro.health.chaos import ChaosResult, run_chaos
+from repro.health.guarantees import (
+    DEFAULT_WINDOW_NS,
+    GuaranteeMonitor,
+    GuaranteeViolation,
+)
+from repro.health.supervisor import (
+    DEFAULT_STUCK_THRESHOLD,
+    QUARANTINE_UTILIZATION,
+    HealthSupervisor,
+    QuarantineRecord,
+    RecoveryAttempt,
+)
+from repro.health.watchdog import (
+    DEFAULT_WATCHDOG_PERIOD_NS,
+    CoreIncident,
+    CoreWatchdog,
+)
+
+__all__ = [
+    "ChaosResult",
+    "CoreIncident",
+    "CoreWatchdog",
+    "DEFAULT_STUCK_THRESHOLD",
+    "DEFAULT_WATCHDOG_PERIOD_NS",
+    "DEFAULT_WINDOW_NS",
+    "GuaranteeMonitor",
+    "GuaranteeViolation",
+    "HealthSupervisor",
+    "QUARANTINE_UTILIZATION",
+    "QuarantineRecord",
+    "RecoveryAttempt",
+    "run_chaos",
+]

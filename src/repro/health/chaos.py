@@ -1,0 +1,200 @@
+"""Chaos harness: a full stack under runtime fault injection.
+
+Assembles the complete pipeline — planner daemon, hypercall, Tableau
+dispatcher, machine, health supervisor, invariant auditor — with a
+:class:`~repro.faults.FaultPlan` wired into every layer, runs it for a
+stretch of simulated time, and returns everything observable.  This is
+the engine behind ``python -m repro chaos`` and the acceptance suite in
+``tests/health/``: the bar is that the simulation *completes* (no
+crash), affected cores degrade rather than wedge, quarantines are
+reported with reasons, and the auditor stays clean.
+
+Periodic same-census regenerations (Sec. 7.5's rotation cadence) give
+the run a steady stream of table pushes, so switch-site faults have
+activation wraps to fire on and degraded cores have clean tables to
+recover with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.experiments.scenarios import (
+    VM_LATENCY_NS,
+    VM_UTILIZATION,
+    background_workload,
+)
+from repro.core.params import make_vm
+from repro.faults.audit import InvariantAuditor
+from repro.health.supervisor import HealthSupervisor
+from repro.schedulers.tableau import TableauScheduler
+from repro.sim.machine import Machine
+from repro.sim.tracing import Tracer
+from repro.sim.vm import VCpu
+from repro.topology import xeon_16core
+from repro.workloads import IoLoop
+from repro.xen.daemon import PlannerDaemon
+from repro.xen.hypercall import TableHypercall
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.faults.plan import FaultPlan
+    from repro.topology import Topology
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run produced, for asserts and reporting."""
+
+    seed: int
+    seconds: float
+    health_report: Dict[str, object]
+    audit_violations: List[str]
+    audits: int
+    injected_by_site: Dict[str, int]
+    replans: int = 0
+    committed_replans: int = 0
+    # Live objects for white-box assertions in tests.
+    machine: Optional[Machine] = None
+    scheduler: Optional[TableauScheduler] = None
+    supervisor: Optional[HealthSupervisor] = None
+    daemon: Optional[PlannerDaemon] = None
+    hypercall: Optional[TableHypercall] = None
+    auditor: Optional[InvariantAuditor] = None
+    regen_failures: List[str] = field(default_factory=list)
+
+    @property
+    def audit_clean(self) -> bool:
+        return not self.audit_violations
+
+
+def run_chaos(
+    faults: Optional["FaultPlan"] = None,
+    *,
+    seconds: float = 0.2,
+    seed: int = 42,
+    topology: Optional["Topology"] = None,
+    num_vms: Optional[int] = None,
+    capped: bool = False,
+    health: bool = True,
+    regen_period_ns: Optional[int] = None,
+    audit_period_ns: int = 10_000_000,
+    strict_audit: bool = False,
+    watchdog_period_ns: int = 1_000_000,
+    stuck_threshold: int = 3,
+    recovery_backoff_ns: int = 2_000_000,
+) -> ChaosResult:
+    """Run the full stack under ``faults`` for ``seconds`` of simulated time.
+
+    Args:
+        faults: The fault plan, consulted by every layer (daemon,
+            hypercall, dispatcher, machine).  ``None`` runs a fault-free
+            baseline — useful for differential assertions.
+        seconds: Simulated duration.
+        seed: Simulation seed (bit-identical runs per seed).
+        topology: Defaults to the paper's 16-core machine.
+        num_vms: Defaults to four per guest core (the high-density census).
+        capped: Whether guests are held to their reservations.
+        health: Install the supervisor (watchdogs, monitors, quarantine,
+            recovery).  Off, the run shows what faults do unsupervised.
+        regen_period_ns: Cadence of periodic same-census replans (the
+            stream of pushes switch faults fire on).  Defaults to two
+            table rounds, so every staged table reaches its activation
+            wrap before the next push would overwrite it.
+        audit_period_ns: Invariant audit cadence.
+        strict_audit: Raise on the first invariant violation instead of
+            recording it.
+        watchdog_period_ns: Forwarded to the supervisor.
+        stuck_threshold: Forwarded to the supervisor.
+        recovery_backoff_ns: Forwarded to the supervisor.
+    """
+    topo = topology if topology is not None else xeon_16core()
+    count = num_vms if num_vms is not None else 4 * len(topo.guest_cores)
+    specs = [
+        make_vm(f"vm{i:02d}", VM_UTILIZATION, VM_LATENCY_NS, capped=capped)
+        for i in range(count)
+    ]
+
+    daemon = PlannerDaemon(topo, faults=faults)
+    plan = daemon.replan(specs, reason="initial census")
+    scheduler = TableauScheduler(plan.table, faults=faults)
+    machine = Machine(topo, scheduler, seed=seed, tracer=Tracer(), faults=faults)
+    hypercall = TableHypercall(scheduler, faults=faults)
+    daemon.hypercall = hypercall
+
+    machine.add_vcpu(VCpu("vm00.vcpu0", IoLoop(), capped=capped))
+    for i in range(1, count):
+        machine.add_vcpu(
+            VCpu(
+                f"vm{i:02d}.vcpu0",
+                background_workload("io", i),
+                capped=capped,
+            )
+        )
+
+    supervisor: Optional[HealthSupervisor] = None
+    if health:
+        supervisor = HealthSupervisor(
+            machine,
+            scheduler,
+            daemon=daemon,
+            specs=specs,
+            watchdog_period_ns=watchdog_period_ns,
+            stuck_threshold=stuck_threshold,
+            recovery_backoff_ns=recovery_backoff_ns,
+        )
+        supervisor.start()
+
+    auditor = InvariantAuditor(hypercall, daemon=daemon, strict=strict_audit)
+    auditor.attach(machine, audit_period_ns)
+
+    regen_failures: List[str] = []
+    # Default cadence: a bit over two table rounds.  Two rounds let every
+    # staged table reach its activation wrap before the next push would
+    # overwrite it; the extra fifth-of-a-round de-phases the replan tick
+    # from the wrap itself (a push landing exactly on the wrap overwrites
+    # the staged table at the instant it was due to activate).
+    length = plan.table.length_ns
+    regen_period = (
+        regen_period_ns if regen_period_ns is not None else 2 * length + length // 5
+    )
+
+    def regenerate() -> None:
+        try:
+            daemon.replan(specs, reason="periodic regeneration")
+        except ReproError as error:
+            # A failed regeneration is survivable (the old table keeps
+            # serving); record it and try again next period.
+            regen_failures.append(f"{type(error).__name__}: {error}")
+
+    regen_handle = machine.engine.every(regen_period, regenerate)
+
+    try:
+        machine.run(int(seconds * 1e9))
+    finally:
+        regen_handle.cancel()
+        auditor.detach()
+        if supervisor is not None:
+            supervisor.stop()
+
+    auditor.check()  # one final audit at quiescence
+    return ChaosResult(
+        seed=seed,
+        seconds=seconds,
+        health_report=supervisor.report() if supervisor is not None else {},
+        audit_violations=list(auditor.violations),
+        audits=auditor.audits,
+        injected_by_site=(
+            dict(faults.injected_by_site()) if faults is not None else {}
+        ),
+        replans=daemon.total_replans,
+        committed_replans=daemon.committed_replans,
+        machine=machine,
+        scheduler=scheduler,
+        supervisor=supervisor,
+        daemon=daemon,
+        hypercall=hypercall,
+        auditor=auditor,
+        regen_failures=regen_failures,
+    )

@@ -1,0 +1,214 @@
+"""Online (U, L) guarantee-violation monitors.
+
+Tableau's contract per vCPU is a pair (U, L): a utilization share and a
+maximum service blackout, both readable straight off the installed table
+(:meth:`~repro.core.table.SystemTable.utilization_of` and
+:meth:`~repro.core.table.SystemTable.max_blackout_ns`).  The planner
+proves them at plan time; this module *watches* them at run time, so
+injected faults (lost IPIs, skewed clocks, stuck guests) that silently
+erode guarantees become visible incidents instead of quiet latency.
+
+Two feeds drive the monitor:
+
+* every dispatch record the tracer emits (via
+  ``Tracer.dispatch_listeners``) timestamps the last service of each
+  vCPU — the L side;
+* a periodic sampler (``SimEngine.every``) compares each vCPU's runtime
+  delta over the window against its table share — the U side.
+
+The monitor is purely observational: it never touches the scheduler, so
+running it cannot change a simulation's trace fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.schedulers.tableau import TableauScheduler
+    from repro.sim.engine import RecurringHandle
+    from repro.sim.machine import Machine
+
+#: Default monitoring window: 50 ms.  The utilization check needs the
+#: window to be comfortably larger than a vCPU's blackout bound (the
+#: evaluation's goal is 20 ms) before under-service is provable — see
+#: the blackout-aware threshold in :meth:`GuaranteeMonitor._sample`.
+DEFAULT_WINDOW_NS = 50_000_000
+
+
+@dataclass
+class GuaranteeViolation:
+    """One observed breach of a vCPU's (U, L) contract."""
+
+    kind: str  # "utilization" | "blackout"
+    vcpu: str
+    at_ns: int
+    observed: float  # utilization fraction, or gap length in ns
+    bound: float  # guaranteed utilization, or allowed blackout in ns
+
+
+class GuaranteeMonitor:
+    """Watches every vCPU's delivered service against its table contract.
+
+    Args:
+        machine: Source of runtimes, states, and the tracer feed.
+        scheduler: The Tableau dispatcher whose live table defines the
+            (U, L) bounds (switches are picked up automatically).
+        window_ns: Sampling window for the utilization check.
+        u_tolerance: Fraction of the *provable* minimum service below
+            which a continuously runnable vCPU counts as under-served.
+            The (U, L) contract only guarantees ``U * (window - L)`` of
+            service in an arbitrary window (the window may open right as
+            a maximal blackout starts), so the check compares against
+            ``U * (1 - L/window) * u_tolerance`` and is inert when the
+            window is shorter than the vCPU's blackout bound.  Kept well
+            below 1.0 so boundary-straddling windows never
+            false-positive.
+        l_slack: Multiple of the table's max blackout a service gap must
+            exceed to count as a violation (wakeup costs and IPI wire
+            time make exact bounds unachievable even when healthy).
+        on_violation: Callback invoked per violation (supervisor feed).
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        scheduler: "TableauScheduler",
+        window_ns: int = DEFAULT_WINDOW_NS,
+        u_tolerance: float = 0.5,
+        l_slack: float = 2.0,
+        on_violation: Optional[Callable[[GuaranteeViolation], None]] = None,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.window_ns = window_ns
+        self.u_tolerance = u_tolerance
+        self.l_slack = l_slack
+        self.on_violation = on_violation
+        self.violations: List[GuaranteeViolation] = []
+        self.samples = 0
+        self._handle: Optional["RecurringHandle"] = None
+        self._last_dispatch: Dict[str, int] = {}
+        self._prev_runtime: Dict[str, int] = {}
+        self._prev_runnable: Dict[str, bool] = {}
+        # (U, L) bounds are derived from the table, which only changes
+        # at a switch; cache per table identity.
+        self._bounds_for: Optional[int] = None
+        self._bounds: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+        self.machine.tracer.dispatch_listeners.append(self._on_dispatch)
+        self._handle = self.machine.engine.every(self.window_ns, self._sample)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        listeners = self.machine.tracer.dispatch_listeners
+        if self._on_dispatch in listeners:
+            listeners.remove(self._on_dispatch)
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+
+    def _on_dispatch(
+        self, time: int, cpu: int, vcpu: Optional[str], level: int
+    ) -> None:
+        if vcpu is not None:
+            self._last_dispatch[vcpu] = time
+
+    def _table_bounds(self) -> Dict[str, tuple]:
+        table = self.scheduler.table
+        if self._bounds_for != id(table):
+            index = table.service_index()
+            self._bounds = {
+                name: (
+                    table.utilization_of(name),
+                    table.max_blackout_ns(name, timeline=index.get(name)),
+                )
+                for name in table.home_cores
+            }
+            self._bounds_for = id(table)
+        return self._bounds
+
+    def _sample(self) -> None:
+        self.samples += 1
+        now = self.machine.engine.now
+        window = self.window_ns
+        bounds = self._table_bounds()
+        quarantined = self.scheduler.quarantined
+        for name, vcpu in self.machine.vcpus.items():
+            prev_runtime = self._prev_runtime.get(name)
+            was_runnable = self._prev_runnable.get(name, False)
+            self._prev_runtime[name] = vcpu.runtime_ns
+            self._prev_runnable[name] = vcpu.runnable
+            if prev_runtime is None:
+                continue
+            if name in quarantined:
+                # Intentionally starved; not a guarantee breach.
+                continue
+            bound = bounds.get(name)
+            if bound is None:
+                continue
+            guaranteed_u, max_blackout = bound
+            # U: a vCPU runnable across the whole window should have
+            # received (at minimum) a sizable share of its guarantee.
+            if guaranteed_u > 0.0 and was_runnable and vcpu.runnable:
+                observed = (vcpu.runtime_ns - prev_runtime) / window
+                # Worst-case legitimate service in this window: the
+                # window may open on a maximal blackout, so only
+                # U * (window - L) is contractually provable.
+                provable = 1.0 - max_blackout / window
+                if provable > 0.0 and observed < (
+                    guaranteed_u * self.u_tolerance * provable
+                ):
+                    self._record(
+                        GuaranteeViolation(
+                            kind="utilization",
+                            vcpu=name,
+                            at_ns=now,
+                            observed=observed,
+                            bound=guaranteed_u,
+                        )
+                    )
+            # L: a runnable vCPU whose last dispatch is further back
+            # than the table's worst-case blackout (plus slack) is being
+            # starved of its contracted service.
+            if was_runnable and vcpu.runnable:
+                last_seen = self._last_dispatch.get(name)
+                if last_seen is not None:
+                    gap = now - last_seen
+                    allowed = max_blackout * self.l_slack
+                    if gap > allowed:
+                        self._record(
+                            GuaranteeViolation(
+                                kind="blackout",
+                                vcpu=name,
+                                at_ns=now,
+                                observed=float(gap),
+                                bound=float(allowed),
+                            )
+                        )
+
+    def _record(self, violation: GuaranteeViolation) -> None:
+        self.violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def violations_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts

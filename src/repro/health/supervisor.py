@@ -1,0 +1,352 @@
+"""The health supervisor: detection, quarantine, and recovery policy.
+
+This is the dom0-side brain of the health subsystem.  It owns one
+:class:`~repro.health.watchdog.CoreWatchdog` per core and one
+:class:`~repro.health.guarantees.GuaranteeMonitor`, turns their raw
+observations (plus the hypervisor's softlockup-style per-guest overrun
+counters) into actions, and drives recovery through the regular control
+plane rather than by reaching into the dispatcher:
+
+* a guest that repeatedly overruns its voluntary yield points is
+  **quarantined** — barred from dispatch at every level — and, when a
+  toolstack is attached, its domain is reconfigured down to a minimal
+  reservation so the next plan stops setting aside capacity for it;
+* a core stuck in degraded round-robin mode (failed mid-activation
+  table switch) triggers a **recovery replan**: the planner daemon
+  pushes a fresh table, and the dispatcher's next successful switch
+  returns the core to table-driven dispatch.  Failed recoveries retry
+  with backoff until one sticks.
+
+Everything the supervisor did — incidents, quarantines, recoveries —
+is available from :meth:`HealthSupervisor.report` for post-run asserts
+and the CLI's chaos report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.health.guarantees import (
+    DEFAULT_WINDOW_NS,
+    GuaranteeMonitor,
+    GuaranteeViolation,
+)
+from repro.health.watchdog import (
+    DEFAULT_WATCHDOG_PERIOD_NS,
+    CoreIncident,
+    CoreWatchdog,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.params import VMSpec
+    from repro.schedulers.tableau import TableauScheduler
+    from repro.sim.engine import RecurringHandle
+    from repro.sim.machine import Machine
+    from repro.xen.daemon import PlannerDaemon
+    from repro.xen.toolstack import Toolstack
+
+#: A guest is declared stuck after this many forced overruns.
+DEFAULT_STUCK_THRESHOLD = 3
+
+#: Reservation a quarantined domain is reconfigured down to (5%): enough
+#: for the guest to make token progress once released, reclaiming the
+#: rest of its share for healthy neighbours.
+QUARANTINE_UTILIZATION = 0.05
+
+
+@dataclass
+class QuarantineRecord:
+    """One vCPU's quarantine episode."""
+
+    vcpu: str
+    reason: str
+    at_ns: int
+    released_at_ns: Optional[int] = None
+    reconfigured: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.released_at_ns is None
+
+
+@dataclass
+class RecoveryAttempt:
+    """One degraded-core recovery replan."""
+
+    at_ns: int
+    degraded_cores: List[int] = field(default_factory=list)
+    committed: bool = False
+    error: str = ""
+
+
+class HealthSupervisor:
+    """Ties watchdogs, monitors, quarantine, and recovery together.
+
+    Args:
+        machine: The machine under supervision.
+        scheduler: Its Tableau dispatcher.
+        toolstack: Full control plane; enables quarantine-driven domain
+            reconfiguration and provides the census for recovery replans.
+        daemon: Planner daemon used for recovery replans when no
+            toolstack is attached (pass ``specs`` alongside).
+        specs: Census to replan with in daemon-only mode.
+        watchdog_period_ns: Per-core stall check cadence.
+        monitor_window_ns: (U, L) monitor sampling window.
+        stuck_threshold: Forced overruns before a guest is quarantined.
+        recovery_backoff_ns: Delay before (re)trying a recovery replan.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        scheduler: "TableauScheduler",
+        toolstack: Optional["Toolstack"] = None,
+        daemon: Optional["PlannerDaemon"] = None,
+        specs: Optional[List["VMSpec"]] = None,
+        watchdog_period_ns: int = DEFAULT_WATCHDOG_PERIOD_NS,
+        monitor_window_ns: int = DEFAULT_WINDOW_NS,
+        stuck_threshold: int = DEFAULT_STUCK_THRESHOLD,
+        recovery_backoff_ns: int = 2_000_000,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.toolstack = toolstack
+        self.daemon = toolstack.daemon if toolstack is not None else daemon
+        self.specs = specs
+        self.stuck_threshold = stuck_threshold
+        self.recovery_backoff_ns = recovery_backoff_ns
+        self.watchdogs = [
+            CoreWatchdog(
+                machine,
+                scheduler,
+                cpu,
+                period_ns=watchdog_period_ns,
+                on_incident=self._on_incident,
+            )
+            for cpu in range(machine.topology.num_cores)
+        ]
+        self.monitor = GuaranteeMonitor(
+            machine,
+            scheduler,
+            window_ns=monitor_window_ns,
+            on_violation=self._on_violation,
+        )
+        self.incidents: List[CoreIncident] = []
+        self.quarantines: Dict[str, QuarantineRecord] = {}
+        self.recoveries: List[RecoveryAttempt] = []
+        self.commits_seen = 0
+        self._supervise_period_ns = watchdog_period_ns
+        self._handle: Optional["RecurringHandle"] = None
+        self._recovery_pending = False
+        self._degraded_seen: Dict[int, str] = {}
+        if self.daemon is not None:
+            previous = self.daemon.on_commit
+
+            def chained(result, record, _previous=previous) -> None:
+                if _previous is not None:
+                    _previous(result, record)
+                self.commits_seen += 1
+
+            self.daemon.on_commit = chained
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for watchdog in self.watchdogs:
+            watchdog.start()
+        self.monitor.start()
+        if self._handle is not None:
+            self._handle.cancel()
+        self._handle = self.machine.engine.every(
+            self._supervise_period_ns, self._supervise
+        )
+
+    def stop(self) -> None:
+        for watchdog in self.watchdogs:
+            watchdog.stop()
+        self.monitor.stop()
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Observation feeds
+    # ------------------------------------------------------------------
+
+    def _on_incident(self, incident: CoreIncident) -> None:
+        self.incidents.append(incident)
+
+    def _on_violation(self, violation: GuaranteeViolation) -> None:
+        # Violations are already recorded by the monitor; the supervisor
+        # hook exists so persistent blackout of a single vCPU can feed
+        # future policy without re-scanning the monitor's log.
+        del violation
+
+    # ------------------------------------------------------------------
+    # The periodic supervision pass
+    # ------------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        now = self.machine.engine.now
+        # 1. Quarantine guests the hypervisor counts as stuck.
+        overruns = self.machine.stuck_overruns_by_vcpu
+        if overruns:
+            for name, count in overruns.items():
+                if count >= self.stuck_threshold and name not in self.quarantines:
+                    self.quarantine_vcpu(
+                        name, f"stuck guest: {count} forced overruns"
+                    )
+        # 2. Degraded cores: drive a recovery replan through the planner.
+        degraded = self.scheduler.degraded_cores
+        if degraded:
+            for cpu, reason in degraded.items():
+                if cpu not in self._degraded_seen:
+                    self._degraded_seen[cpu] = reason
+                    self.incidents.append(
+                        CoreIncident(
+                            cpu=cpu, kind="degraded", at_ns=now, detail=reason
+                        )
+                    )
+            if (
+                not self._recovery_pending
+                and self.scheduler.pending_table is None
+                and self.daemon is not None
+            ):
+                self._recovery_pending = True
+                self.machine.engine.after(
+                    self.recovery_backoff_ns, self._recovery_replan
+                )
+        else:
+            self._degraded_seen.clear()
+
+    def _recovery_replan(self) -> None:
+        self._recovery_pending = False
+        if not self.scheduler.degraded_cores:
+            return  # recovered on its own (e.g. a periodic replan landed)
+        if self.scheduler.pending_table is not None:
+            return  # a clean table is already staged; let it activate
+        specs = (
+            self.toolstack.registry.specs
+            if self.toolstack is not None
+            else self.specs
+        )
+        if self.daemon is None or not specs:
+            return
+        attempt = RecoveryAttempt(
+            at_ns=self.machine.engine.now,
+            degraded_cores=sorted(self.scheduler.degraded_cores),
+        )
+        self.recoveries.append(attempt)
+        try:
+            self.daemon.replan(specs, reason="health: degraded-core recovery")
+            attempt.committed = True
+        except ReproError as error:
+            attempt.error = f"{type(error).__name__}: {error}"
+            # Keep trying: degraded mode is survivable but not a steady
+            # state anyone should stay in.
+            self._recovery_pending = True
+            self.machine.engine.after(
+                self.recovery_backoff_ns, self._recovery_replan
+            )
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    def quarantine_vcpu(self, name: str, reason: str) -> QuarantineRecord:
+        """Bar ``name`` from dispatch and reclaim its reservation."""
+        now = self.machine.engine.now
+        record = QuarantineRecord(vcpu=name, reason=reason, at_ns=now)
+        self.quarantines[name] = record
+        self.scheduler.quarantine(name, reason)
+        if self.toolstack is not None:
+            domain = name.split(".")[0]
+            try:
+                spec = next(
+                    s for s in self.toolstack.registry.specs if s.name == domain
+                )
+                latency_ns = spec.vcpus[0].latency_ns
+                self.toolstack.reconfigure_vm(
+                    domain, QUARANTINE_UTILIZATION, latency_ns
+                )
+                record.reconfigured = True
+            except (StopIteration, ReproError):
+                # No such domain, or the replan failed: the quarantine
+                # itself still stands — the guest stays off-CPU under
+                # the old table.
+                pass
+        return record
+
+    def release_vcpu(self, name: str) -> None:
+        """Lift a quarantine (e.g. after operator intervention)."""
+        record = self.quarantines.get(name)
+        if record is None or not record.active:
+            return
+        record.released_at_ns = self.machine.engine.now
+        self.scheduler.release_quarantine(name)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """Everything the health layer saw and did, as plain data."""
+        machine = self.machine
+        scheduler = self.scheduler
+        return {
+            "watchdog": {
+                "checks": sum(w.checks for w in self.watchdogs),
+                "kicks": sum(w.kicks for w in self.watchdogs),
+                "kicks_by_cpu": {
+                    w.cpu: w.kicks for w in self.watchdogs if w.kicks
+                },
+            },
+            "guarantees": {
+                "samples": self.monitor.samples,
+                "violations": self.monitor.violations_by_kind(),
+            },
+            "faults_observed": {
+                "lost_ipis": machine.lost_ipis,
+                "delayed_ipis": machine.delayed_ipis,
+                "jittered_timers": machine.jittered_timers,
+                "stuck_overruns": machine.stuck_overruns,
+            },
+            "dispatch": {
+                "table_switches": scheduler.table_switches,
+                "failed_switches": scheduler.failed_switches,
+                "degraded_picks": scheduler.degraded_picks,
+                "degraded_cores": dict(scheduler.degraded_cores),
+            },
+            "quarantines": {
+                name: {
+                    "reason": record.reason,
+                    "at_ns": record.at_ns,
+                    "released_at_ns": record.released_at_ns,
+                    "reconfigured": record.reconfigured,
+                }
+                for name, record in self.quarantines.items()
+            },
+            "incidents": [
+                {
+                    "cpu": incident.cpu,
+                    "kind": incident.kind,
+                    "at_ns": incident.at_ns,
+                    "detail": incident.detail,
+                }
+                for incident in self.incidents
+            ],
+            "recoveries": [
+                {
+                    "at_ns": attempt.at_ns,
+                    "degraded_cores": attempt.degraded_cores,
+                    "committed": attempt.committed,
+                    "error": attempt.error,
+                }
+                for attempt in self.recoveries
+            ],
+            "commits_seen": self.commits_seen,
+        }

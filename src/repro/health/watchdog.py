@@ -1,0 +1,131 @@
+"""Per-core watchdogs: bounded-latency detection of dispatch stalls.
+
+A healthy Tableau core is never silently idle: an idle core always has
+its next table-boundary event armed, and every wakeup that matters comes
+with a rescheduling IPI.  The runtime faults of :mod:`repro.faults`
+break exactly those properties — a lost IPI leaves work stranded until
+the next boundary, and a jittered timer can push the boundary event
+itself arbitrarily far out.  The watchdog closes the loop: a periodic
+per-core check (driven by :meth:`repro.sim.engine.SimEngine.every`)
+that re-arms the scheduler when a core sits idle with runnable work and
+no timely wake-up source.
+
+The stall test is deliberately conservative so a fault-free machine is
+never kicked (the perf-regression bench asserts the dispatch trace is
+bit-identical with watchdogs running): an idle core only counts as
+stalled when it has runnable candidates and *either* no armed event at
+all *or* an event beyond one full table round — both impossible without
+fault injection, since the idle dispatcher always arms the next slot
+boundary, which is at most one round away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.schedulers.tableau import TableauScheduler
+    from repro.sim.engine import RecurringHandle
+    from repro.sim.machine import Machine
+
+#: Default watchdog period: 1 ms, the same order as the L2 timeslice.
+DEFAULT_WATCHDOG_PERIOD_NS = 1_000_000
+
+
+@dataclass
+class CoreIncident:
+    """One watchdog observation worth reporting."""
+
+    cpu: int
+    kind: str  # "stall" | "degraded"
+    at_ns: int
+    detail: str
+
+
+class CoreWatchdog:
+    """Watches one core for dispatch stalls.
+
+    Args:
+        machine: The machine the core belongs to.
+        scheduler: The Tableau dispatcher (for runnable counts and the
+            current table round length).
+        cpu: Core index under watch.
+        period_ns: Check cadence in simulated time.
+        stall_bound_ns: Idle cores with an armed event further out than
+            this are considered stalled.  Defaults to the live table's
+            round length — the latest moment a healthy idle core would
+            naturally wake.
+        on_incident: Callback receiving a :class:`CoreIncident` for
+            every kick (the supervisor's feed).
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        scheduler: "TableauScheduler",
+        cpu: int,
+        period_ns: int = DEFAULT_WATCHDOG_PERIOD_NS,
+        stall_bound_ns: Optional[int] = None,
+        on_incident: Optional[Callable[[CoreIncident], None]] = None,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.cpu = cpu
+        self.period_ns = period_ns
+        self.stall_bound_ns = stall_bound_ns
+        self.on_incident = on_incident
+        self.checks = 0
+        self.kicks = 0
+        self._handle: Optional["RecurringHandle"] = None
+
+    def start(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+        self._handle = self.machine.engine.every(self.period_ns, self.check)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    def check(self) -> bool:
+        """One watchdog pass; returns True when the core was kicked."""
+        self.checks += 1
+        machine = self.machine
+        cpu = machine.cpus[self.cpu]
+        if cpu.current is not None:
+            return False
+        if cpu.resched is not None and cpu.resched.active:
+            # A reschedule is already on its way; nothing is stalled.
+            return False
+        if self.scheduler.runnable_on(self.cpu) == 0:
+            return False
+        now = machine.engine.now
+        event = cpu.event
+        if event is not None and event.active:
+            bound = (
+                self.stall_bound_ns
+                if self.stall_bound_ns is not None
+                else self.scheduler.table.length_ns
+            )
+            if event.time <= now + bound:
+                # The core will wake within a table round on its own.
+                return False
+            detail = (
+                f"idle with runnable work; next event {event.time - now} ns "
+                f"out (> {bound} ns bound)"
+            )
+        else:
+            detail = "idle with runnable work and no armed event"
+        self.kicks += 1
+        machine.request_resched(self.cpu)
+        if self.on_incident is not None:
+            self.on_incident(
+                CoreIncident(cpu=self.cpu, kind="stall", at_ns=now, detail=detail)
+            )
+        return True

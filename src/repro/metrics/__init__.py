@@ -1,5 +1,7 @@
-"""Measurement utilities: latency summaries and SLA-aware throughput."""
+"""Measurement utilities: latency summaries, SLA-aware throughput, and
+health/chaos report formatting."""
 
+from repro.metrics.health import chaos_report_json, format_chaos_report
 from repro.metrics.latency import (
     EMPTY_SUMMARY,
     LatencySummary,
@@ -19,8 +21,10 @@ __all__ = [
     "LatencySummary",
     "OperatingPoint",
     "ThroughputCurve",
+    "chaos_report_json",
     "compare_peaks",
     "corrected_latencies",
+    "format_chaos_report",
     "percentile_ns",
     "service_gaps_ns",
     "summarize_ns",

@@ -1,0 +1,138 @@
+"""Formatting for health-supervision and chaos-run reports.
+
+Turns the plain-data report of
+:meth:`repro.health.HealthSupervisor.report` (as carried by
+:class:`repro.health.ChaosResult`) into the human-readable summary the
+``chaos`` CLI subcommand prints, and into the JSON document the CI chaos
+matrix uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.health.chaos import ChaosResult
+
+MS = 1_000_000
+
+
+def format_chaos_report(result: "ChaosResult") -> str:
+    """Multi-line human-readable summary of one chaos run."""
+    lines: List[str] = []
+    add = lines.append
+    add(
+        f"chaos run: seed={result.seed} simulated={result.seconds:g}s "
+        f"replans={result.replans} (committed {result.committed_replans})"
+    )
+
+    if result.injected_by_site:
+        add("injected faults:")
+        for site, count in sorted(result.injected_by_site.items()):
+            add(f"  {site:<24s} {count}")
+    else:
+        add("injected faults: none (fault-free baseline)")
+
+    report = result.health_report
+    if not report:
+        add("health supervision: disabled")
+    else:
+        faults = report["faults_observed"]
+        add(
+            "machine-level faults: "
+            f"lost IPIs {faults['lost_ipis']}, "
+            f"delayed IPIs {faults['delayed_ipis']}, "
+            f"jittered timers {faults['jittered_timers']}, "
+            f"stuck overruns {faults['stuck_overruns']}"
+        )
+        dispatch = report["dispatch"]
+        add(
+            "dispatch: "
+            f"switches {dispatch['table_switches']} "
+            f"(failed {dispatch['failed_switches']}), "
+            f"degraded picks {dispatch['degraded_picks']}"
+        )
+        if dispatch["degraded_cores"]:
+            for cpu, reason in sorted(dispatch["degraded_cores"].items()):
+                add(f"  core {cpu} STILL DEGRADED: {reason}")
+        else:
+            add("  all cores in table-driven dispatch")
+        watchdog = report["watchdog"]
+        add(
+            f"watchdog: {watchdog['checks']} checks, "
+            f"{watchdog['kicks']} stall kicks"
+        )
+        for cpu, kicks in sorted(watchdog.get("kicks_by_cpu", {}).items()):
+            add(f"  core {cpu}: {kicks} kicks")
+        guarantees = report["guarantees"]
+        violations = guarantees["violations"]
+        if violations:
+            breakdown = ", ".join(
+                f"{kind} {count}" for kind, count in sorted(violations.items())
+            )
+            add(
+                f"(U, L) monitor: {guarantees['samples']} samples, "
+                f"violations: {breakdown}"
+            )
+        else:
+            add(
+                f"(U, L) monitor: {guarantees['samples']} samples, "
+                "no violations"
+            )
+        quarantines = report["quarantines"]
+        if quarantines:
+            add(f"quarantined vCPUs ({len(quarantines)}):")
+            for name, info in sorted(quarantines.items()):
+                status = (
+                    "active"
+                    if info["released_at_ns"] is None
+                    else f"released at {info['released_at_ns'] / MS:.1f}ms"
+                )
+                add(
+                    f"  {name}: {info['reason']} "
+                    f"(at {info['at_ns'] / MS:.1f}ms, {status})"
+                )
+        else:
+            add("quarantined vCPUs: none")
+        recoveries = report["recoveries"]
+        if recoveries:
+            add(f"recovery replans ({len(recoveries)}):")
+            for attempt in recoveries:
+                outcome = (
+                    "committed" if attempt["committed"] else attempt["error"]
+                )
+                add(
+                    f"  at {attempt['at_ns'] / MS:.1f}ms for cores "
+                    f"{attempt['degraded_cores']}: {outcome}"
+                )
+
+    if result.audit_violations:
+        add(f"invariant audit: {result.audits} audits, VIOLATIONS:")
+        for violation in result.audit_violations:
+            add(f"  {violation}")
+    else:
+        add(f"invariant audit: {result.audits} audits, clean")
+    return "\n".join(lines)
+
+
+def chaos_report_json(result: "ChaosResult") -> str:
+    """The machine-readable artifact the CI chaos matrix uploads."""
+    return json.dumps(
+        {
+            "seed": result.seed,
+            "seconds": result.seconds,
+            "replans": result.replans,
+            "committed_replans": result.committed_replans,
+            "injected_by_site": result.injected_by_site,
+            "health": result.health_report,
+            "audit": {
+                "audits": result.audits,
+                "clean": result.audit_clean,
+                "violations": result.audit_violations,
+            },
+            "regen_failures": result.regen_failures,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -24,13 +24,16 @@ The implementation mirrors the paper's key mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.table import SystemTable
 from repro.errors import ConfigurationError
 from repro.schedulers.base import Decision, Scheduler, WakeAction
 from repro.sim.overheads import IPI_WIRE_NS
 from repro.sim.vm import VCpu, VCpuState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 #: Cost-model constants (ns), calibrated so the 16-core I/O scenario
 #: reproduces the Tableau column of Table 1 (1.43 / 1.06 / 0.43 us).
@@ -80,6 +83,12 @@ class TableauScheduler(Scheduler):
         split_l2_policy: ``"none"`` (paper prototype: split vCPUs do not
             take part in second-level scheduling) or ``"trailing"`` (the
             trailing-core policy sketched in Sec. 5).
+        faults: Optional :class:`~repro.faults.FaultPlan` consulted at
+            the table-switch activation point (``runtime.table.switch``).
+            A fired spec makes the staged table fail to activate; with
+            ``corrupt=True`` the targeted core (``spec.cpu``, or every
+            core) drops to the degraded round-robin dispatcher until a
+            later switch succeeds.
     """
 
     name = "tableau"
@@ -91,6 +100,7 @@ class TableauScheduler(Scheduler):
         l2_slice_ns: int = DEFAULT_L2_SLICE_NS,
         work_conserving: bool = True,
         split_l2_policy: str = "none",
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         super().__init__()
         if split_l2_policy not in ("none", "trailing"):
@@ -107,12 +117,31 @@ class TableauScheduler(Scheduler):
         self._pending_table: Optional[SystemTable] = None
         self._pending_cycle: int = 0
         self.table_switches = 0
+        self.faults = faults
+        if faults is not None:
+            from repro.faults.plan import SITE_TABLE_SWITCH
+
+            self._switch_faults = faults.has_site(SITE_TABLE_SWITCH)
+        else:
+            self._switch_faults = False
+        self.failed_switches = 0
+        #: Cores currently running the degraded round-robin dispatcher,
+        #: mapped to the reason they dropped out of table-driven mode.
+        self.degraded_cores: Dict[int, str] = {}
+        self.degraded_picks = 0
+        self._rr_cursor: Dict[int, int] = {}
+        #: vCPUs barred from dispatch (name -> reason); see quarantine().
+        self._quarantined: Dict[str, str] = {}
         # Invoked as (old_table, new_table, now) at the wrap where a
         # staged table becomes active; the hypercall layer uses it to
         # retire the outgoing table the moment no core references it.
         self.on_table_switch: Optional[
             Callable[[SystemTable, SystemTable, int], None]
         ] = None
+        self._switch_listeners: List[
+            Callable[[SystemTable, SystemTable, int], None]
+        ] = []
+        self._switch_failed_listeners: List[Callable[[SystemTable, int], None]] = []
         # Entry-point costs are fixed per machine (socket_factor is a
         # topology constant); precomputed at attach so the hot path does
         # not re-derive them on every invocation.
@@ -159,12 +188,69 @@ class TableauScheduler(Scheduler):
         if self._pending_table is None:
             return
         if now // self.table.length_ns >= self._pending_cycle:
-            old = self.table
-            self.table = self._pending_table
+            new = self._pending_table
             self._pending_table = None
+            if self._switch_faults:
+                from repro.faults.plan import SITE_TABLE_SWITCH
+
+                spec = self.faults.fires(SITE_TABLE_SWITCH)
+                if spec is not None:
+                    # Mid-activation failure: the staged table is dropped
+                    # (a fresh push is needed to retry) and, if the fault
+                    # corrupts per-core state, the targeted cores fall
+                    # back to degraded round-robin dispatch.
+                    self.failed_switches += 1
+                    if spec.corrupt:
+                        reason = "table switch failed mid-activation"
+                        if spec.cpu is not None:
+                            self.degraded_cores[spec.cpu] = reason
+                        else:
+                            for core in self.table.cores:
+                                self.degraded_cores[core] = reason
+                    for listener in self._switch_failed_listeners:
+                        listener(new, now)
+                    return
+            old = self.table
+            self.table = new
             self.table_switches += 1
+            # Home cores may have moved under the new table: rebuild the
+            # second-level membership (budgets carry over so mid-epoch
+            # fairness is preserved across the switch).
+            self._rebuild_l2()
+            if self.degraded_cores:
+                # A clean table activation is the recovery point: every
+                # degraded core resumes table-driven dispatch.
+                self.degraded_cores.clear()
             if self.on_table_switch is not None:
                 self.on_table_switch(old, self.table, now)
+            for listener in self._switch_listeners:
+                listener(old, self.table, now)
+
+    def _rebuild_l2(self) -> None:
+        carried: Dict[str, int] = {}
+        for state in self._l2.values():
+            carried.update(state.budgets)
+        self._l2 = {}
+        for vcpu in self._vcpus.values():
+            home = self._l2_home(vcpu)
+            if home is None:
+                continue
+            state = self._l2.setdefault(home, _L2State())
+            state.members.append(vcpu)
+            state.budgets[vcpu.name] = carried.get(vcpu.name, 0)
+
+    def add_switch_listener(
+        self, listener: Callable[[SystemTable, SystemTable, int], None]
+    ) -> None:
+        """Register a callback invoked after every successful switch."""
+        self._switch_listeners.append(listener)
+
+    def add_switch_failed_listener(
+        self, listener: Callable[[SystemTable, int], None]
+    ) -> None:
+        """Register a callback invoked as (dropped_table, now) when an
+        activation fails under fault injection."""
+        self._switch_failed_listeners.append(listener)
 
     @property
     def pending_table(self) -> Optional[SystemTable]:
@@ -180,22 +266,29 @@ class TableauScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def pick_next(self, cpu: int, now: int) -> Decision:
-        if self._pending_table is not None:
-            self._maybe_switch(now)
-        state = self._l2.get(cpu)
-
-        # Settle the previous pick's second-level budget (inlined
-        # _settle_l2: this runs on every decision, so the common
-        # level-1/idle case must exit in a couple of compares).
+        # Settle the previous pick's second-level budget *before* any
+        # table switch (inlined _settle_l2: this runs on every decision,
+        # so the common level-1/idle case must exit in a couple of
+        # compares).  Ordering matters: a switch rebuilds the L2
+        # membership, and a wakeup-driven resched landing exactly on the
+        # activation boundary would otherwise lose the budget consumed
+        # under the outgoing table.
         last = self._last_pick.get(cpu)
         if last is not None and last[2] == 2:
             prev_vcpu, runtime_seen, _level = last
+            state = self._l2.get(cpu)
             if state is None:
                 state = self._l2[cpu] = _L2State()
             consumed = prev_vcpu.runtime_ns - runtime_seen
             if consumed > 0:
                 remaining = state.budgets.get(prev_vcpu.name, 0) - consumed
                 state.budgets[prev_vcpu.name] = remaining if remaining > 0 else 0
+
+        if self._pending_table is not None:
+            self._maybe_switch(now)
+        if self.degraded_cores and cpu in self.degraded_cores:
+            return self._pick_degraded(cpu, now)
+        state = self._l2.get(cpu)
 
         cost = self._pick_cost
         core_table = self.table.cores.get(cpu)
@@ -212,7 +305,11 @@ class TableauScheduler(Scheduler):
 
         if alloc is not None and alloc.vcpu is not None:
             vcpu = self._vcpus.get(alloc.vcpu)
-            if vcpu is not None and vcpu.state is not VCpuState.BLOCKED:
+            if (
+                vcpu is not None
+                and vcpu.state is not VCpuState.BLOCKED
+                and (not self._quarantined or vcpu.name not in self._quarantined)
+            ):
                 if vcpu.pcpu is not None and vcpu.pcpu != cpu:
                     # Scheduled elsewhere (overlapping split-allocation
                     # race): register for an IPI on deschedule and fall
@@ -241,9 +338,95 @@ class TableauScheduler(Scheduler):
         self._last_pick[cpu] = (None, 0, 0)
         return Decision(None, quantum_end=boundary, cost_ns=cost)
 
+    # ------------------------------------------------------------------
+    # Degraded mode and quarantine
+    # ------------------------------------------------------------------
+
+    def _pick_degraded(self, cpu: int, now: int) -> Decision:
+        """Emergency round-robin dispatch for a core whose table state is
+        corrupt (failed mid-activation switch).
+
+        Every non-quarantined vCPU homed on the core — capped or not —
+        gets a bounded timeslice in turn, so guests keep making progress
+        until the planner daemon pushes a clean table and the next
+        successful switch restores table-driven dispatch.
+        """
+        cost = self._pick_cost
+        quarantined = self._quarantined
+        home_cores = self.table.home_cores
+        blocked = VCpuState.BLOCKED
+        candidates = [
+            v
+            for v in self._vcpus.values()
+            if v.state is not blocked
+            and (v.pcpu is None or v.pcpu == cpu)
+            and cpu in home_cores.get(v.name, ())
+            and (not quarantined or v.name not in quarantined)
+        ]
+        if not candidates:
+            self._last_pick[cpu] = (None, 0, 0)
+            return Decision(
+                None, quantum_end=now + self.l2_slice_ns, level=3, cost_ns=cost
+            )
+        cursor = self._rr_cursor.get(cpu, 0)
+        chosen = candidates[cursor % len(candidates)]
+        self._rr_cursor[cpu] = cursor + 1
+        self.degraded_picks += 1
+        self._last_pick[cpu] = (chosen, chosen.runtime_ns, 3)
+        return Decision(
+            chosen, quantum_end=now + self.l2_slice_ns, level=3, cost_ns=cost
+        )
+
+    def mark_degraded(self, cpu: int, reason: str) -> None:
+        """Drop ``cpu`` to the degraded round-robin dispatcher."""
+        self.degraded_cores[cpu] = reason
+        if self.machine is not None:
+            self.machine.request_resched(cpu)
+
+    def clear_degraded(self, cpu: int) -> None:
+        """Return ``cpu`` to table-driven dispatch."""
+        if self.degraded_cores.pop(cpu, None) is not None and self.machine is not None:
+            self.machine.request_resched(cpu)
+
+    def quarantine(self, name: str, reason: str) -> None:
+        """Bar vCPU ``name`` from dispatch at every level.
+
+        A running quarantined vCPU is preempted at the next resched on
+        its core (requested here); it stays runnable but is skipped by
+        the table path, the second level, and degraded round-robin until
+        :meth:`release_quarantine`.
+        """
+        self._quarantined[name] = reason
+        vcpu = self._vcpus.get(name)
+        if vcpu is not None and vcpu.pcpu is not None and self.machine is not None:
+            self.machine.request_resched(vcpu.pcpu)
+
+    def release_quarantine(self, name: str) -> None:
+        """Re-admit a quarantined vCPU (no-op if not quarantined)."""
+        if self._quarantined.pop(name, None) is None:
+            return
+        vcpu = self._vcpus.get(name)
+        if (
+            vcpu is not None
+            and vcpu.state is not VCpuState.BLOCKED
+            and self.machine is not None
+        ):
+            homes = self.table.home_cores.get(name, ())
+            if homes:
+                self.machine.request_resched(homes[0])
+
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """Currently quarantined vCPUs (name -> reason), a copy."""
+        return dict(self._quarantined)
+
     def on_wakeup(self, vcpu: VCpu, now: int) -> WakeAction:
         cost = self._wake_cost
         processing = vcpu.last_cpu
+        if self._quarantined and vcpu.name in self._quarantined:
+            # Quarantined vCPUs never trigger rescheds; they are picked
+            # up (if released) at the next natural decision point.
+            return WakeAction(cpu=processing, cost_ns=cost, resched_cpu=None)
         # The table tells us where the vCPU currently has an allocation.
         for core in self.table.home_cores.get(vcpu.name, ()):
             table = self.table.cores[core]
@@ -277,7 +460,7 @@ class TableauScheduler(Scheduler):
             waiter = prev.sched_data.pop("tableau.waiter", None)
             if waiter is not None:
                 cost += self.machine.costs.ipi()
-                self.machine.request_resched(int(waiter), delay=IPI_WIRE_NS)
+                self.machine.send_resched_ipi(int(waiter), delay=IPI_WIRE_NS)
         return cost
 
     def runnable_on(self, cpu: int) -> int:
@@ -336,11 +519,16 @@ class TableauScheduler(Scheduler):
             state = self._l2.setdefault(cpu, _L2State())
             members = self._l2_members(cpu)
         budgets = state.budgets
+        quarantined = self._quarantined
         candidates: List[VCpu] = []
         any_replenished = False
         blocked = VCpuState.BLOCKED
         for v in members:
-            if v.state is not blocked and (v.pcpu is None or v.pcpu == cpu):
+            if (
+                v.state is not blocked
+                and (v.pcpu is None or v.pcpu == cpu)
+                and (not quarantined or v.name not in quarantined)
+            ):
                 candidates.append(v)
                 if budgets.get(v.name, 0) >= L2_MIN_BUDGET_NS:
                     any_replenished = True

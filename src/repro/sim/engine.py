@@ -57,11 +57,15 @@ class RecurringHandle:
 
     Created by :meth:`SimEngine.every`.  After each firing the next
     occurrence is scheduled ``period`` ns later; :meth:`cancel` stops
-    the series (a no-op once already cancelled).  If the callback raises
-    — e.g. a strict invariant auditor — the series stops with it.
+    the series (a no-op once already cancelled), including when the
+    callback cancels its own handle mid-firing — a watchdog that
+    decides it is done must not be rescheduled behind its back.  If the
+    callback raises — e.g. a strict invariant auditor — the series
+    stops with it: the next firing is only scheduled after a normal
+    return.
     """
 
-    __slots__ = ("period", "callback", "fires", "_engine", "_event")
+    __slots__ = ("period", "callback", "fires", "_engine", "_event", "_cancelled")
 
     def __init__(
         self, engine: "SimEngine", period: int, callback: Callable[[], None], start: int
@@ -70,22 +74,29 @@ class RecurringHandle:
         self.callback = callback
         self.fires = 0
         self._engine = engine
+        self._cancelled = False
         self._event: Optional[EventHandle] = engine.at(start, self._fire)
 
     def _fire(self) -> None:
         self._event = None
         self.fires += 1
         self.callback()
-        self._event = self._engine.at(self._engine.now + self.period, self._fire)
+        if not self._cancelled:
+            self._event = self._engine.at(self._engine.now + self.period, self._fire)
 
     def cancel(self) -> None:
+        self._cancelled = True
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
     @property
     def active(self) -> bool:
-        return self._event is not None and self._event.active
+        return (
+            not self._cancelled
+            and self._event is not None
+            and self._event.active
+        )
 
 
 class SimEngine:

@@ -12,6 +12,15 @@ vCPU; wakeup costs *steal* time from whatever is running on the core
 that processes the interrupt (its burst completion is pushed back).
 Cycles spent in the scheduler are thus unavailable to guests, which is
 exactly the throughput-tax mechanism of Sec. 2.2.
+
+Runtime fault injection: an optional :class:`repro.faults.FaultPlan` is
+consulted at the machinery the dispatcher trusts implicitly — cross-core
+rescheduling IPIs (lost or delayed), each core's clock (static skew
+offsets what the scheduler believes "now" is), the per-core dispatch
+timer (jitter makes it fire late), and guest cooperation (a "stuck"
+vCPU keeps computing past the point where its workload blocked).  With
+no plan installed the dispatch loop takes no extra branches that affect
+behaviour, so fault-free traces stay bit-identical.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.sim.vm import VCpu, VCpuState
 from repro.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
     from repro.schedulers.base import Scheduler
 
 
@@ -65,6 +75,8 @@ class Machine:
         seed: RNG seed (forwarded to the event engine for workloads).
         tracer: Optional pre-configured tracer (e.g., with dispatch
             logging enabled).
+        faults: Optional runtime fault plan consulted at the IPI,
+            clock, timer, and guest-cooperation decision points.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class Machine:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         cost_model: Optional[CostModel] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.topology = topology
         self.engine = SimEngine(seed=seed)
@@ -86,6 +99,39 @@ class Machine:
             cpu.event_cb = partial(self._on_cpu_event, cpu)
         self.vcpus: Dict[str, VCpu] = {}
         self._started = False
+        # Runtime fault wiring: per-site booleans gate the hot paths so
+        # a fault-free machine pays one attribute load, never a consult.
+        self.faults = faults
+        self.lost_ipis = 0
+        self.delayed_ipis = 0
+        self.jittered_timers = 0
+        self.stuck_overruns = 0
+        #: Per-guest overrun counts — the softlockup-style signal the
+        #: health supervisor reads to spot misbehaving vCPUs.
+        self.stuck_overruns_by_vcpu: Dict[str, int] = {}
+        if faults is not None:
+            from repro.faults.plan import (
+                SITE_IPI_DELAY,
+                SITE_IPI_LOST,
+                SITE_TIMER_JITTER,
+                SITE_VCPU_STUCK,
+            )
+
+            self._skews = [
+                faults.clock_skew_ns(i) for i in range(topology.num_cores)
+            ]
+            self._any_skew = any(self._skews)
+            self._ipi_faults = faults.has_site(SITE_IPI_LOST) or faults.has_site(
+                SITE_IPI_DELAY
+            )
+            self._timer_faults = faults.has_site(SITE_TIMER_JITTER)
+            self._stuck_faults = faults.has_site(SITE_VCPU_STUCK)
+        else:
+            self._skews = []
+            self._any_skew = False
+            self._ipi_faults = False
+            self._timer_faults = False
+            self._stuck_faults = False
         scheduler.attach(self)
 
     # ------------------------------------------------------------------
@@ -147,10 +193,15 @@ class Machine:
         self.tracer.record_op(OP_WAKEUP, now, action.cpu, action.cost_ns)
         self._steal(action.cpu, action.cost_ns)
         if action.resched_cpu is not None:
-            delay = int(action.cost_ns) + (
-                action.ipi_delay_ns if action.resched_cpu != action.cpu else 0
-            )
-            self.request_resched(action.resched_cpu, delay=delay)
+            delay = int(action.cost_ns)
+            if action.resched_cpu != action.cpu:
+                # Cross-core notification goes over the IPI wire, where
+                # the fault plan may drop or delay it.
+                self.send_resched_ipi(
+                    action.resched_cpu, delay=delay + action.ipi_delay_ns
+                )
+            else:
+                self.request_resched(action.resched_cpu, delay=delay)
 
     # ------------------------------------------------------------------
     # Rescheduling machinery
@@ -166,6 +217,26 @@ class Machine:
             cpu.resched.cancel()
         cpu.resched = self.engine.at(when, cpu.resched_cb)
 
+    def send_resched_ipi(self, cpu_index: int, delay: int = 0) -> None:
+        """Deliver a cross-core rescheduling IPI (the faultable wire).
+
+        Identical to :meth:`request_resched` on a healthy machine; with
+        a fault plan installed the IPI may be silently dropped (the
+        target core never learns it has work) or delivered late.
+        """
+        if self._ipi_faults:
+            from repro.faults.plan import SITE_IPI_DELAY, SITE_IPI_LOST
+
+            key = f"cpu{cpu_index}"
+            if self.faults.fires(SITE_IPI_LOST, key=key) is not None:
+                self.lost_ipis += 1
+                return
+            spec = self.faults.fires(SITE_IPI_DELAY, key=key)
+            if spec is not None:
+                self.delayed_ipis += 1
+                delay += spec.delay_ns
+        self.request_resched(cpu_index, delay=delay)
+
     def _do_resched(self, cpu: _Cpu) -> None:
         now = self.engine.now
         if cpu.resched is not None:
@@ -176,7 +247,18 @@ class Machine:
         scheduler = self.scheduler
         tracer = self.tracer
 
-        decision = scheduler.pick_next(cpu.index, now)
+        if self._any_skew:
+            # The core consults its own (skewed) clock: table lookups
+            # land in the wrong slot near boundaries, and the returned
+            # quantum end is converted back below so the timer fires at
+            # the instant the skewed core *believes* is correct.
+            skew = self._skews[cpu.index]
+            local_now = now + skew if now + skew > 0 else 0
+            decision = scheduler.pick_next(cpu.index, local_now)
+            if decision.quantum_end is not None:
+                decision.quantum_end -= local_now - now
+        else:
+            decision = scheduler.pick_next(cpu.index, now)
         chosen = decision.vcpu
         tracer.record_op(OP_SCHEDULE, now, cpu.index, decision.cost_ns)
         migrate_cost = scheduler.post_schedule(cpu.index, prev, chosen, now)
@@ -234,6 +316,13 @@ class Machine:
             when = quantum_end if quantum_end > now else now
         else:
             return
+        if self._timer_faults:
+            from repro.faults.plan import SITE_TIMER_JITTER
+
+            spec = self.faults.fires(SITE_TIMER_JITTER, key=f"cpu{cpu.index}")
+            if spec is not None:
+                self.jittered_timers += 1
+                when += spec.delay_ns
         cpu.event = self.engine.at(when, cpu.event_cb)
 
     def _on_cpu_event(self, cpu: _Cpu) -> None:
@@ -259,6 +348,18 @@ class Machine:
         cpu.busy_ns += consumed
         cpu.run_start = now
         vcpu.workload.on_burst_complete(now)
+        if self._stuck_faults and vcpu.state is VCpuState.BLOCKED:
+            from repro.faults.plan import SITE_VCPU_STUCK
+
+            spec = self.faults.fires(SITE_VCPU_STUCK, key=vcpu.name)
+            if spec is not None:
+                # The guest spins past its voluntary block point: it
+                # keeps the core (or stays runnable) and overruns its
+                # (U, L) contract by the spec's extra burst.
+                self.stuck_overruns += 1
+                per_vcpu = self.stuck_overruns_by_vcpu
+                per_vcpu[vcpu.name] = per_vcpu.get(vcpu.name, 0) + 1
+                vcpu.begin_burst(spec.extra_burst_ns or 1_000_000)
         if vcpu.remaining_burst > 0:
             # The workload queued more compute; keep running within quantum.
             self._arm_event(cpu, now)

@@ -11,7 +11,7 @@ with its modelled duration, and aggregate statistics are kept cheaply so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Operation labels, matching the rows of Tables 1 and 2 in the paper.
 OP_SCHEDULE = "schedule"
@@ -73,6 +73,12 @@ class Tracer:
         self.dispatches: List[DispatchRecord] = []
         self.context_switches = 0
         self.migrations = 0  # vCPU moved to a different core than last time
+        # Online consumers of dispatch records (the health layer's (U, L)
+        # guarantee monitors); empty-list truthiness keeps the hot path
+        # at one extra compare when nobody listens.
+        self.dispatch_listeners: List[
+            Callable[[int, int, Optional[str], int], None]
+        ] = []
 
     def record_op(self, op: str, time: int, cpu: int, duration_ns: float) -> None:
         # Inlined OpStats.add: this fires three times per dispatch, so
@@ -90,6 +96,9 @@ class Tracer:
     ) -> None:
         if self.keep_dispatches:
             self.dispatches.append(DispatchRecord(time, cpu, vcpu, level))
+        if self.dispatch_listeners:
+            for listener in self.dispatch_listeners:
+                listener(time, cpu, vcpu, level)
 
     def record_context_switch(self, migrated: bool) -> None:
         self.context_switches += 1

@@ -19,7 +19,7 @@ backoff before the episode is declared failed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.core import Planner, PlanResult, TableCache
 from repro.core.params import VMSpec, flatten_vcpus
@@ -104,6 +104,12 @@ class PlannerDaemon:
         self.push_backoffs_ns: List[int] = []
         self.history: List[ReplanRecord] = []
         self.current_plan: Optional[PlanResult] = None
+        #: Invoked as (result, record) right after a replan commits (new
+        #: table safely staged).  The health supervisor uses it to learn
+        #: that a clean table is on its way to the dispatcher.
+        self.on_commit: Optional[
+            Callable[[PlanResult, ReplanRecord], None]
+        ] = None
 
     def replan(self, specs: List[VMSpec], reason: str) -> PlanResult:
         """Plan for ``specs``; push to the hypervisor when attached.
@@ -153,18 +159,19 @@ class PlannerDaemon:
         # Commit point: all observable state flips together, only after
         # the new table is safely staged in the hypervisor.
         self.current_plan = result
-        self.history.append(
-            ReplanRecord(
-                reason=reason,
-                num_vms=len(specs),
-                generation_seconds=result.stats.generation_seconds,
-                method=result.stats.method,
-                table_bytes=result.stats.table_bytes,
-                push=push,
-                status=STATUS_COMMITTED,
-                push_retries=retries,
-            )
+        record = ReplanRecord(
+            reason=reason,
+            num_vms=len(specs),
+            generation_seconds=result.stats.generation_seconds,
+            method=result.stats.method,
+            table_bytes=result.stats.table_bytes,
+            push=push,
+            status=STATUS_COMMITTED,
+            push_retries=retries,
         )
+        self.history.append(record)
+        if self.on_commit is not None:
+            self.on_commit(result, record)
         return result
 
     def _record_failure(

@@ -69,7 +69,9 @@ class TableHypercall:
         self._staged: Optional[SystemTable] = None
         self.activations = 0
         self.retired_unactivated = 0
+        self.failed_activations = 0
         scheduler.on_table_switch = self._on_table_switch
+        scheduler.add_switch_failed_listener(self._on_switch_failed)
 
     def _now(self) -> int:
         machine = self.scheduler.machine
@@ -87,6 +89,19 @@ class TableHypercall:
             self._staged = None
             self.activations += 1
         self._retire(old)
+
+    def _on_switch_failed(self, dropped: SystemTable, now: int) -> None:
+        """Dispatcher callback: a staged table failed its activation wrap
+        (runtime switch-fault injection) and was dropped.
+
+        The table never served, but it must not vanish from the push
+        accounting — it is retired under its own counter so the auditor
+        can still prove every push is accounted for.
+        """
+        if dropped is self._staged:
+            self._staged = None
+        self.failed_activations += 1
+        self._retire(dropped)
 
     def _retire(self, table: SystemTable) -> None:
         self._retired_tables.append(table)

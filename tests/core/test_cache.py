@@ -100,7 +100,18 @@ class TestTableCache:
         started = time.perf_counter()
         cache.plan(big)
         cold = time.perf_counter() - started
-        started = time.perf_counter()
-        cache.plan(census("y", count=16, latency_ms=5))
-        warm = time.perf_counter() - started
+        # Best of three hits: a single measurement can eat a scheduler
+        # preemption on a loaded container and flake the comparison.
+        warm = min(
+            self._timed_hit(cache, census("y", count=16, latency_ms=5))
+            for _ in range(3)
+        )
         assert warm < cold  # rename is cheaper than replanning
+
+    @staticmethod
+    def _timed_hit(cache, vms):
+        import time
+
+        started = time.perf_counter()
+        cache.plan(vms)
+        return time.perf_counter() - started

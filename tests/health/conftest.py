@@ -1,0 +1,58 @@
+"""Shared fixtures for the health/chaos suites.
+
+Provides hand-built tables (full control over allocation placement, so
+tests can aim wakeups at exact slot and epoch positions) and a minimal
+wake-on-demand workload for driving the IPI paths deterministically.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.core.table import Allocation, CoreTable, SystemTable
+from repro.sim.vm import Workload
+
+MS = 1_000_000
+
+
+def make_table(
+    length_ns: int, allocs: Dict[int, List[Tuple[int, int, str]]]
+) -> SystemTable:
+    """Build a SystemTable from ``{cpu: [(start, end, vcpu), ...]}``."""
+    cores = {
+        cpu: CoreTable(
+            cpu=cpu,
+            length_ns=length_ns,
+            allocations=[Allocation(s, e, v) for (s, e, v) in entries],
+        )
+        for cpu, entries in allocs.items()
+    }
+    table = SystemTable(length_ns=length_ns, cores=cores)
+    table.validate()
+    table.build_slices()
+    return table
+
+
+class OnDemand(Workload):
+    """Blocks until woken, runs one fixed burst, blocks again.
+
+    Records every dispatch instant so tests can assert exactly when the
+    scheduler got around to running the vCPU after a wake.
+    """
+
+    def __init__(self, burst_ns: int = 100_000) -> None:
+        super().__init__()
+        self.burst_ns = burst_ns
+        self.dispatches: List[int] = []
+        self.wakes: List[int] = []
+
+    def start(self, now: int) -> None:
+        self.vcpu.set_blocked()
+
+    def on_wake(self, now: int) -> None:
+        self.wakes.append(now)
+        self.vcpu.begin_burst(self.burst_ns)
+
+    def on_burst_complete(self, now: int) -> None:
+        self.vcpu.set_blocked()
+
+    def on_dispatch(self, now: int) -> None:
+        self.dispatches.append(now)

@@ -1,0 +1,116 @@
+"""Chaos-survival acceptance: corrupt switches, degraded dispatch, recovery.
+
+The ISSUE 3 acceptance scenario: under injected persistent table
+corruption plus lost IPIs on one core, the full stack completes without
+crashing, the affected core serves vCPUs in degraded round-robin mode,
+quarantined vCPUs are reported with reasons, and the core returns to
+table-driven dispatch after the next successful replan — with the
+invariant audit clean throughout.
+"""
+
+from repro.faults.plan import (
+    SITE_IPI_LOST,
+    SITE_TABLE_SWITCH,
+    FaultPlan,
+    FaultSpec,
+    runtime_preset,
+)
+from repro.health import run_chaos
+
+
+def corruption_plan(seed=3):
+    """Persistent corruption of core 4's table state plus a dead IPI wire.
+
+    The switch fault corrupts core 4 at the first activation wrap; the
+    corruption persists until a clean replan lands.  Lost-IPI pressure
+    rides along on the same core (the exactly-packed canonical census
+    produces no cross-core wakeup IPIs, so the wire fault is inert here;
+    it is exercised against a custom table in test_wakeup_idle_slot).
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=[
+            FaultSpec(site=SITE_TABLE_SWITCH, calls=(1,), cpu=4, corrupt=True),
+            FaultSpec(
+                site=SITE_IPI_LOST, key="cpu4", probability=1.0, persistent_from=1
+            ),
+        ],
+    )
+
+
+class TestChaosSurvival:
+    def test_corrupt_core_degrades_serves_and_recovers(self):
+        result = run_chaos(corruption_plan(), seconds=0.5, seed=3)
+        scheduler = result.scheduler
+
+        # The staged table failed to activate exactly once, corrupting
+        # core 4; the hypercall layer accounted for the dropped table.
+        assert scheduler.failed_switches == 1
+        assert result.hypercall.failed_activations == 1
+
+        # While degraded, core 4 kept serving guests round-robin.
+        assert scheduler.degraded_picks > 0
+        incidents = [i for i in result.supervisor.incidents if i.kind == "degraded"]
+        assert incidents and incidents[0].cpu == 4
+        assert "mid-activation" in incidents[0].detail
+
+        # The supervisor drove a recovery replan through the daemon...
+        recoveries = result.health_report["recoveries"]
+        assert recoveries and recoveries[0]["committed"]
+        assert recoveries[0]["degraded_cores"] == [4]
+
+        # ...and the next successful switch restored table-driven
+        # dispatch on every core.
+        assert scheduler.table_switches >= 1
+        assert scheduler.degraded_cores == {}
+
+        # Control-plane invariants held through the whole episode.
+        assert result.audit_clean
+        assert result.audits > 0
+
+    def test_machine_wide_corruption_degrades_every_core_and_recovers(self):
+        faults = FaultPlan.table_switch_failure(calls=(1,), cpu=None, seed=4)
+        result = run_chaos(faults, seconds=0.5, seed=4)
+        scheduler = result.scheduler
+        assert scheduler.failed_switches == 1
+        # Every guest core went through degraded mode (dom0 cores host
+        # no guests, so only guest cores record picks), then recovered.
+        assert scheduler.degraded_picks > 1000
+        degraded_cpus = {
+            i.cpu for i in result.supervisor.incidents if i.kind == "degraded"
+        }
+        assert degraded_cpus.issuperset(result.machine.topology.guest_cores)
+        assert scheduler.degraded_cores == {}
+        assert result.audit_clean
+
+    def test_degraded_core_guests_keep_making_progress(self):
+        result = run_chaos(corruption_plan(), seconds=0.5, seed=3)
+        # Every vCPU homed on the degraded core still accumulated
+        # runtime: degraded round-robin is service, not a wedge.
+        homes = result.scheduler.table.home_cores
+        on_core4 = [name for name, cores in homes.items() if 4 in cores]
+        assert on_core4
+        for name in on_core4:
+            assert result.machine.vcpus[name].runtime_ns > 0
+
+
+class TestFaultFreeBaseline:
+    def test_health_layer_is_quiet_on_a_healthy_stack(self):
+        result = run_chaos(None, seconds=0.1, seed=42)
+        report = result.health_report
+        assert report["watchdog"]["kicks"] == 0
+        assert report["guarantees"]["violations"] == {}
+        assert report["dispatch"]["failed_switches"] == 0
+        assert report["dispatch"]["degraded_picks"] == 0
+        assert report["quarantines"] == {}
+        assert result.audit_clean
+
+    def test_chaos_preset_survives_every_seed(self):
+        # A miniature of the CI chaos matrix: the full preset mix must
+        # complete with a clean audit regardless of seed.
+        for seed in (101, 202):
+            result = run_chaos(
+                runtime_preset("chaos", seed=seed), seconds=0.2, seed=seed
+            )
+            assert result.audit_clean
+            assert result.scheduler.degraded_cores == {}

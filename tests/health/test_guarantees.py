@@ -1,0 +1,106 @@
+"""Online (U, L) guarantee monitoring: silent erosion becomes incidents."""
+
+from repro.core import MS, Planner, make_vm
+from repro.health import GuaranteeMonitor
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog
+
+
+def build_machine():
+    vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(2)]
+    plan = Planner(uniform(1)).plan(vms)
+    sched = TableauScheduler(plan.table)
+    machine = Machine(uniform(1), sched, seed=1)
+    machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=True))
+    machine.add_vcpu(VCpu("vm1.vcpu0", CpuHog(), capped=True))
+    return machine, sched
+
+
+class TestFaultFree:
+    def test_healthy_run_has_no_violations(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        monitor.start()
+        machine.run(400 * MS)
+        monitor.stop()
+        assert monitor.samples >= 9
+        assert monitor.violations == []
+
+    def test_stop_detaches_the_dispatch_listener(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        monitor.start()
+        assert machine.tracer.dispatch_listeners
+        monitor.stop()
+        assert monitor._on_dispatch not in machine.tracer.dispatch_listeners
+
+
+class TestViolationDetection:
+    def test_zero_progress_over_a_window_is_an_utilization_violation(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        machine.run(30 * MS)
+        monitor._sample()  # baseline
+        # Same instant, zero runtime delta: both hogs stayed runnable
+        # the whole "window" yet received nothing.
+        monitor._sample()
+        kinds = monitor.violations_by_kind()
+        assert kinds.get("utilization", 0) >= 2
+
+    def test_service_gap_beyond_blackout_bound_is_a_blackout_violation(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        machine.run(30 * MS)
+        monitor._sample()  # baseline
+        now = machine.engine.now
+        allowed = (
+            sched.table.max_blackout_ns("vm0.vcpu0") * monitor.l_slack
+        )
+        monitor._last_dispatch["vm0.vcpu0"] = int(now - allowed - 1)
+        # Give both hogs fake progress so the U check stays quiet and the
+        # L check is isolated.
+        for vcpu in machine.vcpus.values():
+            vcpu.runtime_ns += 5 * MS
+        monitor._sample()
+        violations = [v for v in monitor.violations if v.kind == "blackout"]
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.vcpu == "vm0.vcpu0"
+        assert violation.observed > violation.bound
+
+    def test_quarantined_vcpus_are_exempt(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        machine.run(30 * MS)
+        monitor._sample()
+        sched.quarantine("vm0.vcpu0", "test")
+        monitor._sample()  # zero progress, but vm0 is quarantined
+        assert all(v.vcpu != "vm0.vcpu0" for v in monitor.violations)
+
+    def test_on_violation_callback_fires(self):
+        machine, sched = build_machine()
+        seen = []
+        monitor = GuaranteeMonitor(
+            machine, sched, window_ns=40 * MS, on_violation=seen.append
+        )
+        machine.run(30 * MS)
+        monitor._sample()
+        monitor._sample()
+        assert seen and seen == monitor.violations
+
+    def test_bounds_cache_follows_table_switches(self):
+        machine, sched = build_machine()
+        monitor = GuaranteeMonitor(machine, sched, window_ns=40 * MS)
+        machine.run(10 * MS)
+        first = monitor._table_bounds()
+        assert monitor._table_bounds() is first  # cached per table
+        vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=True) for i in range(2)]
+        new_plan = Planner(uniform(1)).plan(vms)
+        sched.install_table(
+            new_plan.table, machine.engine.now // sched.table.length_ns + 1
+        )
+        machine.run(2 * sched.table.length_ns)
+        assert sched.table is new_plan.table
+        assert monitor._table_bounds() is not first

@@ -1,0 +1,170 @@
+"""Runtime fault injection at the machine's decision points.
+
+Covers the tentpole's machine-level sites — lost/delayed wakeup IPIs,
+per-core clock skew, timer jitter, stuck vCPUs — plus the two framing
+guarantees: an empty fault plan perturbs nothing, and chaos runs are
+bit-reproducible per seed.
+"""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.faults import FaultPlan
+from repro.faults.plan import runtime_preset
+from repro.health import run_chaos
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, Tracer, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+
+
+def build_machine(cores=1, capped=True, faults=None, tracer=None, workloads=None):
+    vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=capped) for i in range(2 * cores)]
+    plan = Planner(uniform(cores)).plan(vms)
+    sched = TableauScheduler(plan.table, faults=faults)
+    machine = Machine(uniform(cores), sched, seed=1, tracer=tracer, faults=faults)
+    for i in range(2 * cores):
+        workload = workloads[i] if workloads is not None else CpuHog()
+        machine.add_vcpu(VCpu(f"vm{i}.vcpu0", workload, capped=capped))
+    return machine, sched
+
+
+class TestIpiWire:
+    def test_lost_ipi_is_dropped_and_counted(self):
+        faults = FaultPlan.lost_ipi(cpu=0, persistent_from=1)
+        machine, _ = build_machine(faults=faults)
+        machine.send_resched_ipi(0)
+        assert machine.lost_ipis == 1
+        assert machine.cpus[0].resched is None
+
+    def test_delayed_ipi_arrives_late(self):
+        faults = FaultPlan.delayed_ipi(delay_ns=500_000, cpu=0)
+        machine, _ = build_machine(faults=faults)
+        machine.send_resched_ipi(0)
+        assert machine.delayed_ipis == 1
+        resched = machine.cpus[0].resched
+        assert resched is not None
+        assert resched.time == machine.engine.now + 500_000
+
+    def test_faults_are_scoped_to_the_targeted_core(self):
+        faults = FaultPlan.lost_ipi(cpu=1, persistent_from=1)
+        machine, _ = build_machine(cores=2, faults=faults)
+        machine.send_resched_ipi(0)
+        assert machine.lost_ipis == 0
+        assert machine.cpus[0].resched is not None
+        machine.send_resched_ipi(1)
+        assert machine.lost_ipis == 1
+        assert machine.cpus[1].resched is None
+
+    def test_transient_loss_recovers(self):
+        faults = FaultPlan.lost_ipi(cpu=0, calls=(1,))
+        machine, _ = build_machine(faults=faults)
+        machine.send_resched_ipi(0)
+        assert machine.cpus[0].resched is None
+        machine.send_resched_ipi(0)
+        assert machine.cpus[0].resched is not None
+        assert machine.lost_ipis == 1
+
+
+class TestClockAndTimer:
+    def test_timer_jitter_fires_and_simulation_survives(self):
+        faults = FaultPlan.timer_jitter(delay_ns=200_000, cpu=0, probability=1.0)
+        machine, _ = build_machine(faults=faults)
+        machine.run(50 * MS)
+        assert machine.jittered_timers > 0
+        assert machine.vcpus["vm0.vcpu0"].runtime_ns > 0
+
+    def test_clock_skew_shifts_but_preserves_reservations(self):
+        faults = FaultPlan.clock_skew(skew_ns=500_000, cpu=1)
+        machine, _ = build_machine(cores=2, faults=faults)
+        machine.run(200 * MS)
+        # The skewed core reads its table half a millisecond off, so
+        # slots shift in absolute time but keep their width: every guest
+        # still lands close to its 25% reservation.
+        for i in range(4):
+            assert machine.utilization_of(f"vm{i}.vcpu0") == pytest.approx(
+                0.25, abs=0.05
+            )
+
+    def test_negative_skew_clamps_at_time_zero(self):
+        faults = FaultPlan.clock_skew(skew_ns=-5 * MS, cpu=0)
+        machine, _ = build_machine(faults=faults)
+        machine.run(50 * MS)  # must not crash on local_now < 0 at boot
+        assert machine.vcpus["vm0.vcpu0"].runtime_ns > 0
+
+
+class TestStuckVcpu:
+    def test_overruns_counted_per_vcpu(self):
+        faults = FaultPlan.stuck_vcpu(
+            vcpu="vm0.vcpu0", extra_burst_ns=500_000, persistent_from=1
+        )
+        machine, _ = build_machine(
+            capped=False, faults=faults, workloads=[IoLoop(), CpuHog()]
+        )
+        machine.run(50 * MS)
+        assert machine.stuck_overruns > 0
+        assert (
+            machine.stuck_overruns_by_vcpu["vm0.vcpu0"] == machine.stuck_overruns
+        )
+
+    def test_stuck_vcpu_consumes_more_than_its_duty_cycle(self):
+        def run(faults):
+            machine, _ = build_machine(
+                capped=False, faults=faults, workloads=[IoLoop(), IoLoop()]
+            )
+            machine.run(100 * MS)
+            return machine.vcpus["vm0.vcpu0"].runtime_ns
+
+        stuck = run(
+            FaultPlan.stuck_vcpu(
+                vcpu="vm0.vcpu0", extra_burst_ns=1_000_000, persistent_from=1
+            )
+        )
+        healthy = run(None)
+        assert stuck > healthy
+
+
+class TestFingerprintSafety:
+    def test_empty_fault_plan_changes_nothing(self):
+        def dispatches(faults):
+            tracer = Tracer(keep_dispatches=True)
+            machine, _ = build_machine(
+                capped=False,
+                faults=faults,
+                tracer=tracer,
+                workloads=[IoLoop(), IoLoop()],
+            )
+            machine.run(100 * MS)
+            return [(d.time, d.cpu, d.vcpu, d.level) for d in tracer.dispatches]
+
+        assert dispatches(None) == dispatches(FaultPlan(seed=99))
+
+
+class TestDeterminism:
+    def test_chaos_runs_are_bit_reproducible_per_seed(self):
+        def signature(seed):
+            result = run_chaos(
+                runtime_preset("chaos", seed=seed), seconds=0.1, seed=seed
+            )
+            machine = result.machine
+            return (
+                result.injected_by_site,
+                machine.lost_ipis,
+                machine.delayed_ipis,
+                machine.jittered_timers,
+                machine.stuck_overruns,
+                result.scheduler.degraded_picks,
+                result.scheduler.failed_switches,
+                sorted((n, v.runtime_ns) for n, v in machine.vcpus.items()),
+            )
+
+        assert signature(7) == signature(7)
+
+    def test_different_seeds_diverge(self):
+        def faults_seen(seed):
+            result = run_chaos(
+                runtime_preset("chaos", seed=seed), seconds=0.1, seed=seed
+            )
+            return result.injected_by_site
+
+        assert faults_seen(7) != faults_seen(8)

@@ -1,0 +1,93 @@
+"""Health supervisor: stuck-guest quarantine, reconfiguration, release."""
+
+from repro.core import MS
+from repro.faults import FaultPlan
+from repro.health import (
+    QUARANTINE_UTILIZATION,
+    HealthSupervisor,
+    run_chaos,
+)
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+from repro.xen.toolstack import Toolstack
+
+
+class TestStuckGuestQuarantine:
+    def test_repeated_overruns_quarantine_the_guest(self):
+        faults = FaultPlan.stuck_vcpu(
+            vcpu="vm05.vcpu0", extra_burst_ns=2_000_000, persistent_from=1
+        )
+        result = run_chaos(faults, seconds=0.1, seed=5, stuck_threshold=3)
+        assert result.machine.stuck_overruns_by_vcpu["vm05.vcpu0"] >= 3
+        quarantines = result.health_report["quarantines"]
+        assert "vm05.vcpu0" in quarantines
+        record = quarantines["vm05.vcpu0"]
+        assert "stuck guest" in record["reason"]
+        assert record["released_at_ns"] is None
+        assert "vm05.vcpu0" in result.scheduler.quarantined
+
+    def test_healthy_guests_are_left_alone(self):
+        result = run_chaos(None, seconds=0.1, seed=5)
+        assert result.health_report["quarantines"] == {}
+        assert result.scheduler.quarantined == {}
+
+    def test_release_returns_the_guest_to_service(self):
+        faults = FaultPlan.stuck_vcpu(
+            vcpu="vm05.vcpu0", extra_burst_ns=2_000_000, persistent_from=1
+        )
+        result = run_chaos(faults, seconds=0.1, seed=5)
+        supervisor = result.supervisor
+        supervisor.release_vcpu("vm05.vcpu0")
+        assert "vm05.vcpu0" not in result.scheduler.quarantined
+        assert supervisor.quarantines["vm05.vcpu0"].released_at_ns is not None
+
+
+class TestToolstackReconfiguration:
+    def build_stack(self):
+        toolstack = Toolstack(uniform(2))
+        toolstack.create_vm("web", 0.25, 20 * MS)
+        toolstack.create_vm("db", 0.25, 20 * MS)
+        plan = toolstack.current_plan
+        scheduler = TableauScheduler(plan.table)
+        machine = Machine(uniform(2), scheduler, seed=1)
+        machine.add_vcpu(VCpu("web.vcpu0", IoLoop()))
+        machine.add_vcpu(VCpu("db.vcpu0", CpuHog()))
+        supervisor = HealthSupervisor(machine, scheduler, toolstack=toolstack)
+        return toolstack, machine, scheduler, supervisor
+
+    def test_quarantine_reconfigures_the_domain_down(self):
+        toolstack, machine, scheduler, supervisor = self.build_stack()
+        record = supervisor.quarantine_vcpu("web.vcpu0", "operator action")
+        assert record.reconfigured is True
+        spec = next(s for s in toolstack.registry.specs if s.name == "web")
+        assert spec.vcpus[0].utilization == QUARANTINE_UTILIZATION
+        assert "web.vcpu0" in scheduler.quarantined
+
+    def test_unknown_domain_still_quarantines(self):
+        toolstack, machine, scheduler, supervisor = self.build_stack()
+        record = supervisor.quarantine_vcpu("ghost.vcpu0", "test")
+        assert record.reconfigured is False
+        assert "ghost.vcpu0" in scheduler.quarantined
+
+
+class TestReporting:
+    def test_report_has_all_sections(self):
+        result = run_chaos(None, seconds=0.05, seed=1)
+        report = result.health_report
+        for key in (
+            "watchdog",
+            "guarantees",
+            "faults_observed",
+            "dispatch",
+            "quarantines",
+            "incidents",
+            "recoveries",
+            "commits_seen",
+        ):
+            assert key in report
+        assert report["watchdog"]["checks"] > 0
+        # The initial census commit happened before the supervisor hooked
+        # the daemon, but periodic regenerations are seen.
+        assert report["dispatch"]["table_switches"] >= 0

@@ -1,0 +1,96 @@
+"""Satellite regression: wakeup racing a table switch at the activation
+boundary must settle L2 budgets *before* the switch.
+
+Pre-fix, ``pick_next`` switched tables (rebuilding second-level
+membership) and only then settled the previous pick's consumed budget.
+A reschedule landing exactly on the activation wrap therefore charged
+the consumption against the *new* table's per-core state: if the vCPU's
+home core moved, the charge went to a stale (empty) state on the old
+core and the budget carried to the new home was never decremented —
+the vCPU was silently over-serviced by a full L2 slice per switch.
+"""
+
+from repro.schedulers import TableauScheduler
+from repro.sim import VCpu
+from repro.workloads import CpuHog
+
+from tests.health.conftest import MS, make_table
+
+CYCLE = 10 * MS
+EPOCH = 10 * MS  # default L2 epoch: one runnable member gets it all
+
+
+def build_scheduler():
+    table_a = make_table(
+        CYCLE,
+        {
+            0: [(0, 1 * MS, "vmA.vcpu0"), (1 * MS, 2 * MS, "vmB.vcpu0")],
+            1: [(0, 1 * MS, "vmC.vcpu0")],
+        },
+    )
+    sched = TableauScheduler(table_a)
+    sched.add_vcpu(VCpu("vmA.vcpu0", CpuHog(), capped=True))
+    vcpu_b = VCpu("vmB.vcpu0", CpuHog(), capped=False)
+    sched.add_vcpu(vcpu_b)
+    sched.add_vcpu(VCpu("vmC.vcpu0", CpuHog(), capped=True))
+    return sched, vcpu_b
+
+
+def run_l2_then_switch(sched, vcpu_b, table_b, consumed_ns):
+    """Give vmB an L2 slice, consume, then pick exactly at the wrap."""
+    vcpu_b.begin_burst(20 * MS)  # runnable
+    decision = sched.pick_next(0, 3 * MS)  # idle slot on core 0
+    assert decision.vcpu is vcpu_b and decision.level == 2
+    assert sched._l2[0].budgets["vmB.vcpu0"] == EPOCH  # replenished
+    vcpu_b.consume(consumed_ns)
+    sched.install_table(table_b, first_cycle=1)
+    # The racing wakeup: a reschedule delivered at exactly the
+    # activation boundary re-enters pick_next at the wrap instant.
+    sched.pick_next(0, CYCLE)
+    assert sched.table is table_b
+    assert sched.table_switches == 1
+
+
+class TestSwitchRace:
+    def test_budget_settles_before_a_home_core_move(self):
+        sched, vcpu_b = build_scheduler()
+        table_b = make_table(
+            CYCLE,
+            {
+                0: [(0, 1 * MS, "vmA.vcpu0")],
+                1: [(0, 1 * MS, "vmC.vcpu0"), (1 * MS, 2 * MS, "vmB.vcpu0")],
+            },
+        )
+        run_l2_then_switch(sched, vcpu_b, table_b, consumed_ns=400_000)
+        # vmB's home moved 0 -> 1; the budget carried to the new home
+        # must already reflect the 400 us consumed under the old table.
+        assert sched._l2[1].budgets["vmB.vcpu0"] == EPOCH - 400_000
+        # And no stale membership survives on the old home core.
+        old = sched._l2.get(0)
+        assert old is None or all(
+            m.name != "vmB.vcpu0" for m in old.members
+        )
+
+    def test_budget_settles_when_home_core_is_unchanged(self):
+        sched, vcpu_b = build_scheduler()
+        table_b = make_table(
+            CYCLE,
+            {
+                0: [(0, 1 * MS, "vmA.vcpu0"), (2 * MS, 3 * MS, "vmB.vcpu0")],
+                1: [(0, 1 * MS, "vmC.vcpu0")],
+            },
+        )
+        run_l2_then_switch(sched, vcpu_b, table_b, consumed_ns=250_000)
+        assert sched._l2[0].budgets["vmB.vcpu0"] == EPOCH - 250_000
+
+    def test_exhausted_budget_clamps_at_zero_across_the_switch(self):
+        sched, vcpu_b = build_scheduler()
+        table_b = make_table(
+            CYCLE,
+            {
+                0: [(0, 1 * MS, "vmA.vcpu0")],
+                1: [(0, 1 * MS, "vmC.vcpu0"), (1 * MS, 2 * MS, "vmB.vcpu0")],
+            },
+        )
+        run_l2_then_switch(sched, vcpu_b, table_b, consumed_ns=11 * MS)
+        assert sched._l2[1].budgets["vmB.vcpu0"] == 0

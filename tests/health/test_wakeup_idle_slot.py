@@ -1,0 +1,136 @@
+"""Satellite: on_wakeup onto an idle table slot (L2 path) under IPI faults.
+
+The canonical high-density census packs every core exactly, so wakeups
+never cross cores and the IPI wire is never exercised.  These tests use
+a hand-built table instead: vmB is uncapped with a single 1 ms
+allocation at the tail of core 1's 10 ms cycle, so a wake at any earlier
+offset lands on an *idle* slot and takes the second-level path
+(``on_wakeup`` -> idle home core -> cross-core rescheduling IPI, since
+the wake interrupt is processed on core 0).  The wake offset is swept
+across every 1 ms second-level slice position of the epoch; the final
+position falls inside vmB's own allocation and must take the level-1
+path instead.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.health import CoreWatchdog
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, Tracer, VCpu
+from repro.topology import uniform
+from repro.workloads import CpuHog
+
+from tests.health.conftest import MS, OnDemand, make_table
+
+#: Table cycle == the default L2 epoch (10 ms), so table offsets and
+#: epoch positions coincide; vmB's own slot occupies position 9.
+CYCLE = 10 * MS
+BASE = 2 * CYCLE  # first wake instant: past all boot transients
+DELAY_NS = 300_000
+
+
+def build_machine(faults=None):
+    table = make_table(
+        CYCLE,
+        {
+            0: [(0, 1 * MS, "vmA.vcpu0")],
+            1: [(9 * MS, 10 * MS, "vmB.vcpu0")],
+        },
+    )
+    sched = TableauScheduler(table)
+    tracer = Tracer(keep_dispatches=True)
+    machine = Machine(uniform(2), sched, seed=1, tracer=tracer, faults=faults)
+    machine.add_vcpu(VCpu("vmA.vcpu0", CpuHog(), capped=True))
+    workload = OnDemand(burst_ns=100_000)
+    machine.add_vcpu(VCpu("vmB.vcpu0", workload, capped=False))
+    return machine, sched, tracer, workload
+
+
+def wake_remotely(machine, at_ns):
+    """Advance to ``at_ns`` and wake vmB with the interrupt processed on
+    core 0 (so the notification to its home core crosses the wire)."""
+    machine.run(at_ns - machine.engine.now)
+    assert machine.engine.now == at_ns
+    vcpu = machine.vcpus["vmB.vcpu0"]
+    vcpu.last_cpu = 0
+    machine.wake(vcpu)
+
+
+def dispatches_of(tracer, name, since):
+    return [
+        d for d in tracer.dispatches if d.vcpu == name and d.time >= since
+    ]
+
+
+class TestDelayedIpi:
+    @pytest.mark.parametrize("position", range(9))
+    def test_idle_slot_wake_is_served_at_l2_after_the_delay(self, position):
+        faults = FaultPlan.delayed_ipi(delay_ns=DELAY_NS, cpu=1)
+        machine, sched, tracer, workload = build_machine(faults)
+        wake_at = BASE + position * MS
+        wake_remotely(machine, wake_at)
+        machine.run(1 * MS)
+        assert machine.delayed_ipis == 1
+        served = dispatches_of(tracer, "vmB.vcpu0", wake_at)
+        assert served, "woken vCPU was never dispatched"
+        first = served[0]
+        assert first.cpu == 1
+        assert first.level == 2  # idle table slot: second-level pick
+        assert first.time >= wake_at + DELAY_NS
+        assert machine.vcpus["vmB.vcpu0"].runtime_ns == 100_000
+
+    def test_in_slot_wake_takes_the_level1_path(self):
+        faults = FaultPlan.delayed_ipi(delay_ns=DELAY_NS, cpu=1)
+        machine, sched, tracer, workload = build_machine(faults)
+        wake_at = BASE + 9 * MS  # inside vmB's own allocation
+        wake_remotely(machine, wake_at)
+        machine.run(1 * MS)
+        served = dispatches_of(tracer, "vmB.vcpu0", wake_at)
+        assert served and served[0].level == 1
+        assert served[0].time >= wake_at + DELAY_NS
+
+    def test_every_epoch_position_in_one_run(self):
+        faults = FaultPlan.delayed_ipi(delay_ns=DELAY_NS, cpu=1)
+        machine, sched, tracer, workload = build_machine(faults)
+        for position in range(9):
+            wake_remotely(machine, BASE + position * CYCLE + position * MS)
+        machine.run(1 * MS)
+        assert machine.delayed_ipis == 9
+        assert len(workload.dispatches) == 9
+        assert machine.vcpus["vmB.vcpu0"].runtime_ns == 9 * 100_000
+
+
+class TestLostIpi:
+    def test_lost_wakeup_strands_until_the_next_table_boundary(self):
+        faults = FaultPlan.lost_ipi(cpu=1, persistent_from=1)
+        machine, sched, tracer, workload = build_machine(faults)
+        wake_at = BASE + 2 * MS
+        wake_remotely(machine, wake_at)
+        machine.run(8 * MS)
+        assert machine.lost_ipis == 1
+        served = dispatches_of(tracer, "vmB.vcpu0", wake_at)
+        assert served, "bounded staleness: the table slot still serves"
+        # Nothing re-ran core 1's scheduler until its own next boundary
+        # (the start of vmB's slot at offset 9 ms).
+        assert served[0].time >= BASE + 9 * MS
+
+    def test_watchdog_closes_the_lost_ipi_gap(self):
+        faults = FaultPlan.lost_ipi(cpu=1, persistent_from=1)
+        machine, sched, tracer, workload = build_machine(faults)
+        machine.run(BASE - machine.engine.now)
+        watchdog = CoreWatchdog(
+            machine, sched, 1, period_ns=1 * MS, stall_bound_ns=2 * MS
+        )
+        watchdog.start()
+        wake_at = BASE + 2 * MS
+        wake_remotely(machine, wake_at)
+        machine.run(3 * MS)
+        watchdog.stop()
+        assert machine.lost_ipis == 1
+        assert watchdog.kicks >= 1
+        served = dispatches_of(tracer, "vmB.vcpu0", wake_at)
+        assert served
+        # Served from the watchdog kick, far before the 9 ms boundary.
+        assert served[0].time < BASE + 9 * MS
+        assert served[0].level == 2

@@ -1,0 +1,121 @@
+"""Per-core watchdog: stall detection without fault-free false positives."""
+
+from repro.core import MS, Planner, make_vm
+from repro.health import CoreWatchdog
+from repro.schedulers import TableauScheduler
+from repro.sim import Machine, VCpu
+from repro.sim.vm import VCpuState
+from repro.topology import uniform
+from repro.workloads import CpuHog, IoLoop
+
+
+def build_machine(capped=False):
+    vms = [make_vm(f"vm{i}", 0.25, 20 * MS, capped=capped) for i in range(2)]
+    plan = Planner(uniform(1)).plan(vms)
+    sched = TableauScheduler(plan.table)
+    machine = Machine(uniform(1), sched, seed=1)
+    machine.add_vcpu(VCpu("vm0.vcpu0", CpuHog(), capped=capped))
+    machine.add_vcpu(VCpu("vm1.vcpu0", IoLoop(), capped=capped))
+    return machine, sched
+
+
+def strand_core(machine, cpu_index):
+    """Simulate the failure the watchdog exists for: the core's dispatch
+    events evaporate while runnable work remains."""
+    cpu = machine.cpus[cpu_index]
+    current = cpu.current
+    if current is not None:
+        current.state = VCpuState.RUNNABLE
+        current.pcpu = None
+        cpu.current = None
+    if cpu.event is not None:
+        cpu.event.cancel()
+        cpu.event = None
+    if cpu.resched is not None:
+        cpu.resched.cancel()
+        cpu.resched = None
+
+
+class TestFaultFree:
+    def test_healthy_run_is_never_kicked(self):
+        machine, sched = build_machine()
+        watchdog = CoreWatchdog(machine, sched, 0)
+        watchdog.start()
+        machine.run(100 * MS)
+        watchdog.stop()
+        assert watchdog.checks >= 90
+        assert watchdog.kicks == 0
+
+    def test_start_stop_lifecycle(self):
+        machine, sched = build_machine()
+        watchdog = CoreWatchdog(machine, sched, 0)
+        assert not watchdog.active
+        watchdog.start()
+        assert watchdog.active
+        watchdog.stop()
+        assert not watchdog.active
+
+
+class TestStallDetection:
+    def test_stranded_runnable_work_is_kicked_and_recovers(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        strand_core(machine, 0)
+        assert sched.runnable_on(0) > 0
+        watchdog = CoreWatchdog(machine, sched, 0)
+        assert watchdog.check() is True
+        assert watchdog.kicks == 1
+        before = machine.vcpus["vm0.vcpu0"].runtime_ns
+        machine.run(10 * MS)
+        assert machine.vcpus["vm0.vcpu0"].runtime_ns > before
+
+    def test_event_beyond_stall_bound_counts_as_stalled(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        strand_core(machine, 0)
+        cpu = machine.cpus[0]
+        now = machine.engine.now
+        cpu.event = machine.engine.at(now + 5 * MS, cpu.event_cb)
+        watchdog = CoreWatchdog(machine, sched, 0, stall_bound_ns=2 * MS)
+        assert watchdog.check() is True
+
+    def test_event_within_stall_bound_is_left_alone(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        strand_core(machine, 0)
+        cpu = machine.cpus[0]
+        now = machine.engine.now
+        cpu.event = machine.engine.at(now + 2 * MS, cpu.event_cb)
+        watchdog = CoreWatchdog(machine, sched, 0, stall_bound_ns=2 * MS)
+        assert watchdog.check() is False
+        assert watchdog.kicks == 0
+
+    def test_busy_core_is_never_stalled(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        watchdog = CoreWatchdog(machine, sched, 0)
+        # The hog keeps the core busy (or a resched is in flight at the
+        # stop instant); either way the watchdog must not kick.
+        assert watchdog.check() is False
+
+    def test_idle_core_without_runnable_work_is_not_stalled(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        strand_core(machine, 0)
+        for vcpu in machine.vcpus.values():
+            vcpu.state = VCpuState.BLOCKED
+        watchdog = CoreWatchdog(machine, sched, 0)
+        assert watchdog.check() is False
+
+    def test_incident_callback_reports_the_stall(self):
+        machine, sched = build_machine()
+        machine.run(30 * MS)
+        strand_core(machine, 0)
+        incidents = []
+        watchdog = CoreWatchdog(machine, sched, 0, on_incident=incidents.append)
+        watchdog.check()
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.cpu == 0
+        assert incident.kind == "stall"
+        assert "runnable" in incident.detail

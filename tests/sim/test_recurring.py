@@ -1,0 +1,81 @@
+"""Regression tests for RecurringHandle cancellation semantics.
+
+A recurring callback that cancels its own handle (a watchdog deciding
+it is done) or raises (a strict auditor) must not have its next firing
+rescheduled behind its back.  Pre-fix, ``_fire`` cleared ``_event``
+before invoking the callback, so a self-cancel found nothing to cancel
+and the series kept running forever.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.sim.engine import SimEngine
+
+
+class TestSelfCancel:
+    def test_callback_cancelling_itself_stops_the_series(self):
+        engine = SimEngine()
+        fired = []
+
+        def tick():
+            fired.append(engine.now)
+            if len(fired) == 2:
+                handle.cancel()
+
+        handle = engine.every(100, tick)
+        engine.run_until(1_000)
+        assert fired == [100, 200]
+        assert not handle.active
+
+    def test_self_cancel_leaves_no_pending_event(self):
+        engine = SimEngine()
+
+        def tick():
+            handle.cancel()
+
+        handle = engine.every(100, tick)
+        engine.run_until(100)
+        assert engine.pending_events == 0
+        engine.run_until(10_000)
+        assert handle.fires == 1
+
+    def test_cancel_after_self_cancel_is_idempotent(self):
+        engine = SimEngine()
+
+        def tick():
+            handle.cancel()
+
+        handle = engine.every(100, tick)
+        engine.run_until(100)
+        handle.cancel()
+        assert not handle.active
+        assert handle.fires == 1
+
+
+class TestRaisingCallback:
+    def test_raising_callback_does_not_reschedule(self):
+        engine = SimEngine()
+        fires = []
+
+        def tick():
+            fires.append(engine.now)
+            raise InvariantViolation("strict auditor tripped")
+
+        handle = engine.every(100, tick)
+        with pytest.raises(InvariantViolation):
+            engine.run_until(1_000)
+        assert fires == [100]
+        assert not handle.active
+        # The series is dead: resuming the simulation fires nothing.
+        engine.run_until(10_000)
+        assert fires == [100]
+
+    def test_normal_series_still_recurs(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.every(250, lambda: fired.append(engine.now))
+        engine.run_until(1_000)
+        assert fired == [250, 500, 750, 1_000]
+        assert handle.active
+        assert handle.fires == 4
