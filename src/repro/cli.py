@@ -165,6 +165,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.audit_clean else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        format_human,
+        format_json,
+        iter_rules,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id:24s} [{rule.family}] {rule.description}")
+        return 0
+    rules = args.rules.split(",") if args.rules else None
+    report = lint_paths(args.paths, rules=rules)
+    rendered = format_json(report) if args.format == "json" else format_human(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tableau-repro",
@@ -252,6 +276,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path (the CI artifact)",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static analysis (determinism, "
+        "time-units, hot-path, error-handling, layering rules); exits "
+        "non-zero on findings",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -28,6 +28,9 @@ from repro.core.params import (
     MS,
     SEC,
     US,
+    CoreId,
+    DomainId,
+    Nanoseconds,
     ServiceTier,
     VCpuSpec,
     VMSpec,
@@ -97,6 +100,9 @@ __all__ = [
     "METHOD_SEMI_PARTITIONED",
     "MIN_PERIOD_NS",
     "MS",
+    "CoreId",
+    "DomainId",
+    "Nanoseconds",
     "PartitionResult",
     "PeriodicTask",
     "PlanResult",

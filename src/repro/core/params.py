@@ -10,14 +10,31 @@ consumes, plus the service-tier / fair-share helpers the paper sketches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, NewType, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
+#: Integer nanoseconds on the simulated clock.  The repo-wide convention
+#: (enforced by ``repro.lint``'s time-unit rules) is that clock values
+#: are integers; only *measured* quantities (cost models, statistics)
+#: may be floats, and must say so with an explicit ``float`` annotation.
+#: ``Nanoseconds`` is a zero-cost ``NewType`` — it behaves exactly like
+#: ``int`` at runtime but lets mypy track where a value is known to be a
+#: nanosecond count rather than a bare integer.
+Nanoseconds = NewType("Nanoseconds", int)
+
+#: Physical core index within a :class:`repro.topology.Topology`
+#: (0-based, socket-major order).
+CoreId = NewType("CoreId", int)
+
+#: Xen-style numeric domain identifier (domid 0 is dom0, the control
+#: domain; guests start at 1).
+DomainId = NewType("DomainId", int)
+
 #: Convenience time-unit constants (nanoseconds).
-US = 1_000
-MS = 1_000_000
-SEC = 1_000_000_000
+US = Nanoseconds(1_000)
+MS = Nanoseconds(1_000_000)
+SEC = Nanoseconds(1_000_000_000)
 
 
 @dataclass(frozen=True)

@@ -20,15 +20,16 @@ from bisect import bisect_right
 from functools import lru_cache
 from typing import List, Sequence, Tuple
 
+from repro.core.params import Nanoseconds
 from repro.errors import ConfigurationError, LatencyInfeasibleError
 
 #: Tableau's table length in nanoseconds (~102.7 ms), chosen for its 186
 #: integer divisors above the 100 us enforceability threshold.
-HYPERPERIOD_NS: int = 102_702_600
+HYPERPERIOD_NS: Nanoseconds = Nanoseconds(102_702_600)
 
 #: Minimum enforceable period (100 us).  Periods below this are excluded
 #: because scheduling overheads make them impossible to enforce.
-MIN_PERIOD_NS: int = 100_000
+MIN_PERIOD_NS: Nanoseconds = Nanoseconds(100_000)
 
 
 def factorize(n: int) -> List[Tuple[int, int]]:

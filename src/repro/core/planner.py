@@ -227,7 +227,9 @@ class Planner:
         return retry
 
     def _plan_once(self, vcpus: List[VCpuSpec]) -> PlanResult:
-        started = time.perf_counter()
+        # Wall time is measured only to report planner generation cost
+        # (PlanStats.generation_seconds); it never feeds scheduling state.
+        started = time.perf_counter()  # repro: allow[det-wallclock]
         guest_cores = self.topology.guest_cores
         admission = admit_or_raise(
             vcpus, len(guest_cores), self.hyperperiod_ns, self.min_period_ns
@@ -275,6 +277,7 @@ class Planner:
 
         stats = PlanStats(
             method=method,
+            # repro: allow[det-wallclock] -- stats only, never scheduling state
             generation_seconds=time.perf_counter() - started,
             num_vcpus=len(vcpus),
             num_tasks=len(tasks),
@@ -483,7 +486,9 @@ class Planner:
                 )
                 for core, tasks, _key in pending
             ]
-            workers = min(len(pending), os.cpu_count() or 1)
+            # Pool sizing only: every worker computes the same tables, so
+            # the plan is identical whatever cpu_count() reports.
+            workers = min(len(pending), os.cpu_count() or 1)  # repro: allow[det-env-branch]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_materialize_core_worker, payloads))
         except Exception:

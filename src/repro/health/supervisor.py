@@ -275,9 +275,10 @@ class HealthSupervisor:
                 )
                 record.reconfigured = True
             except (StopIteration, ReproError):
-                # No such domain, or the replan failed: the quarantine
-                # itself still stands — the guest stays off-CPU under
-                # the old table.
+                # repro: allow[err-swallowed-error] -- the failure is
+                # already observable: record.reconfigured stays False and
+                # the quarantine itself still stands — the guest stays
+                # off-CPU under the old table.
                 pass
         return record
 

@@ -1,0 +1,23 @@
+"""The ``@hotpath`` marker for dispatch-rate-critical functions.
+
+Marking a function does nothing at runtime (the decorator returns the
+function unchanged after tagging it) — the marker exists for
+:mod:`repro.lint`, whose ``hot-*`` rules ban per-call allocation
+patterns (comprehensions, closures, f-strings, ``*args`` packing)
+inside marked bodies.  The marked set is the paths whose throughput the
+perf-regression harness (``benchmarks/hotpath.py``) guards:
+``TableauScheduler.pick_next`` (including the inlined L2 settle),
+``SimEngine.run_until``, and the machine's resched/timer path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def hotpath(func: F) -> F:
+    """Mark ``func`` as a hot path (lint-enforced, zero runtime cost)."""
+    func.__repro_hotpath__ = True  # type: ignore[attr-defined]
+    return func

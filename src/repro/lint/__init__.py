@@ -1,0 +1,41 @@
+"""repro.lint — repo-specific static analysis for the Tableau reproduction.
+
+An AST-based pass that enforces the invariants the runtime tests cannot
+see until they break: determinism of everything feeding scheduling
+decisions, integer-nanosecond time flow, allocation-free ``@hotpath``
+functions, transactional error handling, and the import-layer diagram.
+Run it as ``tableau-repro lint src/repro`` (human output) or with
+``--format=json`` for the CI artifact; suppress a finding with a
+``# repro: allow[rule-id]`` comment plus a justification.
+
+Rule families
+-------------
+
+=============== ==================================================
+``det-*``       determinism (seeded RNG, no wall clock, ordered
+                iteration, no env branches)
+``time-*``      integer-nanosecond flow over ``*_ns`` names
+``hot-*``       allocation discipline inside ``@hotpath`` functions
+``err-*``       bare excepts, swallowed errors, registry rollback
+``lay-*``       import layering
+=============== ==================================================
+"""
+
+from repro.lint.driver import discover_files, lint_paths, lint_source
+from repro.lint.findings import Finding, LintReport
+from repro.lint.registry import Rule, iter_rules, register, rule_ids
+from repro.lint.reporters import format_human, format_json
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "discover_files",
+    "format_human",
+    "format_json",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_ids",
+]

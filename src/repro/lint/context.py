@@ -1,0 +1,148 @@
+"""Per-module analysis context: source, AST, module name, suppressions.
+
+The driver parses each file once and hands every rule the same
+:class:`ModuleContext`.  The context also owns the suppression protocol:
+a violation is silenced by a ``# repro: allow[rule-id]`` comment either
+trailing any line of the offending statement or on a comment line
+directly above it.  Multiple ids may be listed, comma-separated::
+
+    table = {c: t for c in cores}  # repro: allow[hot-comprehension]
+
+    # repro: allow[det-wallclock] -- wall time feeds stats, never the clock
+    started = time.perf_counter()
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.lint.symbols import ProjectSymbols
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if ids:
+            allowed[number] = ids
+    return allowed
+
+
+def module_name_for(path: str) -> str:
+    """Infer the dotted module name from a file path.
+
+    Looks for the right-most ``repro`` path component and joins from
+    there (``.../src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    package ``__init__.py`` maps to the package itself).  Files outside
+    a ``repro`` tree get an empty module name, which keeps package-
+    scoped rules from firing on unrelated code such as test fixtures.
+    """
+    parts = path.replace("\\", "/").split("/")
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return ""
+    dotted = parts[start:]
+    if dotted[-1].endswith(".py"):
+        dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    type_checking_spans: List[Tuple[int, int]] = field(default_factory=list)
+    #: Project-wide ``*_ns`` signature table, installed by the driver.
+    symbols: Optional["ProjectSymbols"] = None
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, module: Optional[str] = None
+    ) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        ctx = cls(
+            path=path,
+            module=module_name_for(path) if module is None else module,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=parse_suppressions(lines),
+        )
+        ctx.type_checking_spans = _type_checking_spans(tree)
+        return ctx
+
+    @classmethod
+    def from_file(cls, path: str, module: Optional[str] = None) -> "ModuleContext":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), path, module)
+
+    # ------------------------------------------------------------------
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when this module lives under any of the dotted prefixes."""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+    def is_suppressed(self, rule_id: str, node: ast.AST) -> bool:
+        """True when an allow-comment covers ``node`` for ``rule_id``.
+
+        Checks the comment line directly above the node plus every
+        physical line the node spans (so trailing comments work on
+        multi-line statements).
+        """
+        if not self.suppressions:
+            return False
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", first) or first
+        for line in range(first - 1, last + 1):
+            if rule_id in self.suppressions.get(line, ()):
+                return True
+        return False
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside an ``if TYPE_CHECKING:`` block."""
+        line = getattr(node, "lineno", 0)
+        for start, end in self.type_checking_spans:
+            if start <= line <= end:
+                return True
+        return False
+
+
+def _type_checking_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _mentions_type_checking(node.test):
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+            spans.append((node.lineno, end))
+    return spans
+
+
+def _mentions_type_checking(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False

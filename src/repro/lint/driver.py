@@ -1,0 +1,110 @@
+"""The lint driver: discover files, run rules, collect findings.
+
+Two passes: the first parses every file and builds the project-wide
+:class:`~repro.lint.symbols.ProjectSymbols` table (annotations of
+``*_ns`` parameters and fields); the second runs every applicable rule
+over every module, filtering findings through the suppression comments.
+Files are visited in sorted order so reports are deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, LintReport
+from repro.lint.registry import Rule, iter_rules
+from repro.lint.symbols import ProjectSymbols, build_symbols
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            found.append(path)
+    return sorted(dict.fromkeys(found))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules."""
+    report = LintReport()
+    contexts: List[ModuleContext] = []
+    for path in discover_files(paths):
+        try:
+            contexts.append(ModuleContext.from_file(path))
+        except SyntaxError as error:
+            report.parse_errors += 1
+            report.findings.append(
+                Finding(
+                    rule_id="lint-parse-error",
+                    path=path,
+                    line=error.lineno or 0,
+                    col=(error.offset or 1) - 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    report.files_checked = len(contexts)
+    symbols = build_symbols((ctx.module, ctx.tree) for ctx in contexts)
+    selected = list(iter_rules(rules))
+    for ctx in contexts:
+        _check_module(ctx, selected, symbols, report)
+    report.findings = report.sorted_findings()
+    return report
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Iterable[str]] = None,
+    symbols: Optional[ProjectSymbols] = None,
+) -> LintReport:
+    """Lint one in-memory module (the test harness entry point).
+
+    ``module`` overrides the dotted module name inferred from ``path``
+    so fixtures can exercise package-scoped rules without living inside
+    the real tree.
+    """
+    report = LintReport()
+    ctx = ModuleContext.from_source(source, path, module)
+    report.files_checked = 1
+    if symbols is None:
+        symbols = build_symbols([(ctx.module, ctx.tree)])
+    _check_module(ctx, list(iter_rules(rules)), symbols, report)
+    report.findings = report.sorted_findings()
+    return report
+
+
+def _check_module(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    symbols: ProjectSymbols,
+    report: LintReport,
+) -> None:
+    ctx.symbols = symbols
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            anchor = ast.Constant(value=None)
+            anchor.lineno = finding.line  # type: ignore[attr-defined]
+            anchor.end_lineno = finding.end_line or finding.line  # type: ignore[attr-defined]
+            if ctx.is_suppressed(finding.rule_id, anchor):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)

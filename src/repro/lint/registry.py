@@ -1,0 +1,100 @@
+"""Rule base class and the global rule registry.
+
+A rule is a small object with a stable ``id``, a one-line
+``description``, an optional package ``scope``, and a ``check`` method
+yielding :class:`~repro.lint.findings.Finding` objects for one module.
+Rules self-register at import time via the :func:`register` decorator;
+the driver iterates :func:`iter_rules` so adding a rule is a one-file
+change (define it, import the module from ``repro.lint.rules``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Class attributes:
+        id: Stable kebab-case identifier used in reports and in
+            ``# repro: allow[...]`` suppression comments.
+        family: Rule family (``determinism``, ``time-units``,
+            ``hot-path``, ``error-handling``, ``layering``).
+        description: One-line summary shown by ``lint --list-rules``.
+        scope: Dotted package prefixes the rule applies to; empty means
+            every linted module.
+    """
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    scope: tuple = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not self.scope:
+            return True
+        return ctx.in_package(*self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # Convenience for subclasses -----------------------------------------
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            end_line=getattr(node, "end_lineno", line) or line,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def iter_rules(only: Optional[Iterable[str]] = None) -> Iterator[Rule]:
+    """All registered rules, or the subset named in ``only``."""
+    _load_builtin_rules()
+    if only is None:
+        yield from (_REGISTRY[key] for key in sorted(_REGISTRY))
+        return
+    wanted = list(only)
+    unknown = [rule_id for rule_id in wanted if rule_id not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    yield from (_REGISTRY[key] for key in sorted(wanted))
+
+
+def rule_ids() -> List[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+_loaded = False
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (they register on import)."""
+    global _loaded
+    if not _loaded:
+        _loaded = True
+        import repro.lint.rules  # noqa: F401

@@ -1,0 +1,45 @@
+"""Render a :class:`~repro.lint.findings.LintReport` for humans or CI.
+
+The human format is one ``path:line:col rule-id message`` line per
+finding plus a summary; the JSON format is a stable document the CI job
+uploads as an artifact (``findings`` list plus counters), so downstream
+tooling can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import LintReport
+
+
+def format_human(report: LintReport) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule_id}: {finding.message}")
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"checked {report.files_checked} file(s): {status}"
+        f" ({report.suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    document = {
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "parse_errors": report.parse_errors,
+        "ok": report.ok,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col + 1,
+                "message": finding.message,
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,18 @@
+"""Built-in rule families; importing this package registers them all.
+
+To add a rule: subclass :class:`repro.lint.registry.Rule` in the
+matching family module (or a new one), decorate it with ``@register``,
+and import the module here.  Give it a kebab-case ``id`` — that id is
+what ``# repro: allow[...]`` suppressions and reports use — and add a
+known-good/known-bad fixture pair under ``tests/lint/fixtures/``.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    error_handling,
+    hotpath,
+    layering,
+    time_units,
+)
+
+__all__ = ["determinism", "error_handling", "hotpath", "layering", "time_units"]

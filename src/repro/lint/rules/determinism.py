@@ -1,0 +1,303 @@
+"""Determinism rules (``det-*``).
+
+The reproduction's headline property is bit-identical same-seed traces
+(fingerprint ``eb99ea934a2278f6``).  Everything that can silently break
+that — global RNG state, wall-clock reads, hash-order iteration, and
+environment-dependent branches — is banned from the packages that feed
+scheduling decisions: ``repro.sim``, ``repro.schedulers``,
+``repro.core``, and ``repro.faults``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Packages whose code feeds scheduling decisions.
+DETERMINISM_SCOPE = (
+    "repro.sim",
+    "repro.schedulers",
+    "repro.core",
+    "repro.faults",
+)
+
+#: ``random`` module attributes that are fine: seeded generator
+#: constructors, not draws from the hidden global generator.
+_SEEDED_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+#: numpy.random attributes that construct explicitly seeded generators.
+_NUMPY_SEEDED = {"default_rng", "RandomState", "Generator", "SeedSequence"}
+
+#: Dotted call paths that read a wall clock.
+_WALLCLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Function names importable from :mod:`time` that read a wall clock.
+_WALLCLOCK_NAMES = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+}
+
+#: Environment probes whose value varies across hosts/processes.
+_ENV_SUFFIXES = (
+    "os.environ",
+    "os.getenv",
+    "os.cpu_count",
+    "os.uname",
+    "sys.platform",
+    "platform.system",
+    "platform.machine",
+    "platform.node",
+    "socket.gethostname",
+)
+
+
+def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Pre-order walk of one scope, not descending into nested defs."""
+    stack: List[ast.AST] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def dotted_path(node: ast.expr) -> str:
+    """Flatten ``a.b.c`` attribute chains to a dotted string ('' if not)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _matches_suffix(path: str, suffixes) -> bool:
+    return any(path == s or path.endswith("." + s) for s in suffixes)
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "det-unseeded-rng"
+    family = "determinism"
+    description = (
+        "Scheduling code must draw randomness from an explicitly seeded "
+        "random.Random (or numpy Generator), never the global RNG."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in _SEEDED_CONSTRUCTORS
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing global-RNG function(s) "
+                        f"{', '.join(sorted(bad))} from random; construct a "
+                        "seeded random.Random(seed) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                path = dotted_path(node.func)
+                if not path:
+                    continue
+                parts = path.split(".")
+                if (
+                    parts[0] == "random"
+                    and len(parts) == 2
+                    and parts[1] not in _SEEDED_CONSTRUCTORS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to global RNG random.{parts[1]}(); scheduling "
+                        "decisions must use a seeded random.Random instance",
+                    )
+                elif (
+                    len(parts) >= 3
+                    and parts[-2] == "random"
+                    and parts[0] in ("np", "numpy")
+                    and parts[-1] not in _NUMPY_SEEDED
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to numpy global RNG {path}(); use "
+                        "numpy.random.default_rng(seed)",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    id = "det-wallclock"
+    family = "determinism"
+    description = (
+        "Scheduling code runs on the simulated clock; wall-clock reads "
+        "(time.time, perf_counter, datetime.now, ...) are forbidden."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _WALLCLOCK_NAMES
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing wall-clock function(s) {', '.join(sorted(bad))} "
+                        "from time into scheduling code",
+                    )
+            elif isinstance(node, ast.Call):
+                path = dotted_path(node.func)
+                if path and _matches_suffix(path, _WALLCLOCK_SUFFIXES):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock read {path}(); simulated components must "
+                        "take time from SimEngine.now",
+                    )
+
+
+@register
+class EnvBranchRule(Rule):
+    id = "det-env-branch"
+    family = "determinism"
+    description = (
+        "Scheduling code must not branch on the process environment "
+        "(os.environ, os.cpu_count, platform, hostname)."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                path = dotted_path(node)
+                if path and _matches_suffix(path, _ENV_SUFFIXES):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"environment-dependent value {path} in scheduling "
+                        "code; behaviour must not vary across hosts",
+                    )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "det-unordered-iter"
+    family = "determinism"
+    description = (
+        "Iterating a set (hash order, varies with PYTHONHASHSEED) or "
+        "popping dict items positionally must not feed scheduling "
+        "decisions; iterate sorted(...) or keep a list."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        # Scopes are checked independently so local set bindings do not
+        # leak across functions.
+        yield from self._check_scope(ctx, ctx.tree.body, set())
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node.body, set())
+            elif isinstance(node, ast.Call):
+                # dict.popitem() pops in unspecified-intent order; the
+                # ordered variants pass an explicit argument.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "popitem"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "bare dict.popitem() feeding scheduling state; pop an "
+                        "explicit key (or OrderedDict.popitem(last=False))",
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _check_scope(
+        self, ctx: ModuleContext, body: List[ast.stmt], set_names: Set[str]
+    ) -> Iterator[Finding]:
+        """Walk one function (or module) body tracking local set bindings."""
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if self._is_set_expr(node.value, set_names):
+                            set_names.add(target.id)
+                        else:
+                            set_names.discard(target.id)
+            iterated = self._iterated_expr(node)
+            if iterated is not None and self._is_set_expr(iterated, set_names):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "iteration over a set has hash-dependent order; wrap "
+                    "in sorted(...) or use an ordered container",
+                )
+
+    @staticmethod
+    def _iterated_expr(node: ast.AST) -> Optional[ast.expr]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return node.iter
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return node.generators[0].iter
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            # Converting a set to an ordered container preserves hash
+            # order; sorted()/len()/min()/max()/sum() are order-safe.
+            if node.func.id in ("list", "tuple", "iter", "enumerate") and node.args:
+                return node.args[0]
+        return None
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # Set algebra (union/intersection/difference) stays a set.
+            return UnorderedIterationRule._is_set_expr(
+                node.left, set_names
+            ) or UnorderedIterationRule._is_set_expr(node.right, set_names)
+        return False

@@ -1,0 +1,165 @@
+"""Hot-path allocation rules (``hot-*``).
+
+Functions marked ``@hotpath`` (see :mod:`repro.hotpath`) are the
+dispatch-rate-critical paths whose 2x throughput win PR 1 measured:
+``TableauScheduler.pick_next`` (with its inlined L2 settle),
+``SimEngine.run_until``, and the machine's resched path.  CPython
+allocates for comprehensions, closure cells, f-string assembly, and
+``*args`` packing on every call, so those constructs are banned inside
+marked functions — anything slow must move to assembly/attach time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+def is_hotpath_marked(node) -> bool:
+    """True when a function carries the ``@hotpath`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "hotpath":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hotpath":
+            return True
+    return False
+
+
+def _marked_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and is_hotpath_marked(node)
+    ]
+
+
+def _walk_body(function) -> Iterator[ast.AST]:
+    """Every node of the function body (the def's own header excluded)."""
+    for statement in function.body:
+        yield from ast.walk(statement)
+
+
+class _HotRule(Rule):
+    family = "hot-path"
+    scope = ()
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for function in _marked_functions(ctx.tree):
+            yield from self.check_function(ctx, function)
+
+    def check_function(self, ctx, function) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class HotComprehensionRule(_HotRule):
+    id = "hot-comprehension"
+    description = (
+        "@hotpath functions must not build comprehensions or generator "
+        "expressions (a fresh object + frame per call)."
+    )
+
+    def check_function(self, ctx, function) -> Iterator[Finding]:
+        for node in _walk_body(function):
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                kind = type(node).__name__
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} inside @hotpath {function.name}(); hoist the "
+                    "allocation out of the dispatch path or use an "
+                    "explicit loop over a preallocated container",
+                )
+
+
+@register
+class HotClosureRule(_HotRule):
+    id = "hot-closure"
+    description = (
+        "@hotpath functions must not define closures or lambdas (cell "
+        "and function-object allocation per call); bind callbacks once "
+        "at assembly time."
+    )
+
+    def check_function(self, ctx, function) -> Iterator[Finding]:
+        for node in _walk_body(function):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                name = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"nested function {name} inside @hotpath "
+                    f"{function.name}(); bind callbacks once at assembly "
+                    "(see _Cpu.resched_cb) instead of per decision",
+                )
+
+
+@register
+class HotFStringRule(_HotRule):
+    id = "hot-fstring"
+    description = (
+        "@hotpath functions must not assemble f-strings (per-call "
+        "formatting and allocation); error paths may suppress with a "
+        "justification."
+    )
+
+    def check_function(self, ctx, function) -> Iterator[Finding]:
+        for node in _walk_body(function):
+            if isinstance(node, ast.JoinedStr):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"f-string inside @hotpath {function.name}(); format "
+                    "lazily or precompute the string",
+                )
+
+
+@register
+class HotStarArgsRule(_HotRule):
+    id = "hot-star-args"
+    description = (
+        "@hotpath functions must not pack/unpack *args/**kwargs (tuple "
+        "and dict allocation per call)."
+    )
+
+    def check_function(self, ctx, function) -> Iterator[Finding]:
+        if function.args.vararg is not None:
+            yield self.finding(
+                ctx,
+                function,
+                f"@hotpath {function.name}() declares *{function.args.vararg.arg}; "
+                "hot entry points take a fixed signature",
+            )
+        if function.args.kwarg is not None:
+            yield self.finding(
+                ctx,
+                function,
+                f"@hotpath {function.name}() declares **{function.args.kwarg.arg}; "
+                "hot entry points take a fixed signature",
+            )
+        for node in _walk_body(function):
+            if isinstance(node, ast.Call):
+                for arg in node.args:
+                    if isinstance(arg, ast.Starred):
+                        yield self.finding(
+                            ctx,
+                            arg,
+                            f"*-unpacking in a call inside @hotpath "
+                            f"{function.name}(); pass arguments positionally",
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        yield self.finding(
+                            ctx,
+                            keyword.value,
+                            f"**-unpacking in a call inside @hotpath "
+                            f"{function.name}(); pass arguments explicitly",
+                        )

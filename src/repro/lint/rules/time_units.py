@@ -1,0 +1,254 @@
+"""Time-unit rules (``time-*``).
+
+Simulated time is integer nanoseconds end to end (the event heap orders
+``(time_ns, seq)`` tuples); the planner's tables are integer ns; only
+*measured* quantities (latency summaries, modelled overhead charges) are
+floats, and those declare it with a ``float`` annotation.  These rules
+implement a lightweight flow check anchored on ``*_ns`` names and the
+project-wide annotation table built by the driver:
+
+* a float value flowing into a ``*_ns`` name that is not declared
+  ``float`` is a bug waiting to desynchronise the clock
+  (``time-float-ns``);
+* true division produces floats even for exact multiples, so ``/``
+  flowing into an integer ``*_ns`` name must be ``//`` or an explicit
+  ``int(...)`` (``time-truediv-ns``);
+* passing ``foo_ms``/``foo_us``/``foo_s`` straight into a ``*_ns``
+  parameter is a unit mismatch no type checker catches, because they
+  are all ints (``time-unit-mismatch``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.symbols import (
+    FLOAT_DECLARED,
+    ProjectSymbols,
+    annotation_category,
+    is_ns_name,
+)
+
+#: Identifier endings that denote a non-nanosecond time unit.
+_OTHER_UNIT_SUFFIXES = (
+    "_ms",
+    "_us",
+    "_s",
+    "_sec",
+    "_secs",
+    "_seconds",
+    "_minutes",
+    "_hz",
+)
+
+#: Calls that make an integer out of anything — explicit conversion
+#: means the author thought about the unit boundary.
+_INT_CASTS = {"int", "round", "floor", "ceil"}
+
+
+def _callee_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_int_cast(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _callee_name(node.func) in _INT_CASTS
+    )
+
+
+def _contains_truediv(node: ast.expr) -> bool:
+    """True division anywhere in the expression, outside int casts."""
+    if _is_int_cast(node):
+        return False
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _contains_truediv(node.left) or _contains_truediv(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _contains_truediv(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _contains_truediv(node.body) or _contains_truediv(node.orelse)
+    return False
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Expression that is statically a float (literal-driven, shallow)."""
+    if _is_int_cast(node):
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return _callee_name(node.func) == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return False  # owned by time-truediv-ns
+        return _is_float_expr(node.left) or _is_float_expr(node.right)
+    if isinstance(node, ast.IfExp):
+        return _is_float_expr(node.body) or _is_float_expr(node.orelse)
+    return False
+
+
+class _NsFlowRule(Rule):
+    """Shared walk: visit every (ns-name, value expression) flow edge."""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        symbols = ctx.symbols if ctx.symbols is not None else ProjectSymbols()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_assignment(ctx, symbols, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, symbols, node)
+
+    # ------------------------------------------------------------------
+
+    def _check_assignment(self, ctx, symbols, node) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+            declared = None
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+            declared = None
+        else:  # AnnAssign
+            targets = [node.target]
+            value = node.value
+            declared = annotation_category(node.annotation)
+        if value is None:
+            return
+        for target in targets:
+            name = _target_ns_name(target)
+            if name is None:
+                continue
+            if declared == FLOAT_DECLARED:
+                continue
+            if declared is None and symbols.declared_float(ctx.module, name):
+                continue
+            yield from self.check_flow(ctx, node, name, value, f"assignment to {name}")
+
+    def _check_call(self, ctx, symbols, node: ast.Call) -> Iterator[Finding]:
+        callee = _callee_name(node.func)
+        for keyword in node.keywords:
+            if keyword.arg is None or not is_ns_name(keyword.arg):
+                continue
+            if (
+                callee is not None
+                and symbols.param_category(callee, keyword.arg) == FLOAT_DECLARED
+            ):
+                continue
+            yield from self.check_flow(
+                ctx,
+                keyword.value,
+                keyword.arg,
+                keyword.value,
+                f"argument {keyword.arg}= of {callee or 'call'}()",
+            )
+
+    def check_flow(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        name: str,
+        value: ast.expr,
+        where: str,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _target_ns_name(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name) and is_ns_name(target.id):
+        return target.id
+    if isinstance(target, ast.Attribute) and is_ns_name(target.attr):
+        return target.attr
+    return None
+
+
+@register
+class FloatNsRule(_NsFlowRule):
+    id = "time-float-ns"
+    family = "time-units"
+    description = (
+        "Float values must not flow into *_ns names unless the name is "
+        "declared float (measured quantity); clock ns are integers."
+    )
+
+    def check_flow(self, ctx, node, name, value, where) -> Iterator[Finding]:
+        if _is_float_expr(value):
+            yield self.finding(
+                ctx,
+                node,
+                f"float value flows into {where}; nanosecond clock values "
+                "are integers — annotate ': float' if this is a measured "
+                "quantity, or convert with int(...)",
+            )
+
+
+@register
+class TrueDivNsRule(_NsFlowRule):
+    id = "time-truediv-ns"
+    family = "time-units"
+    description = (
+        "True division (/) flowing into a *_ns name produces floats; "
+        "use // for tick arithmetic or wrap in int(...)."
+    )
+
+    def check_flow(self, ctx, node, name, value, where) -> Iterator[Finding]:
+        if _contains_truediv(value):
+            yield self.finding(
+                ctx,
+                node,
+                f"true division flows into {where}; use // (or an explicit "
+                "int(...) cast) so the event clock stays integral",
+            )
+
+
+@register
+class UnitMismatchRule(Rule):
+    id = "time-unit-mismatch"
+    family = "time-units"
+    description = (
+        "Passing a *_ms/_us/_s-suffixed value directly to a *_ns "
+        "parameter is a unit mismatch (both are plain numbers to the "
+        "type checker)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None or not is_ns_name(keyword.arg):
+                    continue
+                source = _terminal_name(keyword.value)
+                if source is None or is_ns_name(source):
+                    continue
+                lowered = source.lower()
+                for suffix in _OTHER_UNIT_SUFFIXES:
+                    if lowered.endswith(suffix):
+                        yield self.finding(
+                            ctx,
+                            keyword.value,
+                            f"{source} (unit suffix {suffix!r}) passed to "
+                            f"nanosecond parameter {keyword.arg}=; convert "
+                            "the unit explicitly",
+                        )
+                        break
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

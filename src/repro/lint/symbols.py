@@ -1,0 +1,133 @@
+"""Project-wide symbol table for the time-unit flow check.
+
+The time rules need to know, at a call site like
+``LatencySummary(mean_ns=0.0)``, whether the ``*_ns`` parameter is a
+*measured* quantity that is deliberately ``float`` (latency summaries,
+cost-model charges) or a *clock* quantity that must stay an integer
+(``Nanoseconds = NewType("Nanoseconds", int)``).  Annotations carry that
+intent, so before any rule runs the driver builds one
+:class:`ProjectSymbols` over every module in the run: a map from
+``(callable name, parameter name)`` to the declared category, plus the
+per-module set of names whose ``float`` type was declared explicitly.
+
+This is deliberately name-based (no import resolution): callables are
+keyed by their terminal name, which is unambiguous enough inside this
+repository and keeps the pass to a single cheap AST walk per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+#: Names that end a nanosecond-valued identifier.  ``*_per_ns`` names
+#: are rates (1/ns), not durations, and are exempt.
+def is_ns_name(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return lowered.endswith("_ns") and not lowered.endswith("_per_ns")
+
+
+FLOAT_DECLARED = "float"
+INT_DECLARED = "int"
+
+#: Annotation spellings that mean "integer nanoseconds on the clock".
+_INT_ANNOTATIONS = {"int", "Nanoseconds"}
+
+
+def annotation_category(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Classify an annotation as float-intent, int-intent, or unknown."""
+    if annotation is None:
+        return None
+    names = {
+        node.id if isinstance(node, ast.Name) else node.attr
+        for node in ast.walk(annotation)
+        if isinstance(node, (ast.Name, ast.Attribute))
+    }
+    # String annotations (``"float"``) show up as constants.
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    if "float" in names:
+        return FLOAT_DECLARED
+    if names & _INT_ANNOTATIONS:
+        return INT_DECLARED
+    return None
+
+
+@dataclass
+class ProjectSymbols:
+    """Declared types of ``*_ns`` parameters, fields, and names."""
+
+    #: (callable-or-class name, parameter/field name) -> category.
+    ns_params: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: module -> names (globals, class fields, self attributes) that
+    #: were annotated ``float`` somewhere in that module.
+    float_names: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def param_category(self, callee: str, param: str) -> Optional[str]:
+        return self.ns_params.get((callee, param))
+
+    def declared_float(self, module: str, name: str) -> bool:
+        return name in self.float_names.get(module, ())
+
+    # ------------------------------------------------------------------
+
+    def add_module(self, module: str, tree: ast.Module) -> None:
+        floats = self.float_names.setdefault(module, set())
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_callable(node)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(node)
+            elif isinstance(node, ast.AnnAssign):
+                name = _target_name(node.target)
+                if name and annotation_category(node.annotation) == FLOAT_DECLARED:
+                    floats.add(name)
+
+    def _add_callable(self, node) -> None:
+        args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for arg in args:
+            if not is_ns_name(arg.arg):
+                continue
+            category = annotation_category(arg.annotation)
+            if category is not None:
+                self._record(node.name, arg.arg, category)
+
+    def _add_class(self, node: ast.ClassDef) -> None:
+        # Dataclass-style fields: AnnAssign statements in the class body
+        # double as ``__init__`` keyword parameters.
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign):
+                name = _target_name(statement.target)
+                if name and is_ns_name(name):
+                    category = annotation_category(statement.annotation)
+                    if category is not None:
+                        self._record(node.name, name, category)
+
+    def _record(self, callee: str, param: str, category: str) -> None:
+        # Conflicting declarations across same-named callables resolve
+        # to float (the permissive reading avoids false positives).
+        current = self.ns_params.get((callee, param))
+        if current == FLOAT_DECLARED:
+            return
+        self.ns_params[(callee, param)] = category
+
+
+def build_symbols(modules: Iterable[Tuple[str, ast.Module]]) -> ProjectSymbols:
+    symbols = ProjectSymbols()
+    for module, tree in modules:
+        symbols.add_module(module, tree)
+    return symbols
+
+
+def _target_name(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None

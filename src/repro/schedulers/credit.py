@@ -43,14 +43,14 @@ TUNED_TIMESLICE_NS = 5_000_000
 ACCOUNTING_PERIOD_NS = 30_000_000
 
 # Cost-model constants (ns), calibrated to Table 1/2's Credit column.
-PICK_BASE_NS = 1_500.0
-PICK_SCALED_NS = 5_400.0  # x socket_factor
-PICK_PER_ENTRY_NS = 260.0  # local runqueue scan
-STEAL_PER_CORE_NS = 240.0  # peer runqueue peek during work stealing
-WAKE_BASE_NS = 40.0
-WAKE_TICKLE_PER_CORE_NS = 140.0  # idle-mask scan covers every core
-MIGRATE_LOCAL_NS = 220.0
-MIGRATE_SCALED_NS = 100.0
+PICK_BASE_NS: float = 1_500.0
+PICK_SCALED_NS: float = 5_400.0  # x socket_factor
+PICK_PER_ENTRY_NS: float = 260.0  # local runqueue scan
+STEAL_PER_CORE_NS: float = 240.0  # peer runqueue peek during work stealing
+WAKE_BASE_NS: float = 40.0
+WAKE_TICKLE_PER_CORE_NS: float = 140.0  # idle-mask scan covers every core
+MIGRATE_LOCAL_NS: float = 220.0
+MIGRATE_SCALED_NS: float = 100.0
 
 
 @dataclass

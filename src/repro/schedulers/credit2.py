@@ -37,12 +37,12 @@ TIMESLICE_NS = 2_000_000
 # Tables 1/2.  Schedule and wakeup costs are dominated by per-socket
 # runqueue manipulation under a runqueue lock (roughly constant); the
 # migrate path scans core state and scales with machine size.
-PICK_BASE_NS = 2_320.0
-PICK_SCALED_NS = 1_190.0
-PICK_PER_ENTRY_NS = 45.0
-WAKE_BASE_NS = 4_770.0
-WAKE_SCALED_NS = 420.0
-MIGRATE_PER_CORE_NS = 360.0
+PICK_BASE_NS: float = 2_320.0
+PICK_SCALED_NS: float = 1_190.0
+PICK_PER_ENTRY_NS: float = 45.0
+WAKE_BASE_NS: float = 4_770.0
+WAKE_SCALED_NS: float = 420.0
+MIGRATE_PER_CORE_NS: float = 360.0
 
 
 @dataclass

@@ -49,16 +49,16 @@ BLOCK_FORFEIT_NS = 900_000
 # model the critical sections of Xen's sched_rt.c (runqueue insertion is
 # a sorted-list walk, the post-schedule path scans for a preemption
 # target across the whole machine).
-PICK_BASE_NS = 2_290.0
-PICK_PER_VCPU_NS = 12.0
-WAKE_BASE_NS = 500.0
-WAKE_SCAN_PER_CORE_NS = 140.0  # lock-free tickle scan over all cores
-WAKE_HOLD_BASE_NS = 800.0
-WAKE_HOLD_PER_ENTRY_NS = 16.0
-MIGRATE_BASE_NS = 300.0
-MIGRATE_SCAN_PER_CORE_NS = 380.0  # lock-free balance scan over all cores
-MIGRATE_HOLD_BASE_NS = 1_200.0
-MIGRATE_HOLD_PER_ENTRY_NS = 110.0
+PICK_BASE_NS: float = 2_290.0
+PICK_PER_VCPU_NS: float = 12.0
+WAKE_BASE_NS: float = 500.0
+WAKE_SCAN_PER_CORE_NS: float = 140.0  # lock-free tickle scan over all cores
+WAKE_HOLD_BASE_NS: float = 800.0
+WAKE_HOLD_PER_ENTRY_NS: float = 16.0
+MIGRATE_BASE_NS: float = 300.0
+MIGRATE_SCAN_PER_CORE_NS: float = 380.0  # lock-free balance scan over all cores
+MIGRATE_HOLD_BASE_NS: float = 1_200.0
+MIGRATE_HOLD_PER_ENTRY_NS: float = 110.0
 
 
 @dataclass

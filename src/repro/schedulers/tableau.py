@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from repro.core.table import SystemTable
 from repro.errors import ConfigurationError
+from repro.hotpath import hotpath
 from repro.schedulers.base import Decision, Scheduler, WakeAction
 from repro.sim.overheads import IPI_WIRE_NS
 from repro.sim.vm import VCpu, VCpuState
@@ -39,13 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: reproduces the Tableau column of Table 1 (1.43 / 1.06 / 0.43 us).
 #: The split between a fixed local part and a socket-scaled part is
 #: derived from the 16- vs 48-core measurements (Tables 1 and 2).
-PICK_LOCAL_NS = 430.0
-PICK_SCALED_NS = 1_000.0
-L2_SCAN_NS = 35.0  # per core-local candidate examined
-WAKE_LOCAL_NS = 300.0
-WAKE_SCALED_NS = 760.0
-MIGRATE_LOCAL_NS = 200.0
-MIGRATE_SCALED_NS = 230.0
+PICK_LOCAL_NS: float = 430.0
+PICK_SCALED_NS: float = 1_000.0
+L2_SCAN_NS: float = 35.0  # per core-local candidate examined
+WAKE_LOCAL_NS: float = 300.0
+WAKE_SCALED_NS: float = 760.0
+MIGRATE_LOCAL_NS: float = 200.0
+MIGRATE_SCALED_NS: float = 230.0
 
 #: Default second-level scheduling epoch and maximum L2 timeslice.
 DEFAULT_L2_EPOCH_NS = 10_000_000
@@ -265,6 +266,7 @@ class TableauScheduler(Scheduler):
     # Scheduling entry points
     # ------------------------------------------------------------------
 
+    @hotpath
     def pick_next(self, cpu: int, now: int) -> Decision:
         # Settle the previous pick's second-level budget *before* any
         # table switch (inlined _settle_l2: this runs on every decision,
@@ -503,6 +505,7 @@ class TableauScheduler(Scheduler):
             )
         return members
 
+    @hotpath
     def _l2_pick(
         self, cpu: int, now: int, state: Optional[_L2State] = None
     ) -> Tuple[Optional[VCpu], int]:

@@ -21,6 +21,7 @@ import random
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.hotpath import hotpath
 
 
 class EventHandle:
@@ -151,6 +152,7 @@ class SimEngine:
         first = self.now + period if start is None else start
         return RecurringHandle(self, period, callback, first)
 
+    @hotpath
     def run_until(self, end_time: int) -> None:
         """Process events in time order until ``end_time`` (inclusive).
 

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.hotpath import hotpath
 from repro.sim.engine import EventHandle, SimEngine
 from repro.sim.overheads import (
     CONTEXT_SWITCH_NS,
@@ -237,6 +238,7 @@ class Machine:
                 delay += spec.delay_ns
         self.request_resched(cpu_index, delay=delay)
 
+    @hotpath
     def _do_resched(self, cpu: _Cpu) -> None:
         now = self.engine.now
         if cpu.resched is not None:
@@ -268,6 +270,8 @@ class Machine:
 
         if chosen is not None and chosen.state is VCpuState.BLOCKED:
             raise SimulationError(
+                # fatal-error path, never taken on a healthy dispatch
+                # repro: allow[hot-fstring]
                 f"{scheduler.name} picked blocked vCPU {chosen.name}"
             )
         switching = chosen is not prev
@@ -300,6 +304,7 @@ class Machine:
             chosen.workload.on_dispatch(dispatch_at)
         self._arm_event(cpu, now)
 
+    @hotpath
     def _arm_event(self, cpu: _Cpu, now: int) -> None:
         """(Re)program the core's next dispatch event."""
         if cpu.event is not None:
@@ -319,6 +324,9 @@ class Machine:
         if self._timer_faults:
             from repro.faults.plan import SITE_TIMER_JITTER
 
+            # only reached when timer faults are armed; fault runs are
+            # not throughput-measured
+            # repro: allow[hot-fstring]
             spec = self.faults.fires(SITE_TIMER_JITTER, key=f"cpu{cpu.index}")
             if spec is not None:
                 self.jittered_timers += 1

@@ -11,9 +11,12 @@ global runqueue lock — more expensive as the socket count grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.params import CoreId
 
 
 @dataclass(frozen=True)
@@ -50,10 +53,14 @@ class Topology:
         return self.sockets * self.cores_per_socket
 
     @property
-    def guest_cores(self) -> List[int]:
+    def guest_cores(self) -> List["CoreId"]:
         """Cores available to guest vCPUs (everything not reserved)."""
+        # Deferred import: repro.core.planner imports this module, so a
+        # module-level import of repro.core.params would be circular.
+        from repro.core.params import CoreId
+
         reserved = set(self.reserved_cores)
-        return [c for c in range(self.num_cores) if c not in reserved]
+        return [CoreId(c) for c in range(self.num_cores) if c not in reserved]
 
     def socket_of(self, core: int) -> int:
         if not 0 <= core < self.num_cores:

@@ -35,7 +35,7 @@ WIRE_ONE_WAY_NS = 30_000
 #: Default service-cost model, sized so the capped 25% vantage VM peaks
 #: near the paper's throughputs (~1,600 req/s at 1 KiB).
 BASE_CPU_NS = 140_000  # accept + TLS record + PHP dispatch
-CPU_PER_BYTE_NS = 0.8  # read + encrypt + copy (~1.25 GB/s per core)
+CPU_PER_BYTE_NS: float = 0.8  # read + encrypt + copy (~1.25 GB/s per core)
 STREAM_CHUNK_BYTES = 65_536
 
 KIB = 1_024

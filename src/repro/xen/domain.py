@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.params import VCpuSpec, VMSpec, make_vm
+from repro.core.params import DomainId, VCpuSpec, VMSpec, make_vm
 from repro.errors import ConfigurationError
 
 
@@ -31,7 +31,7 @@ class Domain:
     cores).
     """
 
-    domid: int
+    domid: DomainId
     spec: VMSpec
     state: DomainState = DomainState.CREATED
     created_at_ns: int = 0
@@ -77,7 +77,9 @@ class DomainRegistry:
     def add(self, spec: VMSpec, now_ns: int = 0) -> Domain:
         if spec.name in self._domains:
             raise ConfigurationError(f"domain {spec.name!r} already exists")
-        domain = Domain(domid=self._next_domid, spec=spec, created_at_ns=now_ns)
+        domain = Domain(
+            domid=DomainId(self._next_domid), spec=spec, created_at_ns=now_ns
+        )
         self._next_domid += 1
         self._domains[spec.name] = domain
         return domain

@@ -1,0 +1,4 @@
+"""Known-bad layering fixture: health bypassing the PlannerDaemon."""
+
+from repro.core import Planner  # lay-import (name smuggle)  # noqa: F401
+from repro.core.planner import PlanResult  # lay-import  # noqa: F401

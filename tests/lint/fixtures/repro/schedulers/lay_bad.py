@@ -1,0 +1,3 @@
+"""Known-bad layering fixture: a scheduler importing the control plane."""
+
+from repro.xen.toolstack import Toolstack  # lay-import  # noqa: F401

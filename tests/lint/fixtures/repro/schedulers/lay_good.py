@@ -1,0 +1,7 @@
+"""Known-good layering fixture: schedulers consume planner artifacts."""
+
+from repro.core.table import SystemTable
+
+
+def cores_of(system: SystemTable):
+    return sorted(system.cores)

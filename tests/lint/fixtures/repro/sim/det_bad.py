@@ -1,0 +1,29 @@
+"""Known-bad determinism fixture: every det-* rule must fire."""
+
+import os
+import random
+import time
+
+
+def jitter() -> float:
+    return random.random()  # det-unseeded-rng
+
+
+def now() -> float:
+    return time.time()  # det-wallclock
+
+
+def tuning() -> int:
+    if os.environ.get("REPRO_FAST"):  # det-env-branch
+        return 1
+    return 2
+
+
+def drain(items):
+    pending = {item for item in items}
+    for item in pending:  # det-unordered-iter
+        yield item
+
+
+def steal(mapping):
+    return mapping.popitem()  # det-unordered-iter

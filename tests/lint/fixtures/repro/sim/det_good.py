@@ -1,0 +1,18 @@
+"""Known-good determinism fixture: seeded RNG, ordered iteration."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def drain(items):
+    pending = {item for item in items}
+    for item in sorted(pending):
+        yield item
+
+
+def steal(ordered_mapping):
+    return ordered_mapping.popitem(last=False)

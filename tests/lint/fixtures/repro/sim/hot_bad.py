@@ -1,0 +1,22 @@
+"""Known-bad hot-path fixture: every hot-* rule must fire."""
+
+
+def hotpath(func):
+    return func
+
+
+@hotpath
+def dispatch(queue, cores):
+    ready = [vcpu for vcpu in queue]  # hot-comprehension
+    order = lambda vcpu: vcpu.deadline  # hot-closure  # noqa: E731
+    label = f"ready={len(ready)}"  # hot-fstring
+    queue.tickle(*cores)  # hot-star-args
+    return ready, order, label
+
+
+@hotpath
+def burst(*samples):  # hot-star-args (def site)
+    total = 0
+    for sample in samples:
+        total += sample
+    return total

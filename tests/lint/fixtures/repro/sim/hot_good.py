@@ -1,0 +1,19 @@
+"""Known-good hot-path fixture: marked bodies are allocation-free."""
+
+
+def hotpath(func):
+    return func
+
+
+@hotpath
+def dispatch(queue):
+    best = None
+    for vcpu in queue:
+        if best is None or vcpu.deadline < best.deadline:
+            best = vcpu
+    return best
+
+
+def cold_path(queue):
+    # Unmarked functions may allocate freely.
+    return [vcpu.name for vcpu in queue]

@@ -1,0 +1,18 @@
+"""Bad patterns silenced by allow-comments — must lint clean."""
+
+import time
+
+
+def now() -> float:
+    return time.time()  # repro: allow[det-wallclock] -- exercises trailing form
+
+
+def steal(mapping):
+    # repro: allow[det-unordered-iter] -- exercises the line-above form
+    return mapping.popitem()
+
+
+def multi(mapping, delay_ms):
+    # Comma-separated ids on one comment cover several rules at once.
+    # repro: allow[time-unit-mismatch, time-float-ns]
+    mapping.schedule(deadline_ns=delay_ms, grace_ns=0.5)

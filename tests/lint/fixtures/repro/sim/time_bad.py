@@ -1,0 +1,11 @@
+"""Known-bad time-unit fixture: every time-* rule must fire."""
+
+
+def settle(now_ns: int, vcpus: int) -> int:
+    budget_ns = 1_500.0  # time-float-ns
+    slice_ns = budget_ns / vcpus  # time-truediv-ns
+    return now_ns + int(slice_ns)
+
+
+def arm(timer, delay_ms: int) -> None:
+    timer.schedule(deadline_ns=delay_ms)  # time-unit-mismatch

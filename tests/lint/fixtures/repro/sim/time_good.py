@@ -1,0 +1,23 @@
+"""Known-good time-unit fixture: integer ticks, declared-float stats."""
+
+US = 1_000
+
+
+def settle(now_ns: int, vcpus: int) -> int:
+    budget_ns = 1_500 * US
+    slice_ns = budget_ns // max(vcpus, 1)
+    return now_ns + slice_ns
+
+
+def quantize(total_ns: int, parts: int) -> int:
+    # An explicit int(...) cast marks a deliberate unit boundary.
+    chunk_ns = int(total_ns / parts)
+    return chunk_ns
+
+
+class LatencyStats:
+    # Measured quantities are floats and say so with an annotation.
+    mean_ns: float = 0.0
+
+    def record(self, sample_ns: float) -> None:
+        self.mean_ns = (self.mean_ns + sample_ns) / 2

@@ -1,0 +1,23 @@
+"""Known-bad error-handling fixture: every err-* rule must fire."""
+
+
+class Toolstack:
+    def __init__(self, registry, daemon):
+        self.registry = registry
+        self.daemon = daemon
+
+    def create_vm(self, spec):
+        self.registry.add(spec)  # mutation with no rollback protection
+        self.daemon.replan(self.registry.specs)  # err-registry-rollback
+
+    def probe(self):
+        try:
+            self.daemon.replan(self.registry.specs)
+        except:  # err-bare-except  # noqa: E722
+            pass
+
+    def ignore(self):
+        try:
+            self.daemon.replan(self.registry.specs)
+        except ReproError:  # err-swallowed-error  # noqa: F821
+            pass

@@ -1,0 +1,24 @@
+"""Known-good error-handling fixture: transactional mutation."""
+
+from repro.errors import ReproError
+
+
+class Toolstack:
+    def __init__(self, registry, daemon, log):
+        self.registry = registry
+        self.daemon = daemon
+        self.log = log
+
+    def create_vm(self, spec):
+        self.registry.add(spec)
+        try:
+            self.daemon.replan(self.registry.specs)
+        except ReproError:
+            self.registry.remove(spec.name)
+            raise
+
+    def probe(self):
+        try:
+            self.daemon.replan(self.registry.specs)
+        except ReproError as error:
+            self.log.append(error)

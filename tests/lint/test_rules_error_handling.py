@@ -1,0 +1,74 @@
+"""Error-handling rule family (err-*): positive and negative coverage."""
+
+from repro.lint import lint_source
+
+from tests.lint.util import lint_fixture, rule_ids
+
+
+class TestErrorHandlingFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        ids = rule_ids(lint_fixture("repro/xen/err_bad.py"))
+        assert "err-bare-except" in ids
+        assert "err-swallowed-error" in ids
+        assert "err-registry-rollback" in ids
+
+    def test_good_fixture_is_clean(self):
+        report = lint_fixture("repro/xen/err_good.py")
+        assert report.findings == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged_everywhere(self):
+        source = "try:\n    f()\nexcept:\n    pass\n"
+        assert "err-bare-except" in rule_ids(lint_source(source))
+
+    def test_typed_except_ok(self):
+        source = "try:\n    f()\nexcept ValueError:\n    raise\n"
+        assert lint_source(source).findings == []
+
+
+class TestSwallowedError:
+    def test_silent_pass_flagged(self):
+        source = "try:\n    f()\nexcept ReproError:\n    pass\n"
+        assert "err-swallowed-error" in rule_ids(lint_source(source))
+
+    def test_recording_handler_ok(self):
+        source = "try:\n    f()\nexcept ReproError as e:\n    log.append(e)\n"
+        assert lint_source(source).findings == []
+
+    def test_reraising_handler_ok(self):
+        source = "try:\n    f()\nexcept PlanningError:\n    raise\n"
+        assert lint_source(source).findings == []
+
+
+class TestRegistryRollback:
+    def test_unprotected_mutation_then_replan_flagged(self):
+        source = (
+            "def create(self, spec):\n"
+            "    self.registry.add(spec)\n"
+            "    self.daemon.replan(self.registry.specs)\n"
+        )
+        report = lint_source(source, module="repro.xen.m")
+        assert rule_ids(report) == ["err-registry-rollback"]
+
+    def test_try_with_reraise_protects(self):
+        source = (
+            "def create(self, spec):\n"
+            "    self.registry.add(spec)\n"
+            "    try:\n"
+            "        self.daemon.replan(self.registry.specs)\n"
+            "    except PlanningError:\n"
+            "        self.registry.remove(spec.name)\n"
+            "        raise\n"
+        )
+        report = lint_source(source, module="repro.xen.m")
+        assert report.findings == []
+
+    def test_rule_scoped_to_xen(self):
+        source = (
+            "def create(self, spec):\n"
+            "    self.registry.add(spec)\n"
+            "    self.daemon.replan(self.registry.specs)\n"
+        )
+        report = lint_source(source, module="repro.health.m")
+        assert "err-registry-rollback" not in rule_ids(report)

@@ -1,0 +1,88 @@
+"""Time-unit rule family (time-*): positive and negative coverage."""
+
+from repro.lint import lint_source
+
+from tests.lint.util import lint_fixture, rule_ids
+
+
+class TestTimeUnitFixtures:
+    def test_bad_fixture_trips_every_rule(self):
+        ids = rule_ids(lint_fixture("repro/sim/time_bad.py"))
+        assert "time-float-ns" in ids
+        assert "time-truediv-ns" in ids
+        assert "time-unit-mismatch" in ids
+
+    def test_good_fixture_is_clean(self):
+        report = lint_fixture("repro/sim/time_good.py")
+        assert report.findings == []
+
+
+class TestFloatNs:
+    def test_float_literal_assignment_flagged(self):
+        report = lint_source("delay_ns = 1.5\n", module="repro.sim.m")
+        assert rule_ids(report) == ["time-float-ns"]
+
+    def test_declared_float_annotation_exempt(self):
+        report = lint_source("cost_ns: float = 1.5\n", module="repro.sim.m")
+        assert report.findings == []
+
+    def test_module_level_declaration_covers_later_assignments(self):
+        source = "mean_ns: float = 0.0\n\n\ndef f(x):\n    global mean_ns\n    mean_ns = x * 0.5\n"
+        report = lint_source(source, module="repro.sim.m")
+        assert report.findings == []
+
+    def test_int_cast_exempt(self):
+        report = lint_source("delay_ns = int(1.5 * 3)\n", module="repro.sim.m")
+        assert report.findings == []
+
+    def test_float_into_ns_keyword_flagged(self):
+        report = lint_source(
+            "engine.at(delay_ns=0.5)\n", module="repro.sim.m"
+        )
+        assert rule_ids(report) == ["time-float-ns"]
+
+    def test_keyword_of_declared_float_parameter_exempt(self):
+        source = (
+            "def charge(cost_ns: float) -> None:\n"
+            "    pass\n"
+            "\n"
+            "\n"
+            "charge(cost_ns=0.5)\n"
+        )
+        report = lint_source(source, module="repro.sim.m")
+        assert report.findings == []
+
+    def test_rate_suffix_not_treated_as_ns(self):
+        report = lint_source("bytes_per_ns = 0.8\n", module="repro.sim.m")
+        assert report.findings == []
+
+
+class TestTrueDivNs:
+    def test_truediv_assignment_flagged(self):
+        report = lint_source("period_ns = total / n\n", module="repro.core.m")
+        assert rule_ids(report) == ["time-truediv-ns"]
+
+    def test_floordiv_ok(self):
+        report = lint_source("period_ns = total // n\n", module="repro.core.m")
+        assert report.findings == []
+
+    def test_int_wrapped_truediv_ok(self):
+        report = lint_source(
+            "period_ns = int(total / n)\n", module="repro.core.m"
+        )
+        assert report.findings == []
+
+
+class TestUnitMismatch:
+    def test_ms_name_into_ns_parameter_flagged(self):
+        report = lint_source(
+            "timer.arm(deadline_ns=delay_ms)\n", module="repro.sim.m"
+        )
+        assert rule_ids(report) == ["time-unit-mismatch"]
+
+    def test_converted_value_ok(self):
+        report = lint_source(
+            "timer.arm(deadline_ns=delay_ms * 1_000_000)\n",
+            module="repro.sim.m",
+        )
+        assert report.findings == []

@@ -1,0 +1,28 @@
+"""Shared helpers for the lint test suite.
+
+Fixture modules live under ``fixtures/repro/...`` so the driver's
+module-name inference maps them into the real package namespace
+(``fixtures/repro/sim/det_bad.py`` lints as ``repro.sim.det_bad``),
+which lets package-scoped rules fire without the fixtures living in
+``src/``.
+"""
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint import LintReport, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_fixture(rel: str, rules: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint one fixture file (path relative to the fixtures dir)."""
+    path = FIXTURES / rel
+    return lint_source(
+        path.read_text(encoding="utf-8"), path=str(path), rules=rules
+    )
+
+
+def rule_ids(report: LintReport) -> List[str]:
+    return [finding.rule_id for finding in report.findings]
