@@ -1,0 +1,229 @@
+"""Declarative experiment matrices and their expansion into shards.
+
+The paper's evaluation (Figs. 5-8) is a scheduler x VM-density x seed
+grid; robustness work adds a fault/health-preset axis.  A
+:class:`CampaignMatrix` declares that grid once — as a Python value or
+a small JSON file — and :meth:`CampaignMatrix.expand` turns it into an
+ordered list of :class:`~repro.campaign.shard.ShardSpec` cells.  The
+expansion order is the matrix's canonical order: results are always
+merged back in this order, which is what makes parallel campaign
+output bit-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.campaign.shard import PROBES, ShardSpec
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import BACKGROUNDS, SCHEDULERS, VMS_PER_CORE
+from repro.faults import RUNTIME_PRESETS
+from repro.topology import Topology, uniform, xeon_16core, xeon_48core
+
+#: The no-faults preset name (always valid).
+PRESET_NONE = "none"
+
+
+def resolve_topology(name: str) -> Topology:
+    """``16core`` | ``48core`` | ``<n>`` (optionally ``<n>x<sockets>``)."""
+    if name == "16core":
+        return xeon_16core()
+    if name == "48core":
+        return xeon_48core()
+    if "x" in name:
+        cores, _, sockets = name.partition("x")
+        return uniform(int(cores), sockets=int(sockets))
+    return uniform(int(name))
+
+
+@dataclass(frozen=True)
+class CampaignMatrix:
+    """A declarative scheduler x density x seed x preset matrix.
+
+    Attributes:
+        name: Campaign label (prefixes shard ids and report files).
+        probe: Measurement driver per cell (one of
+            :data:`~repro.campaign.shard.PROBES`).
+        schedulers: Scheduler axis.
+        vm_counts: Density axis; ``0`` means the paper's default of
+            four VMs per guest core on the chosen topology.
+        seeds: Simulation-seed axis.
+        presets: Fault-plan axis: ``"none"`` or any
+            :data:`repro.faults.RUNTIME_PRESETS` name.
+        capped: Whether VMs are held to their reservations.
+        background: Non-vantage VM workload.
+        topology: Topology token for :func:`resolve_topology`.
+        duration_s: Simulated seconds per cell.
+        latency_ms: Per-VM latency goal (20 is the paper's evaluation
+            default; 1 reproduces Fig. 3's hardest planner curve).
+        health: Arm the health layer on tableau cells of fault presets.
+    """
+
+    name: str = "campaign"
+    probe: str = "ping"
+    schedulers: Sequence[str] = ("credit", "credit2", "tableau")
+    vm_counts: Sequence[int] = (0,)
+    seeds: Sequence[int] = (42,)
+    presets: Sequence[str] = (PRESET_NONE,)
+    capped: bool = False
+    background: str = "io"
+    topology: str = "16core"
+    duration_s: float = 0.5
+    latency_ms: float = 20.0
+    health: bool = False
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.probe not in PROBES:
+            raise ConfigurationError(
+                f"unknown probe {self.probe!r} (choose from {PROBES})"
+            )
+        if self.background not in BACKGROUNDS:
+            raise ConfigurationError(f"unknown background {self.background!r}")
+        for scheduler in self.schedulers:
+            if scheduler not in SCHEDULERS:
+                raise ConfigurationError(f"unknown scheduler {scheduler!r}")
+            if scheduler == "credit2" and self.capped:
+                raise ConfigurationError(
+                    "credit2 has no cap mechanism; use capped=false"
+                )
+            if scheduler == "rtds" and not self.capped:
+                raise ConfigurationError(
+                    "rtds is capped-only; use capped=true"
+                )
+        for preset in self.presets:
+            if preset != PRESET_NONE and preset not in RUNTIME_PRESETS:
+                known = ", ".join(sorted(RUNTIME_PRESETS))
+                raise ConfigurationError(
+                    f"unknown fault preset {preset!r} (none | {known})"
+                )
+        if not self.schedulers or not self.vm_counts or not self.seeds:
+            raise ConfigurationError("matrix axes must be non-empty")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.latency_ms <= 0:
+            raise ConfigurationError("latency_ms must be positive")
+        resolve_topology(self.topology)  # validate eagerly
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def default_vm_count(self) -> int:
+        topo = resolve_topology(self.topology)
+        return VMS_PER_CORE * len(topo.guest_cores)
+
+    def expand(self) -> List[ShardSpec]:
+        """All cells, in canonical (scheduler, count, seed, preset) order."""
+        shards: List[ShardSpec] = []
+        index = 0
+        for scheduler in self.schedulers:
+            for count in self.vm_counts:
+                num_vms = count if count else self.default_vm_count()
+                for seed in self.seeds:
+                    for preset in self.presets:
+                        shard_id = (
+                            f"{index:04d}.{scheduler}.v{num_vms}"
+                            f".s{seed}.{preset}"
+                        )
+                        shards.append(
+                            ShardSpec(
+                                shard_id=shard_id,
+                                index=index,
+                                campaign=self.name,
+                                probe=self.probe,
+                                scheduler=scheduler,
+                                num_vms=num_vms,
+                                seed=seed,
+                                preset=preset,
+                                health=self.health,
+                                capped=self.capped,
+                                background=self.background,
+                                topology=self.topology,
+                                duration_s=self.duration_s,
+                                latency_ms=self.latency_ms,
+                            )
+                        )
+                        index += 1
+        return shards
+
+    # ------------------------------------------------------------------
+    # (De)serialization — the --matrix file format
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignMatrix":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown matrix key(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        for axis in ("schedulers", "vm_counts", "seeds", "presets"):
+            if axis in kwargs:
+                value = kwargs[axis]
+                if not isinstance(value, (list, tuple)):
+                    raise ConfigurationError(f"matrix {axis} must be a list")
+                kwargs[axis] = tuple(value)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignMatrix":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"{path}: matrix file must hold an object")
+        return cls.from_dict(data)
+
+
+def fig6_matrix(
+    duration_s: float = 0.5,
+    seeds: Sequence[int] = (42, 43),
+    topology: str = "16core",
+    vm_counts: Sequence[int] = (0,),
+    latency_ms: float = 20.0,
+) -> CampaignMatrix:
+    """A Fig. 6-style campaign: ping latency, uncapped comparison set."""
+    return CampaignMatrix(
+        name="fig6",
+        probe="ping",
+        schedulers=("credit", "credit2", "tableau"),
+        vm_counts=tuple(vm_counts),
+        seeds=tuple(seeds),
+        presets=(PRESET_NONE,),
+        capped=False,
+        background="io",
+        topology=topology,
+        duration_s=duration_s,
+        latency_ms=latency_ms,
+    )
+
+
+#: Named matrices accepted by ``--matrix`` without a file.
+BUILTIN_MATRICES = {
+    "fig6": fig6_matrix,
+    "fig6-smoke": lambda: fig6_matrix(
+        duration_s=0.2, seeds=(42,), topology="8", vm_counts=(16,)
+    ),
+}
+
+
+def load_matrix(token: str) -> CampaignMatrix:
+    """``--matrix`` resolution: builtin name or JSON file path."""
+    builder = BUILTIN_MATRICES.get(token)
+    if builder is not None:
+        return builder()
+    path = Path(token)
+    if not path.exists():
+        known = ", ".join(sorted(BUILTIN_MATRICES))
+        raise ConfigurationError(
+            f"matrix {token!r} is neither a builtin ({known}) nor a file"
+        )
+    return CampaignMatrix.from_file(path)

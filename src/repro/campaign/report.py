@@ -1,0 +1,186 @@
+"""Campaign aggregation and reporting.
+
+Two strictly separated outputs:
+
+* :func:`aggregate_records` — the **deterministic** aggregate, built
+  only from simulated results (never wall-clock timings or cache
+  luck).  Serialized with sorted keys it is byte-identical across
+  worker counts, resume boundaries, and cache temperature; the
+  determinism suite asserts exactly that.
+* :func:`campaign_report` — the full operational report: the aggregate
+  plus phase timings, plan-cache statistics, and retry/resume
+  accounting.  Useful, but not byte-stable by design.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.campaign.matrix import CampaignMatrix
+    from repro.campaign.runner import CampaignResult
+
+#: Per-probe metric keys summarized per scheduler (mean over cells, and
+#: the worst observed for *_max-style keys).
+_MEAN_KEYS = ("avg_ms", "p99_ms", "mean_delay_ms")
+_WORST_KEYS = ("max_ms", "max_delay_ms")
+
+
+def _cell(record: Dict[str, object]) -> Dict[str, object]:
+    """The deterministic slice of one shard record, flattened."""
+    spec = record.get("spec") or {}
+    assert isinstance(spec, dict)
+    return {
+        "shard": record.get("shard"),
+        "status": record.get("status"),
+        "scheduler": spec.get("scheduler"),
+        "num_vms": spec.get("num_vms"),
+        "seed": spec.get("seed"),
+        "preset": spec.get("preset"),
+        "metrics": record.get("metrics") or {},
+    }
+
+
+def aggregate_records(
+    matrix: "CampaignMatrix", records: List[Dict[str, object]]
+) -> Dict[str, object]:
+    """The byte-stable aggregate of one campaign's records.
+
+    ``records`` must already be in matrix order (the runner's merge
+    guarantees it); every derived statistic is computed in that order
+    from deterministic fields only.
+    """
+    cells = [_cell(record) for record in records]
+    by_scheduler: Dict[str, Dict[str, object]] = {}
+    for scheduler in matrix.schedulers:
+        mine = [
+            c for c in cells if c["scheduler"] == scheduler and c["status"] == "ok"
+        ]
+        summary: Dict[str, object] = {"cells": len(mine)}
+        metrics = [c["metrics"] for c in mine]
+        for key in _MEAN_KEYS:
+            values = [m[key] for m in metrics if key in m]
+            if values:
+                summary[f"mean_{key}"] = sum(values) / len(values)
+        for key in _WORST_KEYS:
+            values = [m[key] for m in metrics if key in m]
+            if values:
+                summary[f"worst_{key}"] = max(values)
+        events = [m.get("events") for m in metrics]
+        if events and all(isinstance(e, int) for e in events):
+            summary["events"] = sum(events)  # type: ignore[arg-type]
+        by_scheduler[scheduler] = summary
+    return {
+        "campaign": matrix.name,
+        "probe": matrix.probe,
+        "topology": matrix.topology,
+        "duration_s": matrix.duration_s,
+        "latency_ms": matrix.latency_ms,
+        "capped": matrix.capped,
+        "background": matrix.background,
+        "shards": len(cells),
+        "ok": sum(1 for c in cells if c["status"] == "ok"),
+        "cells": cells,
+        "by_scheduler": by_scheduler,
+    }
+
+
+def aggregate_json(aggregate: Dict[str, object]) -> str:
+    """The canonical byte encoding of an aggregate (sorted, indented)."""
+    return json.dumps(aggregate, indent=2, sort_keys=True) + "\n"
+
+
+def campaign_report(
+    matrix: "CampaignMatrix",
+    records: List[Dict[str, object]],
+    aggregate: Dict[str, object],
+    *,
+    workers: int,
+    wall_s: float,
+    resumed: int = 0,
+    retried: int = 0,
+) -> Dict[str, object]:
+    """Aggregate + operational stats (timings, cache, retries)."""
+    phase_seconds: Dict[str, float] = {}
+    cache_hits = 0
+    cache_lookups = 0
+    status_counts: Dict[str, int] = {}
+    for record in records:
+        status = str(record.get("status"))
+        status_counts[status] = status_counts.get(status, 0) + 1
+        timings = record.get("timings") or {}
+        assert isinstance(timings, dict)
+        for name in sorted(timings):
+            phase_seconds[name] = phase_seconds.get(name, 0.0) + float(
+                timings[name]
+            )
+        plan_cache = record.get("plan_cache")
+        if isinstance(plan_cache, dict):
+            cache_lookups += 1
+            if plan_cache.get("hit"):
+                cache_hits += 1
+    return {
+        "campaign": matrix.name,
+        "workers": workers,
+        "wall_s": round(wall_s, 4),
+        "resumed": resumed,
+        "retried": retried,
+        "status": dict(sorted(status_counts.items())),
+        "phase_seconds": {
+            name: round(phase_seconds[name], 4) for name in sorted(phase_seconds)
+        },
+        "plan_cache": {
+            "lookups": cache_lookups,
+            "hits": cache_hits,
+            "hit_rate": round(cache_hits / cache_lookups, 4)
+            if cache_lookups
+            else 0.0,
+        },
+        "aggregate": aggregate,
+    }
+
+
+def format_campaign(result: "CampaignResult") -> str:
+    """Human-readable summary for the CLI."""
+    matrix = result.matrix
+    lines = [
+        f"campaign {matrix.name}: {len(result.records)} shards "
+        f"({result.resumed} resumed, {result.retried} retried, "
+        f"{len(result.failures)} failed) on {result.workers} worker(s) "
+        f"in {result.wall_s:.2f}s"
+    ]
+    report = result.report
+    phases = report.get("phase_seconds") or {}
+    assert isinstance(phases, dict)
+    if phases:
+        spent = " ".join(f"{k}={v:.2f}s" for k, v in phases.items())
+        lines.append(f"  phases: {spent}")
+    cache = report.get("plan_cache") or {}
+    assert isinstance(cache, dict)
+    if cache.get("lookups"):
+        lines.append(
+            f"  plan cache: {cache['hits']}/{cache['lookups']} hits "
+            f"({100.0 * float(cache['hit_rate']):.0f}%)"
+        )
+    by_scheduler = result.aggregate.get("by_scheduler") or {}
+    assert isinstance(by_scheduler, dict)
+    for scheduler in matrix.schedulers:
+        summary = by_scheduler.get(scheduler) or {}
+        parts = [f"{summary.get('cells', 0)} cells"]
+        for key in sorted(summary):
+            if key.startswith(("mean_", "worst_")):
+                parts.append(f"{key}={summary[key]:.3f}")
+        lines.append(f"  {scheduler:>9s}: " + " ".join(parts))
+    for failure in result.failures:
+        lines.append(f"  FAILED {failure}")
+    return "\n".join(lines)
+
+
+def write_aggregate(
+    aggregate: Dict[str, object], path: str
+) -> Optional[str]:
+    """Write the canonical aggregate JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(aggregate_json(aggregate))
+    return path

@@ -1,0 +1,171 @@
+"""Shard specs and the worker-side shard executor.
+
+A :class:`ShardSpec` is one cell of a campaign matrix, reduced to plain
+picklable data — no machines, no plans, no closures — so a
+``ProcessPoolExecutor`` worker (or a remote runner) can reconstruct and
+execute the cell from the spec alone.  :func:`run_shard` is that
+executor: it plans (through the shared on-disk
+:class:`~repro.core.plancache.PlanStore` when a cache directory is
+given), builds the scenario, simulates, and aggregates, timing each of
+the four phases.
+
+The returned record keeps deterministic simulation output (``metrics``)
+strictly separate from environment-dependent observability (``timings``,
+``plan_cache``): campaign aggregation reads only the former, which is
+what lets a parallel run's aggregate match a serial run's byte for
+byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.core import PlanStore
+from repro.metrics import PhaseTimings, summarize_ns
+
+#: Probe kinds a shard can run (the Fig. 5 and Fig. 6 drivers).
+PROBES = ("intrinsic", "ping")
+
+#: Ping-load shape per shard, matching the scaled-down
+#: :func:`repro.experiments.delay.ping_latency` defaults.
+PING_THREADS = 8
+PINGS_PER_THREAD = 200
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One matrix cell as plain data (fully picklable; see tests)."""
+
+    shard_id: str
+    index: int
+    campaign: str
+    probe: str
+    scheduler: str
+    num_vms: int
+    seed: int
+    preset: str
+    health: bool
+    capped: bool
+    background: str
+    topology: str
+    duration_s: float
+    #: Per-VM latency goal in ms (the paper's default is 20; Fig. 3's
+    #: hardest planner curve uses 1).
+    latency_ms: float = 20.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def run_shard(
+    spec: ShardSpec, cache_dir: Optional[str] = None
+) -> Dict[str, object]:
+    """Execute one shard and return its result record.
+
+    Module-level (not a method) so the process pool pickles it by
+    reference; everything it needs travels in ``spec`` and
+    ``cache_dir``.  Raises on failure — the campaign runner converts
+    exceptions and worker crashes into failure records.
+    """
+    # Imports here keep worker start-up lean and avoid import cycles
+    # (experiments -> campaign would otherwise be circular).
+    from repro.campaign.matrix import resolve_topology
+    from repro.experiments.delay import MS
+    from repro.experiments.scenarios import build_scenario, plan_for
+
+    latency_ns = int(spec.latency_ms * MS)
+    from repro.faults import runtime_preset
+    from repro.workloads import IntrinsicLatencyProbe, PingResponder, run_ping_load
+
+    timings = PhaseTimings()
+    topo = resolve_topology(spec.topology)
+    store = PlanStore(cache_dir) if cache_dir else None
+
+    with timings.phase("plan"):
+        plan = plan_for(
+            topo, spec.num_vms, spec.capped, store=store, latency_ns=latency_ns
+        )
+
+    faults = (
+        runtime_preset(spec.preset, seed=spec.seed)
+        if spec.preset != "none"
+        else None
+    )
+    probe: object
+    with timings.phase("build"):
+        if spec.probe == "intrinsic":
+            probe = IntrinsicLatencyProbe()
+        else:
+            probe = PingResponder()
+        scenario = build_scenario(
+            spec.scheduler,
+            vantage_workload=probe,
+            capped=spec.capped,
+            background=spec.background,
+            topology=topo,
+            num_vms=spec.num_vms,
+            seed=spec.seed,
+            plan=plan,
+            faults=faults,
+        )
+        # Health supervision is a Tableau-stack layer; other schedulers
+        # run unsupervised (their cells still see machine-level faults).
+        supervisor = None
+        if spec.health and spec.scheduler == "tableau":
+            from repro.health import HealthSupervisor
+
+            supervisor = HealthSupervisor(
+                scenario.machine, scenario.machine.scheduler
+            )
+            supervisor.start()
+        if spec.probe == "ping":
+            spacing_ns = max(
+                1, int(spec.duration_s * 1e9 / PINGS_PER_THREAD)
+            )
+            run_ping_load(
+                scenario.machine,
+                probe,
+                threads=PING_THREADS,
+                pings_per_thread=PINGS_PER_THREAD,
+                max_spacing_ns=spacing_ns,
+            )
+
+    with timings.phase("simulate"):
+        scenario.run_seconds(spec.duration_s)
+
+    with timings.phase("aggregate"):
+        if supervisor is not None:
+            supervisor.stop()
+        machine = scenario.machine
+        metrics: Dict[str, object] = {
+            "sim_now_ns": machine.engine.now,
+            "events": machine.engine.events_processed,
+            "context_switches": machine.tracer.context_switches,
+            "migrations": machine.tracer.migrations,
+            "vantage_runtime_ns": scenario.vantage.runtime_ns,
+            "vantage_dispatches": scenario.vantage.dispatch_count,
+        }
+        if spec.probe == "intrinsic":
+            metrics["max_delay_ms"] = probe.max_gap_ns / MS
+            metrics["mean_delay_ms"] = probe.mean_gap_ns / MS
+        else:
+            summary = summarize_ns(probe.latencies_ns)
+            metrics["ping_count"] = summary.count
+            metrics["avg_ms"] = summary.mean_ms
+            metrics["p99_ms"] = summary.p99_ms
+            metrics["max_ms"] = summary.max_ms
+
+    record: Dict[str, object] = {
+        "shard": spec.shard_id,
+        "index": spec.index,
+        "status": "ok",
+        "spec": spec.as_dict(),
+        "metrics": metrics,
+        "timings": timings.as_dict(),
+        "plan_cache": {
+            "hit": plan.stats.plan_cache_hit,
+            "store": store.stats.as_dict() if store is not None else None,
+        },
+    }
+    return record

@@ -165,6 +165,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.audit_clean else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import (
+        format_campaign,
+        load_matrix,
+        run_campaign,
+        write_aggregate,
+    )
+
+    matrix = load_matrix(args.matrix)
+    result = run_campaign(
+        matrix,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        log_path=args.log,
+        resume=args.resume,
+        shard_timeout_s=args.shard_timeout,
+    )
+    print(format_campaign(result))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(result.report, indent=2, sort_keys=True) + "\n"
+            )
+        print(f"wrote {args.report}")
+    if args.aggregate:
+        write_aggregate(result.aggregate, args.aggregate)
+        print(f"wrote {args.aggregate}")
+    return 0 if result.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         format_human,
@@ -276,6 +308,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path (the CI artifact)",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run an experiment campaign (matrix of scheduler x density "
+        "x seed x fault-preset shards) on a process pool with a shared "
+        "plan cache and resumable run log",
+    )
+    campaign.add_argument(
+        "--matrix",
+        default="fig6-smoke",
+        help="builtin matrix name (fig6, fig6-smoke) or a JSON matrix "
+        "file (default: fig6-smoke)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width; 1 runs serially (default: 1)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="root of the shared on-disk plan cache (shards and later "
+        "runs reuse plans keyed by exact planning inputs)",
+    )
+    campaign.add_argument(
+        "--log",
+        default=None,
+        help="JSONL run log; shard records stream here as they finish",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards that already have an ok record in --log",
+    )
+    campaign.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard deadline in seconds (parallel runs only)",
+    )
+    campaign.add_argument(
+        "--report",
+        default=None,
+        help="write the full JSON report (timings, cache stats) here",
+    )
+    campaign.add_argument(
+        "--aggregate",
+        default=None,
+        help="write the deterministic aggregate JSON here (byte-stable "
+        "across worker counts and resume boundaries)",
+    )
+    campaign.set_defaults(func=cmd_campaign)
 
     lint = sub.add_parser(
         "lint",

@@ -45,6 +45,13 @@ from repro.core.partition import (
     worst_fit_decreasing,
 )
 from repro.core.peephole import PeepholeReport, optimize_core
+from repro.core.plancache import (
+    CACHE_VERSION,
+    PlanStore,
+    PlanStoreStats,
+    plan_key,
+    topology_token,
+)
 from repro.core.periods import (
     HYPERPERIOD_NS,
     MIN_PERIOD_NS,
@@ -82,7 +89,12 @@ from repro.core.tasks import PeriodicTask, vcpu_to_task, vcpus_to_tasks
 
 __all__ = [
     "AdmissionReport",
+    "CACHE_VERSION",
     "CacheStats",
+    "PlanStore",
+    "PlanStoreStats",
+    "plan_key",
+    "topology_token",
     "CoschedulingPolicy",
     "PeepholeReport",
     "TableCache",

@@ -1,0 +1,251 @@
+"""Content-addressed on-disk plan cache (the campaign engine's warm path).
+
+Sec. 7.1 observes that tables for common configurations can be
+"trivially" cached and reused.  :class:`~repro.core.cache.TableCache`
+does that within one process; this module extends the idea across
+processes and runs: a :class:`PlanStore` persists finished
+:class:`~repro.core.planner.PlanResult` objects on disk, keyed by a
+fingerprint of the *exact* planning inputs — the same
+(task-set, knob) identity the planner's per-core memo keys on, widened
+to the whole census plus the topology.  Repeated densities across
+benchmarks, campaign shards, and re-runs then skip table generation
+entirely.
+
+Entries are self-validating: a fixed-size header carries a magic
+number, the store format version, and a SHA-256 digest of the payload.
+A corrupt, truncated, or version-mismatched entry is never trusted —
+``get`` reports a miss (counted in :attr:`PlanStoreStats.invalid`),
+removes the bad file best-effort, and the caller regenerates.  Writes
+go to a per-writer temporary file followed by an atomic ``os.replace``,
+so concurrent writers on the same key cannot interleave bytes: readers
+see either a complete old entry or a complete new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.core.params import VCpuSpec, VMSpec, flatten_vcpus
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.planner import Planner, PlanResult
+    from repro.topology import Topology
+
+#: Either shape the planner itself accepts.
+Workload = Union[Sequence[VMSpec], Sequence[VCpuSpec]]
+
+
+def _as_vcpus(workload: Workload) -> Sequence[VCpuSpec]:
+    items = list(workload)
+    if items and isinstance(items[0], VMSpec):
+        return flatten_vcpus(items)  # type: ignore[arg-type]
+    return items  # type: ignore[return-value]
+
+#: On-disk entry format: magic | version u16 | reserved u16 | sha256.
+MAGIC = b"TPLC"
+
+#: Bump when the pickled payload's semantics change (e.g., PlanResult
+#: grows a field whose absence would be misread); old entries are then
+#: regenerated rather than trusted.
+CACHE_VERSION = 1
+
+_HEADER = struct.Struct("<4sHH32s")
+
+
+@dataclass
+class PlanStoreStats:
+    """Hit/miss accounting for one :class:`PlanStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries rejected by validation (bad magic/version/digest,
+    #: truncation, unpicklable payload) and regenerated.
+    invalid: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def topology_token(topology: "Topology") -> str:
+    """A canonical string identifying a topology for cache keying."""
+    return (
+        f"{topology.name}|{topology.sockets}x{topology.cores_per_socket}"
+        f"|reserved={','.join(str(c) for c in topology.reserved_cores)}"
+        f"|ghz={topology.frequency_ghz!r}"
+    )
+
+
+def plan_key(planner: "Planner", workload: Workload) -> str:
+    """Content fingerprint of one planning request.
+
+    Covers everything that can change the emitted table: the ordered
+    vCPU census (order matters — EDF breaks ties by release sequence,
+    exactly as the per-core memo's key does), the topology, and every
+    planner knob the pipeline reads.  Two requests with equal keys
+    produce bit-identical plans, so a stored entry may be substituted
+    for a fresh ``planner.plan(...)`` call.
+    """
+    vcpus = _as_vcpus(workload)
+    hasher = hashlib.sha256()
+    hasher.update(f"store-v{CACHE_VERSION};".encode())
+    hasher.update(topology_token(planner.topology).encode())
+    hasher.update(
+        (
+            f";hp={planner.hyperperiod_ns};mp={planner.min_period_ns}"
+            f";co={planner.coalesce_threshold_ns};pc={planner.min_piece_ns}"
+            f";sl={planner.strict_latency};ph={planner.peephole}"
+            f";sc={planner.split_compensation!r};rot={planner.rotation}"
+            f";numa={planner.numa};policy={planner.policy!r};"
+        ).encode()
+    )
+    for spec in vcpus:
+        hasher.update(
+            f"{spec.name},{spec.utilization!r},{spec.latency_ns},"
+            f"{spec.capped},{spec.vm};".encode()
+        )
+    return hasher.hexdigest()
+
+
+class PlanStore:
+    """A content-addressed, crash-tolerant plan cache rooted at ``root``.
+
+    Args:
+        root: Cache directory (created on first write).  Entries live
+            under ``<root>/v<CACHE_VERSION>/<key[:2]>/<key>.plan``.
+        version: Entry format version to read/write (tests override to
+            exercise the mismatch path).
+    """
+
+    def __init__(
+        self, root: Union[str, Path], version: int = CACHE_VERSION
+    ) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.stats = PlanStoreStats()
+
+    # ------------------------------------------------------------------
+    # Path layout
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{CACHE_VERSION}" / key[:2] / f"{key}.plan"
+
+    def __len__(self) -> int:
+        base = self.root / f"v{CACHE_VERSION}"
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.plan"))
+
+    # ------------------------------------------------------------------
+    # Entry I/O
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional["PlanResult"]:
+        """The stored plan for ``key``, or ``None`` (miss or invalid).
+
+        Never raises on a bad entry: any validation failure counts as
+        ``invalid``, removes the file best-effort, and reads as a miss
+        so the caller transparently regenerates.
+        """
+        path = self.path_for(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        result = self._decode(payload)
+        if result is None:
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: "PlanResult") -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(
+            MAGIC, self.version, 0, hashlib.sha256(body).digest()
+        )
+        # A per-writer temp name keeps concurrent writers on the same
+        # key from clobbering each other's partial bytes; os.replace is
+        # atomic, so readers only ever see complete entries.
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(header + body)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def _decode(self, payload: bytes) -> Optional["PlanResult"]:
+        """Validate and unpickle one entry; ``None`` on any defect."""
+        if len(payload) < _HEADER.size:
+            return None
+        magic, version, _reserved, digest = _HEADER.unpack_from(payload)
+        if magic != MAGIC or version != self.version:
+            return None
+        body = payload[_HEADER.size :]
+        if hashlib.sha256(body).digest() != digest:
+            return None
+        try:
+            result = pickle.loads(body)
+        except Exception:
+            # Defensive: a digest collision with garbage is effectively
+            # impossible, but a payload pickled by an incompatible code
+            # version can still fail to load; treat it as invalid.
+            return None
+        from repro.core.planner import PlanResult
+
+        if not isinstance(result, PlanResult):
+            return None
+        return result
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            # Best-effort cleanup; a lingering bad entry just re-reads
+            # as invalid next time.
+            return
+
+    # ------------------------------------------------------------------
+    # The get-or-plan convenience the experiments and campaigns use
+    # ------------------------------------------------------------------
+
+    def plan(self, planner: "Planner", workload: Workload) -> "PlanResult":
+        """Plan ``workload`` with ``planner``, reusing a stored result.
+
+        On a hit the returned plan's ``stats.plan_cache_hit`` is True
+        and no planner work runs; on a miss the fresh result is stored
+        before being returned (with ``plan_cache_hit`` False).
+        """
+        vcpus = _as_vcpus(workload)
+        key = plan_key(planner, vcpus)
+        cached = self.get(key)
+        if cached is not None:
+            cached.stats.plan_cache_hit = True
+            return cached
+        result = planner.plan(list(vcpus))
+        result.stats.plan_cache_hit = False
+        self.put(key, result)
+        return result

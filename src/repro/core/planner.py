@@ -89,6 +89,10 @@ class PlanStats:
     coalesce: CoalesceReport = field(default_factory=CoalesceReport)
     peephole: Optional[PeepholeReport] = None
     compensated_vcpus: List[str] = field(default_factory=list)
+    #: True when this plan was served from a PlanStore entry instead of
+    #: being generated (generation_seconds then reports the *original*
+    #: generation cost, not the lookup cost).
+    plan_cache_hit: bool = False
 
 
 @dataclass

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core import MS, Planner, make_vm
+from repro.core import MS, Planner, PlanStore, make_vm
 from repro.topology import Topology, xeon_48core
 
 #: The four latency goals plotted in Figs. 3 and 4.
@@ -30,6 +30,9 @@ class ScalingPoint:
     latency_ms: int
     generation_s: float
     table_bytes: int
+    #: True when a PlanStore served the table instead of the planner
+    #: (generation_s then measures the cache lookup, not planning).
+    cache_hit: bool = False
 
     @property
     def table_mib(self) -> float:
@@ -41,8 +44,15 @@ def measure_point(
     latency_ms: int,
     topology: Optional[Topology] = None,
     repetitions: int = 1,
+    store: Optional[PlanStore] = None,
 ) -> ScalingPoint:
-    """Plan one census and report (best-of-N) generation time and size."""
+    """Plan one census and report (best-of-N) generation time and size.
+
+    With ``store``, planning goes through the content-addressed
+    :class:`PlanStore`: the first repetition may miss (and populate the
+    store), later repetitions and re-runs hit.  Before the store was
+    wired in, every call re-planned the identical census from scratch.
+    """
     topo = topology if topology is not None else xeon_48core()
     utilization = len(topo.guest_cores) / max(num_vms, len(topo.guest_cores))
     vms = [
@@ -52,15 +62,21 @@ def measure_point(
     planner = Planner(topo)
     best = float("inf")
     result = None
+    hit = False
     for _ in range(repetitions):
         started = time.perf_counter()
-        result = planner.plan(vms)
+        if store is not None:
+            result = store.plan(planner, vms)
+            hit = hit or result.stats.plan_cache_hit
+        else:
+            result = planner.plan(vms)
         best = min(best, time.perf_counter() - started)
     return ScalingPoint(
         num_vms=num_vms,
         latency_ms=latency_ms,
         generation_s=best,
         table_bytes=result.stats.table_bytes,
+        cache_hit=hit,
     )
 
 
@@ -69,6 +85,7 @@ def scaling_curve(
     vm_counts: Optional[Sequence[int]] = None,
     topology: Optional[Topology] = None,
     repetitions: int = 1,
+    store: Optional[PlanStore] = None,
 ) -> List[ScalingPoint]:
     """One Fig. 3/4 curve: sweep the VM count for a fixed latency goal."""
     topo = topology if topology is not None else xeon_48core()
@@ -76,7 +93,8 @@ def scaling_curve(
         per_core = len(topo.guest_cores)
         vm_counts = [per_core, per_core * 2, per_core * 3, per_core * 4]
     return [
-        measure_point(count, latency_ms, topo, repetitions) for count in vm_counts
+        measure_point(count, latency_ms, topo, repetitions, store=store)
+        for count in vm_counts
     ]
 
 
@@ -84,11 +102,14 @@ def full_sweep(
     topology: Optional[Topology] = None,
     vm_counts: Optional[Sequence[int]] = None,
     repetitions: int = 1,
+    store: Optional[PlanStore] = None,
 ) -> List[ScalingPoint]:
     """All four curves of Figs. 3 and 4."""
     points: List[ScalingPoint] = []
     for latency_ms in LATENCY_GOALS_MS:
-        points.extend(scaling_curve(latency_ms, vm_counts, topology, repetitions))
+        points.extend(
+            scaling_curve(latency_ms, vm_counts, topology, repetitions, store=store)
+        )
     return points
 
 

@@ -13,6 +13,8 @@ The dependency direction the architecture relies on::
     xen (daemon, toolstack)   control plane; may use core + schedulers
         ^
     faults / health / metrics / experiments
+        ^
+    campaign                  orchestration; nothing below imports it
 
 ``repro.health`` reaches the planner *only* through
 :class:`repro.xen.daemon.PlannerDaemon` — importing
@@ -84,6 +86,33 @@ FORBIDDEN_EDGES: Tuple[Tuple[str, str, str], ...] = (
         "repro.health",
         "fault injection is consulted by the health layer, never the "
         "reverse",
+    ),
+    (
+        "repro.core",
+        "repro.campaign",
+        "the campaign engine orchestrates experiments from above; the "
+        "deterministic core must stay independent of it",
+    ),
+    (
+        "repro.sim",
+        "repro.campaign",
+        "the machine model must not know about campaign orchestration",
+    ),
+    (
+        "repro.schedulers",
+        "repro.campaign",
+        "dispatch policy must not depend on the experiment harness",
+    ),
+    (
+        "repro.xen",
+        "repro.campaign",
+        "the control plane runs under campaigns, never the reverse",
+    ),
+    (
+        "repro.experiments",
+        "repro.campaign",
+        "experiment drivers are the campaign engine's building blocks; "
+        "importing campaign back would create a cycle",
     ),
 )
 

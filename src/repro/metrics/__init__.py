@@ -10,6 +10,7 @@ from repro.metrics.latency import (
     service_gaps_ns,
     summarize_ns,
 )
+from repro.metrics.phases import PHASES, PhaseTimings
 from repro.metrics.throughput import (
     OperatingPoint,
     ThroughputCurve,
@@ -20,6 +21,8 @@ __all__ = [
     "EMPTY_SUMMARY",
     "LatencySummary",
     "OperatingPoint",
+    "PHASES",
+    "PhaseTimings",
     "ThroughputCurve",
     "chaos_report_json",
     "compare_peaks",

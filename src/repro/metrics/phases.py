@@ -1,0 +1,62 @@
+"""Per-phase wall-clock timing hooks for experiment pipelines.
+
+Every campaign shard (and any experiment that opts in) passes through
+the same four phases — ``plan`` (table generation or cache lookup),
+``build`` (machine/scenario assembly, slice tables), ``simulate`` (the
+discrete-event run), ``aggregate`` (metric summarization).  A
+:class:`PhaseTimings` instance accumulates wall seconds per phase so
+reports can show where a run's time went and how much a warm plan
+cache saved.
+
+Wall-clock readings live here, outside the determinism-scoped
+packages: phase timings are observability only and never feed
+scheduling state, so simulated behavior stays bit-identical whether or
+not timing is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+#: Canonical phase names, in pipeline order.
+PHASES = ("plan", "build", "simulate", "aggregate")
+
+
+class PhaseTimings:
+    """Accumulates wall seconds and entry counts per named phase."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase: ``with timings.phase("plan"): ...``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: "PhaseTimings") -> None:
+        for name in sorted(other.seconds):
+            self.seconds[name] = self.seconds.get(name, 0.0) + other.seconds[name]
+            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase -> seconds, rounded, in canonical-then-extra order."""
+        ordered = [p for p in PHASES if p in self.seconds]
+        ordered += sorted(set(self.seconds) - set(PHASES))
+        return {name: round(self.seconds[name], 6) for name in ordered}

@@ -20,6 +20,7 @@ matrix); there is no work-conserving mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -106,7 +107,9 @@ class RtdsScheduler(Scheduler):
         self._state[vcpu.name] = _RtdsState(
             budget_ns=budget, period_ns=period, remaining_ns=budget, deadline=period
         )
-        self.machine.engine.at(period, lambda v=vcpu: self._replenish(v))
+        # partial (not a lambda) so a freshly built scenario pickles:
+        # campaign shards ship Scenario objects to worker processes.
+        self.machine.engine.at(period, partial(self._replenish, vcpu))
 
     # ------------------------------------------------------------------
     # Budget management
@@ -122,7 +125,7 @@ class RtdsScheduler(Scheduler):
             state.budget_ns, state.remaining_ns + state.budget_ns
         )
         state.deadline += state.period_ns
-        self.machine.engine.at(state.deadline, lambda: self._replenish(vcpu))
+        self.machine.engine.at(state.deadline, partial(self._replenish, vcpu))
         if vcpu.runnable:
             target = self._preemption_target(vcpu, now)
             if target is not None:

@@ -15,6 +15,7 @@ uniform in [0, 200 ms] — is the default of :func:`run_ping_load`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List
 
 from repro.errors import ConfigurationError
@@ -97,15 +98,18 @@ class PingClient:
 
     def _send(self, remaining: int) -> None:
         delay = int(self.machine.engine.rng.uniform(0, self.max_spacing_ns))
-        def fire() -> None:
-            sent_at = self.machine.engine.now
-            # The request reaches the guest half an RTT after sending.
-            self.machine.engine.after(
-                WIRE_RTT_NS // 2, lambda: self.responder.inject(sent_at)
-            )
-            if remaining > 1:
-                self._send(remaining - 1)
-        self.machine.engine.after(delay, fire)
+        # Bound methods + partial (no closures) keep the event heap
+        # picklable for campaign shard hand-off.
+        self.machine.engine.after(delay, partial(self._fire, remaining))
+
+    def _fire(self, remaining: int) -> None:
+        sent_at = self.machine.engine.now
+        # The request reaches the guest half an RTT after sending.
+        self.machine.engine.after(
+            WIRE_RTT_NS // 2, partial(self.responder.inject, sent_at)
+        )
+        if remaining > 1:
+            self._send(remaining - 1)
 
 
 def run_ping_load(

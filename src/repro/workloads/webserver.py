@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Deque, List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
@@ -145,7 +146,7 @@ class WebServerWorkload(Workload):
             self._phase = _Phase.WAIT_RING
             wait = self.nic.time_until_space(self._staged, now)
             self.vcpu.set_blocked()
-            self.machine.engine.after(wait, lambda: self.machine.wake(self.vcpu))
+            self.machine.engine.after(wait, partial(self.machine.wake, self.vcpu))
             return
         if self._to_stream > 0:
             self._prepare_chunk()
@@ -224,22 +225,25 @@ class Wrk2Client:
     def _schedule_next(self, when: int) -> None:
         if when >= self.duration_ns:
             return
+        # partial of a bound method (no closure) keeps the event heap
+        # picklable for campaign shard hand-off.
+        self.machine.engine.at(
+            max(when, self.machine.engine.now), partial(self._fire, when)
+        )
 
-        def fire() -> None:
-            request = _Request(intended_at=when, size_bytes=self.size_bytes)
-            self.issued += 1
-            if self._in_flight < self.connections:
-                self._send(request)
-            else:
-                self._waiting.append(request)
-            self._schedule_next(when + self.interval_ns)
-
-        self.machine.engine.at(max(when, self.machine.engine.now), fire)
+    def _fire(self, when: int) -> None:
+        request = _Request(intended_at=when, size_bytes=self.size_bytes)
+        self.issued += 1
+        if self._in_flight < self.connections:
+            self._send(request)
+        else:
+            self._waiting.append(request)
+        self._schedule_next(when + self.interval_ns)
 
     def _send(self, request: _Request) -> None:
         self._in_flight += 1
         self.machine.engine.after(
-            WIRE_ONE_WAY_NS, lambda: self.server.deliver(request)
+            WIRE_ONE_WAY_NS, partial(self.server.deliver, request)
         )
 
     def _request_done(self, _request: _Request) -> None:

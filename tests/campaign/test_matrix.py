@@ -1,0 +1,136 @@
+"""Tests for campaign matrix declaration, expansion, and loading."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    BUILTIN_MATRICES,
+    CampaignMatrix,
+    fig6_matrix,
+    load_matrix,
+    resolve_topology,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResolveTopology:
+    def test_named_machines(self):
+        assert resolve_topology("16core").num_cores == 16
+        assert resolve_topology("48core").num_cores == 48
+
+    def test_plain_and_socketed_counts(self):
+        assert resolve_topology("8").num_cores == 8
+        topo = resolve_topology("8x2")
+        assert topo.num_cores == 8 and topo.sockets == 2
+
+
+class TestExpansion:
+    def test_canonical_order_and_ids(self):
+        matrix = CampaignMatrix(
+            schedulers=("credit", "tableau"),
+            vm_counts=(8,),
+            seeds=(1, 2),
+            presets=("none", "lost-ipi"),
+            topology="4",
+        )
+        shards = matrix.expand()
+        assert len(shards) == 8
+        assert [s.index for s in shards] == list(range(8))
+        # scheduler is the slowest axis, preset the fastest.
+        assert shards[0].shard_id == "0000.credit.v8.s1.none"
+        assert shards[1].shard_id == "0001.credit.v8.s1.lost-ipi"
+        assert shards[4].scheduler == "tableau"
+        # Specs inherit the matrix-wide knobs.
+        assert all(s.latency_ms == 20.0 for s in shards)
+        assert all(s.duration_s == 0.5 for s in shards)
+
+    def test_zero_vm_count_means_paper_density(self):
+        matrix = CampaignMatrix(
+            schedulers=("credit",), vm_counts=(0,), topology="4"
+        )
+        assert matrix.default_vm_count() == 4 * len(
+            resolve_topology("4").guest_cores
+        )
+        assert matrix.expand()[0].num_vms == matrix.default_vm_count()
+
+    def test_ids_are_unique(self):
+        shards = fig6_matrix(seeds=(1, 2, 3)).expand()
+        assert len({s.shard_id for s in shards}) == len(shards)
+
+
+class TestValidation:
+    def test_unknown_probe(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(probe="uart")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(schedulers=("credit", "cfs"))
+
+    def test_credit2_needs_uncapped(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(schedulers=("credit2",), capped=True)
+
+    def test_rtds_needs_capped(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(schedulers=("rtds",), capped=False)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(presets=("meteor-strike",))
+
+    def test_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(seeds=())
+
+    def test_nonpositive_duration_and_latency(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(duration_s=0)
+        with pytest.raises(ConfigurationError):
+            CampaignMatrix(latency_ms=0)
+
+    def test_bad_topology_token(self):
+        with pytest.raises(ValueError):
+            CampaignMatrix(topology="moon")
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        matrix = CampaignMatrix(
+            name="rt", schedulers=("credit", "rtds"), capped=True,
+            seeds=(7,), presets=("none",), topology="4", latency_ms=30.0,
+        )
+        again = CampaignMatrix.from_dict(json.loads(matrix.to_json()))
+        assert again == matrix
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown matrix key"):
+            CampaignMatrix.from_dict({"schedulres": ["credit"]})
+
+    def test_axes_must_be_lists(self):
+        with pytest.raises(ConfigurationError, match="must be a list"):
+            CampaignMatrix.from_dict({"seeds": 42})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(
+            json.dumps({"schedulers": ["tableau"], "topology": "4"})
+        )
+        assert load_matrix(str(path)).schedulers == ("tableau",)
+
+    def test_file_must_hold_object(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="object"):
+            load_matrix(str(path))
+
+
+class TestLoadMatrix:
+    def test_builtins_build(self):
+        for name in BUILTIN_MATRICES:
+            assert load_matrix(name).name
+
+    def test_unknown_token(self):
+        with pytest.raises(ConfigurationError, match="neither a builtin"):
+            load_matrix("no-such-matrix")

@@ -1,0 +1,88 @@
+"""Pickle round-trips for everything the process pool ships.
+
+Campaign workers receive :class:`ShardSpec` values and module-level
+functions; nothing in a built scenario (schedulers, workloads, pending
+engine events) may capture a lambda or closure, or the pool dies with
+an opaque ``PicklingError``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.campaign import CampaignMatrix, ShardSpec
+from repro.campaign.shard import run_shard
+from repro.experiments.scenarios import build_scenario
+from repro.topology import uniform
+from repro.workloads import IoLoop, PingResponder, run_ping_load
+
+ALL_SCHEDULERS = ("tableau", "credit", "credit2", "rtds")
+
+
+class TestShardSpecPickle:
+    def test_round_trip_equality(self):
+        spec = CampaignMatrix(topology="4", vm_counts=(8,)).expand()[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and clone.as_dict() == spec.as_dict()
+
+    def test_run_shard_is_pickled_by_reference(self):
+        assert pickle.loads(pickle.dumps(run_shard)) is run_shard
+
+
+class TestScenarioPickle:
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_fresh_scenario_round_trips(self, scheduler):
+        capped = scheduler == "rtds"
+        scenario = build_scenario(
+            scheduler, IoLoop(), capped=capped, background="io",
+            topology=uniform(4), num_vms=8, seed=42,
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.scheduler_name == scheduler
+        # The unpickled machine must still simulate.
+        clone.run_seconds(0.005)
+        assert clone.machine.engine.events_processed > 0
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_mid_simulation_machine_round_trips(self, scheduler):
+        """Pending engine events (timers, replenishments) must pickle."""
+        capped = scheduler == "rtds"
+        probe = PingResponder()
+        scenario = build_scenario(
+            scheduler, probe, capped=capped, background="io",
+            topology=uniform(4), num_vms=8, seed=42,
+        )
+        run_ping_load(
+            scenario.machine, probe, threads=2, pings_per_thread=5,
+            max_spacing_ns=1_000_000,
+        )
+        scenario.run_seconds(0.002)
+        clone = pickle.loads(pickle.dumps(scenario))
+        before = clone.machine.engine.events_processed
+        clone.run_seconds(0.002)
+        assert clone.machine.engine.events_processed > before
+
+    def test_pickled_continuation_is_deterministic(self):
+        """Run A->B straight vs. pickle at A: identical end state."""
+        def fresh():
+            return build_scenario(
+                "tableau", IoLoop(), capped=False, background="io",
+                topology=uniform(4), num_vms=8, seed=42,
+            )
+
+        straight = fresh()
+        straight.run_seconds(0.004)
+
+        half = fresh()
+        half.run_seconds(0.002)
+        resumed = pickle.loads(pickle.dumps(half))
+        resumed.run_seconds(0.002)
+
+        assert (
+            resumed.machine.engine.events_processed
+            == straight.machine.engine.events_processed
+        )
+        assert resumed.machine.engine.now == straight.machine.engine.now
+        assert (
+            resumed.vantage.runtime_ns == straight.vantage.runtime_ns
+        )

@@ -1,0 +1,87 @@
+"""Plan reuse across the experiment drivers (ISSUE satellite a).
+
+``experiments.scenarios.plan_for`` and the Fig. 3/4 scaling sweeps
+route through the content-addressed :class:`PlanStore`; both expose
+cache-hit counters so campaigns and tests can verify planning work was
+actually skipped.
+"""
+
+import pytest
+
+from repro.core import PlanStore
+from repro.experiments import scenarios
+from repro.experiments.planner_scaling import (
+    full_sweep,
+    measure_point,
+    scaling_curve,
+)
+from repro.topology import uniform
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    scenarios.reset_plan_memo()
+    yield
+    scenarios.reset_plan_memo()
+
+
+class TestPlanForMemo:
+    def test_repeat_census_hits_memo(self):
+        before = scenarios.plan_for_cache_hits
+        first = scenarios.plan_for(uniform(4), 8, False)
+        assert scenarios.plan_for_cache_hits == before
+        second = scenarios.plan_for(uniform(4), 8, False)
+        assert scenarios.plan_for_cache_hits == before + 1
+        assert second is first
+        assert second.stats.plan_cache_hit
+
+    def test_distinct_censuses_do_not_collide(self):
+        a = scenarios.plan_for(uniform(4), 8, False)
+        b = scenarios.plan_for(uniform(4), 8, True)
+        c = scenarios.plan_for(uniform(4), 8, False, latency_ns=1_000_000)
+        assert a is not b and a is not c
+
+    def test_store_serves_across_memo_resets(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        scenarios.plan_for(uniform(4), 8, False, store=store)
+        assert store.stats.misses == 1
+
+        scenarios.reset_plan_memo()  # new process, same disk
+        result = scenarios.plan_for(uniform(4), 8, False, store=store)
+        assert store.stats.hits == 1
+        assert result.stats.plan_cache_hit
+
+
+class TestScalingSweepStore:
+    def test_measure_point_reports_store_hit(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        topo = uniform(4)
+        cold = measure_point(8, 30, topo, store=store)
+        assert not cold.cache_hit
+        warm = measure_point(8, 30, topo, store=store)
+        assert warm.cache_hit
+        assert warm.table_bytes == cold.table_bytes
+
+    def test_repetitions_hit_within_one_point(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        point = measure_point(
+            8, 30, uniform(4), repetitions=3, store=store
+        )
+        assert point.cache_hit  # reps 2..3 were served by the store
+        assert store.stats.hits == 2 and store.stats.misses == 1
+
+    def test_curve_and_sweep_thread_the_store(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        topo = uniform(4)
+        scaling_curve(30, vm_counts=(4, 8), topology=topo, store=store)
+        again = scaling_curve(
+            30, vm_counts=(4, 8), topology=topo, store=store
+        )
+        assert all(p.cache_hit for p in again)
+
+        sweep = full_sweep(topology=topo, vm_counts=(4,), store=store)
+        assert len(sweep) == 4  # one point per latency goal
+
+    def test_without_store_nothing_is_cached(self):
+        point = measure_point(8, 30, uniform(4))
+        assert not point.cache_hit

@@ -1,0 +1,227 @@
+"""Tests for the content-addressed on-disk plan store.
+
+Covers the fault paths the campaign engine depends on: corrupt
+entries, truncated writes, concurrent writers, and cache-version
+mismatches must all fall back to regeneration without raising.
+"""
+
+import os
+import pickle
+import struct
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core import MS, CACHE_VERSION, Planner, PlanStore, make_vm, plan_key
+from repro.core.plancache import MAGIC, topology_token
+from repro.topology import uniform, xeon_16core
+
+
+def census(n=8, latency_ms=30, capped=False):
+    return [
+        make_vm(f"vm{i:02d}", 0.25, latency_ms * MS, capped=capped)
+        for i in range(n)
+    ]
+
+
+def table_layout(result):
+    return [
+        (cpu, alloc.start, alloc.end, alloc.vcpu)
+        for cpu in sorted(result.table.cores)
+        for alloc in result.table.cores[cpu].allocations
+    ]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PlanStore(tmp_path / "cache")
+
+
+class TestPlanKey:
+    def test_same_inputs_same_key(self):
+        planner = Planner(uniform(4))
+        assert plan_key(planner, census()) == plan_key(
+            Planner(uniform(4)), census()
+        )
+
+    def test_key_covers_planning_inputs(self):
+        planner = Planner(uniform(4))
+        base = plan_key(planner, census())
+        assert plan_key(planner, census(n=9)) != base
+        assert plan_key(planner, census(latency_ms=60)) != base
+        assert plan_key(planner, census(capped=True)) != base
+        assert plan_key(Planner(uniform(8)), census()) != base
+
+    def test_topology_token_distinguishes_machines(self):
+        assert topology_token(uniform(4)) != topology_token(uniform(8))
+        assert topology_token(xeon_16core()) == topology_token(xeon_16core())
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        planner = Planner(uniform(4))
+        first = store.plan(planner, census())
+        assert not first.stats.plan_cache_hit
+        assert store.stats.misses == 1 and store.stats.stores == 1
+
+        second = store.plan(Planner(uniform(4)), census())
+        assert second.stats.plan_cache_hit
+        assert store.stats.hits == 1
+        assert table_layout(second) == table_layout(first)
+
+    def test_hit_rate(self, store):
+        planner = Planner(uniform(4))
+        store.plan(planner, census())
+        store.plan(planner, census())
+        store.plan(planner, census())
+        assert store.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_get_missing_key_is_none(self, store):
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+
+
+class TestFaultPaths:
+    """Every corruption mode degrades to a regeneration, never a raise."""
+
+    def setup_entry(self, store):
+        planner = Planner(uniform(4))
+        vms = census()
+        result = store.plan(planner, vms)
+        key = plan_key(planner, vms)
+        return planner, vms, key, store.path_for(key), table_layout(result)
+
+    def test_corrupt_payload_regenerates(self, store):
+        planner, vms, key, path, layout = self.setup_entry(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        again = store.plan(planner, vms)
+        assert store.stats.invalid == 1
+        assert not again.stats.plan_cache_hit
+        assert table_layout(again) == layout
+        # The bad entry was replaced by the regeneration.
+        assert store.get(key) is not None
+
+    def test_corrupt_digest_regenerates(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        blob = bytearray(path.read_bytes())
+        blob[8] ^= 0xFF  # inside the stored sha256
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.stats.invalid == 1
+
+    def test_truncated_write_regenerates(self, store):
+        planner, vms, key, path, layout = self.setup_entry(store)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        again = store.plan(planner, vms)
+        assert not again.stats.plan_cache_hit
+        assert table_layout(again) == layout
+
+    def test_header_shorter_than_fixed_part(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        path.write_bytes(b"TP")
+        assert store.get(key) is None
+        assert store.stats.invalid == 1
+
+    def test_bad_magic_regenerates(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        blob = bytearray(path.read_bytes())
+        blob[0:4] = b"XXXX"
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.stats.invalid == 1
+
+    def test_version_mismatch_regenerates(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        blob = bytearray(path.read_bytes())
+        # Rewrite the header's version field in place.
+        blob[0:40] = struct.pack(
+            "<4sHH32s", MAGIC, CACHE_VERSION + 1, 0, bytes(blob[8:40])
+        )
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.stats.invalid == 1
+
+    def test_new_store_version_uses_fresh_namespace(self, tmp_path):
+        old = PlanStore(tmp_path / "cache")
+        planner = Planner(uniform(4))
+        vms = census()
+        old.plan(planner, vms)
+
+        newer = PlanStore(tmp_path / "cache", version=CACHE_VERSION + 1)
+        result = newer.plan(planner, vms)
+        assert not result.stats.plan_cache_hit
+        assert newer.stats.misses == 1
+
+    def test_valid_header_pickle_garbage(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        payload = b"not a pickle"
+        import hashlib
+
+        header = struct.pack(
+            "<4sHH32s", MAGIC, CACHE_VERSION, 0,
+            hashlib.sha256(payload).digest(),
+        )
+        path.write_bytes(header + payload)
+        assert store.get(key) is None
+        assert store.stats.invalid == 1
+
+    def test_payload_wrong_type(self, store):
+        planner, vms, key, path, _ = self.setup_entry(store)
+        payload = pickle.dumps({"not": "a PlanResult"})
+        import hashlib
+
+        header = struct.pack(
+            "<4sHH32s", MAGIC, CACHE_VERSION, 0,
+            hashlib.sha256(payload).digest(),
+        )
+        path.write_bytes(header + payload)
+        assert store.get(key) is None
+
+    def test_unwritable_root_degrades_to_planning(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        store = PlanStore(root)
+        planner = Planner(uniform(4))
+        vms = census()
+        os.chmod(root, 0o500)
+        try:
+            result = store.plan(planner, vms)  # must not raise
+        finally:
+            os.chmod(root, 0o700)
+        assert not result.stats.plan_cache_hit
+
+
+def _concurrent_put(args):
+    root, n = args
+    store = PlanStore(root)
+    planner = Planner(uniform(4))
+    vms = [make_vm(f"vm{i:02d}", 0.25, 30 * MS) for i in range(8)]
+    for _ in range(n):
+        result = planner.plan(vms)
+        store.put(plan_key(planner, vms), result)
+    return store.path_for(plan_key(planner, vms)).exists()
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_a_valid_entry(self, tmp_path):
+        """Writers use per-pid temp files + atomic rename: no torn reads."""
+        root = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            assert all(pool.map(_concurrent_put, [(root, 5)] * 4))
+
+        store = PlanStore(root)
+        planner = Planner(uniform(4))
+        vms = census()
+        cached = store.get(plan_key(planner, vms))
+        assert cached is not None
+        assert table_layout(cached) == table_layout(planner.plan(vms))
+        # No stray temp files survive the rename dance.
+        leftovers = [
+            p for p in store.path_for(plan_key(planner, vms)).parent.iterdir()
+            if ".tmp." in p.name
+        ]
+        assert leftovers == []
