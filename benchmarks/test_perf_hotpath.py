@@ -23,8 +23,10 @@ from conftest import sim_seconds, publish
 
 from hotpath import (
     BENCH_PATH,
+    SEED_BASELINE,
     bench_daemon_regeneration,
     bench_dispatch,
+    bench_dispatch_backends,
     bench_planner,
 )
 from repro.core import MS, Planner, make_vm
@@ -122,6 +124,57 @@ def test_health_layer_preserves_fingerprints_and_throughput():
         f"bare   events/sec  {bare_eps:.0f}\n"
         f"health events/sec  {health_eps:.0f}\n"
         f"baseline events/sec {baseline['events_per_sec']:.0f}",
+    )
+
+
+def test_array_backend_is_bit_identical_and_clears_5x_seed():
+    """ISSUE 6 acceptance: batched table playback at >= 5x seed throughput.
+
+    Both backends run the full-scale benchmark interleaved.  Three gates:
+
+    * exactness — the array trace fingerprint equals the object one and
+      matches the frozen reference (no behavioral drift, ever);
+    * relative — the array engine decisively outruns the object engine
+      (measured ratio ~1.7x; the 1.4x gate leaves room for scheduling
+      noise but fails if the batching advantage evaporates);
+    * the 5x-vs-seed floor, load-normalized: the bar scales by how far
+      the object engine itself is currently displaced from its frozen
+      ``BENCH_hotpath.json`` speed, so host steal (which slows both
+      backends alike) cannot fail the gate, while a real array-engine
+      regression still does.  On an unloaded container the factor is
+      1.0 and the full 5x floor applies.
+    """
+    backends = bench_dispatch_backends(sim_seconds=0.5, seed=42, rounds=3)
+    obj, arr = backends["object"], backends["array"]
+
+    assert arr["fingerprint"] == obj["fingerprint"]
+    assert arr["fingerprint"].startswith(DISPATCH_FINGERPRINT_PREFIX)
+
+    obj_eps = obj["events_per_sec"]
+    arr_eps = arr["events_per_sec"]
+    assert arr_eps > 1.4 * obj_eps, (
+        f"array backend lost its batching advantage: {arr_eps:.0f} ev/s "
+        f"vs {obj_eps:.0f} ev/s object"
+    )
+
+    seed_eps = SEED_BASELINE["dispatch"]["events_per_sec"]
+    frozen_obj_eps = json.loads(BENCH_PATH.read_text())["after"]["dispatch"][
+        "events_per_sec"
+    ]
+    load_factor = min(1.0, obj_eps / frozen_obj_eps)
+    floor = 5.0 * seed_eps * load_factor
+    assert arr_eps > floor, (
+        f"array backend under the 5x-vs-seed floor: {arr_eps:.0f} ev/s "
+        f"vs floor {floor:.0f} (load factor {load_factor:.2f})"
+    )
+    publish(
+        "perf_array_backend",
+        "array dispatch backend (full scale, 0.5 s, seed 42)\n"
+        f"fingerprint       {arr['fingerprint'][:16]} (identical to object)\n"
+        f"object events/sec {obj_eps:.0f}\n"
+        f"array  events/sec {arr_eps:.0f} ({arr_eps / seed_eps:.1f}x seed, "
+        f"{arr_eps / obj_eps:.2f}x object)\n"
+        f"5x floor          {floor:.0f} (load factor {load_factor:.2f})",
     )
 
 

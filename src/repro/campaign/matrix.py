@@ -21,6 +21,7 @@ from repro.campaign.shard import PROBES, ShardSpec
 from repro.errors import ConfigurationError
 from repro.experiments.scenarios import BACKGROUNDS, SCHEDULERS, VMS_PER_CORE
 from repro.faults import RUNTIME_PRESETS
+from repro.sim.arraycore import ENGINES
 from repro.topology import Topology, uniform, xeon_16core, xeon_48core
 
 #: The no-faults preset name (always valid).
@@ -53,6 +54,9 @@ class CampaignMatrix:
         seeds: Simulation-seed axis.
         presets: Fault-plan axis: ``"none"`` or any
             :data:`repro.faults.RUNTIME_PRESETS` name.
+        engines: Dispatch-backend axis (:data:`repro.sim.ENGINES`);
+            every cell is bit-identical across backends, so this axis
+            exists for differential sweeps and backend benchmarking.
         capped: Whether VMs are held to their reservations.
         background: Non-vantage VM workload.
         topology: Topology token for :func:`resolve_topology`.
@@ -68,6 +72,7 @@ class CampaignMatrix:
     vm_counts: Sequence[int] = (0,)
     seeds: Sequence[int] = (42,)
     presets: Sequence[str] = (PRESET_NONE,)
+    engines: Sequence[str] = ("object",)
     capped: bool = False
     background: str = "io"
     topology: str = "16core"
@@ -100,7 +105,17 @@ class CampaignMatrix:
                 raise ConfigurationError(
                     f"unknown fault preset {preset!r} (none | {known})"
                 )
-        if not self.schedulers or not self.vm_counts or not self.seeds:
+        for engine in self.engines:
+            if engine not in ENGINES:
+                raise ConfigurationError(
+                    f"unknown engine {engine!r} (choose from {ENGINES})"
+                )
+        if (
+            not self.schedulers
+            or not self.vm_counts
+            or not self.seeds
+            or not self.engines
+        ):
             raise ConfigurationError("matrix axes must be non-empty")
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
@@ -117,7 +132,10 @@ class CampaignMatrix:
         return VMS_PER_CORE * len(topo.guest_cores)
 
     def expand(self) -> List[ShardSpec]:
-        """All cells, in canonical (scheduler, count, seed, preset) order."""
+        """All cells, in canonical (scheduler, count, seed, preset,
+        engine) order.  The engine token only appears in shard ids for
+        non-default backends, so existing single-backend campaign logs
+        (and ``--resume`` against them) keep their ids."""
         shards: List[ShardSpec] = []
         index = 0
         for scheduler in self.schedulers:
@@ -125,29 +143,33 @@ class CampaignMatrix:
                 num_vms = count if count else self.default_vm_count()
                 for seed in self.seeds:
                     for preset in self.presets:
-                        shard_id = (
-                            f"{index:04d}.{scheduler}.v{num_vms}"
-                            f".s{seed}.{preset}"
-                        )
-                        shards.append(
-                            ShardSpec(
-                                shard_id=shard_id,
-                                index=index,
-                                campaign=self.name,
-                                probe=self.probe,
-                                scheduler=scheduler,
-                                num_vms=num_vms,
-                                seed=seed,
-                                preset=preset,
-                                health=self.health,
-                                capped=self.capped,
-                                background=self.background,
-                                topology=self.topology,
-                                duration_s=self.duration_s,
-                                latency_ms=self.latency_ms,
+                        for engine in self.engines:
+                            shard_id = (
+                                f"{index:04d}.{scheduler}.v{num_vms}"
+                                f".s{seed}.{preset}"
                             )
-                        )
-                        index += 1
+                            if engine != "object":
+                                shard_id += f".{engine}"
+                            shards.append(
+                                ShardSpec(
+                                    shard_id=shard_id,
+                                    index=index,
+                                    campaign=self.name,
+                                    probe=self.probe,
+                                    scheduler=scheduler,
+                                    num_vms=num_vms,
+                                    seed=seed,
+                                    preset=preset,
+                                    health=self.health,
+                                    capped=self.capped,
+                                    background=self.background,
+                                    topology=self.topology,
+                                    duration_s=self.duration_s,
+                                    latency_ms=self.latency_ms,
+                                    engine=engine,
+                                )
+                            )
+                            index += 1
         return shards
 
     # ------------------------------------------------------------------
@@ -166,7 +188,7 @@ class CampaignMatrix:
                 f"unknown matrix key(s): {', '.join(unknown)}"
             )
         kwargs = dict(data)
-        for axis in ("schedulers", "vm_counts", "seeds", "presets"):
+        for axis in ("schedulers", "vm_counts", "seeds", "presets", "engines"):
             if axis in kwargs:
                 value = kwargs[axis]
                 if not isinstance(value, (list, tuple)):

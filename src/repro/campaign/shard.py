@@ -53,6 +53,9 @@ class ShardSpec:
     #: Per-VM latency goal in ms (the paper's default is 20; Fig. 3's
     #: hardest planner curve uses 1).
     latency_ms: float = 20.0
+    #: Dispatch backend (:data:`repro.sim.ENGINES`).  ``"array"`` plays
+    #: compiled table arrays; output stays bit-identical to ``"object"``.
+    engine: str = "object"
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -108,6 +111,7 @@ def run_shard(
             seed=spec.seed,
             plan=plan,
             faults=faults,
+            engine=spec.engine,
         )
         # Health supervision is a Tableau-stack layer; other schedulers
         # run unsupervised (their cells still see machine-level faults).

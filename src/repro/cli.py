@@ -156,6 +156,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         topology=_topology(args.topology),
         health=args.health,
         strict_audit=args.strict_audit,
+        engine=args.engine,
     )
     print(format_chaos_report(result))
     if args.report:
@@ -176,6 +177,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
 
     matrix = load_matrix(args.matrix)
+    if args.engine is not None:
+        from dataclasses import replace
+
+        matrix = replace(matrix, engines=(args.engine,))
     result = run_campaign(
         matrix,
         workers=args.workers,
@@ -307,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON report to this path (the CI artifact)",
     )
+    chaos.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="dispatch backend: object (per-event dispatch) or array "
+        "(batched table playback; bit-identical output, default: object)",
+    )
     chaos.set_defaults(func=cmd_chaos)
 
     campaign = sub.add_parser(
@@ -359,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the deterministic aggregate JSON here (byte-stable "
         "across worker counts and resume boundaries)",
+    )
+    campaign.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default=None,
+        help="override the matrix's dispatch-backend axis with a single "
+        "backend (default: honor the matrix's engines field)",
     )
     campaign.set_defaults(func=cmd_campaign)
 

@@ -77,7 +77,13 @@ from repro.core.schedulability import (
     max_cd_piece,
     qpa_schedulable,
 )
-from repro.core.serialize import deserialize, serialize, table_size_bytes
+from repro.core.serialize import (
+    deserialize,
+    deserialize_arrays,
+    serialize,
+    serialize_arrays,
+    table_size_bytes,
+)
 from repro.core.splitting import SemiPartitionResult, semi_partition, verify_chain
 from repro.core.table import (
     Allocation,
@@ -135,6 +141,7 @@ __all__ = [
     "coalesce",
     "demand_bound",
     "deserialize",
+    "deserialize_arrays",
     "dp_wrap_schedule",
     "edf_schedulable",
     "fair_share_specs",
@@ -153,6 +160,7 @@ __all__ = [
     "select_period",
     "semi_partition",
     "serialize",
+    "serialize_arrays",
     "simulate_edf",
     "table_size_bytes",
     "validate_against_tasks",

@@ -11,9 +11,10 @@ touches at most two records.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.tasks import PeriodicTask
 from repro.errors import ConfigurationError, PlanningError
@@ -221,6 +222,40 @@ class CoreTable:
     def service_intervals(self, vcpu: str) -> List[Tuple[int, int]]:
         return [(a.start, a.end) for a in self.allocations if a.vcpu == vcpu]
 
+    def as_arrays(
+        self, vcpu_id: Callable[[str], int]
+    ) -> Tuple[array, array, array]:
+        """Flatten the cyclic schedule into full-coverage segment columns.
+
+        Returns three parallel ``array('q')`` columns ``(starts, ends,
+        handles)`` covering ``[0, length_ns)`` without gaps: every
+        allocation becomes one segment carrying ``vcpu_id(name)`` (its
+        integer handle), and every idle interval — gaps between
+        allocations, the leading gap, the trailing gap, explicit idle
+        records — becomes a segment with handle ``-1``.  This is the
+        compact structure-of-arrays encoding the array dispatch engine
+        (:mod:`repro.sim.arraycore`) plays back with a cursor instead of
+        probing the slice table.
+        """
+        starts = array("q")
+        ends = array("q")
+        handles = array("q")
+        cursor = 0
+        for alloc in self.allocations:
+            if alloc.start > cursor:
+                starts.append(cursor)
+                ends.append(alloc.start)
+                handles.append(-1)
+            starts.append(alloc.start)
+            ends.append(alloc.end)
+            handles.append(vcpu_id(alloc.vcpu) if alloc.vcpu is not None else -1)
+            cursor = alloc.end
+        if cursor < self.length_ns:
+            starts.append(cursor)
+            ends.append(self.length_ns)
+            handles.append(-1)
+        return starts, ends, handles
+
 
 @dataclass
 class SystemTable:
@@ -286,6 +321,17 @@ class SystemTable:
     def core_of(self, vcpu: str) -> int:
         """Primary core of a vCPU (the only core, for partitioned vCPUs)."""
         return self.home_cores[vcpu][0]
+
+    def as_arrays(self) -> Dict[int, Tuple[array, array, array]]:
+        """Per-core flattened segment columns (see :meth:`CoreTable.as_arrays`).
+
+        Handles index :attr:`vcpu_names` (``-1`` = idle), so consumers can
+        resolve them against any name-keyed registry.
+        """
+        return {
+            cpu: table.as_arrays(self.vcpu_id)
+            for cpu, table in self.cores.items()
+        }
 
     def is_split(self, vcpu: str) -> bool:
         return len(self.home_cores.get(vcpu, ())) > 1

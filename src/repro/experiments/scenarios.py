@@ -32,7 +32,7 @@ from repro.schedulers import (
     Scheduler,
     TableauScheduler,
 )
-from repro.sim import Machine, Tracer, VCpu, Workload
+from repro.sim import ENGINES, ArrayMachine, Machine, Tracer, VCpu, Workload
 from repro.topology import Topology, xeon_16core
 from repro.workloads import CpuHog, IoLoop
 
@@ -63,6 +63,7 @@ class Scenario:
     scheduler_name: str
     capped: bool
     background: str
+    engine: str = "object"
 
     def run_seconds(self, seconds: float) -> None:
         self.machine.run(int(seconds * 1e9))
@@ -180,6 +181,7 @@ def build_scenario(
     store: Optional[PlanStore] = None,
     faults: Optional["FaultPlan"] = None,
     latency_ns: int = VM_LATENCY_NS,
+    engine: str = "object",
 ) -> Scenario:
     """Assemble one cell of the evaluation matrix.
 
@@ -200,18 +202,24 @@ def build_scenario(
             (campaign fault/health-preset cells).
         latency_ns: Per-VM latency goal for the generated plan
             (ignored when ``plan`` is given).
+        engine: Dispatch backend, one of :data:`repro.sim.ENGINES` —
+            ``"object"`` (default) or ``"array"`` (batched table
+            playback; bit-identical traces, higher events/s).
     """
     if scheduler not in SCHEDULERS:
         raise ConfigurationError(f"unknown scheduler {scheduler!r}")
     if background not in BACKGROUNDS:
         raise ConfigurationError(f"unknown background {background!r}")
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}")
     topo = topology if topology is not None else xeon_16core()
     count = num_vms if num_vms is not None else VMS_PER_CORE * len(topo.guest_cores)
     if plan is None:
         plan = plan_for(topo, count, capped, store=store, latency_ns=latency_ns)
 
     sched = make_scheduler(scheduler, plan, capped, topo)
-    machine = Machine(topo, sched, seed=seed, tracer=tracer, faults=faults)
+    machine_cls = ArrayMachine if engine == "array" else Machine
+    machine = machine_cls(topo, sched, seed=seed, tracer=tracer, faults=faults)
     vantage = machine.add_vcpu(
         VCpu("vm00.vcpu0", vantage_workload, capped=capped)
     )
@@ -230,6 +238,7 @@ def build_scenario(
         scheduler_name=scheduler,
         capped=capped,
         background=background,
+        engine=engine,
     )
 
 

@@ -30,6 +30,7 @@ from repro.core.params import make_vm
 from repro.faults.audit import InvariantAuditor
 from repro.health.supervisor import HealthSupervisor
 from repro.schedulers.tableau import TableauScheduler
+from repro.sim.arraycore import ENGINES, ArrayMachine
 from repro.sim.machine import Machine
 from repro.sim.tracing import Tracer
 from repro.sim.vm import VCpu
@@ -49,6 +50,7 @@ class ChaosResult:
 
     seed: int
     seconds: float
+    engine: str
     health_report: Dict[str, object]
     audit_violations: List[str]
     audits: int
@@ -84,6 +86,7 @@ def run_chaos(
     watchdog_period_ns: int = 1_000_000,
     stuck_threshold: int = 3,
     recovery_backoff_ns: int = 2_000_000,
+    engine: str = "object",
 ) -> ChaosResult:
     """Run the full stack under ``faults`` for ``seconds`` of simulated time.
 
@@ -98,6 +101,10 @@ def run_chaos(
         capped: Whether guests are held to their reservations.
         health: Install the supervisor (watchdogs, monitors, quarantine,
             recovery).  Off, the run shows what faults do unsupervised.
+        engine: Dispatch backend (:data:`repro.sim.ENGINES`): ``"array"``
+            plays the compiled table arrays; faulted/degraded stretches
+            fall back per call, so results are bit-identical to
+            ``"object"``.
         regen_period_ns: Cadence of periodic same-census replans (the
             stream of pushes switch faults fire on).  Defaults to two
             table rounds, so every staged table reaches its activation
@@ -109,6 +116,8 @@ def run_chaos(
         stuck_threshold: Forwarded to the supervisor.
         recovery_backoff_ns: Forwarded to the supervisor.
     """
+    if engine not in ENGINES:
+        raise ReproError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     topo = topology if topology is not None else xeon_16core()
     count = num_vms if num_vms is not None else 4 * len(topo.guest_cores)
     specs = [
@@ -119,7 +128,8 @@ def run_chaos(
     daemon = PlannerDaemon(topo, faults=faults)
     plan = daemon.replan(specs, reason="initial census")
     scheduler = TableauScheduler(plan.table, faults=faults)
-    machine = Machine(topo, scheduler, seed=seed, tracer=Tracer(), faults=faults)
+    machine_cls = ArrayMachine if engine == "array" else Machine
+    machine = machine_cls(topo, scheduler, seed=seed, tracer=Tracer(), faults=faults)
     hypercall = TableHypercall(scheduler, faults=faults)
     daemon.hypercall = hypercall
 
@@ -182,6 +192,7 @@ def run_chaos(
     return ChaosResult(
         seed=seed,
         seconds=seconds,
+        engine=engine,
         health_report=supervisor.report() if supervisor is not None else {},
         audit_violations=list(auditor.violations),
         audits=auditor.audits,

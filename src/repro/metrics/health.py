@@ -122,6 +122,7 @@ def chaos_report_json(result: "ChaosResult") -> str:
         {
             "seed": result.seed,
             "seconds": result.seconds,
+            "engine": result.engine,
             "replans": result.replans,
             "committed_replans": result.committed_replans,
             "injected_by_site": result.injected_by_site,

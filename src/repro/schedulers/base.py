@@ -97,3 +97,15 @@ class Scheduler:
     def runnable_on(self, cpu: int) -> int:
         """Number of runnable vCPUs associated with ``cpu`` (diagnostics)."""
         return 0
+
+    def array_program(self, machine: "Machine") -> Optional[object]:
+        """Compiled fused-dispatch program for the array backend, if any.
+
+        Called once by :class:`repro.sim.arraycore.ArrayMachine` before
+        the first event.  Schedulers whose decisions can be flattened
+        into table playback return a program object exposing
+        ``resched(cpu)``, ``cpu_event(cpu)``, and ``wake(vcpu)`` kernels
+        that are bit-compatible with the object dispatch path; the
+        default ``None`` keeps the machine on the object engine.
+        """
+        return None

@@ -454,6 +454,27 @@ class TableauScheduler(Scheduler):
         # as runnable when its next allocation begins.
         return WakeAction(cpu=processing, cost_ns=cost, resched_cpu=None)
 
+    def array_program(self, machine):
+        """Compile the table into the fused array-dispatch program.
+
+        Only the stock dispatcher configuration is compilable: subclasses
+        (and the ``"trailing"`` split policy, whose L2 membership is
+        recomputed per pick) fall back to the object engine.  The program
+        receives the second-level constants and state factory here so
+        :mod:`repro.sim.arraycore` never imports the scheduler layer.
+        """
+        if type(self) is not TableauScheduler or self.split_l2_policy != "none":
+            return None
+        from repro.sim.arraycore import TableauArrayProgram
+
+        return TableauArrayProgram(
+            machine,
+            self,
+            l2_scan=L2_SCAN_NS,
+            l2_min_budget=L2_MIN_BUDGET_NS,
+            l2_state_factory=_L2State,
+        )
+
     def post_schedule(
         self, cpu: int, prev: Optional[VCpu], chosen: Optional[VCpu], now: int
     ) -> float:

@@ -5,6 +5,7 @@ overhead charging, simulated VMs/vCPUs, the workload protocol, the
 tracing framework, and the calibrated cost model.
 """
 
+from repro.sim.arraycore import ENGINES, ArrayMachine, ArrayTracer
 from repro.sim.engine import EventHandle, SimEngine
 from repro.sim.machine import Machine
 from repro.sim.overheads import (
@@ -27,8 +28,11 @@ from repro.sim.vm import VM, VCpu, VCpuState, Workload
 
 __all__ = [
     "ALL_OPS",
+    "ArrayMachine",
+    "ArrayTracer",
     "CONTEXT_SWITCH_NS",
     "CostModel",
+    "ENGINES",
     "DispatchRecord",
     "EventHandle",
     "GlobalLock",

@@ -112,7 +112,21 @@ class SimEngine:
         events_processed: Number of (non-cancelled) callbacks executed
             so far — the numerator of the dispatch-loop throughput
             benchmark (``benchmarks/hotpath.py``).
+
+    The engine is slotted: ``now``/``_seq``/``_live`` are read and
+    written on every event (including by the array backend's fused
+    kernels), so instance-dict lookups are worth eliminating.
     """
+
+    __slots__ = (
+        "now",
+        "rng",
+        "_heap",
+        "_seq",
+        "_live",
+        "events_processed",
+        "_running",
+    )
 
     def __init__(self, seed: int = 0) -> None:
         self.now: int = 0

@@ -49,9 +49,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 
 
-@dataclass
+@dataclass(slots=True)
 class _Cpu:
-    """Per-core dispatch state."""
+    """Per-core dispatch state (slotted: read on every event)."""
 
     index: int
     current: Optional[VCpu] = None
@@ -60,7 +60,11 @@ class _Cpu:
     run_start: int = 0  # when `current` last started making progress
     resched: Optional[EventHandle] = None
     busy_ns: int = 0
-    overhead_ns: float = 0.0
+    # Integer ns like every other clock quantity: scheduler cost models
+    # return floats, but charges land on the timeline truncated to whole
+    # ns (the same truncation the dispatch/steal delays always used), so
+    # accumulation is lossless and array('q')-compatible.
+    overhead_ns: int = 0
     # Reusable event callbacks (bound once at machine assembly) so the
     # dispatch loop never allocates a closure per scheduled event.
     resched_cb: Optional[Callable[[], None]] = None
@@ -79,6 +83,10 @@ class Machine:
         faults: Optional runtime fault plan consulted at the IPI,
             clock, timer, and guest-cooperation decision points.
     """
+
+    #: Backend selector name (``repro.sim.arraycore.ArrayMachine``
+    #: overrides this with ``"array"``).
+    engine_name = "object"
 
     def __init__(
         self,
@@ -266,7 +274,7 @@ class Machine:
         migrate_cost = scheduler.post_schedule(cpu.index, prev, chosen, now)
         tracer.record_op(OP_MIGRATE, now, cpu.index, migrate_cost)
         overhead = decision.cost_ns + migrate_cost
-        cpu.overhead_ns += overhead
+        cpu.overhead_ns += int(overhead)
 
         if chosen is not None and chosen.state is VCpuState.BLOCKED:
             raise SimulationError(
@@ -405,8 +413,8 @@ class Machine:
         cycles the hypervisor spent.
         """
         cpu = self.cpus[cpu_index]
-        cpu.overhead_ns += cost_ns
         charge = int(cost_ns)
+        cpu.overhead_ns += charge
         if charge <= 0 or cpu.current is None or cpu.event is None:
             return
         when = cpu.event.time + charge
@@ -424,7 +432,7 @@ class Machine:
         window = window_ns if window_ns is not None else max(1, self.engine.now)
         return self.vcpus[vcpu_name].runtime_ns / window
 
-    def total_overhead_ns(self) -> float:
+    def total_overhead_ns(self) -> int:
         return sum(c.overhead_ns for c in self.cpus)
 
     def idle_fraction(self) -> float:

@@ -80,7 +80,28 @@ class VCpu:
         weight: Proportional-share weight (Credit/Credit2).
         reservation: Optional (budget, period) attached by the harness
             so RTDS/Tableau can be configured identically (Sec. 7.2).
+
+    The dispatch loop reads these fields on every decision, so the
+    layout is slotted; scheduler-private extensions go in
+    :attr:`sched_data` rather than ad-hoc attributes.
     """
+
+    __slots__ = (
+        "name",
+        "vm",
+        "workload",
+        "capped",
+        "weight",
+        "state",
+        "pcpu",
+        "last_cpu",
+        "remaining_burst",
+        "runtime_ns",
+        "dispatch_count",
+        "wake_pending",
+        "sched_data",
+        "machine",
+    )
 
     def __init__(
         self,

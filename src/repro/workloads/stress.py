@@ -14,7 +14,7 @@ Two variants are used throughout the evaluation:
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.sim.vm import Workload
+from repro.sim.vm import VCpuState, Workload
 
 
 class CpuHog(Workload):
@@ -69,6 +69,19 @@ class IoLoop(Workload):
         self.jitter = jitter
         self.io_completions = 0
         self._uniform = None  # bound rng.uniform, cached at start()
+        self._random = None  # bound rng.random, cached at start()
+        self._after = None  # bound engine.after, cached at start()
+        # Jitter window per phase, precomputed so the (very hot) draw in
+        # ``on_wake``/``on_burst_complete`` is one ``random()`` call plus
+        # arithmetic.  ``_c_span``/``_io_span`` reproduce ``uniform``'s
+        # ``b - a`` float subtraction exactly, keeping draws bit-identical
+        # to the previous ``rng.uniform(a, b)`` formulation.
+        c_spread = jitter * compute_ns
+        io_spread = jitter * io_ns
+        self._c_lo = compute_ns - c_spread
+        self._c_span = (compute_ns + c_spread) - (compute_ns - c_spread)
+        self._io_lo = io_ns - io_spread
+        self._io_span = (io_ns + io_spread) - (io_ns - io_spread)
 
     def _jittered(self, mean: int) -> int:
         if self.jitter == 0.0:
@@ -79,20 +92,41 @@ class IoLoop(Workload):
 
     def start(self, now: int) -> None:
         # The engine's RNG is fixed for the machine's lifetime; caching
-        # the bound method keeps the (very hot) jitter draw to one call.
-        self._uniform = self.machine.engine.rng.uniform
+        # the bound methods keeps the hot hooks free of attribute chains.
+        engine = self.machine.engine
+        self._uniform = engine.rng.uniform
+        self._random = engine.rng.random
+        self._after = engine.after
         self.vcpu.begin_burst(self._jittered(self.compute_ns))
 
     def on_burst_complete(self, now: int) -> None:
         # Compute phase done: issue the I/O and block until it completes.
-        self.vcpu.set_blocked()
-        delay = self._jittered(self.io_ns)
-        self.machine.engine.after(delay, self._io_complete)
+        # ``set_blocked`` is inlined (this fires once per I/O cycle per
+        # background VM, the simulator's highest-rate workload hook).
+        vcpu = self.vcpu
+        vcpu.remaining_burst = 0
+        vcpu.state = VCpuState.BLOCKED
+        if self.jitter == 0.0:
+            delay = self.io_ns
+        else:
+            draw = self._io_lo + self._io_span * self._random()
+            delay = 1 if draw < 1 else int(draw)
+        self._after(delay, self._io_complete)
 
     def _io_complete(self) -> None:
         self.io_completions += 1
         self.machine.wake(self.vcpu)
 
     def on_wake(self, now: int) -> None:
-        if self.vcpu.remaining_burst == 0:
-            self.vcpu.begin_burst(self._jittered(self.compute_ns))
+        vcpu = self.vcpu
+        if vcpu.remaining_burst == 0:
+            # Inlined ``begin_burst``: the draw is always >= 1 and the
+            # vCPU is blocked here (wake hooks only fire pre-dispatch),
+            # so the validation and state checks reduce to assignments.
+            if self.jitter == 0.0:
+                vcpu.remaining_burst = self.compute_ns
+            else:
+                draw = self._c_lo + self._c_span * self._random()
+                vcpu.remaining_burst = 1 if draw < 1 else int(draw)
+            if vcpu.state is VCpuState.BLOCKED:
+                vcpu.state = VCpuState.RUNNABLE

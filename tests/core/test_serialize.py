@@ -5,9 +5,12 @@ import struct
 import pytest
 
 from repro.core.serialize import (
+    ARRAY_MAGIC,
     MAGIC,
     deserialize,
+    deserialize_arrays,
     serialize,
+    serialize_arrays,
     table_size_bytes,
 )
 from repro.core.table import Allocation, CoreTable, SystemTable
@@ -91,6 +94,75 @@ class TestFormatErrors:
     def test_empty_payload_rejected(self):
         with pytest.raises(TableFormatError):
             deserialize(b"")
+
+
+class TestArrayFormat:
+    """The dispatcher-side structure-of-arrays payload ('TBLA')."""
+
+    def test_columns_round_trip(self):
+        system = sample_system()
+        length_ns, names, columns = deserialize_arrays(serialize_arrays(system))
+        assert length_ns == system.length_ns
+        assert names == system.vcpu_names
+        expected = system.as_arrays()
+        assert set(columns) == set(expected)
+        for cpu, (ends, handles) in columns.items():
+            exp_starts, exp_ends, exp_handles = expected[cpu]
+            assert ends == exp_ends
+            assert handles == exp_handles
+
+    def test_segments_cover_cycle_without_gaps(self):
+        length_ns, _names, columns = deserialize_arrays(
+            serialize_arrays(sample_system())
+        )
+        for ends, _handles in columns.values():
+            # Starts are implicit: end[i-1] (0 for the first segment),
+            # so full coverage means the last end is the cycle length.
+            assert list(ends) == sorted(ends)
+            assert ends[-1] == length_ns
+
+    def test_playback_agrees_with_record_format_lookup(self):
+        system = sample_system()
+        system.build_slices()
+        length_ns, names, columns = deserialize_arrays(serialize_arrays(system))
+        for cpu, (ends, handles) in columns.items():
+            cursor = 0
+            start = 0
+            for t in range(0, length_ns, 113):
+                while ends[cursor] <= t:
+                    start = ends[cursor]
+                    cursor += 1
+                handle = handles[cursor]
+                expected = system.cores[cpu].lookup(t)
+                if handle < 0:
+                    assert expected is None or expected.vcpu is None
+                else:
+                    assert expected is not None
+                    assert names[handle] == expected.vcpu
+
+    def test_magic_is_first_bytes(self):
+        assert serialize_arrays(sample_system())[:4] == ARRAY_MAGIC
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(serialize_arrays(sample_system()))
+        payload[:4] = b"XXXX"
+        with pytest.raises(TableFormatError):
+            deserialize_arrays(bytes(payload))
+
+    def test_bad_version_rejected(self):
+        payload = bytearray(serialize_arrays(sample_system()))
+        struct.pack_into("<H", payload, 4, 99)
+        with pytest.raises(TableFormatError):
+            deserialize_arrays(bytes(payload))
+
+    def test_truncated_payload_rejected(self):
+        payload = serialize_arrays(sample_system())
+        with pytest.raises(TableFormatError):
+            deserialize_arrays(payload[: len(payload) - 8])
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(TableFormatError):
+            deserialize_arrays(b"")
 
 
 class TestTableSize:

@@ -1,0 +1,37 @@
+"""Known-bad arraycore-style kernel: allocation inside the playback loop.
+
+The compiled-kernel pattern (``repro.sim.arraycore``) binds all hot
+state as default arguments at factory time; the kernel body then runs
+allocation-free.  This fixture does it wrong in every way the hot-*
+family bans: per-call comprehension over the segment columns, a closure
+rebuilt per dispatch, f-string trace labels, and *-unpacked calls.
+"""
+
+
+def hotpath(func):
+    return func
+
+
+def compile_kernel(seg_ends, seg_vcpu, cursors, tracer):
+    @hotpath
+    def kernel(cpu, seg_ends=seg_ends, seg_vcpu=seg_vcpu, cursors=cursors):
+        # hot-comprehension: rebuilds a list every table playback step.
+        live = [end for end in seg_ends[cpu] if end > cursors[cpu]]
+        # hot-closure: a fresh cell + function object per dispatch.
+        pick = lambda index: seg_vcpu[cpu][index]  # noqa: E731
+        # hot-fstring: per-call label assembly on the dispatch path.
+        label = f"cpu{cpu}@{cursors[cpu]}"
+        # hot-star-args: tuple packing per trace record.
+        tracer.record(*live)
+        return pick, label
+
+    return kernel
+
+
+def compile_wake(queues):
+    @hotpath
+    def wake(vcpu, *cores):  # hot-star-args at the def site
+        for core in cores:
+            queues[core].append(vcpu)
+
+    return wake

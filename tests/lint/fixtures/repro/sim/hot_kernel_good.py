@@ -1,0 +1,37 @@
+"""Known-good arraycore-style kernel: all allocation at factory time.
+
+The factory itself is cold code — comprehensions and f-strings are fine
+there — and everything the kernel touches per call is bound once as a
+default argument, so the marked body is pure index arithmetic over
+preallocated columns.
+"""
+
+
+def hotpath(func):
+    return func
+
+
+def compile_kernel(program, cpu):
+    # Cold: runs once per table compile, never per dispatch.
+    seg_ends = [int(end) for end in program.segment_ends(cpu)]
+    seg_vcpu = list(program.segment_vcpus(cpu))
+    label = f"cpu{cpu}"
+
+    @hotpath
+    def kernel(
+        now,
+        seg_ends=seg_ends,
+        seg_vcpu=seg_vcpu,
+        cursors=program.cursors,
+        index=cpu,
+        record=program.tracer.record,
+    ):
+        cursor = cursors[index]
+        while seg_ends[cursor] <= now:
+            cursor += 1
+        cursors[index] = cursor
+        record(now, index, seg_vcpu[cursor])
+        return seg_vcpu[cursor]
+
+    kernel.__name__ = "kernel_" + label
+    return kernel

@@ -27,6 +27,23 @@ class TestHotPathFixtures:
         assert report.findings == []
 
 
+class TestArraycoreKernelFixtures:
+    """The compiled-kernel pattern: hot bodies clean, factories cold."""
+
+    def test_allocating_kernel_trips_every_rule(self):
+        ids = rule_ids(lint_fixture("repro/sim/hot_kernel_bad.py"))
+        assert "hot-comprehension" in ids
+        assert "hot-closure" in ids
+        assert "hot-fstring" in ids
+        assert "hot-star-args" in ids
+
+    def test_factory_time_allocation_is_clean(self):
+        # The factory's comprehensions/f-strings are cold code; only
+        # the marked kernel body is held to the allocation-free bar.
+        report = lint_fixture("repro/sim/hot_kernel_good.py")
+        assert report.findings == []
+
+
 class TestHotRules:
     def test_comprehension_in_marked_body_flagged(self):
         source = _MARKED + "def f(q):\n    return [v for v in q]\n"

@@ -1,0 +1,211 @@
+"""Differential backend suite: the array engine is bit-identical.
+
+The array dispatch backend (``repro.sim.arraycore``) is a pure
+performance substitution — ISSUE 6's acceptance bar is that every
+observable simulation output matches the object engine *bit for bit*:
+trace fingerprints, event counts, per-vCPU utilization, and overhead
+accounting.  This suite sweeps the scheduler x seed grid fault-free,
+then the regimes where the array engine must *fall back* per call
+rather than diverge: the full chaos runtime preset (skew and timer
+faults, lost/delayed IPIs, stuck guests) and health-supervised
+degraded-mode dispatch after a corrupted table switch.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.scenarios import build_scenario
+from repro.faults.plan import (
+    SITE_IPI_LOST,
+    SITE_TABLE_SWITCH,
+    FaultPlan,
+    FaultSpec,
+    runtime_preset,
+)
+from repro.health import run_chaos
+from repro.sim.arraycore import ENGINES, ArrayMachine, ArrayTracer
+from repro.sim.machine import Machine
+from repro.sim.tracing import Tracer
+from repro.topology import uniform
+from repro.workloads import IoLoop
+
+SCHEDULERS = ("tableau", "credit", "credit2", "rtds")
+SEEDS = (42, 43, 101)
+
+
+def trace_fingerprint(tracer):
+    """Order-sensitive digest of the full dispatch trace."""
+    digest = hashlib.sha256()
+    for record in tracer.dispatches:
+        digest.update(
+            f"{record.time}|{record.cpu}|{record.vcpu}|{record.level}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def observables(machine):
+    """Everything the simulation produced that experiments consume."""
+    return {
+        "events": machine.engine.events_processed,
+        "now": machine.engine.now,
+        "trace": trace_fingerprint(machine.tracer),
+        "context_switches": machine.tracer.context_switches,
+        "migrations": machine.tracer.migrations,
+        "overhead_ns": machine.total_overhead_ns(),
+        "utilization": {
+            name: vcpu.runtime_ns for name, vcpu in machine.vcpus.items()
+        },
+    }
+
+
+def run_cell(scheduler, seed, engine):
+    scenario = build_scenario(
+        scheduler,
+        vantage_workload=IoLoop(),
+        capped=(scheduler == "rtds"),
+        background="io",
+        topology=uniform(4),
+        num_vms=8,
+        seed=seed,
+        tracer=Tracer(keep_dispatches=True),
+        engine=engine,
+    )
+    scenario.run_seconds(0.02)
+    return scenario
+
+
+class TestFaultFreeDifferential:
+    """4 schedulers x 3 seeds: identical output on both backends."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_backends_agree(self, scheduler, seed):
+        obj = run_cell(scheduler, seed, "object")
+        arr = run_cell(scheduler, seed, "array")
+        assert isinstance(obj.machine, Machine)
+        assert isinstance(arr.machine, ArrayMachine)
+        assert observables(obj.machine) == observables(arr.machine)
+
+    def test_tableau_actually_compiles_a_program(self):
+        arr = run_cell("tableau", 42, "array")
+        assert arr.machine.program is not None
+        assert arr.machine.program.compiles >= 1
+
+    def test_non_tableau_schedulers_fall_back_whole_hog(self):
+        # Non-table schedulers have no array program; the ArrayMachine
+        # seam must run them unchanged rather than refuse.
+        for scheduler in ("credit", "credit2", "rtds"):
+            arr = run_cell(scheduler, 42, "array")
+            assert arr.machine.program is None
+            assert arr.machine.engine.events_processed > 0
+
+
+class TestFaultedDifferential:
+    """The fallback regimes: faults and degradation must not diverge."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_preset_backends_agree(self, seed):
+        runs = {
+            engine: run_chaos(
+                runtime_preset("chaos", seed=seed),
+                seconds=0.05,
+                seed=seed,
+                engine=engine,
+            )
+            for engine in ENGINES
+        }
+        assert observables(runs["object"].machine) == observables(
+            runs["array"].machine
+        )
+        assert runs["object"].injected_by_site == runs["array"].injected_by_site
+        assert runs["object"].health_report == runs["array"].health_report
+        assert runs["array"].audit_clean
+
+    def test_degraded_mode_backends_agree(self):
+        # One core's table corrupts mid-activation and a dead IPI wire
+        # rides along (the ISSUE 3 survival scenario): the degraded core
+        # serves round-robin through the object path while healthy cores
+        # keep playing arrays, then recovery restores table dispatch.
+        def corruption_plan():
+            return FaultPlan(
+                seed=3,
+                specs=[
+                    FaultSpec(
+                        site=SITE_TABLE_SWITCH, calls=(1,), cpu=4, corrupt=True
+                    ),
+                    FaultSpec(
+                        site=SITE_IPI_LOST,
+                        key="cpu4",
+                        probability=1.0,
+                        persistent_from=1,
+                    ),
+                ],
+            )
+
+        runs = {
+            engine: run_chaos(
+                corruption_plan(), seconds=0.5, seed=3, engine=engine
+            )
+            for engine in ENGINES
+        }
+        # The scenario genuinely exercised degraded dispatch + recovery.
+        assert runs["array"].scheduler.degraded_picks > 0
+        assert runs["array"].scheduler.degraded_cores == {}
+        assert runs["array"].audit_clean
+        assert observables(runs["object"].machine) == observables(
+            runs["array"].machine
+        )
+        assert runs["object"].health_report == runs["array"].health_report
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stuck_guest_quarantine_backends_agree(self, seed):
+        # Stuck vCPUs route through the quarantine fallback gate.
+        runs = {
+            engine: run_chaos(
+                runtime_preset("stuck-vcpu", seed=seed),
+                seconds=0.05,
+                seed=seed,
+                engine=engine,
+            )
+            for engine in ENGINES
+        }
+        assert runs["array"].health_report["quarantines"]
+        assert observables(runs["object"].machine) == observables(
+            runs["array"].machine
+        )
+        assert runs["object"].health_report == runs["array"].health_report
+
+
+class TestArrayTracer:
+    """The columnar tracer is a drop-in for trace consumers."""
+
+    def test_columnar_dispatch_log_matches_object_records(self):
+        obj = build_scenario(
+            "tableau",
+            vantage_workload=IoLoop(),
+            capped=False,
+            topology=uniform(4),
+            num_vms=8,
+            seed=42,
+            tracer=Tracer(keep_dispatches=True),
+            engine="object",
+        )
+        arr = build_scenario(
+            "tableau",
+            vantage_workload=IoLoop(),
+            capped=False,
+            topology=uniform(4),
+            num_vms=8,
+            seed=42,
+            tracer=ArrayTracer(keep_dispatches=True),
+            engine="array",
+        )
+        obj.run_seconds(0.02)
+        arr.run_seconds(0.02)
+        assert trace_fingerprint(obj.machine.tracer) == trace_fingerprint(
+            arr.machine.tracer
+        )
+        assert len(arr.machine.tracer.dispatches) == len(
+            obj.machine.tracer.dispatches
+        )
