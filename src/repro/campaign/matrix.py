@@ -64,6 +64,13 @@ class CampaignMatrix:
         latency_ms: Per-VM latency goal (20 is the paper's evaluation
             default; 1 reproduces Fig. 3's hardest planner curve).
         health: Arm the health layer on tableau cells of fault presets.
+        arrival_rates: Service-probe axis — mean tenant arrival rates
+            (requests/s) for the churn generator.  Only valid (and
+            defaulted to ``(4.0,)``) when ``probe == "service"``, where
+            ``vm_counts`` doubles as the target tenant population and
+            ``seeds`` seed the churn stream.
+        batch_windows_ms: Service-probe axis — base batch-flush
+            windows; defaulted to ``(1000.0,)`` for service campaigns.
     """
 
     name: str = "campaign"
@@ -79,6 +86,8 @@ class CampaignMatrix:
     duration_s: float = 0.5
     latency_ms: float = 20.0
     health: bool = False
+    arrival_rates: Sequence[float] = ()
+    batch_windows_ms: Sequence[float] = ()
     extra: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -121,6 +130,42 @@ class CampaignMatrix:
             raise ConfigurationError("duration_s must be positive")
         if self.latency_ms <= 0:
             raise ConfigurationError("latency_ms must be positive")
+        if self.probe == "service":
+            # The control-plane scenario has no machine-level dispatch:
+            # runtime fault presets, health supervision, and the array
+            # backend do not apply.
+            if any(preset != PRESET_NONE for preset in self.presets):
+                raise ConfigurationError(
+                    "service campaigns take presets=('none',); machine-level "
+                    "fault presets do not apply to the control plane"
+                )
+            if tuple(self.engines) != ("object",):
+                raise ConfigurationError(
+                    "service campaigns take engines=('object',)"
+                )
+            if self.health:
+                raise ConfigurationError(
+                    "service campaigns take health=false"
+                )
+            object.__setattr__(
+                self, "arrival_rates", tuple(self.arrival_rates) or (4.0,)
+            )
+            object.__setattr__(
+                self,
+                "batch_windows_ms",
+                tuple(self.batch_windows_ms) or (1000.0,),
+            )
+            for rate in self.arrival_rates:
+                if rate <= 0:
+                    raise ConfigurationError("arrival rates must be positive")
+            for window in self.batch_windows_ms:
+                if window <= 0:
+                    raise ConfigurationError("batch windows must be positive")
+        elif self.arrival_rates or self.batch_windows_ms:
+            raise ConfigurationError(
+                "arrival_rates/batch_windows_ms are service-probe axes; "
+                f"probe {self.probe!r} does not read them"
+            )
         resolve_topology(self.topology)  # validate eagerly
 
     # ------------------------------------------------------------------
@@ -133,9 +178,19 @@ class CampaignMatrix:
 
     def expand(self) -> List[ShardSpec]:
         """All cells, in canonical (scheduler, count, seed, preset,
-        engine) order.  The engine token only appears in shard ids for
-        non-default backends, so existing single-backend campaign logs
-        (and ``--resume`` against them) keep their ids."""
+        engine[, arrival, window]) order.  The engine token only
+        appears in shard ids for non-default backends, so existing
+        single-backend campaign logs (and ``--resume`` against them)
+        keep their ids; the service axes likewise only suffix ids on
+        service campaigns."""
+        # Non-service probes carry zeroed service axes in their specs.
+        service_cells = (
+            [(rate, window)
+             for rate in self.arrival_rates
+             for window in self.batch_windows_ms]
+            if self.probe == "service"
+            else [(0.0, 0.0)]
+        )
         shards: List[ShardSpec] = []
         index = 0
         for scheduler in self.schedulers:
@@ -144,32 +199,37 @@ class CampaignMatrix:
                 for seed in self.seeds:
                     for preset in self.presets:
                         for engine in self.engines:
-                            shard_id = (
-                                f"{index:04d}.{scheduler}.v{num_vms}"
-                                f".s{seed}.{preset}"
-                            )
-                            if engine != "object":
-                                shard_id += f".{engine}"
-                            shards.append(
-                                ShardSpec(
-                                    shard_id=shard_id,
-                                    index=index,
-                                    campaign=self.name,
-                                    probe=self.probe,
-                                    scheduler=scheduler,
-                                    num_vms=num_vms,
-                                    seed=seed,
-                                    preset=preset,
-                                    health=self.health,
-                                    capped=self.capped,
-                                    background=self.background,
-                                    topology=self.topology,
-                                    duration_s=self.duration_s,
-                                    latency_ms=self.latency_ms,
-                                    engine=engine,
+                            for rate, window in service_cells:
+                                shard_id = (
+                                    f"{index:04d}.{scheduler}.v{num_vms}"
+                                    f".s{seed}.{preset}"
                                 )
-                            )
-                            index += 1
+                                if engine != "object":
+                                    shard_id += f".{engine}"
+                                if self.probe == "service":
+                                    shard_id += f".a{rate:g}.w{window:g}"
+                                shards.append(
+                                    ShardSpec(
+                                        shard_id=shard_id,
+                                        index=index,
+                                        campaign=self.name,
+                                        probe=self.probe,
+                                        scheduler=scheduler,
+                                        num_vms=num_vms,
+                                        seed=seed,
+                                        preset=preset,
+                                        health=self.health,
+                                        capped=self.capped,
+                                        background=self.background,
+                                        topology=self.topology,
+                                        duration_s=self.duration_s,
+                                        latency_ms=self.latency_ms,
+                                        engine=engine,
+                                        arrival_rate=rate,
+                                        batch_window_ms=window,
+                                    )
+                                )
+                                index += 1
         return shards
 
     # ------------------------------------------------------------------
@@ -188,7 +248,15 @@ class CampaignMatrix:
                 f"unknown matrix key(s): {', '.join(unknown)}"
             )
         kwargs = dict(data)
-        for axis in ("schedulers", "vm_counts", "seeds", "presets", "engines"):
+        for axis in (
+            "schedulers",
+            "vm_counts",
+            "seeds",
+            "presets",
+            "engines",
+            "arrival_rates",
+            "batch_windows_ms",
+        ):
             if axis in kwargs:
                 value = kwargs[axis]
                 if not isinstance(value, (list, tuple)):
@@ -228,11 +296,42 @@ def fig6_matrix(
     )
 
 
+def service_matrix(
+    duration_s: float = 300.0,
+    seeds: Sequence[int] = (42,),
+    arrival_rates: Sequence[float] = (2.0, 4.0, 8.0),
+    batch_windows_ms: Sequence[float] = (250.0, 1000.0),
+    topology: str = "16core",
+    target_population: int = 32,
+) -> CampaignMatrix:
+    """A scheduler-as-a-service sweep: arrival rate x batch window."""
+    return CampaignMatrix(
+        name="service",
+        probe="service",
+        schedulers=("credit", "tableau"),
+        vm_counts=(target_population,),
+        seeds=tuple(seeds),
+        presets=(PRESET_NONE,),
+        topology=topology,
+        duration_s=duration_s,
+        arrival_rates=tuple(arrival_rates),
+        batch_windows_ms=tuple(batch_windows_ms),
+    )
+
+
 #: Named matrices accepted by ``--matrix`` without a file.
 BUILTIN_MATRICES = {
     "fig6": fig6_matrix,
     "fig6-smoke": lambda: fig6_matrix(
         duration_s=0.2, seeds=(42,), topology="8", vm_counts=(16,)
+    ),
+    "service": service_matrix,
+    "service-smoke": lambda: service_matrix(
+        duration_s=60.0,
+        arrival_rates=(4.0,),
+        batch_windows_ms=(1000.0,),
+        topology="8",
+        target_population=16,
     ),
 }
 

@@ -22,9 +22,18 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.campaign.runner import CampaignResult
 
 #: Per-probe metric keys summarized per scheduler (mean over cells, and
-#: the worst observed for *_max-style keys).
-_MEAN_KEYS = ("avg_ms", "p99_ms", "mean_delay_ms")
-_WORST_KEYS = ("max_ms", "max_delay_ms")
+#: the worst observed for *_max-style keys).  The ms/ratio keys after
+#: ``mean_delay_ms`` are the service probe's.
+_MEAN_KEYS = (
+    "avg_ms",
+    "p99_ms",
+    "mean_delay_ms",
+    "replan_p99_ms",
+    "sojourn_p99_ms",
+    "batching_ratio",
+    "rejection_rate",
+)
+_WORST_KEYS = ("max_ms", "max_delay_ms", "replan_p999_ms")
 
 
 def _cell(record: Dict[str, object]) -> Dict[str, object]:

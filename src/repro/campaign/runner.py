@@ -137,42 +137,124 @@ def _run_parallel(
     raises ``BrokenProcessPool``); affected shards are requeued — once
     each — into a fresh pool.  Ordinary exceptions are deterministic
     shard failures and are recorded without retry.
+
+    The timeout is a *shared deadline*: every shard of a round gets
+    ``shard_timeout_s`` measured from submission, and awaiting in
+    submission order charges each future only the time remaining until
+    that deadline.  (The naive per-await ``result(timeout=...)`` form
+    restarts the clock on every future, so one slow early shard grants
+    all later shards its elapsed time — a queue of N shards could take
+    N*timeout wall-clock and shards that finished long ago would still
+    be reported after the stragglers.)  When the deadline expires the
+    round ends the way a crash does: finished futures are harvested,
+    running ones are recorded as timeouts, never-started ones are
+    requeued into a fresh pool with no attempt charged, and the old
+    pool is abandoned without waiting — ``future.cancel()`` cannot stop
+    a running task, so blocking in the executor's ``__exit__`` (the old
+    code path) would stall the whole campaign behind the very shard
+    that just timed out.
     """
     results: Dict[str, Dict[str, object]] = {}
     failures: List[str] = []
     attempts: Dict[str, int] = {}
     retried = 0
     queue = list(pending)
+
+    def consume(spec: ShardSpec, record: Dict[str, object], note: str = "") -> None:
+        attempts[spec.shard_id] = attempts.get(spec.shard_id, 0) + 1
+        if record["status"] != "ok":
+            failures.append(note or f"{spec.shard_id}: {record['error']}")
+        results[spec.shard_id] = record
+        _write_record(log, record)
+
     while queue:
         crashed: List[ShardSpec] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        requeue: List[ShardSpec] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            deadline = (
+                time.monotonic() + shard_timeout_s
+                if shard_timeout_s is not None
+                else None
+            )
             futures = [
                 (spec, pool.submit(run_shard, spec, cache_dir))
                 for spec in queue
             ]
-            for spec, future in futures:
-                attempts[spec.shard_id] = attempts.get(spec.shard_id, 0) + 1
+            expired = False
+            for pos, (spec, future) in enumerate(futures):
+                if expired:
+                    break
+                remaining = (
+                    max(0.0, deadline - time.monotonic())
+                    if deadline is not None
+                    else None
+                )
                 try:
-                    record = future.result(timeout=shard_timeout_s)
+                    record = future.result(timeout=remaining)
                 except FutureTimeout:
-                    future.cancel()
-                    record = _failure_record(
+                    expired = True
+                    consume(
                         spec,
-                        "timeout",
-                        f"shard exceeded {shard_timeout_s}s",
+                        _failure_record(
+                            spec,
+                            "timeout",
+                            f"shard exceeded {shard_timeout_s}s",
+                        ),
+                        note=f"{spec.shard_id}: timeout",
                     )
-                    failures.append(f"{spec.shard_id}: timeout")
+                    # Deadline sweep over everything not yet awaited:
+                    # done futures are real results and must not be
+                    # discarded; running ones share the blown deadline;
+                    # pending ones never started, so they go back into
+                    # a fresh pool without an attempt charged.
+                    for later_spec, later_future in futures[pos + 1 :]:
+                        if later_future.done():
+                            try:
+                                later_record = later_future.result()
+                            except BrokenProcessPool:
+                                attempts[later_spec.shard_id] = (
+                                    attempts.get(later_spec.shard_id, 0) + 1
+                                )
+                                crashed.append(later_spec)
+                                continue
+                            except Exception as error:  # noqa: BLE001
+                                later_record = _failure_record(
+                                    later_spec,
+                                    "failed",
+                                    f"{type(error).__name__}: {error}",
+                                )
+                            consume(later_spec, later_record)
+                        elif later_future.cancel():
+                            requeue.append(later_spec)
+                        else:
+                            consume(
+                                later_spec,
+                                _failure_record(
+                                    later_spec,
+                                    "timeout",
+                                    f"shard exceeded {shard_timeout_s}s",
+                                ),
+                                note=f"{later_spec.shard_id}: timeout",
+                            )
+                    continue
                 except BrokenProcessPool:
+                    attempts[spec.shard_id] = (
+                        attempts.get(spec.shard_id, 0) + 1
+                    )
                     crashed.append(spec)
                     continue
                 except Exception as error:  # noqa: BLE001 - shard isolation
                     record = _failure_record(
                         spec, "failed", f"{type(error).__name__}: {error}"
                     )
-                    failures.append(f"{spec.shard_id}: {record['error']}")
-                results[spec.shard_id] = record
-                _write_record(log, record)
-        queue = []
+                consume(spec, record)
+        finally:
+            # Never wait: a running shard cannot be cancelled, and the
+            # next round must not queue behind it.  Workers of an
+            # expired round exit on their own once their task returns.
+            pool.shutdown(wait=False, cancel_futures=True)
+        queue = list(requeue)
         for spec in crashed:
             if attempts[spec.shard_id] <= 1:
                 retried += 1

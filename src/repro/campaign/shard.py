@@ -24,8 +24,10 @@ from typing import Dict, Optional
 from repro.core import PlanStore
 from repro.metrics import PhaseTimings, summarize_ns
 
-#: Probe kinds a shard can run (the Fig. 5 and Fig. 6 drivers).
-PROBES = ("intrinsic", "ping")
+#: Probe kinds a shard can run: the Fig. 5 and Fig. 6 drivers, plus the
+#: scheduler-as-a-service scenario (streaming tenant churn against the
+#: persistent control plane).
+PROBES = ("intrinsic", "ping", "service")
 
 #: Ping-load shape per shard, matching the scaled-down
 #: :func:`repro.experiments.delay.ping_latency` defaults.
@@ -56,6 +58,10 @@ class ShardSpec:
     #: Dispatch backend (:data:`repro.sim.ENGINES`).  ``"array"`` plays
     #: compiled table arrays; output stays bit-identical to ``"object"``.
     engine: str = "object"
+    #: Service-probe axes (ignored by the other probes): mean tenant
+    #: arrival rate and base batch-flush window.
+    arrival_rate: float = 0.0
+    batch_window_ms: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -74,6 +80,10 @@ def run_shard(
     # Imports here keep worker start-up lean and avoid import cycles
     # (experiments -> campaign would otherwise be circular).
     from repro.campaign.matrix import resolve_topology
+
+    if spec.probe == "service":
+        return _run_service_shard(spec, cache_dir)
+
     from repro.experiments.delay import MS
     from repro.experiments.scenarios import build_scenario, plan_for
 
@@ -124,8 +134,13 @@ def run_shard(
             )
             supervisor.start()
         if spec.probe == "ping":
+            from repro.core.params import seconds_to_ns
+
+            # Exact-int spacing: convert to ns once, then divide with
+            # ``//`` — float division here loses exactness for long
+            # durations (the time-lossy-div-ns lint rule).
             spacing_ns = max(
-                1, int(spec.duration_s * 1e9 / PINGS_PER_THREAD)
+                1, seconds_to_ns(spec.duration_s) // PINGS_PER_THREAD
             )
             run_ping_load(
                 scenario.machine,
@@ -173,3 +188,86 @@ def run_shard(
         },
     }
     return record
+
+
+#: Conversion for reporting service latencies in ms (floats derived
+#: from deterministic integer-ns samples stay deterministic).
+_NS_PER_MS = 1_000_000
+
+
+def _run_service_shard(
+    spec: ShardSpec, cache_dir: Optional[str]
+) -> Dict[str, object]:
+    """One scheduler-as-a-service cell: churn stream → service report.
+
+    ``num_vms`` is the churn generator's target population, ``seed``
+    its stream seed, ``duration_s`` the simulated service lifetime.
+    The deterministic ``metrics`` are flattened from the service report
+    (integer-ns nearest-rank percentiles); the full report rides along
+    under ``metrics["service"]``.  The on-disk plan store only warms
+    the daemon's table cache — simulated latencies come from the
+    deterministic model, so cache temperature never shows in metrics.
+    """
+    from repro.campaign.matrix import resolve_topology
+    from repro.metrics import service_report
+    from repro.service import ChurnConfig, ServiceConfig, run_service
+
+    timings = PhaseTimings()
+    topo = resolve_topology(spec.topology)
+    store = PlanStore(cache_dir) if cache_dir else None
+
+    with timings.phase("build"):
+        churn = ChurnConfig(
+            seed=spec.seed,
+            arrival_rate_per_s=spec.arrival_rate,
+            target_population=spec.num_vms,
+        )
+        config = ServiceConfig(batch_window_ms=spec.batch_window_ms)
+
+    with timings.phase("simulate"):
+        service = run_service(
+            topo,
+            duration_s=spec.duration_s,
+            churn=churn,
+            config=config,
+            scheduler=spec.scheduler,
+            store=store,
+        )
+
+    with timings.phase("aggregate"):
+        report = service_report(service)
+        replan = report["replan_latency_ns"]
+        sojourn = report["sojourn_ns"]
+        batching = report["batching"]
+        rejected = report["rejected"]
+        requests = report["requests"]
+        slo = report["slo"]
+        assert isinstance(replan, dict) and isinstance(sojourn, dict)
+        assert isinstance(batching, dict) and isinstance(rejected, dict)
+        assert isinstance(requests, dict) and isinstance(slo, dict)
+        metrics: Dict[str, object] = {
+            "events": service.engine.events_processed,
+            "requests": requests["total"],
+            "replan_p50_ms": replan["p50"] / _NS_PER_MS,
+            "replan_p99_ms": replan["p99"] / _NS_PER_MS,
+            "replan_p999_ms": replan["p999"] / _NS_PER_MS,
+            "sojourn_p99_ms": sojourn["p99"] / _NS_PER_MS,
+            "batching_ratio": batching["ratio"],
+            "table_pushes": batching["table_pushes"],
+            "rejection_rate": rejected["rate"],
+            "slo_violations": slo["violations"],
+            "service": report,
+        }
+
+    return {
+        "shard": spec.shard_id,
+        "index": spec.index,
+        "status": "ok",
+        "spec": spec.as_dict(),
+        "metrics": metrics,
+        "timings": timings.as_dict(),
+        "plan_cache": {
+            "hit": False,
+            "store": store.stats.as_dict() if store is not None else None,
+        },
+    }

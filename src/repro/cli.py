@@ -9,7 +9,9 @@ Subcommands map onto the paper's artifacts:
 * ``scaling``   — reproduce the Fig. 3/4 planner sweeps;
 * ``report``    — run the full claim checklist (paper vs. measured);
 * ``chaos``     — run the stack under runtime fault injection with the
-  health layer (watchdogs, (U, L) monitors, quarantine, recovery).
+  health layer (watchdogs, (U, L) monitors, quarantine, recovery);
+* ``serve``     — run the scheduler-as-a-service control plane under
+  streaming tenant churn and report service-level metrics.
 """
 
 from __future__ import annotations
@@ -202,6 +204,51 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.core import PlanStore
+    from repro.metrics import (
+        format_service_report,
+        service_report,
+        service_report_json,
+    )
+    from repro.service import ChurnConfig, ServiceConfig, run_service
+
+    if args.hours is not None:
+        seconds = args.hours * 3600.0
+    else:
+        seconds = args.seconds
+    churn = ChurnConfig(
+        seed=args.seed,
+        arrival_rate_per_s=args.arrival_rate,
+        target_population=args.population,
+    )
+    config = ServiceConfig(batch_window_ms=args.batch_window_ms)
+    if args.queue_limit is not None:
+        config = replace(config, queue_limit=args.queue_limit)
+    store = PlanStore(args.store) if args.store else None
+    service = run_service(
+        _topology(args.topology),
+        duration_s=seconds,
+        churn=churn,
+        config=config,
+        scheduler=args.scheduler,
+        store=store,
+    )
+    report = service_report(service)
+    if args.json:
+        print(service_report_json(report), end="")
+    else:
+        print(format_service_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(service_report_json(report))
+        if not args.json:
+            print(f"wrote {args.report}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         format_human,
@@ -330,8 +377,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--matrix",
         default="fig6-smoke",
-        help="builtin matrix name (fig6, fig6-smoke) or a JSON matrix "
-        "file (default: fig6-smoke)",
+        help="builtin matrix name (fig6, fig6-smoke, service, "
+        "service-smoke) or a JSON matrix file (default: fig6-smoke)",
     )
     campaign.add_argument(
         "--workers",
@@ -380,6 +427,79 @@ def build_parser() -> argparse.ArgumentParser:
         "backend (default: honor the matrix's engines field)",
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduler-as-a-service control plane under a "
+        "seeded streaming tenant churn workload (simulated clock) and "
+        "print the deterministic service report",
+    )
+    serve.add_argument(
+        "--seconds",
+        type=float,
+        default=300.0,
+        help="simulated service lifetime (default: 300)",
+    )
+    serve.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        help="simulated lifetime in hours (overrides --seconds)",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=4.0,
+        help="mean tenant request arrival rate per second before "
+        "diurnal shaping (default: 4.0)",
+    )
+    serve.add_argument(
+        "--population",
+        type=int,
+        default=32,
+        help="churn generator's target tenant population (default: 32)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=1000.0,
+        help="base batch-flush window; bursts inside one window share "
+        "one replan and one table push (default: 1000)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="admission queue bound; excess requests are rejected "
+        "with reason 'backpressure' (default: service default)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=("tableau", "credit", "credit2", "rtds"),
+        default="tableau",
+        help="control-plane planning model (default: tableau)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--topology", default="16core",
+                       help="16core | 48core | <n> (default: 16core)")
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="on-disk plan store warming the daemon's table cache "
+        "(never affects the deterministic report)",
+    )
+    serve.add_argument(
+        "--report",
+        default=None,
+        help="also write the canonical JSON report to this path (the "
+        "byte-compared CI artifact)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical JSON report instead of the summary",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint",

@@ -37,6 +37,7 @@ from repro.core.params import (
     fair_share_specs,
     flatten_vcpus,
     make_vm,
+    seconds_to_ns,
     vms_from_tiers,
 )
 from repro.core.partition import (
@@ -50,6 +51,7 @@ from repro.core.plancache import (
     PlanStore,
     PlanStoreStats,
     plan_key,
+    shape_plan_key,
     topology_token,
 )
 from repro.core.periods import (
@@ -155,6 +157,8 @@ __all__ = [
     "plan_tables",
     "preemption_count",
     "qpa_schedulable",
+    "seconds_to_ns",
+    "shape_plan_key",
     "NumaReport",
     "numa_worst_fit",
     "select_period",

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.params import VCpuSpec
 from repro.core.planner import PlanResult, Planner
 from repro.core.table import Allocation, CoreTable, SystemTable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.plancache import PlanStore
 
 #: Reservation signature: (utilization rounded to ppm, latency, capped).
 _Signature = Tuple[Tuple[int, int, bool], ...]
@@ -52,11 +55,21 @@ class TableCache:
     Args:
         planner: The planner used on cache misses.
         capacity: Maximum cached configurations.
+        store: Optional on-disk :class:`~repro.core.plancache.PlanStore`
+            consulted (by shape key) on in-memory misses and populated
+            with fresh plans — a persistent second cache level, so a
+            restarted control plane or a sibling process starts warm.
     """
 
-    def __init__(self, planner: Planner, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        planner: Planner,
+        capacity: int = 64,
+        store: Optional["PlanStore"] = None,
+    ) -> None:
         self.planner = planner
         self.capacity = capacity
+        self.store = store
         self.stats = CacheStats()
         self._entries: "OrderedDict[_Signature, PlanResult]" = OrderedDict()
 
@@ -69,7 +82,10 @@ class TableCache:
             self.stats.hits += 1
             return rebind_plan(cached, vcpus)
         self.stats.misses += 1
-        result = self.planner.plan(list(vcpus))
+        if self.store is not None:
+            result = self.store.plan_shaped(self.planner, vcpus)
+        else:
+            result = self.planner.plan(list(vcpus))
         self._entries[signature] = result
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

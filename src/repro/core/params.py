@@ -37,6 +37,21 @@ MS = Nanoseconds(1_000_000)
 SEC = Nanoseconds(1_000_000_000)
 
 
+def seconds_to_ns(seconds: float) -> Nanoseconds:
+    """Convert a duration in (float) seconds to integer nanoseconds.
+
+    The repo-wide exact-int boundary for wall-style durations entering
+    the simulated clock: convert to ns *once*, here, and do all further
+    arithmetic (spacing, splitting into parts) in integer space with
+    ``//``.  Forms like ``int(duration_s * 1e9 / parts)`` perform the
+    division in float space, where exactness is already lost — the
+    ``time-lossy-div-ns`` lint rule flags them and points here.
+    """
+    if seconds < 0:
+        raise ConfigurationError(f"negative duration {seconds!r}")
+    return Nanoseconds(int(seconds * SEC))
+
+
 @dataclass(frozen=True)
 class VCpuSpec:
     """Reservation parameters for one vCPU.

@@ -124,6 +124,39 @@ def plan_key(planner: "Planner", workload: Workload) -> str:
     return hasher.hexdigest()
 
 
+def shape_plan_key(planner: "Planner", workload: Workload) -> str:
+    """Content fingerprint of a planning request's *shape*.
+
+    Like :func:`plan_key` but keyed on the order-independent
+    reservation multiset (:func:`repro.core.cache.census_signature`)
+    instead of the exact named census.  Two censuses that differ only in
+    VM names share a shape key, so a stored entry can be rebound
+    (:func:`repro.core.cache.rebind_plan`) onto either — the on-disk
+    counterpart of :class:`~repro.core.cache.TableCache`'s Sec. 7.1
+    caching.  Under tenant churn exact names never repeat, which would
+    make :func:`plan_key` entries write-only; shape keys are what keep
+    a long-running control plane's store bounded and warm.
+    """
+    from repro.core.cache import census_signature
+
+    vcpus = _as_vcpus(workload)
+    hasher = hashlib.sha256()
+    hasher.update(f"store-shape-v{CACHE_VERSION};".encode())
+    hasher.update(topology_token(planner.topology).encode())
+    hasher.update(
+        (
+            f";hp={planner.hyperperiod_ns};mp={planner.min_period_ns}"
+            f";co={planner.coalesce_threshold_ns};pc={planner.min_piece_ns}"
+            f";sl={planner.strict_latency};ph={planner.peephole}"
+            f";sc={planner.split_compensation!r};rot={planner.rotation}"
+            f";numa={planner.numa};policy={planner.policy!r};"
+        ).encode()
+    )
+    for ppm, latency_ns, capped in census_signature(vcpus):
+        hasher.update(f"{ppm},{latency_ns},{capped};".encode())
+    return hasher.hexdigest()
+
+
 class PlanStore:
     """A content-addressed, crash-tolerant plan cache rooted at ``root``.
 
@@ -245,6 +278,31 @@ class PlanStore:
         if cached is not None:
             cached.stats.plan_cache_hit = True
             return cached
+        result = planner.plan(list(vcpus))
+        result.stats.plan_cache_hit = False
+        self.put(key, result)
+        return result
+
+    def plan_shaped(self, planner: "Planner", workload: Workload) -> "PlanResult":
+        """Plan ``workload``, reusing any stored *same-shape* result.
+
+        Keys on :func:`shape_plan_key`, so a hit may carry different VM
+        names than the request: the stored plan is rebound onto the
+        requested census with
+        :func:`repro.core.cache.rebind_plan` (an O(table) rename — no
+        planner work).  This is the lookup long-running control planes
+        use: under create/destroy churn the shape space is small and
+        revisited while the name space grows without bound.
+        """
+        from repro.core.cache import rebind_plan
+
+        vcpus = _as_vcpus(workload)
+        key = shape_plan_key(planner, vcpus)
+        cached = self.get(key)
+        if cached is not None:
+            result = rebind_plan(cached, vcpus)
+            result.stats.plan_cache_hit = True
+            return result
         result = planner.plan(list(vcpus))
         result.stats.plan_cache_hit = False
         self.put(key, result)

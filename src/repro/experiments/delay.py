@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.params import seconds_to_ns
 from repro.experiments.scenarios import build_scenario, schedulers_for
 from repro.metrics import LatencySummary, summarize_ns
 from repro.topology import Topology
@@ -107,8 +108,9 @@ def ping_latency(
         plan=plan,
     )
     if max_spacing_ns is None:
-        # Spread each thread's pings uniformly over the whole run.
-        max_spacing_ns = max(1, int(duration_s * 1e9 / pings_per_thread))
+        # Spread each thread's pings uniformly over the whole run;
+        # convert once, divide in integer space (time-lossy-div-ns).
+        max_spacing_ns = max(1, seconds_to_ns(duration_s) // pings_per_thread)
     run_ping_load(
         scenario.machine,
         responder,

@@ -5,7 +5,8 @@ The reproduction's headline property is bit-identical same-seed traces
 that — global RNG state, wall-clock reads, hash-order iteration, and
 environment-dependent branches — is banned from the packages that feed
 scheduling decisions: ``repro.sim``, ``repro.schedulers``,
-``repro.core``, and ``repro.faults``.
+``repro.core``, ``repro.faults``, and ``repro.service`` (whose report
+is byte-compared across runs in CI).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ DETERMINISM_SCOPE = (
     "repro.schedulers",
     "repro.core",
     "repro.faults",
+    "repro.service",
 )
 
 #: ``random`` module attributes that are fine: seeded generator

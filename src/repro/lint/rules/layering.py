@@ -114,6 +114,46 @@ FORBIDDEN_EDGES: Tuple[Tuple[str, str, str], ...] = (
         "experiment drivers are the campaign engine's building blocks; "
         "importing campaign back would create a cycle",
     ),
+    (
+        "repro.core",
+        "repro.service",
+        "the planner must stay usable without the service control plane",
+    ),
+    (
+        "repro.sim",
+        "repro.service",
+        "the machine model must not know about the tenant-facing "
+        "service layer",
+    ),
+    (
+        "repro.schedulers",
+        "repro.service",
+        "dispatch policy is below the control plane",
+    ),
+    (
+        "repro.xen",
+        "repro.service",
+        "the service wraps PlannerDaemon from above; the daemon must "
+        "not depend back on it",
+    ),
+    (
+        "repro.faults",
+        "repro.service",
+        "fault plans are injected into the service, never imported by "
+        "the fault layer",
+    ),
+    (
+        "repro.health",
+        "repro.service",
+        "machine-level supervision and the tenant service are sibling "
+        "consumers of the daemon",
+    ),
+    (
+        "repro.experiments",
+        "repro.service",
+        "experiment drivers measure machines; the service scenario is "
+        "driven from the campaign layer above",
+    ),
 )
 
 #: Names that, imported from ``repro.core`` into health code, smuggle a

@@ -213,6 +213,62 @@ class TrueDivNsRule(_NsFlowRule):
             )
 
 
+def _contains_mult(node: ast.expr) -> bool:
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Mult):
+            return True
+        return _contains_mult(node.left) or _contains_mult(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _contains_mult(node.operand)
+    return False
+
+
+def _has_lossy_int_div(value: ast.expr) -> bool:
+    """An int cast whose body true-divides a *product* anywhere in ``value``.
+
+    The shape ``int(a * b / c)`` computes the product exactly but then
+    divides it in float space, where a 64-bit float has already dropped
+    low-order bits of any product above 2**53 — the ``int()`` just
+    freezes the damage.  ``int(a / b)`` with no product on the left is
+    left alone: that is the idiomatic exact-enough rate inversion
+    (``int(1e9 / rate)``), and flagging it would make the cast exemption
+    of ``time-truediv-ns`` meaningless.
+    """
+    for node in ast.walk(value):
+        if not _is_int_cast(node):
+            continue
+        for inner in ast.walk(node.args[0] if node.args else node):
+            if (
+                isinstance(inner, ast.BinOp)
+                and isinstance(inner.op, ast.Div)
+                and _contains_mult(inner.left)
+            ):
+                return True
+    return False
+
+
+@register
+class LossyDivNsRule(_NsFlowRule):
+    id = "time-lossy-div-ns"
+    family = "time-units"
+    description = (
+        "int(product / divisor) flowing into a *_ns name divides in "
+        "float space before truncating; convert once (seconds_to_ns) "
+        "and divide with // in integer space."
+    )
+
+    def check_flow(self, ctx, node, name, value, where) -> Iterator[Finding]:
+        if _has_lossy_int_div(value):
+            yield self.finding(
+                ctx,
+                node,
+                f"lossy float division under int(...) flows into {where}; "
+                "the product exceeds float precision before the divide — "
+                "convert once with repro.core.seconds_to_ns (or int "
+                "multiplication) and split with //",
+            )
+
+
 @register
 class UnitMismatchRule(Rule):
     id = "time-unit-mismatch"

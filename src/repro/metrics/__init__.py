@@ -11,6 +11,12 @@ from repro.metrics.latency import (
     summarize_ns,
 )
 from repro.metrics.phases import PHASES, PhaseTimings
+from repro.metrics.service import (
+    format_service_report,
+    percentile_rank_ns,
+    service_report,
+    service_report_json,
+)
 from repro.metrics.throughput import (
     OperatingPoint,
     ThroughputCurve,
@@ -28,7 +34,11 @@ __all__ = [
     "compare_peaks",
     "corrected_latencies",
     "format_chaos_report",
+    "format_service_report",
     "percentile_ns",
+    "percentile_rank_ns",
     "service_gaps_ns",
+    "service_report",
+    "service_report_json",
     "summarize_ns",
 ]

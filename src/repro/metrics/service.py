@@ -1,0 +1,143 @@
+"""Service-level metrics: the deterministic scheduler-service report.
+
+Unlike :mod:`repro.metrics.latency` (float summaries of measured
+probes), everything here must be **byte-stable**: the service report is
+serialized with sorted keys and compared across runs and worker counts
+in CI.  Percentiles are therefore integer nearest-rank (no
+interpolation, no numpy float paths) over integer-nanosecond samples,
+and every derived ratio is rounded once, here, at the edge.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.service.control import SchedulerService
+
+#: Latency quantiles the report carries (per mille labels).
+_QUANTILES = (("p50", 500), ("p99", 990), ("p999", 999))
+
+
+def percentile_rank_ns(samples: Sequence[int], per_mille: int) -> int:
+    """Nearest-rank percentile of integer samples (0 when empty).
+
+    ``per_mille`` is the quantile in thousandths (p99.9 == 999) so the
+    rank computation stays in integers end to end: the rank of q‰ over
+    n samples is ``ceil(n * q / 1000)``, computed as an integer ceiling
+    division.
+    """
+    if not samples:
+        return 0
+    ordered = sorted(samples)
+    rank = -(-len(ordered) * per_mille // 1000)  # ceil div
+    return ordered[max(0, min(rank, len(ordered)) - 1)]
+
+
+def _latency_block(samples: Sequence[int]) -> Dict[str, int]:
+    block = {
+        label: percentile_rank_ns(samples, per_mille)
+        for label, per_mille in _QUANTILES
+    }
+    block["max"] = max(samples) if samples else 0
+    block["count"] = len(samples)
+    return block
+
+
+def service_report(service: "SchedulerService") -> Dict[str, object]:
+    """The deterministic report of one finished service run.
+
+    Everything in here derives from simulated state only — counters,
+    integer-ns latency samples, and config echoes.  Wall-clock
+    observability (real planning time, cache temperature) deliberately
+    has no key: the report must be byte-identical across hosts, worker
+    counts, and cache states for the same (topology, seeds, config).
+    """
+    total_requests = sum(service.requests_by_kind.values())
+    rejected_total = sum(service.rejected.values())
+    pushes = service.table_pushes
+    mutations = service.mutations_committed
+    return {
+        "scheduler": service.scheduler,
+        "sim_seconds": service.engine.now // 1_000_000_000,
+        "requests": {
+            "total": total_requests,
+            "by_kind": dict(sorted(service.requests_by_kind.items())),
+        },
+        "rejected": {
+            "total": rejected_total,
+            "by_reason": dict(sorted(service.rejected.items())),
+            "rate": round(rejected_total / total_requests, 6)
+            if total_requests
+            else 0.0,
+        },
+        "queries": {
+            "fresh": service.queries_fresh,
+            "stale": service.queries_stale,
+        },
+        "batching": {
+            "batches_committed": service.batches_committed,
+            "batches_failed": service.batches_failed,
+            "mutations_committed": mutations,
+            "table_pushes": pushes,
+            "ratio": round(mutations / pushes, 4) if pushes else 0.0,
+            "window_widenings": service.window_widenings,
+        },
+        "replan_latency_ns": _latency_block(service.replan_latencies_ns),
+        "sojourn_ns": _latency_block(service.sojourns_ns),
+        "slo": {
+            "sojourn_slo_ns": service.config.sojourn_slo_ns,
+            "violations": service.slo_violations,
+        },
+        "population": {
+            "final": service.population,
+            "peak": service.peak_population,
+            "peak_queue": service.peak_queue,
+        },
+    }
+
+
+def service_report_json(report: Dict[str, object]) -> str:
+    """Canonical byte encoding (sorted keys, trailing newline) — the
+    string CI compares across runs and worker counts."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def format_service_report(report: Dict[str, object]) -> str:
+    """Human-readable summary for the CLI."""
+    requests = report["requests"]
+    rejected = report["rejected"]
+    batching = report["batching"]
+    replan = report["replan_latency_ns"]
+    sojourn = report["sojourn_ns"]
+    slo = report["slo"]
+    population = report["population"]
+    queries = report["queries"]
+    lines: List[str] = [
+        f"service[{report['scheduler']}]: {report['sim_seconds']}s simulated, "
+        f"{requests['total']} requests "
+        f"({rejected['total']} rejected, {100.0 * rejected['rate']:.2f}%)",
+        f"  batching: {batching['mutations_committed']} mutations in "
+        f"{batching['table_pushes']} pushes "
+        f"(ratio {batching['ratio']:.2f}, "
+        f"{batching['window_widenings']} widenings)",
+        f"  replan latency: p50={replan['p50'] / 1e6:.1f}ms "
+        f"p99={replan['p99'] / 1e6:.1f}ms "
+        f"p999={replan['p999'] / 1e6:.1f}ms "
+        f"max={replan['max'] / 1e6:.1f}ms",
+        f"  sojourn: p50={sojourn['p50'] / 1e6:.1f}ms "
+        f"p99={sojourn['p99'] / 1e6:.1f}ms "
+        f"p999={sojourn['p999'] / 1e6:.1f}ms "
+        f"({slo['violations']} SLO violations)",
+        f"  queries: {queries['fresh']} fresh, {queries['stale']} stale",
+        f"  population: {population['final']} final, "
+        f"{population['peak']} peak ({population['peak_queue']} peak queue)",
+    ]
+    by_reason = rejected["by_reason"]
+    assert isinstance(by_reason, dict)
+    noted = {k: v for k, v in sorted(by_reason.items()) if v}
+    if noted:
+        parts = " ".join(f"{k}={v}" for k, v in noted.items())
+        lines.append(f"  rejections: {parts}")
+    return "\n".join(lines)

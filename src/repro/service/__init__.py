@@ -1,0 +1,66 @@
+"""Scheduler-as-a-service: the persistent control plane.
+
+The paper's evaluation provisions a census once and measures steady
+state; a real cloud control plane instead lives for months, absorbing a
+stream of tenant create/reconfigure/teardown requests while answering
+guarantee queries.  This package wraps the planner daemon in that
+long-running shape, driven entirely by the simulated clock:
+
+* :mod:`repro.service.requests` — the tenant-facing request and
+  outcome vocabulary;
+* :mod:`repro.service.churn` — a seeded request generator with
+  diurnal (sinusoidal) load shaping, nonhomogeneous-Poisson arrivals
+  via thinning, and population steering toward a target census size;
+* :mod:`repro.service.latency` — the deterministic planner-latency
+  model (simulated replan cost; wall-clock planning time is
+  observability, never simulation input);
+* :mod:`repro.service.control` — :class:`SchedulerService` itself:
+  bounded admission queue, batched replans (one census change per
+  table push), stale-while-revalidate guarantee reads, adaptive
+  batch-window widening under backpressure.
+
+Everything downstream of a (topology, churn seed, config) triple is
+deterministic: two runs produce byte-identical service reports
+(:func:`repro.metrics.service_report_json`).
+"""
+
+from repro.service.churn import ChurnConfig, ChurnGenerator
+from repro.service.control import (
+    SchedulerService,
+    ServiceConfig,
+    run_service,
+)
+from repro.service.latency import PlannerLatencyModel
+from repro.service.requests import (
+    KIND_CREATE,
+    KIND_QUERY,
+    KIND_RECONFIGURE,
+    KIND_TEARDOWN,
+    MUTATION_KINDS,
+    REJECT_ADMISSION,
+    REJECT_BACKPRESSURE,
+    REJECT_PLAN_FAILED,
+    REJECT_UNKNOWN_TENANT,
+    REQUEST_KINDS,
+    TenantRequest,
+)
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnGenerator",
+    "KIND_CREATE",
+    "KIND_QUERY",
+    "KIND_RECONFIGURE",
+    "KIND_TEARDOWN",
+    "MUTATION_KINDS",
+    "PlannerLatencyModel",
+    "REJECT_ADMISSION",
+    "REJECT_BACKPRESSURE",
+    "REJECT_PLAN_FAILED",
+    "REJECT_UNKNOWN_TENANT",
+    "REQUEST_KINDS",
+    "SchedulerService",
+    "ServiceConfig",
+    "TenantRequest",
+    "run_service",
+]

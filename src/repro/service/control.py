@@ -1,0 +1,397 @@
+"""The scheduler-as-a-service control plane.
+
+:class:`SchedulerService` wraps :class:`~repro.xen.daemon.PlannerDaemon`
+in a long-running request loop driven entirely by the simulated clock:
+
+* **Bounded admission queue.**  Mutations wait in a queue of at most
+  ``queue_limit`` entries; a full queue rejects with ``backpressure``
+  (the caller sees the reason, the report counts it).  Creates that
+  would exceed the machine's reservable capacity are rejected with
+  ``admission`` before they ever occupy a queue slot.
+* **Batched replans.**  A recurring flush tick drains the whole queue
+  into *one* census change and one planning pass — one table push per
+  batch, however bursty the arrivals.  While a replan is in flight the
+  tick coalesces further arrivals into the next batch, and the window
+  widens (``RecurringHandle.set_period``) when the queue keeps growing
+  anyway — classic adaptive backpressure, narrowing back once drained.
+* **Stale-while-revalidate reads.**  ``query-guarantees`` requests are
+  answered immediately from the last *committed* census and plan, even
+  while a replan is in flight; such reads are counted ``stale`` (the
+  answer may be about to change) versus ``fresh``.
+* **Deterministic latency.**  The simulated cost of a replan comes
+  from :class:`~repro.service.latency.PlannerLatencyModel` — never
+  from wall-clock planning time — so the full service history,
+  latencies included, is a pure function of (topology, seeds, config).
+
+The daemon's commit point maps onto the simulated clock: the census
+flips at ``flush_time + model_cost``, which is when the batch's
+requests complete and their sojourn is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.params import (
+    DEFAULT_TIERS,
+    MS,
+    SEC,
+    Nanoseconds,
+    ServiceTier,
+    seconds_to_ns,
+    vms_from_tiers,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.service.churn import ChurnConfig, ChurnGenerator
+from repro.service.latency import PlannerLatencyModel
+from repro.service.requests import (
+    KIND_CREATE,
+    KIND_QUERY,
+    KIND_RECONFIGURE,
+    KIND_TEARDOWN,
+    REJECT_ADMISSION,
+    REJECT_BACKPRESSURE,
+    REJECT_PLAN_FAILED,
+    REJECT_UNKNOWN_TENANT,
+    REQUEST_KINDS,
+    TenantRequest,
+)
+from repro.sim.engine import SimEngine
+from repro.topology import Topology
+from repro.xen.daemon import PlannerDaemon
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.plancache import PlanStore
+    from repro.core.planner import PlanResult
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating knobs of one :class:`SchedulerService`.
+
+    Attributes:
+        queue_limit: Bounded admission-queue depth; beyond it requests
+            are rejected with ``backpressure``.
+        batch_window_ms: Base flush-tick period — the batching window.
+        max_batch_window_ms: Ceiling the window may widen to under
+            sustained backpressure.
+        sojourn_slo_ns: Mutation-completion SLO; a committed request
+            whose arrival→commit sojourn exceeds this counts as an SLO
+            violation.
+        utilization_headroom: Fraction of guest-core capacity the
+            pre-admission check will fill before rejecting creates.
+        history_limit: Daemon audit-ring size (see
+            :class:`~repro.xen.daemon.PlannerDaemon`).
+        tiers: Service-tier catalogue requests may name.
+    """
+
+    queue_limit: int = 64
+    batch_window_ms: float = 1000.0
+    max_batch_window_ms: float = 8000.0
+    sojourn_slo_ns: int = 3 * SEC
+    utilization_headroom: float = 0.95
+    history_limit: int = 256
+    tiers: Dict[str, ServiceTier] = field(
+        default_factory=lambda: dict(DEFAULT_TIERS)
+    )
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        if self.batch_window_ms <= 0:
+            raise ConfigurationError("batch_window_ms must be positive")
+        if self.max_batch_window_ms < self.batch_window_ms:
+            raise ConfigurationError(
+                "max_batch_window_ms must be >= batch_window_ms"
+            )
+        if not 0.0 < self.utilization_headroom <= 1.0:
+            raise ConfigurationError(
+                "utilization_headroom must be in (0, 1]"
+            )
+
+    @property
+    def batch_window_ns(self) -> Nanoseconds:
+        return Nanoseconds(int(self.batch_window_ms * MS))
+
+    @property
+    def max_batch_window_ns(self) -> Nanoseconds:
+        return Nanoseconds(int(self.max_batch_window_ms * MS))
+
+
+class SchedulerService:
+    """A persistent planning control plane on a simulated clock.
+
+    Args:
+        topology: The machine whose tables the service maintains.
+        config: Operating knobs (:class:`ServiceConfig`).
+        scheduler: Scheduler axis value — selects the latency model
+            (``tableau`` pays Fig. 3 table generation amortized by the
+            shape cache; dynamic schedulers pay a flat runqueue
+            reconfiguration cost).
+        store: Optional on-disk plan store backing the daemon's table
+            cache across runs.
+        engine: Bring-your-own event loop (tests compose the service
+            with other actors); by default the service owns one.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[ServiceConfig] = None,
+        scheduler: str = "tableau",
+        store: Optional["PlanStore"] = None,
+        engine: Optional[SimEngine] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else ServiceConfig()
+        self.scheduler = scheduler
+        self.engine = engine if engine is not None else SimEngine()
+        self.model = PlannerLatencyModel.for_scheduler(scheduler)
+        self.daemon = PlannerDaemon(
+            topology,
+            hypercall=None,
+            cache=True,
+            history_limit=self.config.history_limit,
+            store=store,
+        )
+        self.capacity = self.config.utilization_headroom * len(
+            topology.guest_cores
+        )
+        #: Census the service has *accepted* (committed plus queued
+        #: effects) — what admission projects against and what the
+        #: churn generator sees.
+        self.accepted: Dict[str, str] = {}
+        #: Census the last committed table serves — what queries read.
+        self.committed: Dict[str, str] = {}
+        self.committed_plan: Optional["PlanResult"] = None
+        self.queue: List[TenantRequest] = []
+        self._inflight: Optional[
+            Tuple[List[TenantRequest], Dict[str, str], Nanoseconds]
+        ] = None
+        self._shapes_seen: set = set()
+        self._flush_handle = self.engine.every(
+            self.config.batch_window_ns, self._flush
+        )
+
+        # ---- deterministic accounting ------------------------------
+        self.requests_by_kind: Dict[str, int] = {
+            kind: 0 for kind in REQUEST_KINDS
+        }
+        self.rejected: Dict[str, int] = {
+            REJECT_BACKPRESSURE: 0,
+            REJECT_ADMISSION: 0,
+            REJECT_UNKNOWN_TENANT: 0,
+            REJECT_PLAN_FAILED: 0,
+        }
+        self.queries_fresh = 0
+        self.queries_stale = 0
+        self.batches_committed = 0
+        self.batches_failed = 0
+        self.mutations_committed = 0
+        self.table_pushes = 0
+        self.slo_violations = 0
+        self.peak_queue = 0
+        self.peak_population = 0
+        self.window_widenings = 0
+        self.replan_latencies_ns: List[int] = []
+        self.sojourns_ns: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Census helpers
+    # ------------------------------------------------------------------
+
+    def tenant_names(self) -> List[str]:
+        """Accepted tenants, sorted (the deterministic sampling frame)."""
+        return sorted(self.accepted)
+
+    @property
+    def population(self) -> int:
+        return len(self.accepted)
+
+    def _tier(self, name: Optional[str]) -> ServiceTier:
+        if name is None or name not in self.config.tiers:
+            raise ConfigurationError(f"unknown service tier {name!r}")
+        return self.config.tiers[name]
+
+    def _accepted_utilization(self) -> float:
+        return sum(
+            self.config.tiers[tier].utilization
+            for tier in self.accepted.values()
+        )
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def submit(self, request: TenantRequest) -> Optional[str]:
+        """Process one request *now*; returns a rejection reason or
+        ``None`` (accepted / answered)."""
+        self.requests_by_kind[request.kind] = (
+            self.requests_by_kind.get(request.kind, 0) + 1
+        )
+        if request.kind == KIND_QUERY:
+            return self._serve_query(request)
+        reason = self._admit(request)
+        if reason is not None:
+            self.rejected[reason] += 1
+            return reason
+        self._apply(self.accepted, request)
+        self.queue.append(request)
+        self.peak_queue = max(self.peak_queue, len(self.queue))
+        self.peak_population = max(self.peak_population, self.population)
+        return None
+
+    def _serve_query(self, request: TenantRequest) -> Optional[str]:
+        """Answer a guarantee read from the last committed state.
+
+        Stale-while-revalidate: the answer always comes from the
+        committed census/plan — never blocks on an in-flight replan —
+        and is counted stale whenever it might be superseded (a replan
+        in flight, or the tenant accepted but not yet committed).
+        """
+        if request.tenant not in self.accepted:
+            self.rejected[REJECT_UNKNOWN_TENANT] += 1
+            return REJECT_UNKNOWN_TENANT
+        stale = (
+            self._inflight is not None
+            or request.tenant not in self.committed
+        )
+        if stale:
+            self.queries_stale += 1
+        else:
+            self.queries_fresh += 1
+        return None
+
+    def guarantees_of(self, tenant: str) -> Optional[Dict[str, object]]:
+        """The committed (U, L) guarantee of ``tenant``, if any."""
+        tier_name = self.committed.get(tenant)
+        if tier_name is None:
+            return None
+        tier = self.config.tiers[tier_name]
+        return {
+            "tenant": tenant,
+            "tier": tier.name,
+            "utilization": tier.utilization,
+            "latency_ns": tier.latency_ns,
+        }
+
+    def _admit(self, request: TenantRequest) -> Optional[str]:
+        if len(self.queue) >= self.config.queue_limit:
+            return REJECT_BACKPRESSURE
+        if request.kind == KIND_CREATE:
+            if request.tenant in self.accepted:
+                return REJECT_ADMISSION  # duplicate name
+            tier = self._tier(request.tier)
+            if self._accepted_utilization() + tier.utilization > self.capacity:
+                return REJECT_ADMISSION
+            return None
+        if request.tenant not in self.accepted:
+            return REJECT_UNKNOWN_TENANT
+        if request.kind == KIND_RECONFIGURE:
+            old = self.config.tiers[self.accepted[request.tenant]]
+            new = self._tier(request.tier)
+            delta = new.utilization - old.utilization
+            if delta > 0 and self._accepted_utilization() + delta > self.capacity:
+                return REJECT_ADMISSION
+        return None
+
+    @staticmethod
+    def _apply(census: Dict[str, str], request: TenantRequest) -> None:
+        if request.kind == KIND_CREATE or request.kind == KIND_RECONFIGURE:
+            census[request.tenant] = request.tier  # type: ignore[assignment]
+        elif request.kind == KIND_TEARDOWN:
+            census.pop(request.tenant, None)
+
+    # ------------------------------------------------------------------
+    # Batched replanning
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._inflight is not None:
+            # Busy-coalescing: arrivals keep queueing for the next
+            # batch.  If the queue keeps growing anyway, widen the
+            # window — fewer, larger batches under sustained pressure.
+            if len(self.queue) >= self.config.queue_limit // 2:
+                widened = min(
+                    self._flush_handle.period * 2,
+                    self.config.max_batch_window_ns,
+                )
+                if widened > self._flush_handle.period:
+                    self._flush_handle.set_period(widened)
+                    self.window_widenings += 1
+            return
+        if not self.queue:
+            if self._flush_handle.period != self.config.batch_window_ns:
+                # Drained: narrow back to the base cadence.
+                self._flush_handle.set_period(self.config.batch_window_ns)
+            return
+        batch = self.queue
+        self.queue = []
+        census = dict(self.accepted)
+        signature = tuple(sorted(census.values()))
+        cache_hit = signature in self._shapes_seen
+        cost = self.model.cost_ns(len(census), cache_hit)
+        if census:
+            specs = vms_from_tiers(
+                sorted(census.items()), tiers=self.config.tiers
+            )
+            try:
+                self.daemon.replan(
+                    specs, reason=f"batch of {len(batch)} @{self.engine.now}"
+                )
+            except ReproError:
+                # The whole batch rolls back: the committed census and
+                # table keep serving, the requests report plan-failed.
+                self.batches_failed += 1
+                self.rejected[REJECT_PLAN_FAILED] += len(batch)
+                self._rollback(batch)
+                return
+        self._shapes_seen.add(signature)
+        self._inflight = (batch, census, cost)
+        self.engine.after(cost, self._commit)
+
+    def _commit(self) -> None:
+        assert self._inflight is not None
+        batch, census, cost = self._inflight
+        self._inflight = None
+        self.committed = census
+        self.committed_plan = self.daemon.current_plan
+        now = self.engine.now
+        for request in batch:
+            sojourn = now - request.arrival_ns
+            self.sojourns_ns.append(sojourn)
+            if sojourn > self.config.sojourn_slo_ns:
+                self.slo_violations += 1
+        self.mutations_committed += len(batch)
+        self.replan_latencies_ns.append(int(cost))
+        self.batches_committed += 1
+        self.table_pushes += 1
+
+    def _rollback(self, batch: List[TenantRequest]) -> None:
+        """Recompute the accepted census as committed + queued effects
+        (the failed batch's effects drop out)."""
+        census = dict(self.committed)
+        for request in self.queue:
+            self._apply(census, request)
+        self.accepted = census
+
+
+def run_service(
+    topology: Topology,
+    duration_s: float,
+    churn: Optional[ChurnConfig] = None,
+    config: Optional[ServiceConfig] = None,
+    scheduler: str = "tableau",
+    store: Optional["PlanStore"] = None,
+) -> SchedulerService:
+    """Run a seeded churn stream against a fresh service for
+    ``duration_s`` simulated seconds; returns the finished service."""
+    service = SchedulerService(
+        topology, config=config, scheduler=scheduler, store=store
+    )
+    generator = ChurnGenerator(service, churn)
+    until_ns = seconds_to_ns(duration_s)
+    generator.start(until_ns)
+    service.engine.run_until(until_ns)
+    return service

@@ -1,0 +1,66 @@
+"""The tenant-facing request vocabulary of the scheduler service.
+
+Four request kinds cover a tenant lifecycle: ``create`` admits a new
+VM at a service tier, ``reconfigure`` moves an existing VM to another
+tier, ``teardown`` releases it, and ``query-guarantees`` reads the
+(U, L) guarantee the currently *committed* table grants it.  Mutations
+queue for the next batched replan; queries are answered immediately
+from the last committed plan (stale-while-revalidate — see
+:mod:`repro.service.control`).
+
+A rejected request carries one of the ``REJECT_*`` reasons so the
+generator (and the operator reading the report) can tell admission
+pressure from queue pressure from plain bad requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+KIND_CREATE = "create"
+KIND_RECONFIGURE = "reconfigure"
+KIND_TEARDOWN = "teardown"
+KIND_QUERY = "query-guarantees"
+
+REQUEST_KINDS = (KIND_CREATE, KIND_RECONFIGURE, KIND_TEARDOWN, KIND_QUERY)
+
+#: Kinds that change the census and therefore ride a batched replan.
+MUTATION_KINDS = (KIND_CREATE, KIND_RECONFIGURE, KIND_TEARDOWN)
+
+#: The admission queue is full (bounded backpressure).
+REJECT_BACKPRESSURE = "backpressure"
+#: The census would exceed the machine's reservable capacity.
+REJECT_ADMISSION = "admission"
+#: Reconfigure/teardown/query of a tenant the service does not know.
+REJECT_UNKNOWN_TENANT = "unknown-tenant"
+#: The batch carrying this request failed to plan; the census rolled
+#: back and the request's effect never became a table.
+REJECT_PLAN_FAILED = "plan-failed"
+
+REJECT_REASONS = (
+    REJECT_BACKPRESSURE,
+    REJECT_ADMISSION,
+    REJECT_UNKNOWN_TENANT,
+    REJECT_PLAN_FAILED,
+)
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One request on the service's wire, as plain immutable data.
+
+    Attributes:
+        kind: One of :data:`REQUEST_KINDS`.
+        tenant: VM name the request concerns.
+        tier: Target service-tier name (create/reconfigure only).
+        arrival_ns: Simulated arrival time (stamped by the generator).
+        seq: Arrival sequence number — the deterministic tiebreak and
+            the label batches refer to.
+    """
+
+    kind: str
+    tenant: str
+    tier: Optional[str] = None
+    arrival_ns: int = 0
+    seq: int = 0

@@ -91,6 +91,22 @@ class RecurringHandle:
             self._event.cancel()
             self._event = None
 
+    def set_period(self, period: int) -> None:
+        """Change the cadence of subsequent firings.
+
+        The already-scheduled next occurrence keeps its time; every
+        firing after it is spaced ``period`` ns apart.  Long-lived
+        services use this for adaptive ticks — e.g. a control plane
+        widening its batch-flush window under backpressure — without
+        tearing down and re-creating the series (which would perturb
+        event sequence numbers and with them determinism).
+        """
+        if period <= 0:
+            raise SimulationError(
+                f"recurring period must be positive, got {period}"
+            )
+        self.period = period
+
     @property
     def active(self) -> bool:
         return (

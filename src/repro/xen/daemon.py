@@ -12,14 +12,27 @@ generated, table pushed and staged, ``current_plan`` and ``history``
 updated together) or leaves every observable piece of daemon state as it
 was — the hypervisor keeps serving the last good table, and the failed
 episode is recorded in :class:`ReplanRecord` with a non-``committed``
-status.  Transient push failures are retried with bounded exponential
-backoff before the episode is declared failed.
+status.  Transient push failures (:class:`~repro.errors.TablePushError`)
+are retried with bounded exponential backoff before the episode is
+declared failed; format rejections
+(:class:`~repro.errors.TableFormatError`) are deterministic — the same
+payload is rejected the same way every time — so they fail fast without
+burning the retry budget, and a failed episode's backoffs are never
+charged to provisioning latency.
+
+The daemon is built to run forever: ``history`` and ``push_backoffs_ns``
+are bounded rings (most recent episodes only) while the episode counters
+(:attr:`total_replans`, :attr:`committed_replans`,
+:attr:`failed_replans`, :attr:`total_push_backoff_ns`) are exact running
+totals, so hours of service-mode churn cannot grow the control plane's
+memory footprint.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from repro.core import Planner, PlanResult, TableCache
 from repro.core.params import VMSpec, flatten_vcpus
@@ -29,12 +42,18 @@ from repro.topology import Topology
 from repro.xen.hypercall import PushRecord, TableHypercall
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.plancache import PlanStore
     from repro.faults.plan import FaultPlan
 
 #: Replan episode outcomes recorded in :attr:`ReplanRecord.status`.
 STATUS_COMMITTED = "committed"
 STATUS_PLAN_FAILED = "plan-failed"
 STATUS_PUSH_FAILED = "push-failed"
+
+#: Default size of the bounded episode/backoff rings.  Large enough for
+#: any test or audit window, small enough that a persistent service
+#: replanning every couple of simulated seconds stays memory-flat.
+HISTORY_LIMIT = 512
 
 
 @dataclass
@@ -77,11 +96,20 @@ class PlannerDaemon:
         faults: Optional fault plan consulted before each planning pass
             (site ``planner.plan``); push-site faults are consulted by
             the hypercall itself.
-        push_retries: How many times a failed push is retried before the
-            replan is declared failed (transient faults recover here).
+        push_retries: How many times a transiently failed push is
+            retried before the replan is declared failed.
         push_backoff_ns: Base backoff charged between push attempts;
-            doubles per retry.  Recorded in :attr:`push_backoffs_ns` so
-            callers can charge it to provisioning time.
+            doubles per retry.  Committed episodes record their
+            backoffs in :attr:`push_backoffs_ns` so callers can charge
+            them to provisioning time; a failed episode's backoffs are
+            dropped (the operation is failed, not slow).
+        history_limit: Size of the bounded :attr:`history` /
+            :attr:`push_backoffs_ns` rings.
+        cache_capacity: In-memory shape-cache capacity when ``cache``
+            is enabled.
+        store: Optional on-disk :class:`~repro.core.plancache.PlanStore`
+            backing the table cache (requires ``cache=True``), keyed by
+            census shape so a restarted daemon starts warm.
         planner_kwargs: Forwarded to :class:`repro.core.Planner`.
     """
 
@@ -93,16 +121,33 @@ class PlannerDaemon:
         faults: Optional["FaultPlan"] = None,
         push_retries: int = 3,
         push_backoff_ns: int = 1_000_000,
+        history_limit: int = HISTORY_LIMIT,
+        cache_capacity: int = 64,
+        store: Optional["PlanStore"] = None,
         **planner_kwargs,
     ) -> None:
         self.planner = Planner(topology, **planner_kwargs)
         self.hypercall = hypercall
-        self.cache = TableCache(self.planner) if cache else None
+        self.cache = (
+            TableCache(self.planner, capacity=cache_capacity, store=store)
+            if cache
+            else None
+        )
         self.faults = faults
         self.push_retries = push_retries
         self.push_backoff_ns = push_backoff_ns
-        self.push_backoffs_ns: List[int] = []
-        self.history: List[ReplanRecord] = []
+        self.history_limit = history_limit
+        #: Most recent backoff charges (committed episodes only).
+        self.push_backoffs_ns: Deque[int] = deque(maxlen=history_limit)
+        #: Most recent episodes; counters below stay exact across
+        #: eviction from this ring.
+        self.history: Deque[ReplanRecord] = deque(maxlen=history_limit)
+        self._total_replans = 0
+        self._committed_replans = 0
+        self._failed_replans = 0
+        #: Exact running sum of every backoff ever charged (committed
+        #: episodes), immune to ring eviction.
+        self.total_push_backoff_ns = 0
         self.current_plan: Optional[PlanResult] = None
         #: Invoked as (result, record) right after a replan commits (new
         #: table safely staged).  The health supervisor uses it to learn
@@ -136,12 +181,29 @@ class PlannerDaemon:
             raise
         push = None
         retries = 0
+        # Backoffs accumulate per episode and are only charged on
+        # commit: a failed operation is reported failed, not slow.
+        episode_backoffs: List[int] = []
         if self.hypercall is not None:
             while True:
                 try:
                     push = self.hypercall.push_system_table(result.table)
                     break
-                except (TablePushError, TableFormatError) as error:
+                except TableFormatError as error:
+                    # Format rejections are deterministic — the same
+                    # table serializes to the same (corrupt) payload —
+                    # so retrying cannot succeed.  Fail fast with no
+                    # backoff charge.
+                    self._record_failure(
+                        reason,
+                        specs,
+                        STATUS_PUSH_FAILED,
+                        error,
+                        result=result,
+                        push_retries=retries,
+                    )
+                    raise
+                except TablePushError as error:
                     if retries >= self.push_retries:
                         self._record_failure(
                             reason,
@@ -154,11 +216,14 @@ class PlannerDaemon:
                         raise
                     # Bounded exponential backoff; the simulated control
                     # plane records rather than sleeps the delay.
-                    self.push_backoffs_ns.append(self.push_backoff_ns << retries)
+                    episode_backoffs.append(self.push_backoff_ns << retries)
                     retries += 1
         # Commit point: all observable state flips together, only after
         # the new table is safely staged in the hypervisor.
         self.current_plan = result
+        for backoff_ns in episode_backoffs:
+            self.push_backoffs_ns.append(backoff_ns)
+            self.total_push_backoff_ns += backoff_ns
         record = ReplanRecord(
             reason=reason,
             num_vms=len(specs),
@@ -169,10 +234,19 @@ class PlannerDaemon:
             status=STATUS_COMMITTED,
             push_retries=retries,
         )
-        self.history.append(record)
+        self._append(record)
         if self.on_commit is not None:
             self.on_commit(result, record)
         return result
+
+    def _append(self, record: ReplanRecord) -> None:
+        """Ring append + exact counter update (the only history writer)."""
+        self.history.append(record)
+        self._total_replans += 1
+        if record.committed:
+            self._committed_replans += 1
+        else:
+            self._failed_replans += 1
 
     def _record_failure(
         self,
@@ -183,7 +257,7 @@ class PlannerDaemon:
         result: Optional[PlanResult] = None,
         push_retries: int = 0,
     ) -> None:
-        self.history.append(
+        self._append(
             ReplanRecord(
                 reason=reason,
                 num_vms=len(specs),
@@ -205,15 +279,16 @@ class PlannerDaemon:
 
     @property
     def total_replans(self) -> int:
-        return len(self.history)
+        """Exact episode count, independent of ring eviction."""
+        return self._total_replans
 
     @property
     def committed_replans(self) -> int:
-        return sum(1 for r in self.history if r.committed)
+        return self._committed_replans
 
     @property
     def failed_replans(self) -> int:
-        return sum(1 for r in self.history if not r.committed)
+        return self._failed_replans
 
     def rotate_table(self, specs: List[VMSpec]) -> PlanResult:
         """Periodic regeneration rotating the split victim (Sec. 7.5).

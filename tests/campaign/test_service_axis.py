@@ -1,0 +1,124 @@
+"""The campaign matrix's service scenario axis.
+
+Service campaigns sweep arrival rate x batch window x scheduler; the
+axes are defaulted/validated per probe, shard ids carry the cell's
+coordinates, and the deterministic aggregate stays byte-identical
+across worker counts like every other probe.
+"""
+
+import pytest
+
+from repro.campaign.matrix import CampaignMatrix, load_matrix
+from repro.campaign.report import aggregate_json
+from repro.campaign.runner import run_campaign
+from repro.campaign.shard import run_shard
+from repro.errors import ConfigurationError
+
+
+def service_matrix(**overrides) -> CampaignMatrix:
+    kwargs = dict(
+        name="svc",
+        probe="service",
+        schedulers=("tableau",),
+        vm_counts=(8,),
+        seeds=(42,),
+        topology="4",
+        duration_s=20.0,
+        arrival_rates=(4.0,),
+        batch_windows_ms=(500.0,),
+    )
+    kwargs.update(overrides)
+    return CampaignMatrix(**kwargs)
+
+
+class TestMatrixAxes:
+    def test_expansion_covers_rate_x_window(self):
+        matrix = service_matrix(
+            schedulers=("credit", "tableau"),
+            arrival_rates=(2.0, 8.0),
+            batch_windows_ms=(250.0, 1000.0),
+        )
+        shards = matrix.expand()
+        assert len(shards) == 2 * 2 * 2
+        assert shards[0].shard_id == "0000.credit.v8.s42.none.a2.w250"
+        assert shards[-1].shard_id == "0007.tableau.v8.s42.none.a8.w1000"
+        assert shards[0].arrival_rate == 2.0
+        assert shards[-1].batch_window_ms == 1000.0
+
+    def test_service_axes_default_when_omitted(self):
+        matrix = service_matrix(arrival_rates=(), batch_windows_ms=())
+        assert matrix.arrival_rates == (4.0,)
+        assert matrix.batch_windows_ms == (1000.0,)
+
+    def test_non_service_probe_rejects_service_axes(self):
+        with pytest.raises(ConfigurationError):
+            service_matrix(probe="ping", batch_windows_ms=(500.0,))
+
+    def test_non_service_shards_carry_zeroed_axes(self):
+        matrix = CampaignMatrix(probe="ping", topology="4", vm_counts=(8,))
+        spec = matrix.expand()[0]
+        assert spec.arrival_rate == 0.0
+        assert spec.batch_window_ms == 0.0
+        assert ".a" not in spec.shard_id
+
+    def test_service_rejects_fault_presets_health_and_array(self):
+        with pytest.raises(ConfigurationError):
+            service_matrix(presets=("chaos-lite",))
+        with pytest.raises(ConfigurationError):
+            service_matrix(health=True)
+        with pytest.raises(ConfigurationError):
+            service_matrix(engines=("array",))
+
+    def test_from_dict_tuples_the_service_axes(self):
+        matrix = CampaignMatrix.from_dict(
+            {
+                "probe": "service",
+                "schedulers": ["tableau"],
+                "vm_counts": [8],
+                "topology": "4",
+                "arrival_rates": [2.0, 4.0],
+                "batch_windows_ms": [500.0],
+            }
+        )
+        assert matrix.arrival_rates == (2.0, 4.0)
+        assert len(matrix.expand()) == 2
+
+    def test_builtin_service_matrices_load(self):
+        assert load_matrix("service").probe == "service"
+        smoke = load_matrix("service-smoke")
+        assert smoke.probe == "service"
+        assert len(smoke.expand()) == 2  # credit + tableau
+
+
+class TestServiceShards:
+    def test_run_shard_returns_service_metrics(self):
+        spec = service_matrix().expand()[0]
+        record = run_shard(spec)
+        assert record["status"] == "ok"
+        metrics = record["metrics"]
+        for key in (
+            "requests",
+            "replan_p50_ms",
+            "replan_p99_ms",
+            "replan_p999_ms",
+            "sojourn_p99_ms",
+            "batching_ratio",
+            "table_pushes",
+            "rejection_rate",
+            "slo_violations",
+        ):
+            assert key in metrics
+        assert metrics["service"]["scheduler"] == "tableau"
+
+    def test_aggregate_bytes_match_across_worker_counts(self):
+        matrix = service_matrix(seeds=(42, 43))
+        serial = run_campaign(matrix, workers=1)
+        parallel = run_campaign(matrix, workers=2)
+        assert serial.ok and parallel.ok
+        assert aggregate_json(serial.aggregate) == aggregate_json(
+            parallel.aggregate
+        )
+        summary = serial.aggregate["by_scheduler"]["tableau"]
+        assert summary["cells"] == 2
+        assert "mean_batching_ratio" in summary
+        assert "worst_replan_p999_ms" in summary

@@ -5,7 +5,12 @@ import hashlib
 import pytest
 
 from repro.core import MS, Planner, make_vm
-from repro.errors import AdmissionError, PlanningError, TablePushError
+from repro.errors import (
+    AdmissionError,
+    PlanningError,
+    TableFormatError,
+    TablePushError,
+)
 from repro.faults import FaultPlan, FaultSpec, SITE_PAYLOAD, SITE_PUSH
 from repro.schedulers import TableauScheduler
 from repro.topology import uniform
@@ -64,7 +69,8 @@ class TestTransientPushFailure:
         assert record.push_retries == 1
         assert daemon.current_plan is result
         assert len(hypercall.pushes) == 1  # the failed attempt staged nothing
-        assert daemon.push_backoffs_ns == [daemon.push_backoff_ns]
+        assert list(daemon.push_backoffs_ns) == [daemon.push_backoff_ns]
+        assert daemon.total_push_backoff_ns == daemon.push_backoff_ns
 
     def test_same_plan_fingerprint_as_fault_free_run(self):
         clean, _, _ = stack()
@@ -81,15 +87,44 @@ class TestTransientPushFailure:
             push_backoff_ns=1000,
         )
         daemon.replan(census(), reason="create")
-        assert daemon.push_backoffs_ns == [1000, 2000]
+        assert list(daemon.push_backoffs_ns) == [1000, 2000]
         assert daemon.history[-1].push_retries == 2
 
-    def test_corrupted_payload_retried_clean(self):
-        daemon, _, _ = stack(faults=FaultPlan.corrupted_payload(calls=(1,)))
-        daemon.replan(census(), reason="create")
+
+class TestFormatRejection:
+    """Fail-fast path for deterministic format rejections.
+
+    Regression tests: before the fail-fast fix the daemon lumped
+    ``TableFormatError`` with ``TablePushError`` and burned the full
+    retry budget re-pushing an identical (identically rejected) payload
+    — these tests fail on that code with nonzero push_retries and a
+    committed record.
+    """
+
+    def test_format_error_fails_fast(self):
+        daemon, hypercall, _ = stack(
+            faults=FaultPlan.corrupted_payload(calls=(2,))
+        )
+        good = daemon.replan(census(), reason="boot")
+        with pytest.raises(TableFormatError):
+            daemon.replan(census(6), reason="create")
         record = daemon.history[-1]
-        assert record.status == STATUS_COMMITTED
-        assert record.push_retries == 1
+        assert record.status == STATUS_PUSH_FAILED
+        assert record.push_retries == 0  # no retry budget burned
+        assert "TableFormatError" in record.error
+        assert daemon.current_plan is good
+        assert list(daemon.push_backoffs_ns) == []  # no backoff charged
+        assert daemon.total_push_backoff_ns == 0
+
+    def test_next_clean_replan_commits_after_format_failure(self):
+        daemon, _, _ = stack(faults=FaultPlan.corrupted_payload(calls=(2,)))
+        daemon.replan(census(), reason="boot")
+        with pytest.raises(TableFormatError):
+            daemon.replan(census(6), reason="create")
+        daemon.replan(census(6), reason="create retry")
+        assert daemon.history[-1].status == STATUS_COMMITTED
+        assert daemon.committed_replans == 2
+        assert daemon.failed_replans == 1
 
 
 class TestPersistentPushFailure:
@@ -119,7 +154,12 @@ class TestPersistentPushFailure:
             daemon.replan(census(), reason="boot")
         # 1 initial + 2 retries, then give up.
         assert daemon.history[-1].push_retries == 2
-        assert len(daemon.push_backoffs_ns) == 2
+        # A failed episode's backoffs are dropped: the operation is
+        # reported failed, not slow.  (Regression: the pre-fix daemon
+        # appended each backoff as it went, leaving 2 entries here that
+        # callers would have charged to provisioning latency.)
+        assert len(daemon.push_backoffs_ns) == 0
+        assert daemon.total_push_backoff_ns == 0
 
 
 class TestPlanningFailure:
@@ -166,11 +206,20 @@ class TestToolstackUnderFaults:
 
     def test_mixed_fault_run_keeps_registry_and_plan_consistent(self):
         # A chaos schedule with pushes failing transiently and one
-        # planner crash; after the dust settles, registry == plan.
+        # corrupted payload; after the dust settles, registry == plan.
+        # Fault counters are per-site, and the payload site is only
+        # consulted by pushes that pass the push gate.  Ledger:
+        # vm0 → push 1 / payload 1 ok; vm1 → push 2 fails transiently,
+        # retry push 3 / payload 2 ok; vm2 → push 4 / payload 3 ok;
+        # vm3 → push 5 fails, retry push 6 / payload 4 ok; vm4 →
+        # push 7 / payload 5 corrupts, which now fails FAST (no retries
+        # — the same payload would be rejected identically), so vm4's
+        # create aborts and rolls back; vm5 → push 8 / payload 6 ok;
+        # destroy vm3 → push 9 / payload 7 ok.
         faults = FaultPlan(
             specs=[
                 FaultSpec(SITE_PUSH, calls=(2, 5)),
-                FaultSpec(SITE_PAYLOAD, calls=(7,)),
+                FaultSpec(SITE_PAYLOAD, calls=(5,)),
             ]
         )
         topo = uniform(4)
@@ -179,9 +228,13 @@ class TestToolstackUnderFaults:
         hypercall = TableHypercall(sched, faults=faults)
         ts = Toolstack(topo, hypercall)
         for i in range(6):
-            ts.create_vm(f"vm{i}", 0.2, 20 * MS)
+            if i == 4:
+                with pytest.raises(TableFormatError):
+                    ts.create_vm(f"vm{i}", 0.2, 20 * MS)
+            else:
+                ts.create_vm(f"vm{i}", 0.2, 20 * MS)
         ts.destroy_vm("vm3")
-        survivors = {f"vm{i}.vcpu0" for i in range(6) if i != 3}
+        survivors = {f"vm{i}.vcpu0" for i in range(6) if i not in (3, 4)}
         assert set(ts.current_plan.vcpus) == survivors
         assert {
             v.name for spec in ts.registry.specs for v in spec.vcpus

@@ -9,3 +9,10 @@ def settle(now_ns: int, vcpus: int) -> int:
 
 def arm(timer, delay_ms: int) -> None:
     timer.schedule(deadline_ns=delay_ms)  # time-unit-mismatch
+
+
+def spread(duration_s: float, parts: int) -> int:
+    # The exact form the campaign shards used to ship: the product is
+    # exact but the division happens in float space.
+    spacing_ns = max(1, int(duration_s * 1e9 / parts))  # time-lossy-div-ns
+    return spacing_ns

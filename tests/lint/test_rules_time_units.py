@@ -11,6 +11,7 @@ class TestTimeUnitFixtures:
         assert "time-float-ns" in ids
         assert "time-truediv-ns" in ids
         assert "time-unit-mismatch" in ids
+        assert "time-lossy-div-ns" in ids
 
     def test_good_fixture_is_clean(self):
         report = lint_fixture("repro/sim/time_good.py")
@@ -69,6 +70,51 @@ class TestTrueDivNs:
     def test_int_wrapped_truediv_ok(self):
         report = lint_source(
             "period_ns = int(total / n)\n", module="repro.core.m"
+        )
+        assert report.findings == []
+
+
+class TestLossyDivNs:
+    """Products divided in float space under an int(...) cast.
+
+    Regression coverage: the ``int(duration_s * 1e9 / parts)`` form
+    (shipped in the campaign shards) passed every time rule because the
+    int cast exempts ``time-truediv-ns`` — these tests fail on the
+    pre-rule linter.
+    """
+
+    def test_product_divided_in_float_space_flagged(self):
+        report = lint_source(
+            "spacing_ns = int(duration_s * 1e9 / parts)\n",
+            module="repro.sim.m",
+        )
+        assert rule_ids(report) == ["time-lossy-div-ns"]
+
+    def test_flagged_even_inside_outer_call(self):
+        report = lint_source(
+            "spacing_ns = max(1, int(duration_s * 1e9 / parts))\n",
+            module="repro.sim.m",
+        )
+        assert rule_ids(report) == ["time-lossy-div-ns"]
+
+    def test_flagged_on_ns_keyword(self):
+        report = lint_source(
+            "probe.run(spacing_ns=int(d * 1e9 / n))\n", module="repro.sim.m"
+        )
+        assert rule_ids(report) == ["time-lossy-div-ns"]
+
+    def test_plain_rate_inversion_not_flagged(self):
+        # int(1e9 / rate) has no product to lose bits from; it is the
+        # idiomatic rate inversion and stays exempt.
+        report = lint_source(
+            "gap_ns = int(1e9 / rate_per_s)\n", module="repro.sim.m"
+        )
+        assert report.findings == []
+
+    def test_integer_pipeline_not_flagged(self):
+        report = lint_source(
+            "spacing_ns = seconds_to_ns(duration_s) // parts\n",
+            module="repro.sim.m",
         )
         assert report.findings == []
 

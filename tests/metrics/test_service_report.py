@@ -1,0 +1,73 @@
+"""Byte-stability of the service report and its integer percentiles."""
+
+import json
+
+from repro.metrics import (
+    format_service_report,
+    percentile_rank_ns,
+    service_report,
+    service_report_json,
+)
+from repro.service import ChurnConfig, run_service
+from repro.topology import uniform
+
+
+class TestPercentileRank:
+    def test_empty_is_zero(self):
+        assert percentile_rank_ns([], 990) == 0
+
+    def test_single_sample_is_every_quantile(self):
+        assert percentile_rank_ns([7], 500) == 7
+        assert percentile_rank_ns([7], 999) == 7
+
+    def test_nearest_rank_on_a_known_population(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile_rank_ns(samples, 500) == 50
+        assert percentile_rank_ns(samples, 990) == 99
+        assert percentile_rank_ns(samples, 999) == 100
+        assert percentile_rank_ns(samples, 1000) == 100
+
+    def test_order_independent(self):
+        shuffled = [5, 1, 4, 2, 3]
+        assert percentile_rank_ns(shuffled, 500) == 3
+        assert percentile_rank_ns(shuffled, 999) == 5
+
+    def test_p999_separates_the_tail(self):
+        samples = [1] * 999 + [1_000_000]
+        assert percentile_rank_ns(samples, 990) == 1
+        assert percentile_rank_ns(samples, 999) == 1
+        assert percentile_rank_ns(samples, 1000) == 1_000_000
+
+
+class TestServiceReport:
+    def _service(self):
+        churn = ChurnConfig(seed=3, target_population=8)
+        return run_service(uniform(8), duration_s=60.0, churn=churn)
+
+    def test_report_carries_the_required_blocks(self):
+        report = service_report(self._service())
+        for block in ("p50", "p99", "p999", "max", "count"):
+            assert block in report["replan_latency_ns"]
+            assert block in report["sojourn_ns"]
+        assert set(report["rejected"]["by_reason"]) == {
+            "admission", "backpressure", "plan-failed", "unknown-tenant",
+        }
+        assert report["slo"]["violations"] >= 0
+        assert report["batching"]["table_pushes"] > 0
+
+    def test_json_is_canonical(self):
+        report = service_report(self._service())
+        encoded = service_report_json(report)
+        assert encoded.endswith("\n")
+        decoded = json.loads(encoded)
+        assert decoded == json.loads(service_report_json(decoded))
+        # Sorted keys: re-encoding with the same options is stable.
+        assert encoded == json.dumps(decoded, indent=2, sort_keys=True) + "\n"
+
+    def test_human_format_mentions_the_headline_numbers(self):
+        report = service_report(self._service())
+        text = format_service_report(report)
+        assert "service[tableau]" in text
+        assert "batching:" in text
+        assert "replan latency:" in text
+        assert "SLO violations" in text

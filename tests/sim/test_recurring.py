@@ -79,3 +79,47 @@ class TestRaisingCallback:
         assert fired == [250, 500, 750, 1_000]
         assert handle.active
         assert handle.fires == 4
+
+
+class TestSetPeriod:
+    """Adaptive cadence via :meth:`RecurringHandle.set_period`.
+
+    The service control plane widens/narrows its batch-flush window on
+    the live handle; re-creating the series instead would consume fresh
+    event sequence numbers and perturb same-seed determinism.
+    """
+
+    def test_set_period_respaces_after_next_firing(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.every(100, lambda: fired.append(engine.now))
+        engine.run_until(100)
+        handle.set_period(300)
+        engine.run_until(1_100)
+        # The already-scheduled occurrence at 200 keeps its slot; the
+        # new cadence applies from there on.
+        assert fired == [100, 200, 500, 800, 1_100]
+
+    def test_set_period_from_inside_callback(self):
+        engine = SimEngine()
+        fired = []
+
+        def tick():
+            fired.append(engine.now)
+            if len(fired) == 2:
+                handle.set_period(50)
+
+        handle = engine.every(200, tick)
+        engine.run_until(700)
+        assert fired == [200, 400, 450, 500, 550, 600, 650, 700]
+
+    def test_set_period_rejects_non_positive(self):
+        from repro.errors import SimulationError
+
+        engine = SimEngine()
+        handle = engine.every(100, lambda: None)
+        with pytest.raises(SimulationError):
+            handle.set_period(0)
+        with pytest.raises(SimulationError):
+            handle.set_period(-5)
+        assert handle.period == 100

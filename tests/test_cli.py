@@ -80,3 +80,32 @@ class TestScalingCommand:
         out = capsys.readouterr().out
         assert "gen (s)" in out
         assert "176" in out
+
+
+class TestServeCommand:
+    ARGS = [
+        "serve", "--seconds", "60", "--topology", "8",
+        "--population", "12",
+    ]
+
+    def test_summary_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "service[tableau]" in out
+        assert "batching:" in out
+        assert "replan latency:" in out
+
+    def test_json_report_is_deterministic(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.ARGS + ["--report", str(first)]) == 0
+        assert main(self.ARGS + ["--json", "--report", str(second)]) == 0
+        stdout = capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+        assert second.read_text() in stdout  # --json prints the report
+
+    def test_hours_flag_overrides_seconds(self, capsys):
+        args = [a for a in self.ARGS if a not in ("--seconds", "60")]
+        assert main(args + ["--hours", "0.01", "--arrival-rate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "36s simulated" in out
