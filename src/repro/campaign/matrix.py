@@ -130,22 +130,23 @@ class CampaignMatrix:
             raise ConfigurationError("duration_s must be positive")
         if self.latency_ms <= 0:
             raise ConfigurationError("latency_ms must be positive")
-        if self.probe == "service":
-            # The control-plane scenario has no machine-level dispatch:
-            # runtime fault presets, health supervision, and the array
-            # backend do not apply.
+        if self.probe in ("service", "crash-recovery"):
+            # The control-plane scenarios have no machine-level
+            # dispatch: runtime fault presets, health supervision, and
+            # the array backend do not apply.
             if any(preset != PRESET_NONE for preset in self.presets):
                 raise ConfigurationError(
-                    "service campaigns take presets=('none',); machine-level "
-                    "fault presets do not apply to the control plane"
+                    f"{self.probe} campaigns take presets=('none',); "
+                    "machine-level fault presets do not apply to the "
+                    "control plane"
                 )
             if tuple(self.engines) != ("object",):
                 raise ConfigurationError(
-                    "service campaigns take engines=('object',)"
+                    f"{self.probe} campaigns take engines=('object',)"
                 )
             if self.health:
                 raise ConfigurationError(
-                    "service campaigns take health=false"
+                    f"{self.probe} campaigns take health=false"
                 )
             object.__setattr__(
                 self, "arrival_rates", tuple(self.arrival_rates) or (4.0,)
@@ -188,7 +189,7 @@ class CampaignMatrix:
             [(rate, window)
              for rate in self.arrival_rates
              for window in self.batch_windows_ms]
-            if self.probe == "service"
+            if self.probe in ("service", "crash-recovery")
             else [(0.0, 0.0)]
         )
         shards: List[ShardSpec] = []
@@ -206,7 +207,9 @@ class CampaignMatrix:
                                 )
                                 if engine != "object":
                                     shard_id += f".{engine}"
-                                if self.probe == "service":
+                                if self.probe in (
+                                    "service", "crash-recovery"
+                                ):
                                     shard_id += f".a{rate:g}.w{window:g}"
                                 shards.append(
                                     ShardSpec(
@@ -319,6 +322,30 @@ def service_matrix(
     )
 
 
+def crash_recovery_matrix(
+    duration_s: float = 40.0,
+    seeds: Sequence[int] = (42, 43),
+    arrival_rates: Sequence[float] = (6.0,),
+    batch_windows_ms: Sequence[float] = (1000.0,),
+    topology: str = "8",
+    target_population: int = 12,
+) -> CampaignMatrix:
+    """A crash-recovery sweep: seeded crash/recover cycles per cell,
+    each verified byte-identical against the uninterrupted run."""
+    return CampaignMatrix(
+        name="crash-recovery",
+        probe="crash-recovery",
+        schedulers=("tableau",),
+        vm_counts=(target_population,),
+        seeds=tuple(seeds),
+        presets=(PRESET_NONE,),
+        topology=topology,
+        duration_s=duration_s,
+        arrival_rates=tuple(arrival_rates),
+        batch_windows_ms=tuple(batch_windows_ms),
+    )
+
+
 #: Named matrices accepted by ``--matrix`` without a file.
 BUILTIN_MATRICES = {
     "fig6": fig6_matrix,
@@ -332,6 +359,10 @@ BUILTIN_MATRICES = {
         batch_windows_ms=(1000.0,),
         topology="8",
         target_population=16,
+    ),
+    "crash-recovery": crash_recovery_matrix,
+    "crash-smoke": lambda: crash_recovery_matrix(
+        duration_s=30.0, seeds=(42,)
     ),
 }
 

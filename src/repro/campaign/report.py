@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.core.atomicio import atomic_write_text
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.campaign.matrix import CampaignMatrix
     from repro.campaign.runner import CampaignResult
@@ -189,7 +191,11 @@ def format_campaign(result: "CampaignResult") -> str:
 def write_aggregate(
     aggregate: Dict[str, object], path: str
 ) -> Optional[str]:
-    """Write the canonical aggregate JSON; returns the path."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(aggregate_json(aggregate))
+    """Write the canonical aggregate JSON; returns the path.
+
+    Atomic (temp + rename): a campaign killed mid-write must never
+    leave a torn aggregate that a later ``--resume`` or CI diff would
+    read as truth.
+    """
+    atomic_write_text(path, aggregate_json(aggregate))
     return path

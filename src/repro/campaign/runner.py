@@ -318,7 +318,12 @@ def run_campaign(
             if tail and tail != b"\n":
                 with open(log_file, "a", encoding="utf-8") as handle:
                     handle.write("\n")
-        log = open(log_file, "a" if resume else "w", encoding="utf-8")
+        if not resume:
+            # Fresh run: drop any stale log, then append — never open
+            # with a truncating mode (err-nonatomic-write); the run log
+            # is append-only by contract, and resume depends on that.
+            log_file.unlink(missing_ok=True)
+        log = open(log_file, "a", encoding="utf-8")
     try:
         if workers <= 1:
             results, failures, retried = _run_serial(pending, cache, log)

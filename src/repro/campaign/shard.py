@@ -24,10 +24,12 @@ from typing import Dict, Optional
 from repro.core import PlanStore
 from repro.metrics import PhaseTimings, summarize_ns
 
-#: Probe kinds a shard can run: the Fig. 5 and Fig. 6 drivers, plus the
+#: Probe kinds a shard can run: the Fig. 5 and Fig. 6 drivers, the
 #: scheduler-as-a-service scenario (streaming tenant churn against the
-#: persistent control plane).
-PROBES = ("intrinsic", "ping", "service")
+#: persistent control plane), and the crash-recovery probe (seeded
+#: crash/recover cycles that must reproduce the uninterrupted run
+#: byte-for-byte).
+PROBES = ("intrinsic", "ping", "service", "crash-recovery")
 
 #: Ping-load shape per shard, matching the scaled-down
 #: :func:`repro.experiments.delay.ping_latency` defaults.
@@ -83,6 +85,8 @@ def run_shard(
 
     if spec.probe == "service":
         return _run_service_shard(spec, cache_dir)
+    if spec.probe == "crash-recovery":
+        return _run_crash_recovery_shard(spec)
 
     from repro.experiments.delay import MS
     from repro.experiments.scenarios import build_scenario, plan_for
@@ -270,4 +274,129 @@ def _run_service_shard(
             "hit": False,
             "store": store.stats.as_dict() if store is not None else None,
         },
+    }
+
+
+#: Seeded crash/recover cycles per crash-recovery shard.
+CRASH_CYCLES = 3
+
+
+def _run_crash_recovery_shard(spec: ShardSpec) -> Dict[str, object]:
+    """One crash-recovery cell: N seeded crash/recover cycles, each
+    verified byte-for-byte against the uninterrupted run.
+
+    Every cycle gets its own temp directory (journal *and* plan store)
+    — never the campaign's shared cache dir, because store warmth
+    changes whether the ``plancache.write.pre-rename`` crashpoint
+    fires.  Cycle *i* arms a single-shot :class:`CrashPlan` at the
+    crashpoint ``SERVICE_CRASHPOINTS[(seed + i) % len]``, call index
+    ``i + 1``, recovers through the journal, resumes, and compares
+    the final :func:`service_report_json` against the shard's own
+    uninterrupted reference.  Any divergence raises — the campaign
+    runner records the shard failed.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.matrix import resolve_topology
+    from repro.errors import ReproError
+    from repro.faults.crash import SERVICE_CRASHPOINTS, CrashPlan
+    from repro.metrics import service_report
+    from repro.metrics.service import service_report_json
+    from repro.service import ChurnConfig, ServiceConfig, run_service
+    from repro.service.recovery import crash_recover_resume
+
+    timings = PhaseTimings()
+    topo = resolve_topology(spec.topology)
+
+    with timings.phase("build"):
+        churn = ChurnConfig(
+            seed=spec.seed,
+            arrival_rate_per_s=spec.arrival_rate,
+            target_population=spec.num_vms,
+        )
+        config = ServiceConfig(batch_window_ms=spec.batch_window_ms)
+
+    with timings.phase("plan"):
+        # The uninterrupted reference (no journal, no store: neither
+        # shows in the report).
+        reference = run_service(
+            topo,
+            duration_s=spec.duration_s,
+            churn=churn,
+            config=config,
+            scheduler=spec.scheduler,
+        )
+        reference_json = service_report_json(service_report(reference))
+
+    cycles = []
+    crashes_total = 0
+    healed_total = 0
+    with timings.phase("simulate"):
+        for i in range(CRASH_CYCLES):
+            point = SERVICE_CRASHPOINTS[
+                (spec.seed + i) % len(SERVICE_CRASHPOINTS)
+            ]
+            plan = CrashPlan.at(point, call=i + 1, seed=spec.seed)
+            with tempfile.TemporaryDirectory() as tmp:
+                root = Path(tmp)
+                store_root = root / "store"
+                outcome = crash_recover_resume(
+                    topo,
+                    spec.duration_s,
+                    root / "service.journal",
+                    plan,
+                    churn=churn,
+                    config=config,
+                    scheduler=spec.scheduler,
+                    store_factory=lambda: PlanStore(store_root),
+                )
+                # Post-mortem fsck over the surviving store tree: a
+                # crashed writer's debris must be gone (the restart
+                # sweep) and every remaining entry must validate.
+                fsck = PlanStore(store_root, sweep=False).fsck().as_dict()
+                recovered_json = service_report_json(
+                    service_report(outcome.service)
+                )
+            identical = recovered_json == reference_json
+            crashes_total += outcome.crash_count
+            healed_total += outcome.healed_bytes
+            cycles.append(
+                {
+                    "point": point,
+                    "call": i + 1,
+                    "crashes": outcome.crash_count,
+                    "healed_bytes": outcome.healed_bytes,
+                    "identical": identical,
+                    "fsck": fsck,
+                }
+            )
+            if not identical:
+                raise ReproError(
+                    f"{spec.shard_id}: recovered report diverged from "
+                    f"uninterrupted run (crashpoint {point}@{i + 1})"
+                )
+            if not fsck["clean"]:
+                raise ReproError(
+                    f"{spec.shard_id}: plan store not clean after "
+                    f"recovery (crashpoint {point}@{i + 1}): {fsck}"
+                )
+
+    with timings.phase("aggregate"):
+        metrics: Dict[str, object] = {
+            "cycles": len(cycles),
+            "crashes": crashes_total,
+            "healed_bytes": healed_total,
+            "identical_cycles": sum(1 for c in cycles if c["identical"]),
+            "crash_cycles": cycles,
+        }
+
+    return {
+        "shard": spec.shard_id,
+        "index": spec.index,
+        "status": "ok",
+        "spec": spec.as_dict(),
+        "metrics": metrics,
+        "timings": timings.as_dict(),
+        "plan_cache": {"hit": False, "store": None},
     }

@@ -11,7 +11,11 @@ Subcommands map onto the paper's artifacts:
 * ``chaos``     — run the stack under runtime fault injection with the
   health layer (watchdogs, (U, L) monitors, quarantine, recovery);
 * ``serve``     — run the scheduler-as-a-service control plane under
-  streaming tenant churn and report service-level metrics.
+  streaming tenant churn and report service-level metrics; with
+  ``--journal`` the run is crash-recoverable (``--crash-plan`` arms
+  seeded crashpoints, ``--recover`` replays the WAL after a crash);
+* ``fsck``      — scan an on-disk plan store, quarantine corrupt
+  entries and reclaim orphaned temp files.
 """
 
 from __future__ import annotations
@@ -208,12 +212,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.core import PlanStore
+    from repro.faults import SimulatedCrash, crashes_armed, parse_crash_plan
     from repro.metrics import (
         format_service_report,
         service_report,
         service_report_json,
     )
-    from repro.service import ChurnConfig, ServiceConfig, run_service
+    from repro.service import (
+        ChurnConfig,
+        SchedulerService,
+        ServiceConfig,
+        ServiceJournal,
+        resume_service,
+        run_service,
+    )
 
     if args.hours is not None:
         seconds = args.hours * 3600.0
@@ -228,14 +240,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.queue_limit is not None:
         config = replace(config, queue_limit=args.queue_limit)
     store = PlanStore(args.store) if args.store else None
-    service = run_service(
-        _topology(args.topology),
-        duration_s=seconds,
-        churn=churn,
-        config=config,
-        scheduler=args.scheduler,
-        store=store,
+    if args.journal is None and (args.recover or args.crash_plan):
+        print(
+            "serve: --recover and --crash-plan require --journal",
+            file=sys.stderr,
+        )
+        return 2
+    journal = None
+    if args.journal is not None:
+        journal = ServiceJournal(args.journal)
+        if journal.healed_bytes:
+            print(
+                f"journal: healed {journal.healed_bytes} torn-tail "
+                f"byte(s) in {args.journal}",
+                file=sys.stderr,
+            )
+        if journal.records and not args.recover:
+            print(
+                f"serve: journal {args.journal} already holds "
+                f"{len(journal.records)} record(s); replay it with "
+                "--recover or point --journal at a fresh path",
+                file=sys.stderr,
+            )
+            journal.close()
+            return 2
+    plan = (
+        parse_crash_plan(args.crash_plan, seed=args.seed)
+        if args.crash_plan
+        else None
     )
+    try:
+        with crashes_armed(plan):
+            if args.recover:
+                service = SchedulerService.recover(
+                    _topology(args.topology),
+                    journal,
+                    config=config,
+                    scheduler=args.scheduler,
+                    store=store,
+                )
+                resume_service(service, seconds, churn=churn)
+            else:
+                service = run_service(
+                    _topology(args.topology),
+                    duration_s=seconds,
+                    churn=churn,
+                    config=config,
+                    scheduler=args.scheduler,
+                    store=store,
+                    journal=journal,
+                )
+    except SimulatedCrash as crash:
+        print(
+            f"serve: simulated crash at {crash.point} "
+            f"(call {crash.call_index}); journal is durable at "
+            f"{args.journal} — rerun with --recover",
+            file=sys.stderr,
+        )
+        return 3
+    if service.journal is not None:
+        service.journal.close()
     report = service_report(service)
     if args.json:
         print(service_report_json(report), end="")
@@ -247,6 +311,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"wrote {args.report}")
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import PlanStore
+
+    store = PlanStore(args.store, sweep=False)
+    report = store.fsck(repair=not args.no_repair)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"scanned {report.scanned} entries "
+            f"({report.bytes_scanned} bytes): {report.valid} valid, "
+            f"{report.corrupt} corrupt, {report.quarantined} quarantined"
+        )
+        print(
+            f"temp files: {report.tmp_seen} seen, "
+            f"{report.tmp_reclaimed} reclaimed"
+        )
+        print(f"store {'clean' if report.clean else 'DIRTY'}")
+    return 0 if report.clean else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -499,7 +586,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the canonical JSON report instead of the summary",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        help="append-only tenant WAL; makes the run crash-recoverable "
+        "(every admitted request is durable before it takes effect)",
+    )
+    serve.add_argument(
+        "--crash-plan",
+        default=None,
+        help="arm seeded crashpoints, e.g. 'service.admit@3' or "
+        "'service.commit@2+,service.flush.pre-push'; the process "
+        "exits 3 at the first firing, leaving the journal durable "
+        "(requires --journal)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="rebuild the service by replaying --journal (crash "
+        "restart), then resume the churn stream from the journaled "
+        "RNG checkpoint and run to --seconds",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify an on-disk plan store: CRC-check every entry, "
+        "quarantine corrupt ones, reclaim orphaned temp files; exits "
+        "non-zero if anything was wrong",
+    )
+    fsck.add_argument("store", help="plan store root directory")
+    fsck.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report only; do not quarantine or delete anything",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON",
+    )
+    fsck.set_defaults(func=cmd_fsck)
 
     lint = sub.add_parser(
         "lint",

@@ -19,6 +19,7 @@ Typical use::
 
 from repro.core.admission import AdmissionReport, admit_or_raise, check_admission
 from repro.core.affinity import CoschedulingPolicy, constrained_worst_fit
+from repro.core.atomicio import atomic_write_bytes, atomic_write_text
 from repro.core.cache import CacheStats, TableCache, census_signature, rebind_plan
 from repro.core.edf import preemption_count, simulate_edf
 from repro.core.numa import NumaReport, numa_worst_fit
@@ -48,6 +49,7 @@ from repro.core.partition import (
 from repro.core.peephole import PeepholeReport, optimize_core
 from repro.core.plancache import (
     CACHE_VERSION,
+    FsckReport,
     PlanStore,
     PlanStoreStats,
     plan_key,
@@ -99,8 +101,11 @@ __all__ = [
     "AdmissionReport",
     "CACHE_VERSION",
     "CacheStats",
+    "FsckReport",
     "PlanStore",
     "PlanStoreStats",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "plan_key",
     "topology_token",
     "CoschedulingPolicy",

@@ -24,6 +24,7 @@ see either a complete old entry or a complete new one.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import struct
@@ -31,7 +32,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from repro.core.atomicio import atomic_write_bytes
 from repro.core.params import VCpuSpec, VMSpec, flatten_vcpus
+from repro.crashpoints import CRASH_PLANCACHE_PRE_RENAME
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.planner import Planner, PlanResult
@@ -68,6 +71,10 @@ class PlanStoreStats:
     #: Entries rejected by validation (bad magic/version/digest,
     #: truncation, unpicklable payload) and regenerated.
     invalid: int = 0
+    #: Orphaned ``*.plan.tmp.<pid>`` files reclaimed by the startup
+    #: sweep — debris of writers that died between temp write and
+    #: atomic rename.
+    tmp_reclaimed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -80,7 +87,47 @@ class PlanStoreStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalid": self.invalid,
+            "tmp_reclaimed": self.tmp_reclaimed,
             "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class FsckReport:
+    """What one :meth:`PlanStore.fsck` pass found (and repaired)."""
+
+    #: Entry files examined.
+    scanned: int = 0
+    #: Entries that validated end-to-end (magic, version, digest,
+    #: payload).
+    valid: int = 0
+    #: Entries that failed validation.
+    corrupt: int = 0
+    #: Corrupt entries moved to ``<root>/quarantine/`` (0 with
+    #: ``repair=False``).
+    quarantined: int = 0
+    #: Orphaned temp files seen.
+    tmp_seen: int = 0
+    #: Orphaned temp files removed (0 with ``repair=False``).
+    tmp_reclaimed: int = 0
+    #: Total entry bytes read and verified.
+    bytes_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the store had nothing wrong (before repair)."""
+        return self.corrupt == 0 and self.tmp_seen == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "scanned": self.scanned,
+            "valid": self.valid,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "tmp_seen": self.tmp_seen,
+            "tmp_reclaimed": self.tmp_reclaimed,
+            "bytes_scanned": self.bytes_scanned,
+            "clean": self.clean,
         }
 
 
@@ -165,14 +212,28 @@ class PlanStore:
             under ``<root>/v<CACHE_VERSION>/<key[:2]>/<key>.plan``.
         version: Entry format version to read/write (tests override to
             exercise the mismatch path).
+        sweep: Reclaim orphaned ``*.plan.tmp.<pid>`` files on open (a
+            bounded scan — see :meth:`_sweep_orphans`).  ``fsck``
+            harnesses pass ``False`` to observe debris instead of
+            silently cleaning it.
     """
 
+    #: Startup-sweep bound: opening a store must stay O(1)-ish even on
+    #: a pathologically littered tree; anything beyond this many temp
+    #: files is left for an explicit :meth:`fsck`.
+    SWEEP_LIMIT = 256
+
     def __init__(
-        self, root: Union[str, Path], version: int = CACHE_VERSION
+        self,
+        root: Union[str, Path],
+        version: int = CACHE_VERSION,
+        sweep: bool = True,
     ) -> None:
         self.root = Path(root)
         self.version = version
         self.stats = PlanStoreStats()
+        if sweep:
+            self.stats.tmp_reclaimed = self._sweep_orphans()
 
     # ------------------------------------------------------------------
     # Path layout
@@ -214,19 +275,22 @@ class PlanStore:
         return result
 
     def put(self, key: str, result: "PlanResult") -> Path:
-        """Persist ``result`` under ``key`` atomically; returns the path."""
+        """Persist ``result`` under ``key`` atomically; returns the path.
+
+        Goes through :func:`repro.core.atomicio.atomic_write_bytes`
+        (per-writer temp file, atomic ``os.replace``), consulting the
+        ``plancache.write.pre-rename`` crashpoint in the window where a
+        dying writer orphans its temp file — the debris the startup
+        sweep and :meth:`fsck` exist to reclaim.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         header = _HEADER.pack(
             MAGIC, self.version, 0, hashlib.sha256(body).digest()
         )
-        # A per-writer temp name keeps concurrent writers on the same
-        # key from clobbering each other's partial bytes; os.replace is
-        # atomic, so readers only ever see complete entries.
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_bytes(header + body)
-        os.replace(tmp, path)
+        atomic_write_bytes(
+            path, header + body, crash_point=CRASH_PLANCACHE_PRE_RENAME
+        )
         self.stats.stores += 1
         return path
 
@@ -260,6 +324,112 @@ class PlanStore:
             # Best-effort cleanup; a lingering bad entry just re-reads
             # as invalid next time.
             return
+
+    # ------------------------------------------------------------------
+    # Crash debris: orphan sweep and fsck
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _orphaned(tmp: Path) -> bool:
+        """Is this ``*.plan.tmp.<pid>`` file reclaimable debris?
+
+        Our own pid's temp files are always debris at sweep time (no
+        write is in flight while the store is being *opened*).  Another
+        pid's are debris once that process is gone; an unparsable
+        suffix never named a live writer.  Only a live foreign pid —
+        possibly mid-write — is left alone.
+        """
+        suffix = tmp.name.rsplit(".", 1)[-1]
+        try:
+            pid = int(suffix)
+        except ValueError:
+            return True
+        if pid == os.getpid():
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # no such process: a dead writer's orphan
+        except PermissionError:
+            return False  # alive, just not ours to signal
+        except OSError:
+            return False
+        return False  # alive
+
+    def _iter_tmp_files(self, limit: Optional[int]) -> "list[Path]":
+        if not self.root.is_dir():
+            return []
+        found = self.root.rglob("*.plan.tmp.*")
+        if limit is not None:
+            found = itertools.islice(found, limit)  # type: ignore[assignment]
+        return sorted(found)
+
+    def _sweep_orphans(self) -> int:
+        """Reclaim orphaned temp files left by crashed writers.
+
+        Bounded by :attr:`SWEEP_LIMIT` so opening a store stays cheap;
+        a tree littered beyond the bound is an :meth:`fsck` job.
+        Returns the number of files removed.
+        """
+        reclaimed = 0
+        for tmp in self._iter_tmp_files(self.SWEEP_LIMIT):
+            if self._orphaned(tmp):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+                reclaimed += 1
+        return reclaimed
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Scan every entry, verify it end-to-end, repair the damage.
+
+        * Each ``*.plan`` file is read fully and validated exactly as
+          :meth:`get` would (magic, version, digest, pickle, type); a
+          failing entry is **quarantined** — moved to
+          ``<root>/quarantine/<name>`` — rather than deleted, so a
+          corruption bug stays diagnosable.
+        * Every orphaned temp file (unbounded scan, unlike the startup
+          sweep) is removed.
+
+        With ``repair=False`` nothing is touched; the report still
+        counts what *would* be repaired.  Reclaimed temp files are also
+        added to ``stats.tmp_reclaimed``.
+        """
+        report = FsckReport()
+        quarantine = self.root / "quarantine"
+        base = self.root / f"v{CACHE_VERSION}"
+        entries = sorted(base.glob("*/*.plan")) if base.is_dir() else []
+        for path in entries:
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                continue
+            report.scanned += 1
+            report.bytes_scanned += len(payload)
+            if self._decode(payload) is not None:
+                report.valid += 1
+                continue
+            report.corrupt += 1
+            if repair:
+                quarantine.mkdir(parents=True, exist_ok=True)
+                try:
+                    path.replace(quarantine / path.name)
+                except OSError:
+                    continue
+                report.quarantined += 1
+        for tmp in self._iter_tmp_files(None):
+            if not self._orphaned(tmp):
+                continue
+            report.tmp_seen += 1
+            if repair:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+                report.tmp_reclaimed += 1
+        self.stats.tmp_reclaimed += report.tmp_reclaimed
+        return report
 
     # ------------------------------------------------------------------
     # The get-or-plan convenience the experiments and campaigns use

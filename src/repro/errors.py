@@ -59,6 +59,27 @@ class TablePushError(ReproError):
     """
 
 
+class JournalError(ReproError):
+    """A service journal file is unusable (bad magic/version).
+
+    Note the asymmetry with torn *tails*: a journal whose header is
+    valid but whose last record is incomplete is healed silently on
+    open (crash-consistent appends make that an expected state), while
+    a bad header means the file was never a journal — refusing loudly
+    beats replaying garbage.
+    """
+
+
+class RecoveryError(ReproError):
+    """Journal replay diverged from the journaled history.
+
+    Raised when a replayed flush window commits with counters different
+    from the journal's commit marker — the deterministic rebuild no
+    longer matches what the crashed process durably recorded, so the
+    recovered state cannot be trusted.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

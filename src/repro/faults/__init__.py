@@ -6,9 +6,22 @@ daemon, and toolstack consult at their decision points, plus an
 :class:`InvariantAuditor` that proves no failure mode — injected or
 organic — leaves the registry, the committed plan, and the installed
 table disagreeing.  See EXPERIMENTS.md ("Fault injection") for usage.
+
+:mod:`repro.faults.crash` extends the same machinery to *process
+death*: a seeded :class:`CrashPlan` armed over the crashpoints declared
+in :mod:`repro.crashpoints` raises :class:`SimulatedCrash` at real
+decision points (post-journal-append, pre-rename, mid-retry), and the
+journaled control plane must recover byte-identically.  See
+EXPERIMENTS.md ("Crash recovery").
 """
 
+from repro.crashpoints import SimulatedCrash, crashes_armed
 from repro.faults.audit import InvariantAuditor
+from repro.faults.crash import (
+    SERVICE_CRASHPOINTS,
+    CrashPlan,
+    parse_crash_plan,
+)
 from repro.faults.plan import (
     CONTROL_SITES,
     KNOWN_SITES,
@@ -33,11 +46,14 @@ from repro.faults.plan import (
 
 __all__ = [
     "CONTROL_SITES",
+    "CrashPlan",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "InvariantAuditor",
     "KNOWN_SITES",
+    "SERVICE_CRASHPOINTS",
+    "SimulatedCrash",
     "RUNTIME_PRESETS",
     "RUNTIME_SITES",
     "SITE_ACTIVATION",
@@ -51,5 +67,7 @@ __all__ = [
     "SITE_TIMER_JITTER",
     "SITE_VCPU_STUCK",
     "corrupt_payload",
+    "crashes_armed",
+    "parse_crash_plan",
     "runtime_preset",
 ]

@@ -6,6 +6,14 @@ daemon history exactly as they were.  These rules guard the discipline
 that keeps it that way: no bare excepts, no silently swallowed
 ``ReproError``s, and no registry mutation that a later fallible call
 could strand without a rollback handler.
+
+The crash-consistency work extends the discipline to *durable state*:
+``err-nonatomic-write`` forbids truncating writes to files in the
+persistence-bearing packages — a crash mid-``open(..., "w")`` leaves a
+torn file that recovery then trusts.  Durable writes go through
+:func:`repro.core.atomicio.atomic_write_bytes` (temp + ``os.replace``);
+append-mode opens are exempt because appending *is* their atomicity
+story (the journal's CRC framing heals a torn tail).
 """
 
 from __future__ import annotations
@@ -233,3 +241,78 @@ def _fallible_call(node: ast.AST) -> Optional[str]:
         if name in _FALLIBLE:
             return name
     return None
+
+
+#: ``Path`` convenience writers that truncate in place (no temp file,
+#: no rename — a crash mid-call tears the destination).
+_PATH_WRITERS = {"write_bytes", "write_text"}
+
+
+@register
+class NonatomicWriteRule(Rule):
+    id = "err-nonatomic-write"
+    family = "error-handling"
+    description = (
+        "in the persistence-bearing packages, truncating file writes "
+        "(open mode 'w'/'x', Path.write_bytes/write_text) tear durable "
+        "state when the process dies mid-write; use "
+        "repro.core.atomicio.atomic_write_bytes/_text (temp file + "
+        "atomic os.replace).  Append-mode opens are exempt."
+    )
+    scope = ("repro.service", "repro.core.plancache", "repro.campaign")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                modes = _open_modes(node)
+                bad = sorted(m for m in modes if _truncating_mode(m))
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"open() with truncating mode {bad[0]!r} can tear "
+                        "this file if the process dies mid-write; write "
+                        "through repro.core.atomicio.atomic_write_bytes/"
+                        "_text, or append (mode 'a') if this file is a "
+                        "log/journal",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _PATH_WRITERS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func.attr}() truncates in place (torn file on "
+                    "crash); write through repro.core.atomicio."
+                    "atomic_write_bytes/_text",
+                )
+
+
+def _open_modes(call: ast.Call) -> Set[str]:
+    """Every string constant the call's mode argument could evaluate to.
+
+    Covers a literal mode and conditional expressions over literals
+    (``"a" if resume else "w"``); a fully dynamic mode yields nothing —
+    the rule only flags what it can prove.
+    """
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return set()
+    return {
+        child.value
+        for child in ast.walk(mode)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def _truncating_mode(mode: str) -> bool:
+    return "w" in mode or "x" in mode

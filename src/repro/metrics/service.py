@@ -84,6 +84,18 @@ def service_report(service: "SchedulerService") -> Dict[str, object]:
             "ratio": round(mutations / pushes, 4) if pushes else 0.0,
             "window_widenings": service.window_widenings,
         },
+        "daemon": {
+            "total_replans": service.daemon.total_replans,
+            "committed_replans": service.daemon.committed_replans,
+            "failed_replans": service.daemon.failed_replans,
+            "total_push_backoff_ns": service.daemon.total_push_backoff_ns,
+            "history_len": len(service.daemon.history),
+            "failed_activations": (
+                service.daemon.hypercall.failed_activations
+                if service.daemon.hypercall is not None
+                else 0
+            ),
+        },
         "replan_latency_ns": _latency_block(service.replan_latencies_ns),
         "sojourn_ns": _latency_block(service.sojourns_ns),
         "slo": {

@@ -17,11 +17,19 @@ long-running shape, driven entirely by the simulated clock:
 * :mod:`repro.service.control` — :class:`SchedulerService` itself:
   bounded admission queue, batched replans (one census change per
   table push), stale-while-revalidate guarantee reads, adaptive
-  batch-window widening under backpressure.
+  batch-window widening under backpressure;
+* :mod:`repro.service.journal` — the write-ahead log
+  (:class:`ServiceJournal`): every admitted request is durable before
+  it takes effect, every flush-window commit appends a verified
+  counter marker, torn tails heal on open;
+* :mod:`repro.service.recovery` — crash → recover → resume harnesses
+  (:func:`crash_recover_resume`) built on
+  :meth:`SchedulerService.recover`'s deterministic journal replay.
 
 Everything downstream of a (topology, churn seed, config) triple is
 deterministic: two runs produce byte-identical service reports
-(:func:`repro.metrics.service_report_json`).
+(:func:`repro.metrics.service_report_json`) — *including* a run that
+crashed at any registered crashpoint and was rebuilt from its journal.
 """
 
 from repro.service.churn import ChurnConfig, ChurnGenerator
@@ -30,7 +38,21 @@ from repro.service.control import (
     ServiceConfig,
     run_service,
 )
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    REC_COMMIT,
+    REC_REQUEST,
+    ServiceJournal,
+    decode_rng_state,
+    encode_rng_state,
+)
 from repro.service.latency import PlannerLatencyModel
+from repro.service.recovery import (
+    CrashRecoveryOutcome,
+    crash_recover_resume,
+    resume_service,
+    run_to_crash,
+)
 from repro.service.requests import (
     KIND_CREATE,
     KIND_QUERY,
@@ -48,6 +70,8 @@ from repro.service.requests import (
 __all__ = [
     "ChurnConfig",
     "ChurnGenerator",
+    "CrashRecoveryOutcome",
+    "JOURNAL_VERSION",
     "KIND_CREATE",
     "KIND_QUERY",
     "KIND_RECONFIGURE",
@@ -57,10 +81,18 @@ __all__ = [
     "REJECT_ADMISSION",
     "REJECT_BACKPRESSURE",
     "REJECT_PLAN_FAILED",
+    "REC_COMMIT",
+    "REC_REQUEST",
     "REJECT_UNKNOWN_TENANT",
     "REQUEST_KINDS",
     "SchedulerService",
     "ServiceConfig",
+    "ServiceJournal",
     "TenantRequest",
+    "crash_recover_resume",
+    "decode_rng_state",
+    "encode_rng_state",
+    "resume_service",
     "run_service",
+    "run_to_crash",
 ]

@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.params import SEC, Nanoseconds
 from repro.errors import ConfigurationError
+from repro.service.journal import decode_rng_state, encode_rng_state
 from repro.service.requests import (
     KIND_CREATE,
     KIND_QUERY,
@@ -205,5 +206,46 @@ class ChurnGenerator:
         now = self.service.engine.now
         request = self._make_request(now)
         self.generated += 1
-        self.service.submit(request)
+        if self.service.journal is not None:
+            self.service.submit(request, churn_state=self._checkpoint())
+        else:
+            self.service.submit(request)
         self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Crash checkpoints
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> "dict[str, object]":
+        """Full generator state *after* synthesizing the request about
+        to be submitted (rides that request's journal record, so the
+        checkpoint is durable exactly when the request is).  Restoring
+        it and calling :meth:`_schedule_next` reproduces the remainder
+        of the stream draw-for-draw."""
+        return {
+            "generated": self.generated,
+            "births": self._births,
+            # float seconds, exactly: hex round-trips every bit.
+            "t": self._t_s.hex(),
+            "rng": encode_rng_state(self.rng.getstate()),
+        }
+
+    @classmethod
+    def resume(
+        cls,
+        service: "SchedulerService",
+        config: Optional[ChurnConfig],
+        state: "dict[str, object]",
+    ) -> "ChurnGenerator":
+        """Rebuild a generator from a journaled checkpoint.
+
+        The returned generator's next request (seq, name, kind, tier,
+        arrival time) is bit-identical to what the crashed generator
+        would have produced next.
+        """
+        generator = cls(service, config)
+        generator.rng.setstate(decode_rng_state(str(state["rng"])))
+        generator.generated = int(state["generated"])  # type: ignore[arg-type]
+        generator._births = int(state["births"])  # type: ignore[arg-type]
+        generator._t_s = float.fromhex(str(state["t"]))
+        return generator

@@ -30,8 +30,9 @@ requests complete and their sojourn is measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.core.params import (
     DEFAULT_TIERS,
@@ -42,8 +43,16 @@ from repro.core.params import (
     seconds_to_ns,
     vms_from_tiers,
 )
-from repro.errors import ConfigurationError, ReproError
+from repro.crashpoints import (
+    CRASH_SERVICE_ADMIT,
+    CRASH_SERVICE_COMMIT,
+    CRASH_SERVICE_FLUSH_POST_PUSH,
+    CRASH_SERVICE_FLUSH_PRE_PUSH,
+    crashpoint,
+)
+from repro.errors import ConfigurationError, RecoveryError, ReproError
 from repro.service.churn import ChurnConfig, ChurnGenerator
+from repro.service.journal import ServiceJournal
 from repro.service.latency import PlannerLatencyModel
 from repro.service.requests import (
     KIND_CREATE,
@@ -133,6 +142,14 @@ class SchedulerService:
             cache across runs.
         engine: Bring-your-own event loop (tests compose the service
             with other actors); by default the service owns one.
+        journal: Optional write-ahead log.  Every submitted request is
+            journaled *before* it takes effect and every flush-window
+            commit appends a verified counter marker, so the service
+            can be rebuilt from the journal after a crash
+            (:meth:`recover`).  Attaching a journal that already holds
+            history requires going through :meth:`recover` — silently
+            continuing a fresh service on an old journal would corrupt
+            the sequence space.
     """
 
     def __init__(
@@ -142,7 +159,16 @@ class SchedulerService:
         scheduler: str = "tableau",
         store: Optional["PlanStore"] = None,
         engine: Optional[SimEngine] = None,
+        journal: Optional[ServiceJournal] = None,
+        _replaying: bool = False,
     ) -> None:
+        if journal is not None and journal.records and not _replaying:
+            raise ConfigurationError(
+                f"journal {journal.path} already holds "
+                f"{len(journal.records)} records; rebuild from it with "
+                "SchedulerService.recover() instead of attaching it to "
+                "a fresh service"
+            )
         self.topology = topology
         self.config = config if config is not None else ServiceConfig()
         self.scheduler = scheduler
@@ -173,6 +199,20 @@ class SchedulerService:
         self._flush_handle = self.engine.every(
             self.config.batch_window_ns, self._flush
         )
+
+        # ---- durability ---------------------------------------------
+        self.journal = journal
+        #: Highest request seq this service instance has journaled;
+        #: live submits with a stale seq (manual callers defaulting to
+        #: 0) are restamped to keep the WAL's sequence space monotonic.
+        self._last_seq = -1
+        #: Churn checkpoint carried by the last journaled request —
+        #: set by :meth:`recover` for
+        #: :func:`repro.service.recovery.resume_service`.
+        self.recovered_churn: Optional[Dict[str, object]] = None
+        #: Request records replayed by :meth:`recover` (0 on a fresh
+        #: service).
+        self.replayed_requests = 0
 
         # ---- deterministic accounting ------------------------------
         self.requests_by_kind: Dict[str, int] = {
@@ -224,9 +264,27 @@ class SchedulerService:
     # The request path
     # ------------------------------------------------------------------
 
-    def submit(self, request: TenantRequest) -> Optional[str]:
+    def submit(
+        self,
+        request: TenantRequest,
+        churn_state: Optional[Dict[str, object]] = None,
+    ) -> Optional[str]:
         """Process one request *now*; returns a rejection reason or
-        ``None`` (accepted / answered)."""
+        ``None`` (accepted / answered).
+
+        With a journal attached the request is made durable *first*
+        (write-ahead: a crash after the append but before any effect
+        loses nothing — replay applies it), then the ``service.admit``
+        crashpoint is consulted.  ``churn_state`` is the generator's
+        RNG checkpoint riding the record; replayed requests deduplicate
+        inside the journal by ``seq``.
+        """
+        if self.journal is not None:
+            if request.seq <= self._last_seq:
+                request = replace(request, seq=self._last_seq + 1)
+            self.journal.append_request(request, churn_state)
+            self._last_seq = request.seq
+            crashpoint(CRASH_SERVICE_ADMIT)
         self.requests_by_kind[request.kind] = (
             self.requests_by_kind.get(request.kind, 0) + 1
         )
@@ -332,6 +390,9 @@ class SchedulerService:
         signature = tuple(sorted(census.values()))
         cache_hit = signature in self._shapes_seen
         cost = self.model.cost_ns(len(census), cache_hit)
+        # Dying here loses the in-memory batch — but every request in
+        # it is already journaled, so replay rebuilds and re-flushes it.
+        crashpoint(CRASH_SERVICE_FLUSH_PRE_PUSH)
         if census:
             specs = vms_from_tiers(
                 sorted(census.items()), tiers=self.config.tiers
@@ -347,11 +408,18 @@ class SchedulerService:
                 self.rejected[REJECT_PLAN_FAILED] += len(batch)
                 self._rollback(batch)
                 return
+        # Dying here loses a replan the daemon already performed (and
+        # possibly a plan-store write); replay re-runs the same replan
+        # from the same census, so the rebuilt daemon state matches.
+        crashpoint(CRASH_SERVICE_FLUSH_POST_PUSH)
         self._shapes_seen.add(signature)
         self._inflight = (batch, census, cost)
         self.engine.after(cost, self._commit)
 
     def _commit(self) -> None:
+        # Dying here loses the commit entirely — its journal marker was
+        # never written, so replay re-commits and appends it then.
+        crashpoint(CRASH_SERVICE_COMMIT)
         assert self._inflight is not None
         batch, census, cost = self._inflight
         self._inflight = None
@@ -367,6 +435,123 @@ class SchedulerService:
         self.replan_latencies_ns.append(int(cost))
         self.batches_committed += 1
         self.table_pushes += 1
+        if self.journal is not None:
+            marker: Dict[str, object] = {
+                "type": "commit",
+                "now": now,
+                "end_seq": max(r.seq for r in batch),
+                "batch": len(batch),
+                "counters": self._counter_snapshot(),
+            }
+            existing = self.journal.append_commit(marker)
+            if existing is not None and existing != marker:
+                # Replay recommitted a journaled window with different
+                # state than the crashed process durably recorded —
+                # the rebuild is wrong; refuse to serve from it.
+                raise RecoveryError(
+                    "replayed commit diverged from journal marker at "
+                    f"end_seq={marker['end_seq']}: journal={existing} "
+                    f"replayed={marker}"
+                )
+
+    def _counter_snapshot(self) -> Dict[str, int]:
+        """Running counters persisted in commit markers (and verified
+        on replay) — including the daemon's exact episode counters and
+        the hypercall's activation failures, which would otherwise
+        silently reset across a crash-restart."""
+        daemon = self.daemon
+        hypercall = daemon.hypercall
+        return {
+            "batches_committed": self.batches_committed,
+            "batches_failed": self.batches_failed,
+            "mutations_committed": self.mutations_committed,
+            "table_pushes": self.table_pushes,
+            "slo_violations": self.slo_violations,
+            "window_widenings": self.window_widenings,
+            "queries_fresh": self.queries_fresh,
+            "queries_stale": self.queries_stale,
+            "requests_total": sum(self.requests_by_kind.values()),
+            "rejected_total": sum(self.rejected.values()),
+            "population": self.population,
+            "peak_queue": self.peak_queue,
+            "peak_population": self.peak_population,
+            "daemon_total_replans": daemon.total_replans,
+            "daemon_committed_replans": daemon.committed_replans,
+            "daemon_failed_replans": daemon.failed_replans,
+            "daemon_total_push_backoff_ns": daemon.total_push_backoff_ns,
+            "daemon_history_len": len(daemon.history),
+            "daemon_push_backoffs_len": len(daemon.push_backoffs_ns),
+            "failed_activations": (
+                hypercall.failed_activations if hypercall is not None else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        topology: Topology,
+        journal: Union[str, Path, ServiceJournal],
+        config: Optional[ServiceConfig] = None,
+        scheduler: str = "tableau",
+        store: Optional["PlanStore"] = None,
+        engine: Optional[SimEngine] = None,
+    ) -> "SchedulerService":
+        """Rebuild a service from its journal (crash-restart).
+
+        Opens (and tail-heals) ``journal``, then replays every
+        journaled request through a fresh service at its original
+        arrival time on a fresh simulated clock.  The replayed events
+        are *chain-scheduled* — request *n+1* is scheduled from inside
+        request *n*'s callback, mirroring the live churn generator —
+        so same-timestamp ties resolve in the original heap order and
+        the rebuilt history is bit-identical, flush windows, widenings
+        and all.  Journaled commit markers deduplicate on re-append and
+        are verified against the replayed counters
+        (:class:`~repro.errors.RecoveryError` on divergence).
+
+        Effects are exactly-once: replayed appends deduplicate by
+        ``seq``, and the last journaled churn checkpoint is exposed as
+        :attr:`recovered_churn` so
+        :func:`repro.service.recovery.resume_service` continues the
+        arrival stream precisely where the crashed run stopped.
+        """
+        if not isinstance(journal, ServiceJournal):
+            journal = ServiceJournal(journal)
+        service = cls(
+            topology,
+            config=config,
+            scheduler=scheduler,
+            store=store,
+            engine=engine,
+            journal=journal,
+            _replaying=True,
+        )
+        service.recovered_churn = journal.last_churn_state
+        requests = [
+            (journal.request_from(record), record.get("churn"))
+            for record in journal.request_records()
+        ]
+        service.replayed_requests = len(requests)
+        if not requests:
+            return service
+        sim = service.engine
+
+        def _replay(index: int) -> None:
+            request, churn = requests[index]
+            service.submit(request, churn_state=churn)  # type: ignore[arg-type]
+            if index + 1 < len(requests):
+                sim.at(
+                    requests[index + 1][0].arrival_ns,
+                    lambda: _replay(index + 1),
+                )
+
+        sim.at(requests[0][0].arrival_ns, lambda: _replay(0))
+        sim.run_until(journal.horizon_ns())
+        return service
 
     def _rollback(self, batch: List[TenantRequest]) -> None:
         """Recompute the accepted census as committed + queued effects
@@ -384,11 +569,18 @@ def run_service(
     config: Optional[ServiceConfig] = None,
     scheduler: str = "tableau",
     store: Optional["PlanStore"] = None,
+    journal: Optional[ServiceJournal] = None,
 ) -> SchedulerService:
     """Run a seeded churn stream against a fresh service for
-    ``duration_s`` simulated seconds; returns the finished service."""
+    ``duration_s`` simulated seconds; returns the finished service.
+
+    With ``journal`` attached the run is crash-recoverable: see
+    :meth:`SchedulerService.recover` and
+    :func:`repro.service.recovery.crash_recover_resume`.
+    """
     service = SchedulerService(
-        topology, config=config, scheduler=scheduler, store=store
+        topology, config=config, scheduler=scheduler, store=store,
+        journal=journal,
     )
     generator = ChurnGenerator(service, churn)
     until_ns = seconds_to_ns(duration_s)

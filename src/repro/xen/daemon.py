@@ -36,6 +36,7 @@ from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from repro.core import Planner, PlanResult, TableCache
 from repro.core.params import VMSpec, flatten_vcpus
+from repro.crashpoints import CRASH_DAEMON_MID_RETRY, crashpoint
 from repro.errors import PlanningError, ReproError, TableFormatError, TablePushError
 from repro.faults.plan import SITE_PLAN
 from repro.topology import Topology
@@ -218,6 +219,11 @@ class PlannerDaemon:
                     # plane records rather than sleeps the delay.
                     episode_backoffs.append(self.push_backoff_ns << retries)
                     retries += 1
+                    # Dying mid-retry loses the whole episode: nothing
+                    # was committed (backoffs are only charged on
+                    # commit), so a rebuilt daemon that re-runs the
+                    # episode from scratch matches exactly.
+                    crashpoint(CRASH_DAEMON_MID_RETRY)
         # Commit point: all observable state flips together, only after
         # the new table is safely staged in the hypervisor.
         self.current_plan = result

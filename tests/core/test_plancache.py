@@ -225,3 +225,108 @@ class TestConcurrentWriters:
             if ".tmp." in p.name
         ]
         assert leftovers == []
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed not to name a live process."""
+    import subprocess
+
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestOrphanSweep:
+    """Startup reclamation of ``*.plan.tmp.<pid>`` crash debris."""
+
+    def _plant(self, root, pid, name="deadbeef"):
+        shard = root / f"v{CACHE_VERSION}" / name[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        tmp = shard / f"{name}.plan.tmp.{pid}"
+        tmp.write_bytes(b"partial write")
+        return tmp
+
+    def test_startup_sweep_reclaims_orphans(self, tmp_path):
+        root = tmp_path / "cache"
+        own = self._plant(root, os.getpid(), "aa" * 4)
+        dead = self._plant(root, _dead_pid(), "bb" * 4)
+        junk = self._plant(root, "notapid", "cc" * 4)
+        store = PlanStore(root)
+        assert store.stats.tmp_reclaimed == 3
+        assert not own.exists() and not dead.exists() and not junk.exists()
+
+    def test_live_foreign_writer_left_alone(self, tmp_path):
+        root = tmp_path / "cache"
+        # pid 1 is always alive; a live foreign pid may be mid-write.
+        live = self._plant(root, 1, "dd" * 4)
+        store = PlanStore(root)
+        assert store.stats.tmp_reclaimed == 0
+        assert live.exists()
+
+    def test_sweep_can_be_disabled(self, tmp_path):
+        root = tmp_path / "cache"
+        orphan = self._plant(root, _dead_pid(), "ee" * 4)
+        store = PlanStore(root, sweep=False)
+        assert store.stats.tmp_reclaimed == 0
+        assert orphan.exists()
+
+    def test_startup_sweep_is_bounded(self, tmp_path):
+        root = tmp_path / "cache"
+        pid = _dead_pid()
+        count = PlanStore.SWEEP_LIMIT + 10
+        for i in range(count):
+            self._plant(root, pid, f"{i:08x}")
+        store = PlanStore(root)
+        assert store.stats.tmp_reclaimed == PlanStore.SWEEP_LIMIT
+        # The remainder is an fsck job (unbounded scan).
+        report = store.fsck()
+        assert report.tmp_seen == count - PlanStore.SWEEP_LIMIT
+        assert report.tmp_reclaimed == count - PlanStore.SWEEP_LIMIT
+
+
+class TestFsck:
+    def _entry(self, store):
+        planner = Planner(uniform(4))
+        vms = census()
+        store.plan(planner, vms)
+        return store.path_for(plan_key(planner, vms))
+
+    def test_clean_store(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        self._entry(store)
+        report = store.fsck()
+        assert report.scanned == 1
+        assert report.valid == 1
+        assert report.corrupt == 0
+        assert report.tmp_seen == 0
+        assert report.clean
+        assert report.as_dict()["clean"] is True
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        path = self._entry(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        report = store.fsck()
+        assert report.corrupt == 1
+        assert report.quarantined == 1
+        assert not report.clean
+        assert not path.exists()
+        quarantined = tmp_path / "cache" / "quarantine" / path.name
+        assert quarantined.exists()
+        # A second pass over the repaired store is clean.
+        assert store.fsck().clean
+
+    def test_no_repair_reports_only(self, tmp_path):
+        store = PlanStore(tmp_path / "cache")
+        path = self._entry(store)
+        path.write_bytes(b"garbage")
+        orphan = path.with_name(path.name + f".tmp.{_dead_pid()}")
+        orphan.write_bytes(b"partial")
+        report = store.fsck(repair=False)
+        assert report.corrupt == 1
+        assert report.quarantined == 0
+        assert report.tmp_seen == 1
+        assert report.tmp_reclaimed == 0
+        assert path.exists() and orphan.exists()

@@ -1,0 +1,170 @@
+"""Crash plans and the crashpoint registry (repro.faults.crash,
+repro.crashpoints)."""
+
+import pytest
+
+from repro.crashpoints import (
+    CRASHPOINTS,
+    CRASH_SERVICE_ADMIT,
+    CRASH_SERVICE_COMMIT,
+    CRASH_SERVICE_FLUSH_POST_PUSH,
+    armed_plan,
+    crashpoint,
+    crashpoint_fires,
+    is_registered,
+    known_crashpoints,
+    register_crashpoint,
+)
+from repro.errors import ConfigurationError
+from repro.faults import (
+    SERVICE_CRASHPOINTS,
+    CrashPlan,
+    SimulatedCrash,
+    crashes_armed,
+    parse_crash_plan,
+)
+
+
+class TestRegistry:
+    def test_builtin_points_registered(self):
+        for point in CRASHPOINTS:
+            assert is_registered(point)
+
+    def test_service_sweep_axis_is_a_subset_of_the_registry(self):
+        assert set(SERVICE_CRASHPOINTS) <= set(CRASHPOINTS)
+
+    def test_register_private_point(self):
+        name = register_crashpoint("test.private.point")
+        assert name == "test.private.point"
+        assert is_registered(name)
+        assert name in known_crashpoints()
+
+    def test_unknown_point_rejected_by_strict_plan(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan.at("service.admitt")  # typo guard
+
+    def test_non_strict_plan_accepts_ad_hoc_points(self):
+        plan = CrashPlan.at("my.experiment.step", strict=False)
+        assert plan.has_point("my.experiment.step")
+
+
+class TestCrashPlanSemantics:
+    def test_fires_at_the_nth_consultation_only(self):
+        plan = CrashPlan.at(CRASH_SERVICE_ADMIT, call=3)
+        outcomes = [plan.fires(CRASH_SERVICE_ADMIT) for _ in range(5)]
+        assert outcomes == [None, None, 3, None, None]
+
+    def test_counters_persist_across_the_crash(self):
+        # The same plan stays armed through recovery: a transient spec
+        # that already fired never fires again, so the replay completes.
+        plan = CrashPlan.at(CRASH_SERVICE_ADMIT, call=1)
+        assert plan.fires(CRASH_SERVICE_ADMIT) == 1
+        assert all(
+            plan.fires(CRASH_SERVICE_ADMIT) is None for _ in range(10)
+        )
+        assert plan.crashes_fired == 1
+
+    def test_at_calls_builds_double_crash_schedules(self):
+        plan = CrashPlan.at_calls(CRASH_SERVICE_COMMIT, (2, 5))
+        fired = [
+            i + 1
+            for i in range(6)
+            if plan.fires(CRASH_SERVICE_COMMIT) is not None
+        ]
+        assert fired == [2, 5]
+
+    def test_points_count_independently(self):
+        plan = CrashPlan.at(CRASH_SERVICE_COMMIT, call=1)
+        assert plan.fires(CRASH_SERVICE_ADMIT) is None
+        assert plan.fires(CRASH_SERVICE_COMMIT) == 1
+
+    def test_stochastic_plan_is_seed_deterministic(self):
+        draws = []
+        for _ in range(2):
+            plan = CrashPlan.stochastic(
+                CRASH_SERVICE_ADMIT, probability=0.3, seed=7
+            )
+            draws.append(
+                [
+                    plan.fires(CRASH_SERVICE_ADMIT) is not None
+                    for _ in range(50)
+                ]
+            )
+        assert draws[0] == draws[1]
+        assert any(draws[0])
+
+
+class TestArming:
+    def test_crashpoint_is_inert_without_a_plan(self):
+        assert armed_plan() is None
+        crashpoint(CRASH_SERVICE_ADMIT)  # must not raise
+        assert crashpoint_fires(CRASH_SERVICE_ADMIT) is None
+
+    def test_armed_plan_kills_at_the_point(self):
+        plan = CrashPlan.at(CRASH_SERVICE_FLUSH_POST_PUSH, call=2)
+        with crashes_armed(plan):
+            crashpoint(CRASH_SERVICE_FLUSH_POST_PUSH)
+            with pytest.raises(SimulatedCrash) as exc:
+                crashpoint(CRASH_SERVICE_FLUSH_POST_PUSH)
+        assert exc.value.point == CRASH_SERVICE_FLUSH_POST_PUSH
+        assert exc.value.call_index == 2
+
+    def test_crashes_armed_restores_previous_plan(self):
+        outer = CrashPlan.at(CRASH_SERVICE_ADMIT, call=99)
+        inner = CrashPlan.at(CRASH_SERVICE_COMMIT, call=99)
+        with crashes_armed(outer):
+            with crashes_armed(inner):
+                assert armed_plan() is inner
+            assert armed_plan() is outer
+        assert armed_plan() is None
+
+    def test_restores_even_when_the_crash_unwinds(self):
+        plan = CrashPlan.at(CRASH_SERVICE_ADMIT, call=1)
+        with pytest.raises(SimulatedCrash):
+            with crashes_armed(plan):
+                crashpoint(CRASH_SERVICE_ADMIT)
+        assert armed_plan() is None
+
+    def test_none_is_a_no_op_arming(self):
+        with crashes_armed(None):
+            crashpoint(CRASH_SERVICE_ADMIT)
+
+    def test_simulated_crash_is_not_an_exception(self):
+        # A simulated kill -9 must unwind through `except Exception`.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+
+class TestParseCrashPlan:
+    def test_bare_point_defaults_to_first_call(self):
+        plan = parse_crash_plan("service.admit")
+        assert plan.fires(CRASH_SERVICE_ADMIT) == 1
+
+    def test_at_call_syntax(self):
+        plan = parse_crash_plan("service.commit@3")
+        outcomes = [plan.fires(CRASH_SERVICE_COMMIT) for _ in range(4)]
+        assert outcomes == [None, None, 3, None]
+
+    def test_persistent_suffix(self):
+        plan = parse_crash_plan("service.admit@2+")
+        outcomes = [
+            plan.fires(CRASH_SERVICE_ADMIT) is not None for _ in range(5)
+        ]
+        assert outcomes == [False, True, True, True, True]
+
+    def test_comma_separated_entries(self):
+        plan = parse_crash_plan("service.admit,service.commit@2")
+        assert plan.has_point(CRASH_SERVICE_ADMIT)
+        assert plan.has_point(CRASH_SERVICE_COMMIT)
+
+    def test_bad_call_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_crash_plan("service.admit@x")
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_crash_plan("service.bogus@1")
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_crash_plan("  ,  ")

@@ -1,0 +1,28 @@
+"""Fixture: durable writes that tear on crash (err-nonatomic-write)."""
+
+from pathlib import Path
+
+
+def save_report(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # truncating mode
+        handle.write(payload)
+
+
+def save_log(path, resume, payload):
+    # Conditional mode that can evaluate to "w" — still truncating.
+    handle = open(path, "a" if resume else "w", encoding="utf-8")
+    handle.write(payload)
+    handle.close()
+
+
+def save_exclusive(path, payload):
+    with open(path, mode="xb") as handle:  # exclusive-create truncates too
+        handle.write(payload)
+
+
+def save_bytes(path, payload):
+    Path(path).write_bytes(payload)  # in-place truncation
+
+
+def save_text(path, payload):
+    Path(path).write_text(payload)  # in-place truncation

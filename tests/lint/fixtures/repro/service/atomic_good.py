@@ -1,0 +1,27 @@
+"""Fixture: durable writes done right — atomic helper or append-only."""
+
+from repro.core.atomicio import atomic_write_bytes, atomic_write_text
+
+
+def save_report(path, payload):
+    atomic_write_text(path, payload)
+
+
+def save_entry(path, header, body):
+    atomic_write_bytes(path, header + body)
+
+
+def append_journal(path, frame):
+    # Append-only files are exempt: appending is their atomicity story.
+    with open(path, "ab") as handle:
+        handle.write(frame)
+
+
+def read_back(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def read_default_mode(path):
+    with open(path) as handle:
+        return handle.read()

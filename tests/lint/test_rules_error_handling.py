@@ -72,3 +72,64 @@ class TestRegistryRollback:
         )
         report = lint_source(source, module="repro.health.m")
         assert "err-registry-rollback" not in rule_ids(report)
+
+
+class TestNonatomicWrite:
+    def test_bad_fixture_trips_every_write_shape(self):
+        report = lint_fixture("repro/service/atomic_bad.py")
+        ids = rule_ids(report)
+        # Literal "w", conditional "a"/"w", mode="xb" keyword,
+        # write_bytes, write_text — five torn-write shapes.
+        assert ids.count("err-nonatomic-write") == 5
+
+    def test_good_fixture_is_clean(self):
+        report = lint_fixture("repro/service/atomic_good.py")
+        assert report.findings == []
+
+    def test_truncating_open_flagged_in_scope(self):
+        source = 'open(p, "w")\n'
+        for module in (
+            "repro.service.journal",
+            "repro.core.plancache",
+            "repro.campaign.report",
+        ):
+            report = lint_source(source, module=module)
+            assert "err-nonatomic-write" in rule_ids(report), module
+
+    def test_out_of_scope_packages_unflagged(self):
+        source = 'open(p, "w")\n'
+        for module in ("repro.xen.daemon", "repro.core.serialize", "repro.cli"):
+            report = lint_source(source, module=module)
+            assert "err-nonatomic-write" not in rule_ids(report), module
+
+    def test_append_and_read_modes_allowed(self):
+        for mode in ("a", "ab", "r", "rb"):
+            source = f'open(p, "{mode}")\n'
+            report = lint_source(source, module="repro.service.m")
+            assert report.findings == [], mode
+
+    def test_conditional_mode_with_truncating_branch_flagged(self):
+        source = 'open(p, "a" if resume else "w")\n'
+        report = lint_source(source, module="repro.campaign.runner")
+        assert "err-nonatomic-write" in rule_ids(report)
+
+    def test_mode_keyword_flagged(self):
+        source = 'open(p, mode="wb")\n'
+        report = lint_source(source, module="repro.service.m")
+        assert "err-nonatomic-write" in rule_ids(report)
+
+    def test_dynamic_mode_not_guessed_at(self):
+        # A mode the rule cannot prove truncating is left alone.
+        source = "open(p, mode)\n"
+        report = lint_source(source, module="repro.service.m")
+        assert "err-nonatomic-write" not in rule_ids(report)
+
+    def test_path_writers_flagged(self):
+        for call in ("Path(p).write_bytes(b)", "target.write_text(s)"):
+            report = lint_source(call + "\n", module="repro.core.plancache")
+            assert "err-nonatomic-write" in rule_ids(report), call
+
+    def test_suppression_comment_honored(self):
+        source = 'open(p, "w")  # repro: allow[err-nonatomic-write]\n'
+        report = lint_source(source, module="repro.service.m")
+        assert report.findings == []

@@ -109,3 +109,84 @@ class TestServeCommand:
         assert main(args + ["--hours", "0.01", "--arrival-rate", "2"]) == 0
         out = capsys.readouterr().out
         assert "36s simulated" in out
+
+
+class TestServeCrashRecovery:
+    ARGS = [
+        "serve", "--seconds", "20", "--topology", "8",
+        "--population", "10", "--arrival-rate", "6", "--json",
+    ]
+
+    def test_crash_then_recover_is_byte_identical(self, capsys, tmp_path):
+        wal = str(tmp_path / "wal.bin")
+        assert main(self.ARGS) == 0
+        reference = capsys.readouterr().out
+
+        # The armed crashpoint kills the run: exit 3, journal durable.
+        code = main(
+            self.ARGS
+            + ["--journal", wal, "--crash-plan", "service.commit@2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "simulated crash at service.commit" in captured.err
+
+        assert main(self.ARGS + ["--journal", wal, "--recover"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_populated_journal_without_recover_is_refused(
+        self, capsys, tmp_path
+    ):
+        wal = str(tmp_path / "wal.bin")
+        main(
+            self.ARGS
+            + ["--journal", wal, "--crash-plan", "service.admit@5"]
+        )
+        capsys.readouterr()
+        code = main(self.ARGS + ["--journal", wal])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--recover" in captured.err
+
+    def test_crash_flags_require_a_journal(self, capsys):
+        assert main(self.ARGS + ["--recover"]) == 2
+        assert main(self.ARGS + ["--crash-plan", "service.admit"]) == 2
+        assert "require --journal" in capsys.readouterr().err
+
+
+class TestFsckCommand:
+    def _warm_store(self, tmp_path):
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "serve", "--seconds", "20", "--topology", "8",
+                    "--population", "10", "--store", store,
+                ]
+            )
+            == 0
+        )
+        return store
+
+    def test_clean_store_exits_zero(self, capsys, tmp_path):
+        store = self._warm_store(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", store]) == 0
+        out = capsys.readouterr().out
+        assert "store clean" in out
+
+    def test_damaged_store_quarantines_and_exits_one(
+        self, capsys, tmp_path
+    ):
+        from pathlib import Path
+
+        store = self._warm_store(tmp_path)
+        entry = next(Path(store).rglob("*.plan"))
+        entry.write_bytes(b"garbage")
+        capsys.readouterr()
+        assert main(["fsck", store, "--json"]) == 1
+        out = capsys.readouterr().out
+        assert '"clean": false' in out
+        assert '"quarantined": 1' in out
+        # The damage was repaired: a second pass is clean.
+        assert main(["fsck", store]) == 0

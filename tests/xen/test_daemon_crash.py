@@ -1,0 +1,93 @@
+"""The daemon.replan.mid-retry crashpoint: dying inside the bounded
+push-retry loop loses the whole uncommitted episode."""
+
+import pytest
+
+from repro.core import MS, Planner, make_vm
+from repro.crashpoints import CRASH_DAEMON_MID_RETRY
+from repro.faults import CrashPlan, FaultPlan, SimulatedCrash, crashes_armed
+from repro.schedulers import TableauScheduler
+from repro.topology import uniform
+from repro.xen import STATUS_COMMITTED, TableHypercall
+from repro.xen.daemon import PlannerDaemon
+
+
+def census(n=4, utilization=0.2):
+    return [make_vm(f"vm{i}", utilization, 20 * MS) for i in range(n)]
+
+
+def stack(faults=None, cores=2):
+    boot = Planner(uniform(cores)).plan(census())
+    sched = TableauScheduler(boot.table)
+    hypercall = TableHypercall(sched, faults=faults)
+    daemon = PlannerDaemon(uniform(cores), hypercall)
+    return daemon, hypercall
+
+
+class TestMidRetryCrash:
+    def test_crash_in_retry_loop_loses_the_episode(self):
+        # A transient push failure puts the daemon into its retry
+        # branch; the armed crashpoint kills it there, before commit.
+        daemon, hypercall = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        plan = CrashPlan.at(CRASH_DAEMON_MID_RETRY, call=1)
+        with crashes_armed(plan):
+            with pytest.raises(SimulatedCrash) as exc:
+                daemon.replan(census(), reason="create")
+        assert exc.value.point == CRASH_DAEMON_MID_RETRY
+        # Nothing committed: no plan, no history record, no backoff
+        # charge — the episode evaporated exactly as process death
+        # would leave it.
+        assert daemon.current_plan is None
+        assert len(daemon.history) == 0
+        assert daemon.total_push_backoff_ns == 0
+        assert list(daemon.push_backoffs_ns) == []
+        assert daemon.committed_replans == 0
+
+    def test_crash_unwinds_through_the_retry_handler(self):
+        # SimulatedCrash is a BaseException: the daemon's own
+        # `except TablePushError` must not absorb it into a
+        # STATUS_PUSH_FAILED record.
+        daemon, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        plan = CrashPlan.at(CRASH_DAEMON_MID_RETRY, call=1)
+        with crashes_armed(plan):
+            with pytest.raises(SimulatedCrash):
+                daemon.replan(census(), reason="create")
+        assert daemon.failed_replans == 0
+
+    def test_rebuilt_daemon_rerun_matches_uninterrupted(self):
+        # The crash-consistency contract: re-running the episode on a
+        # fresh daemon (the restarted process) produces exactly the
+        # state an uninterrupted retry would have.
+        reference, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        reference.replan(census(), reason="create")
+
+        crashed, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        with crashes_armed(CrashPlan.at(CRASH_DAEMON_MID_RETRY, call=1)):
+            with pytest.raises(SimulatedCrash):
+                crashed.replan(census(), reason="create")
+        rebuilt, _ = stack()  # transient fault already consumed pre-crash
+        rebuilt.replan(census(), reason="create")
+
+        ref_record = reference.history[-1]
+        new_record = rebuilt.history[-1]
+        assert ref_record.status == new_record.status == STATUS_COMMITTED
+        assert rebuilt.current_plan is not None
+        assert rebuilt.committed_replans == reference.committed_replans
+
+    def test_uninterrupted_retry_still_commits(self):
+        # Control: with no crash plan armed the same fault schedule
+        # commits after one retry (the crashpoint is inert).
+        daemon, _ = stack(
+            faults=FaultPlan.transient_push_failure(calls=(1,))
+        )
+        daemon.replan(census(), reason="create")
+        assert daemon.history[-1].status == STATUS_COMMITTED
+        assert daemon.history[-1].push_retries == 1
