@@ -337,9 +337,12 @@ def cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from repro.lint import (
         format_human,
         format_json,
+        format_suppressions,
         iter_rules,
         lint_paths,
     )
@@ -349,7 +352,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.id:24s} [{rule.family}] {rule.description}")
         return 0
     rules = args.rules.split(",") if args.rules else None
-    report = lint_paths(args.paths, rules=rules)
+    report = lint_paths(
+        args.paths,
+        rules=rules,
+        flow=args.flow,
+        cache_path=args.cache,
+        jobs=args.jobs,
+    )
+    if args.graph:
+        graph = report.callgraph
+        if graph is None:
+            print("no call graph: flow passes did not run", file=sys.stderr)
+            return 2
+        with open(args.graph, "w", encoding="utf-8") as handle:
+            if args.graph.endswith(".dot"):
+                handle.write(graph.to_dot())
+            else:
+                json_module.dump(
+                    graph.to_json_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        print(f"wrote {args.graph}")
+    if args.list_suppressions:
+        print(format_suppressions(report))
+        return 0
     rendered = format_json(report) if args.format == "json" else format_human(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -660,6 +686,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    lint.add_argument(
+        "--flow",
+        action="store_true",
+        default=True,
+        help="run the whole-program flow passes (default)",
+    )
+    lint.add_argument(
+        "--no-flow",
+        dest="flow",
+        action="store_false",
+        help="skip the whole-program flow passes (single-site rules only)",
+    )
+    lint.add_argument(
+        "--graph",
+        default=None,
+        metavar="PATH",
+        help="export the resolved call graph (.dot for Graphviz, "
+        "anything else as JSON)",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="incremental cache file: unchanged files skip parsing and "
+        "rule runs (full-rule-set runs only)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse and run single-site rules on N worker processes",
+    )
+    lint.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help="print every # repro: allow[...] comment with per-id "
+        "liveness and exit",
     )
     lint.set_defaults(func=cmd_lint)
 

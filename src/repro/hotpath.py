@@ -1,13 +1,23 @@
-"""The ``@hotpath`` marker for dispatch-rate-critical functions.
+"""The ``@hotpath``/``@coldpath`` markers for dispatch-path analysis.
 
-Marking a function does nothing at runtime (the decorator returns the
-function unchanged after tagging it) — the marker exists for
+Marking a function does nothing at runtime (the decorators return the
+function unchanged after tagging it) — the markers exist for
 :mod:`repro.lint`, whose ``hot-*`` rules ban per-call allocation
 patterns (comprehensions, closures, f-strings, ``*args`` packing)
-inside marked bodies.  The marked set is the paths whose throughput the
-perf-regression harness (``benchmarks/hotpath.py``) guards:
-``TableauScheduler.pick_next`` (including the inlined L2 settle),
-``SimEngine.run_until``, and the machine's resched/timer path.
+inside ``@hotpath`` bodies, and whose ``flow-hot-transitive`` pass
+extends those rules to every function *reachable* from a ``@hotpath``
+root through the project call graph.  The marked set is the paths whose
+throughput the perf-regression harness (``benchmarks/hotpath.py``)
+guards: ``TableauScheduler.pick_next`` (including the inlined L2
+settle), ``SimEngine.run_until``, and the machine's resched/timer path.
+
+``@coldpath`` is the escape hatch for the transitive pass: a function
+that *is* called from hot code but only on deliberate slow paths — a
+staged table switch, degraded-mode fallback, the array engine falling
+back to the object engine — is marked cold, which cuts call-graph
+traversal at its boundary (its body and everything only reachable
+through it are exempt from the transitive allocation rules).  Marking
+a function both ``@hotpath`` and ``@coldpath`` is a lint error.
 """
 
 from __future__ import annotations
@@ -20,4 +30,18 @@ F = TypeVar("F", bound=Callable)
 def hotpath(func: F) -> F:
     """Mark ``func`` as a hot path (lint-enforced, zero runtime cost)."""
     func.__repro_hotpath__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def coldpath(func: F) -> F:
+    """Mark ``func`` as a deliberate slow path reachable from hot code.
+
+    The ``flow-hot-transitive`` lint pass stops traversing at functions
+    carrying this marker, so allocation inside them is permitted even
+    though a ``@hotpath`` root can reach them.  Use it for fallbacks
+    that trade speed for generality (degraded dispatch, staged table
+    switches, object-engine fallback) — never to silence a finding on
+    code that actually runs per dispatch.
+    """
+    func.__repro_coldpath__ = True  # type: ignore[attr-defined]
     return func

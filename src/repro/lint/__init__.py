@@ -18,21 +18,31 @@ Rule families
 ``hot-*``       allocation discipline inside ``@hotpath`` functions
 ``err-*``       bare excepts, swallowed errors, registry rollback
 ``lay-*``       import layering
+``flow-*``      whole-program passes over the project call graph:
+                taint into deterministic scope, float escapes into
+                ``*_ns`` names, transitive hot-path allocation, and
+                the journal/crashpoint protocol (multi-hop traces;
+                see :mod:`repro.lint.flow`)
+``lint-*``      meta (parse errors, stale allow-comments)
 =============== ==================================================
 """
 
+from repro.lint.cache import LintCache
 from repro.lint.driver import discover_files, lint_paths, lint_source
-from repro.lint.findings import Finding, LintReport
+from repro.lint.findings import Finding, LintReport, SuppressionSite
 from repro.lint.registry import Rule, iter_rules, register, rule_ids
-from repro.lint.reporters import format_human, format_json
+from repro.lint.reporters import format_human, format_json, format_suppressions
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintReport",
     "Rule",
+    "SuppressionSite",
     "discover_files",
     "format_human",
     "format_json",
+    "format_suppressions",
     "iter_rules",
     "lint_paths",
     "lint_source",

@@ -15,7 +15,9 @@ directly above it.  Multiple ids may be listed, comma-separated::
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
@@ -26,16 +28,43 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
 
 
 def parse_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
-    """Map 1-based line numbers to the rule ids allowed on that line."""
+    """Map 1-based line numbers to the rule ids allowed on that line.
+
+    Line-based fallback: matches the allow pattern anywhere on a line,
+    including inside string literals.  Prefer
+    :func:`parse_suppression_comments`, which tokenizes and therefore
+    cannot mistake a docstring that *mentions* the syntax for a real
+    suppression (the stale-allow detector made that distinction
+    matter).
+    """
     allowed: Dict[int, Set[str]] = {}
     for number, text in enumerate(lines, start=1):
-        match = _ALLOW_RE.search(text)
-        if match is None:
-            continue
-        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        if ids:
-            allowed[number] = ids
+        _collect_allow(text, number, allowed)
     return allowed
+
+
+def parse_suppression_comments(source: str) -> Dict[int, Set[str]]:
+    """Suppression map from actual ``#`` comment tokens only."""
+    allowed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                _collect_allow(token.string, token.start[0], allowed)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unfinished constructs etc. — fall back to the line scan so a
+        # file the AST parser accepts never loses its suppressions.
+        return parse_suppressions(source.splitlines())
+    return allowed
+
+
+def _collect_allow(text: str, number: int, allowed: Dict[int, Set[str]]) -> None:
+    match = _ALLOW_RE.search(text)
+    if match is None:
+        return
+    ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+    if ids:
+        allowed[number] = ids
 
 
 def module_name_for(path: str) -> str:
@@ -73,6 +102,10 @@ class ModuleContext:
     type_checking_spans: List[Tuple[int, int]] = field(default_factory=list)
     #: Project-wide ``*_ns`` signature table, installed by the driver.
     symbols: Optional["ProjectSymbols"] = None
+    #: This module's interprocedural findings, installed by the driver
+    #: when the flow passes run (the ``flow-*`` registry rules adapt
+    #: them into ordinary findings).
+    flow_findings: List[object] = field(default_factory=list)
 
     @classmethod
     def from_source(
@@ -86,7 +119,7 @@ class ModuleContext:
             source=source,
             tree=tree,
             lines=lines,
-            suppressions=parse_suppressions(lines),
+            suppressions=parse_suppression_comments(source),
         )
         ctx.type_checking_spans = _type_checking_spans(tree)
         return ctx

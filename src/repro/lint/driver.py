@@ -1,20 +1,47 @@
 """The lint driver: discover files, run rules, collect findings.
 
-Two passes: the first parses every file and builds the project-wide
-:class:`~repro.lint.symbols.ProjectSymbols` table (annotations of
-``*_ns`` parameters and fields); the second runs every applicable rule
-over every module, filtering findings through the suppression comments.
-Files are visited in sorted order so reports are deterministic.
+A full run has four stages, all deterministic (files sorted, fixpoints
+order-independent):
+
+1. **Extract** — every file is parsed once and reduced to its
+   per-module products: the suppression map, its ``*_ns`` symbol
+   contributions, and the flow :class:`ModuleSummary`.  With a cache
+   attached (``--cache``), files whose content hash matches skip this
+   stage entirely; with ``jobs > 1`` the misses are parsed on a process
+   pool.
+2. **Single-site rules** — every registered per-module rule runs over
+   each parsed module, producing *raw* (pre-suppression) findings.
+   Cached raw findings are reused while the project's ``*_ns`` symbol
+   digest is unchanged (the time-unit rules read other modules'
+   signatures, so a signature edit anywhere invalidates findings — but
+   not summaries — everywhere).
+3. **Flow passes** — the whole-program call graph is built from the
+   summaries and the interprocedural passes run
+   (:mod:`repro.lint.flow`); they are never cached, but on a warm run
+   they start from cached summaries so no file is reopened.
+4. **Assemble** — raw findings filter through the allow-comments; which
+   allow silenced what is recorded, yielding the suppression inventory
+   (``--list-suppressions``) and, on full runs, ``lint-stale-allow``
+   findings for allows that silenced nothing.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 import os
-from typing import Iterable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.cache import LintCache, content_hash
 from repro.lint.context import ModuleContext
-from repro.lint.findings import Finding, LintReport
+from repro.lint.findings import Finding, LintReport, SuppressionSite
+from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.engine import FlowAnalysis, FlowFinding
+from repro.lint.flow.rules import FLOW_RULE_IDS
+from repro.lint.flow.summary import ModuleSummary, summarize_module
 from repro.lint.registry import Rule, iter_rules
 from repro.lint.symbols import ProjectSymbols, build_symbols
 
@@ -37,34 +64,430 @@ def discover_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(found))
 
 
+# ----------------------------------------------------------------------
+# Per-file record
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _FileRecord:
+    path: str
+    digest: str
+    module: str = ""
+    source: str = ""
+    summary: Optional[ModuleSummary] = None
+    suppressions: Dict[int, Set[str]] = dc_field(default_factory=dict)
+    contrib: Dict[str, list] = dc_field(
+        default_factory=lambda: {"ns_params": [], "float_names": []}
+    )
+    #: Raw single-site findings (pre-suppression); ``None`` = not yet
+    #: computed for the current symbol digest.
+    raw: Optional[List[Finding]] = None
+    ctx: Optional[ModuleContext] = None
+    parse_error: Optional[dict] = None
+    cached_entry: Optional[dict] = None
+
+
+def _symbols_contrib(module: str, tree: ast.Module) -> Dict[str, list]:
+    scratch = ProjectSymbols()
+    scratch.add_module(module, tree)
+    return {
+        "ns_params": sorted(
+            [callee, param, category]
+            for (callee, param), category in scratch.ns_params.items()
+        ),
+        "float_names": sorted(scratch.float_names.get(module, ())),
+    }
+
+
+def _merge_symbols(records: Sequence[_FileRecord]) -> ProjectSymbols:
+    symbols = ProjectSymbols()
+    for record in records:
+        if record.parse_error is not None:
+            continue
+        for callee, param, category in record.contrib["ns_params"]:
+            symbols.record(callee, param, category)
+        if record.module and record.contrib["float_names"]:
+            symbols.float_names.setdefault(record.module, set()).update(
+                record.contrib["float_names"]
+            )
+    return symbols
+
+
+def _symbols_digest(symbols: ProjectSymbols) -> str:
+    payload = json.dumps(
+        {
+            "ns": sorted(
+                [callee, param, category]
+                for (callee, param), category in symbols.ns_params.items()
+            ),
+            "float": {
+                module: sorted(names)
+                for module, names in symbols.float_names.items()
+                if names
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "rule_id": finding.rule_id,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "end_line": finding.end_line,
+    }
+
+
+def _finding_from_dict(data: dict, path: str) -> Finding:
+    return Finding(
+        rule_id=data["rule_id"],
+        path=path,
+        line=data["line"],
+        col=data["col"],
+        message=data["message"],
+        end_line=data.get("end_line", data["line"]),
+    )
+
+
+def _parse_error_dict(error: SyntaxError) -> dict:
+    return {
+        "line": error.lineno or 0,
+        "col": (error.offset or 1) - 1,
+        "message": f"file does not parse: {error.msg}",
+    }
+
+
+def _extract_into(record: _FileRecord, source: str) -> None:
+    try:
+        ctx = ModuleContext.from_source(source, record.path)
+    except SyntaxError as error:
+        record.parse_error = _parse_error_dict(error)
+        return
+    record.ctx = ctx
+    record.module = ctx.module
+    record.suppressions = ctx.suppressions
+    record.summary = summarize_module(
+        ctx.module, record.path, ctx.tree, ctx.suppressions
+    )
+    record.contrib = _symbols_contrib(ctx.module, ctx.tree)
+
+
+def _hydrate_from_cache(record: _FileRecord, entry: dict) -> None:
+    record.cached_entry = entry
+    record.module = entry.get("module", "")
+    if entry.get("parse_error") is not None:
+        record.parse_error = entry["parse_error"]
+        return
+    record.summary = ModuleSummary.from_dict(entry["summary"])
+    record.suppressions = {
+        int(line): set(ids) for line, ids in entry["suppressions"].items()
+    }
+    record.contrib = entry["contrib"]
+
+
+def _run_site_rules(
+    ctx: ModuleContext, rules: Sequence[Rule], symbols: ProjectSymbols
+) -> List[Finding]:
+    ctx.symbols = symbols
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    return raw
+
+
+# ----------------------------------------------------------------------
+# Process-pool workers (module level for pickling)
+# ----------------------------------------------------------------------
+
+
+def _extract_worker(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    record = _FileRecord(path=path, digest="")
+    _extract_into(record, source)
+    if record.parse_error is not None:
+        return {"path": path, "parse_error": record.parse_error, "module": ""}
+    return {
+        "path": path,
+        "parse_error": None,
+        "module": record.module,
+        "summary": record.summary.to_dict(),
+        "suppressions": {
+            str(line): sorted(ids) for line, ids in record.suppressions.items()
+        },
+        "contrib": record.contrib,
+    }
+
+
+_WORKER_SYMBOLS: Optional[ProjectSymbols] = None
+
+
+def _init_rules_worker(symbols: ProjectSymbols) -> None:
+    global _WORKER_SYMBOLS
+    _WORKER_SYMBOLS = symbols
+
+
+def _rules_worker(args: Tuple[str, Tuple[str, ...]]) -> Tuple[str, list]:
+    path, rule_ids = args
+    ctx = ModuleContext.from_file(path)
+    symbols = _WORKER_SYMBOLS or build_symbols([(ctx.module, ctx.tree)])
+    raw = _run_site_rules(ctx, list(iter_rules(rule_ids)), symbols)
+    return path, [_finding_to_dict(f) for f in raw]
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Iterable[str]] = None,
+    *,
+    flow: bool = True,
+    cache_path: Optional[str] = None,
+    jobs: int = 1,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with the selected rules."""
+    """Lint every Python file under ``paths`` with the selected rules.
+
+    ``flow`` gates the whole-program passes (on by default; a ``rules``
+    subset naming no ``flow-*`` id skips them regardless).
+    ``cache_path`` attaches the incremental cache — full-rule-set runs
+    only.  ``jobs > 1`` parses cache misses and runs the single-site
+    rules on a process pool.
+    """
     report = LintReport()
-    contexts: List[ModuleContext] = []
-    for path in discover_files(paths):
-        try:
-            contexts.append(ModuleContext.from_file(path))
-        except SyntaxError as error:
+    files = discover_files(paths)
+    selected = list(iter_rules(rules))
+    selected_ids = {rule.id for rule in selected}
+    site_rules = [
+        rule
+        for rule in selected
+        if rule.id not in FLOW_RULE_IDS and rule.id != "lint-stale-allow"
+    ]
+    site_rule_ids = tuple(sorted(rule.id for rule in site_rules))
+    run_flow = flow and bool(selected_ids & FLOW_RULE_IDS)
+    full_run = rules is None
+    cache = (
+        LintCache.load(cache_path) if (cache_path and full_run) else None
+    )
+
+    # Stage 1: extract (cache hits hydrate, misses parse).
+    records: List[_FileRecord] = []
+    misses: List[_FileRecord] = []
+    for path in files:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        record = _FileRecord(path=path, digest=content_hash(data))
+        entry = cache.lookup(path, record.digest) if cache is not None else None
+        if entry is not None:
+            _hydrate_from_cache(record, entry)
+        else:
+            record.source = data.decode("utf-8")
+            misses.append(record)
+        records.append(record)
+    if jobs > 1 and len(misses) > 1:
+        by_path = {record.path: record for record in misses}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(
+                _extract_worker, sorted(by_path), chunksize=4
+            ):
+                record = by_path[result["path"]]
+                if result["parse_error"] is not None:
+                    record.parse_error = result["parse_error"]
+                    continue
+                record.module = result["module"]
+                record.summary = ModuleSummary.from_dict(result["summary"])
+                record.suppressions = {
+                    int(line): set(ids)
+                    for line, ids in result["suppressions"].items()
+                }
+                record.contrib = result["contrib"]
+    else:
+        for record in misses:
+            _extract_into(record, record.source)
+    for record in records:
+        record.source = ""  # parsed (or failed); free the memory
+
+    report.files_checked = sum(
+        1 for record in records if record.parse_error is None
+    )
+
+    # Stage 2: single-site rules (cached raw findings where valid).
+    symbols = _merge_symbols(records)
+    digest_ns = _symbols_digest(symbols)
+    need_rules: List[_FileRecord] = []
+    for record in records:
+        if record.parse_error is not None:
+            continue
+        if full_run and record.cached_entry is not None:
+            cached = record.cached_entry.get("findings", {}).get(digest_ns)
+            if cached is not None:
+                record.raw = [
+                    _finding_from_dict(item, record.path) for item in cached
+                ]
+                continue
+        need_rules.append(record)
+    if jobs > 1 and len(need_rules) > 1:
+        by_path = {record.path: record for record in need_rules}
+        tasks = [(path, site_rule_ids) for path in sorted(by_path)]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_rules_worker,
+            initargs=(symbols,),
+        ) as pool:
+            for path, raw_dicts in pool.map(_rules_worker, tasks, chunksize=4):
+                by_path[path].raw = [
+                    _finding_from_dict(item, path) for item in raw_dicts
+                ]
+    else:
+        for record in need_rules:
+            ctx = record.ctx or ModuleContext.from_file(record.path)
+            record.raw = _run_site_rules(ctx, site_rules, symbols)
+
+    # Stage 3: flow passes over the summaries.
+    flow_results: Dict[str, List[FlowFinding]] = {}
+    flow_owner: Dict[str, str] = {}
+    if run_flow:
+        summaries: Dict[str, ModuleSummary] = {}
+        for record in records:
+            if record.summary is None or not record.module:
+                continue
+            if record.module in summaries:
+                continue  # first sorted path wins on module collisions
+            summaries[record.module] = record.summary
+            flow_owner[record.module] = record.path
+        graph = build_call_graph(summaries)
+        analysis = FlowAnalysis(graph, symbols).run()
+        flow_results = analysis.findings
+        report.flow_functions = len(graph.nodes)
+        report.flow_edges = graph.edge_count()
+        report.callgraph = graph
+
+    # Stage 4: suppression filtering + inventory + staleness.
+    used: Dict[str, Dict[int, Set[str]]] = {}
+    for record in records:
+        if record.parse_error is not None:
             report.parse_errors += 1
             report.findings.append(
                 Finding(
                     rule_id="lint-parse-error",
-                    path=path,
-                    line=error.lineno or 0,
-                    col=(error.offset or 1) - 1,
-                    message=f"file does not parse: {error.msg}",
+                    path=record.path,
+                    line=record.parse_error["line"],
+                    col=record.parse_error["col"],
+                    message=record.parse_error["message"],
                 )
             )
-    report.files_checked = len(contexts)
-    symbols = build_symbols((ctx.module, ctx.tree) for ctx in contexts)
-    selected = list(iter_rules(rules))
-    for ctx in contexts:
-        _check_module(ctx, selected, symbols, report)
+            continue
+        candidates = list(record.raw or [])
+        if flow_owner.get(record.module) == record.path:
+            for flow_finding in flow_results.get(record.module, []):
+                if flow_finding.rule_id not in selected_ids:
+                    continue
+                candidates.append(
+                    Finding(
+                        rule_id=flow_finding.rule_id,
+                        path=record.path,
+                        line=flow_finding.line,
+                        col=flow_finding.col,
+                        message=flow_finding.message,
+                        end_line=flow_finding.line,
+                        trace=tuple(flow_finding.trace),
+                    )
+                )
+        for finding in candidates:
+            match_line = _match_suppression(record.suppressions, finding)
+            if match_line is not None:
+                report.suppressed += 1
+                used.setdefault(record.path, {}).setdefault(
+                    match_line, set()
+                ).add(finding.rule_id)
+            else:
+                report.findings.append(finding)
+
+    detect_stale = full_run and flow
+    for record in records:
+        if record.parse_error is not None:
+            continue
+        path_used = used.get(record.path, {})
+        for line in sorted(record.suppressions):
+            site = SuppressionSite(
+                path=record.path,
+                line=line,
+                rule_ids=tuple(sorted(record.suppressions[line])),
+                used_ids=tuple(sorted(path_used.get(line, ()))),
+            )
+            report.suppression_sites.append(site)
+            if not detect_stale:
+                continue
+            for stale_id in site.stale_ids:
+                if stale_id == "lint-stale-allow":
+                    continue
+                finding = Finding(
+                    rule_id="lint-stale-allow",
+                    path=record.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"allow[{stale_id}] no longer suppresses any "
+                        f"finding here; remove it (suppression debt hides "
+                        f"real regressions)"
+                    ),
+                    end_line=line,
+                )
+                if _match_suppression(record.suppressions, finding) is not None:
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+
+    # Persist the cache for the next run.
+    if cache is not None:
+        for record in records:
+            entry: dict = {"hash": record.digest, "module": record.module}
+            if record.parse_error is not None:
+                entry["parse_error"] = record.parse_error
+            else:
+                assert record.summary is not None and record.raw is not None
+                entry["summary"] = record.summary.to_dict()
+                entry["suppressions"] = {
+                    str(line): sorted(ids)
+                    for line, ids in record.suppressions.items()
+                }
+                entry["contrib"] = record.contrib
+                entry["findings"] = {
+                    digest_ns: [_finding_to_dict(f) for f in record.raw]
+                }
+            cache.store(record.path, entry)
+        cache.prune(files)
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+        cache.save()
+
     report.findings = report.sorted_findings()
     return report
+
+
+def _match_suppression(
+    suppressions: Dict[int, Set[str]], finding: Finding
+) -> Optional[int]:
+    """The allow-comment line silencing ``finding``, or ``None``.
+
+    Same protocol as :meth:`ModuleContext.is_suppressed`: the line
+    above the statement or any physical line it spans.
+    """
+    if not suppressions:
+        return None
+    first = finding.line
+    last = finding.end_line or first
+    for line in range(first - 1, last + 1):
+        if finding.rule_id in suppressions.get(line, ()):
+            return line
+    return None
 
 
 def lint_source(
@@ -73,18 +496,28 @@ def lint_source(
     module: Optional[str] = None,
     rules: Optional[Iterable[str]] = None,
     symbols: Optional[ProjectSymbols] = None,
+    flow: bool = True,
 ) -> LintReport:
     """Lint one in-memory module (the test harness entry point).
 
     ``module`` overrides the dotted module name inferred from ``path``
     so fixtures can exercise package-scoped rules without living inside
-    the real tree.
+    the real tree.  With ``flow`` enabled the interprocedural passes run
+    over this single module (cross-module laundering needs
+    :func:`lint_paths` over a package tree).
     """
     report = LintReport()
     ctx = ModuleContext.from_source(source, path, module)
     report.files_checked = 1
     if symbols is None:
         symbols = build_symbols([(ctx.module, ctx.tree)])
+    if flow and ctx.module:
+        summary = summarize_module(ctx.module, path, ctx.tree, ctx.suppressions)
+        graph = build_call_graph({ctx.module: summary})
+        analysis = FlowAnalysis(graph, symbols).run()
+        ctx.flow_findings = list(analysis.findings.get(ctx.module, []))
+        report.flow_functions = len(graph.nodes)
+        report.flow_edges = graph.edge_count()
     _check_module(ctx, list(iter_rules(rules)), symbols, report)
     report.findings = report.sorted_findings()
     return report

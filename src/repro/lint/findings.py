@@ -9,7 +9,7 @@ them as text or JSON without reaching back into the analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)
@@ -34,9 +34,36 @@ class Finding:
     #: Last physical line of the offending statement (suppression
     #: comments trailing any spanned line are honoured).
     end_line: int = 0
+    #: Interprocedural evidence: one human-readable hop per element,
+    #: source to sink, produced by the ``flow-*`` whole-program passes
+    #: (empty for single-site findings).
+    trace: Tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass(frozen=True)
+class SuppressionSite:
+    """One ``# repro: allow[...]`` comment and what it actually silenced.
+
+    Attributes:
+        path: File the comment lives in.
+        line: 1-based line of the comment.
+        rule_ids: Rule ids the comment allows, sorted.
+        used_ids: The subset that silenced at least one finding in this
+            run — ids outside it are *stale* (the code they excused no
+            longer trips the rule).
+    """
+
+    path: str
+    line: int
+    rule_ids: Tuple[str, ...]
+    used_ids: Tuple[str, ...]
+
+    @property
+    def stale_ids(self) -> Tuple[str, ...]:
+        return tuple(r for r in self.rule_ids if r not in self.used_ids)
 
 
 @dataclass
@@ -51,12 +78,27 @@ class LintReport:
             comments (counted so a report can surface suppression creep).
         parse_errors: Files that could not be parsed (each also yields a
             ``lint-parse-error`` finding).
+        suppression_sites: Inventory of every allow-comment seen, with
+            per-id liveness (``tableau-repro lint --list-suppressions``).
+        cache_hits / cache_misses: Incremental-cache accounting (both 0
+            when no cache was attached).
+        flow_functions / flow_edges: Call-graph size when the flow
+            passes ran (0 otherwise).
     """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
     parse_errors: int = 0
+    suppression_sites: List[SuppressionSite] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    flow_functions: int = 0
+    flow_edges: int = 0
+    #: The resolved project call graph when the flow passes ran (a
+    #: :class:`repro.lint.flow.callgraph.CallGraph`; ``None`` otherwise).
+    #: Untyped here so the value types stay import-free.
+    callgraph: object = None
 
     @property
     def ok(self) -> bool:

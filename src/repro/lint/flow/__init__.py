@@ -1,0 +1,50 @@
+"""repro.lint.flow — whole-program flow analysis for the repo linter.
+
+The per-function rules of :mod:`repro.lint.rules` see one body at a
+time, so an invariant violation laundered through a call — a wall-clock
+read returned by a helper, a float reaching nanosecond arithmetic two
+frames up, an allocating function *called from* ``@hotpath`` code, an
+effect the journal never covered — is invisible to them.  This package
+closes that gap with four interprocedural passes over a project-wide
+call graph:
+
+``flow-taint-*``
+    Wall-clock, unseeded-RNG, and environment values tracked across
+    call/return boundaries into the deterministic packages, reported as
+    multi-hop source→sink traces.
+``flow-unit-escape``
+    Integer-nanosecond typing propagated through signatures and
+    returns, so a float (or true division) entering ns arithmetic
+    anywhere upstream is flagged at the point it lands in a ``*_ns``
+    name.
+``flow-hot-transitive``
+    Every function reachable from a ``@hotpath`` root inherits the
+    allocation discipline; ``@coldpath`` cuts traversal at deliberate
+    slow paths.
+``flow-unjournaled-effect`` / ``flow-effect-order``
+    The WAL protocol of the crash-consistent control plane (PR 8)
+    encoded as checkable rules over journal appends, crashpoints, and
+    state mutations in ``repro.service`` / ``repro.core.plancache``.
+
+The pipeline: :mod:`.summary` reduces each module to a serialisable
+:class:`~repro.lint.flow.summary.ModuleSummary` (cached by content hash
+— see :mod:`repro.lint.cache`); :mod:`.callgraph` resolves call sites
+to a project :class:`~repro.lint.flow.callgraph.CallGraph` (methods via
+class-hierarchy analysis, ``functools.partial`` edges where the target
+is nameable); :mod:`.engine` runs the fixpoints and materialises
+per-module findings; :mod:`.rules` adapts those findings into the
+ordinary rule registry so selection, suppression, and reporting work
+exactly as for single-site rules.
+"""
+
+from repro.lint.flow.callgraph import CallGraph, build_call_graph
+from repro.lint.flow.engine import FlowAnalysis
+from repro.lint.flow.summary import ModuleSummary, summarize_module
+
+__all__ = [
+    "CallGraph",
+    "FlowAnalysis",
+    "ModuleSummary",
+    "build_call_graph",
+    "summarize_module",
+]

@@ -1,0 +1,599 @@
+"""Interprocedural fixpoints over the project call graph.
+
+:class:`FlowAnalysis` runs the four whole-program passes and
+materialises their violations as :class:`FlowFinding` records keyed by
+module, which :mod:`repro.lint.flow.rules` then adapts into ordinary
+registry rules (so ``--rules`` selection, allow-comments, and the
+reporters treat them exactly like single-site findings).
+
+All iteration is over sorted node ids and per-function source order,
+and every fixpoint records only the *first* origin it discovers for a
+fact — so findings, messages, and traces are bit-identical across runs
+and machines regardless of dict insertion order.
+
+The passes:
+
+taint (``flow-taint-wallclock`` / ``-rng`` / ``-env``)
+    ``returns_taint`` fixpoint: a function returns taint when an
+    unsuppressed source value may reach one of its ``return``
+    statements, directly or via a call to a taint-returning function.
+    A finding fires at every call site *inside the deterministic
+    scope* whose callee returns taint — the local ``det-*`` rules
+    already cover direct sources, so the flow rules report only the
+    laundered, cross-function cases, each with the full source→sink
+    hop list.
+
+units (``flow-unit-escape``)
+    ``returns_float`` fixpoint (float literal / true division /
+    ``-> float`` declaration reaching a return, transitively through
+    calls); fires where such a call result lands in a ``*_ns`` name
+    that was not explicitly declared a measured float.
+
+hot paths (``flow-hot-transitive``)
+    BFS from ``@hotpath`` roots (skipping ``@coldpath`` callees and
+    ``raise``-statement edges) with parent pointers; allocation sites
+    in reached unmarked functions fire with the root→alloc call chain.
+
+crash protocol (``flow-unjournaled-effect`` / ``flow-effect-order``)
+    In ``repro.service`` and ``repro.core.plancache``: within any
+    function that appends WAL records, ``self`` mutations (direct or
+    through transitively-mutating method calls) and crashpoints must
+    come after the first append; within any function that appends a
+    commit marker, no mutation may follow the last append.  Early-exit
+    blocks (validation rejections, exception handlers) are off the
+    commit path and exempt.  Functions that touch no journal at all
+    are out of scope — replay covers them (e.g. the flush path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.flow.callgraph import CallEdge, CallGraph
+from repro.lint.flow.summary import FunctionSummary
+from repro.lint.patterns import DETERMINISM_SCOPE
+from repro.lint.symbols import FLOAT_DECLARED, ProjectSymbols
+
+#: Modules whose journal discipline the crash-protocol passes check.
+CRASH_SCOPE_PREFIXES = ("repro.service", "repro.core.plancache")
+
+_TAINT_RULE = {
+    "wallclock": "flow-taint-wallclock",
+    "rng": "flow-taint-rng",
+    "env": "flow-taint-env",
+}
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One interprocedural violation, pre-resolved to a location."""
+
+    rule_id: str
+    module: str
+    line: int
+    col: int
+    message: str
+    trace: Tuple[str, ...] = ()
+
+
+@dataclass
+class _Origin:
+    """Why a summary fact holds for a function.
+
+    ``via`` is ``None`` for direct evidence (``desc``/``line`` point at
+    it) and ``(callee, call_line)`` when the fact was inherited through
+    a call.
+    """
+
+    desc: str
+    line: int
+    via: Optional[Tuple[str, int]] = None
+
+
+def _in_scope(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+class FlowAnalysis:
+    """Run all passes; findings land in :attr:`findings` per module."""
+
+    def __init__(
+        self, graph: CallGraph, symbols: Optional[ProjectSymbols] = None
+    ) -> None:
+        self.graph = graph
+        self.symbols = symbols
+        self.findings: Dict[str, List[FlowFinding]] = {}
+        #: node -> taint kind -> origin (the returns-taint fixpoint).
+        self.taint_ret: Dict[str, Dict[str, _Origin]] = {}
+        #: node -> origin (the returns-float fixpoint).
+        self.float_ret: Dict[str, _Origin] = {}
+        #: node -> origin of a (transitive) self-mutation.
+        self.mutates: Dict[str, _Origin] = {}
+        #: node -> (hot root, parent chain) discovery for reachability.
+        self.hot_parent: Dict[str, Tuple[str, int]] = {}
+        self.hot_reached: Set[str] = set()
+        self._edges_by_site: Dict[str, Dict[int, List[CallEdge]]] = {}
+        for node, edges in graph.edges.items():
+            by_site: Dict[int, List[CallEdge]] = {}
+            for edge in edges:
+                by_site.setdefault(edge.call_index, []).append(edge)
+            self._edges_by_site[node] = by_site
+
+    def run(self) -> "FlowAnalysis":
+        self._fix_taint_returns()
+        self._fix_float_returns()
+        self._fix_mutations()
+        self._walk_hot()
+        self._emit_taint_findings()
+        self._emit_unit_findings()
+        self._emit_hot_findings()
+        self._emit_crash_findings()
+        for module in self.findings:
+            self.findings[module].sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return self
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _site_edges(self, node: str, call_index: int) -> List[CallEdge]:
+        return self._edges_by_site.get(node, {}).get(call_index, [])
+
+    def _fn(self, node: str) -> FunctionSummary:
+        return self.graph.function(node)
+
+    def _loc(self, node: str, line: int) -> str:
+        return f"{self.graph.path_of(node)}:{line}"
+
+    def _add(self, node: str, finding: FlowFinding) -> None:
+        self.findings.setdefault(self.graph.module_of(node), []).append(finding)
+
+    # ------------------------------------------------------------------
+    # fixpoints
+    # ------------------------------------------------------------------
+
+    def _fix_taint_returns(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in sorted(self.graph.nodes):
+                fn = self._fn(node)
+                entry = self.taint_ret.setdefault(node, {})
+                for idx in fn.returns_sources:
+                    source = fn.sources[idx]
+                    if source.suppressed or source.kind in entry:
+                        continue
+                    entry[source.kind] = _Origin(
+                        desc=f"{source.what}()", line=source.line
+                    )
+                    changed = True
+                for idx in fn.returns_calls:
+                    for edge in self._site_edges(node, idx):
+                        for kind in sorted(self.taint_ret.get(edge.callee, ())):
+                            if kind in entry or edge.callee == node:
+                                continue
+                            entry[kind] = _Origin(
+                                desc="", line=edge.line, via=(edge.callee, edge.line)
+                            )
+                            changed = True
+
+    def _fix_float_returns(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in sorted(self.graph.nodes):
+                if node in self.float_ret:
+                    continue
+                fn = self._fn(node)
+                if fn.returns_float_direct:
+                    self.float_ret[node] = _Origin(
+                        desc="float literal or true division",
+                        line=fn.returns_float_line or fn.line,
+                    )
+                    changed = True
+                    continue
+                if fn.ret_ann == FLOAT_DECLARED:
+                    self.float_ret[node] = _Origin(
+                        desc="declared '-> float'", line=fn.line
+                    )
+                    changed = True
+                    continue
+                for idx in fn.returns_calls_float:
+                    for edge in self._site_edges(node, idx):
+                        if edge.callee != node and edge.callee in self.float_ret:
+                            self.float_ret[node] = _Origin(
+                                desc="",
+                                line=edge.line,
+                                via=(edge.callee, edge.line),
+                            )
+                            changed = True
+                            break
+                    if node in self.float_ret:
+                        break
+
+    def _fix_mutations(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in sorted(self.graph.nodes):
+                if node in self.mutates:
+                    continue
+                fn = self._fn(node)
+                if fn.mutations:
+                    first = min(fn.mutations, key=lambda m: (m.line, m.attr))
+                    self.mutates[node] = _Origin(
+                        desc=f"self.{first.attr}", line=first.line
+                    )
+                    changed = True
+                    continue
+                for site in fn.calls:
+                    if site.kind != "self":
+                        continue
+                    for edge in self._site_edges(node, site.index):
+                        if edge.callee != node and edge.callee in self.mutates:
+                            self.mutates[node] = _Origin(
+                                desc="", line=site.line, via=(edge.callee, site.line)
+                            )
+                            changed = True
+                            break
+                    if node in self.mutates:
+                        break
+
+    def _walk_hot(self) -> None:
+        roots = sorted(
+            node for node in self.graph.nodes if self._fn(node).hot
+        )
+        self.hot_reached = set(roots)
+        queue = deque(roots)
+        while queue:
+            current = queue.popleft()
+            for edge in self.graph.out_edges(current):
+                if edge.in_raise or edge.callee in self.hot_reached:
+                    continue
+                if self._fn(edge.callee).cold:
+                    continue
+                self.hot_reached.add(edge.callee)
+                self.hot_parent[edge.callee] = (current, edge.line)
+                queue.append(edge.callee)
+
+    # ------------------------------------------------------------------
+    # findings
+    # ------------------------------------------------------------------
+
+    def _taint_trace(self, callee: str, kind: str, sink_hop: str) -> Tuple[str, ...]:
+        """Source-first hop list ending at the sink call."""
+        hops: List[str] = []
+        current = callee
+        guard: Set[str] = set()
+        while current not in guard:
+            guard.add(current)
+            origin = self.taint_ret[current][kind]
+            if origin.via is None:
+                hops.append(
+                    f"{self.graph.pretty(current)} reads {origin.desc} "
+                    f"({self._loc(current, origin.line)})"
+                )
+                break
+            nxt, line = origin.via
+            hops.append(
+                f"{self.graph.pretty(current)} returns value of "
+                f"{self.graph.pretty(nxt)} ({self._loc(current, line)})"
+            )
+            current = nxt
+        hops.reverse()
+        hops.append(sink_hop)
+        return tuple(hops)
+
+    def _emit_taint_findings(self) -> None:
+        for node in sorted(self.graph.nodes):
+            module = self.graph.module_of(node)
+            if not _in_scope(module, DETERMINISM_SCOPE):
+                continue
+            fn = self._fn(node)
+            for site in fn.calls:
+                for edge in self._site_edges(node, site.index):
+                    for kind in sorted(self.taint_ret.get(edge.callee, ())):
+                        sink_hop = (
+                            f"{self.graph.pretty(node)} consumes it "
+                            f"({self._loc(node, site.line)})"
+                        )
+                        trace = self._taint_trace(edge.callee, kind, sink_hop)
+                        self._add(
+                            node,
+                            FlowFinding(
+                                rule_id=_TAINT_RULE[kind],
+                                module=module,
+                                line=site.line,
+                                col=site.col,
+                                message=(
+                                    f"call to {self.graph.pretty(edge.callee)} "
+                                    f"returns a {kind}-derived value inside the "
+                                    f"deterministic scope; the source is "
+                                    f"{trace[0]}"
+                                ),
+                                trace=trace,
+                            ),
+                        )
+
+    def _float_trace(self, callee: str, sink_hop: str) -> Tuple[str, ...]:
+        hops: List[str] = []
+        current = callee
+        guard: Set[str] = set()
+        while current not in guard:
+            guard.add(current)
+            origin = self.float_ret[current]
+            if origin.via is None:
+                hops.append(
+                    f"{self.graph.pretty(current)} returns {origin.desc} "
+                    f"({self._loc(current, origin.line)})"
+                )
+                break
+            nxt, line = origin.via
+            hops.append(
+                f"{self.graph.pretty(current)} returns value of "
+                f"{self.graph.pretty(nxt)} ({self._loc(current, line)})"
+            )
+            current = nxt
+        hops.reverse()
+        hops.append(sink_hop)
+        return tuple(hops)
+
+    def _emit_unit_findings(self) -> None:
+        for node in sorted(self.graph.nodes):
+            module = self.graph.module_of(node)
+            fn = self._fn(node)
+            for sink in fn.ns_sinks:
+                if self.symbols is not None:
+                    if sink.via == "assign" and self.symbols.declared_float(
+                        module, sink.ns_name
+                    ):
+                        continue
+                    if sink.via.startswith("kwarg:"):
+                        callee_name = sink.via.split(":", 1)[1]
+                        if (
+                            self.symbols.param_category(callee_name, sink.ns_name)
+                            == FLOAT_DECLARED
+                        ):
+                            continue
+                for edge in self._site_edges(node, sink.call_index):
+                    if edge.callee not in self.float_ret:
+                        continue
+                    sink_hop = (
+                        f"{self.graph.pretty(node)} stores it in "
+                        f"'{sink.ns_name}' ({self._loc(node, sink.line)})"
+                    )
+                    trace = self._float_trace(edge.callee, sink_hop)
+                    self._add(
+                        node,
+                        FlowFinding(
+                            rule_id="flow-unit-escape",
+                            module=module,
+                            line=sink.line,
+                            col=sink.col,
+                            message=(
+                                f"'{sink.ns_name}' is integer nanoseconds but "
+                                f"receives the result of "
+                                f"{self.graph.pretty(edge.callee)}, which "
+                                f"returns float ({trace[0]}); cast at the "
+                                f"boundary or declare the name float"
+                            ),
+                            trace=trace,
+                        ),
+                    )
+
+    def _hot_chain(self, node: str) -> Tuple[str, ...]:
+        """Root-first call chain establishing hot reachability."""
+        chain: List[str] = []
+        current = node
+        guard: Set[str] = set()
+        while current in self.hot_parent and current not in guard:
+            guard.add(current)
+            parent, line = self.hot_parent[current]
+            chain.append(
+                f"{self.graph.pretty(parent)} calls "
+                f"{self.graph.pretty(current)} ({self._loc(parent, line)})"
+            )
+            current = parent
+        chain.append(f"{self.graph.pretty(current)} is @hotpath")
+        chain.reverse()
+        return tuple(chain)
+
+    def _emit_hot_findings(self) -> None:
+        for node in sorted(self.hot_reached):
+            fn = self._fn(node)
+            if fn.hot or fn.cold:
+                continue
+            chain = None
+            for alloc in fn.allocs:
+                if alloc.in_raise:
+                    continue
+                if chain is None:
+                    chain = self._hot_chain(node)
+                self._add(
+                    node,
+                    FlowFinding(
+                        rule_id="flow-hot-transitive",
+                        module=self.graph.module_of(node),
+                        line=alloc.line,
+                        col=alloc.col,
+                        message=(
+                            f"{alloc.detail} allocates per call, and "
+                            f"{self.graph.pretty(node)} is reachable from a "
+                            f"@hotpath root ({chain[0].split(' is ')[0]}); "
+                            f"hoist the allocation or mark a deliberate slow "
+                            f"path @coldpath"
+                        ),
+                        trace=chain
+                        + (f"{alloc.detail} allocated at {self._loc(node, alloc.line)}",),
+                    ),
+                )
+
+    def _mutation_trace(self, callee: str, sink_hop: str) -> Tuple[str, ...]:
+        hops: List[str] = [sink_hop]
+        current = callee
+        guard: Set[str] = set()
+        while current not in guard:
+            guard.add(current)
+            origin = self.mutates[current]
+            if origin.via is None:
+                hops.append(
+                    f"{self.graph.pretty(current)} mutates {origin.desc} "
+                    f"({self._loc(current, origin.line)})"
+                )
+                break
+            nxt, line = origin.via
+            hops.append(
+                f"{self.graph.pretty(current)} calls "
+                f"{self.graph.pretty(nxt)} ({self._loc(current, line)})"
+            )
+            current = nxt
+        return tuple(hops)
+
+    def _emit_crash_findings(self) -> None:
+        for node in sorted(self.graph.nodes):
+            module = self.graph.module_of(node)
+            if not _in_scope(module, CRASH_SCOPE_PREFIXES):
+                continue
+            fn = self._fn(node)
+            wal_orders = [op.order for op in fn.journal_ops if op.kind == "wal"]
+            marker_orders = [
+                op.order for op in fn.journal_ops if op.kind == "marker"
+            ]
+            if wal_orders:
+                self._check_wal_discipline(node, module, fn, min(wal_orders))
+            if marker_orders:
+                self._check_marker_discipline(node, module, fn, max(marker_orders))
+
+    def _check_wal_discipline(
+        self, node: str, module: str, fn: FunctionSummary, first_wal: int
+    ) -> None:
+        wal_line = next(
+            op.line for op in fn.journal_ops if op.kind == "wal"
+        )
+        for mut in fn.mutations:
+            if mut.order >= first_wal or mut.exits:
+                continue
+            self._add(
+                node,
+                FlowFinding(
+                    rule_id="flow-unjournaled-effect",
+                    module=module,
+                    line=mut.line,
+                    col=0,
+                    message=(
+                        f"self.{mut.attr} is mutated before the WAL append at "
+                        f"line {wal_line}; a crash between them loses the "
+                        f"effect without a record to replay"
+                    ),
+                    trace=(
+                        f"{self.graph.pretty(node)} mutates self.{mut.attr} "
+                        f"({self._loc(node, mut.line)})",
+                        f"WAL append follows at {self._loc(node, wal_line)}",
+                    ),
+                ),
+            )
+        for site in fn.calls:
+            if site.kind != "self" or site.order >= first_wal or site.exits:
+                continue
+            for edge in self._site_edges(node, site.index):
+                if edge.callee not in self.mutates:
+                    continue
+                sink_hop = (
+                    f"{self.graph.pretty(node)} calls "
+                    f"{self.graph.pretty(edge.callee)} before the WAL append "
+                    f"({self._loc(node, site.line)})"
+                )
+                self._add(
+                    node,
+                    FlowFinding(
+                        rule_id="flow-unjournaled-effect",
+                        module=module,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"call to {self.graph.pretty(edge.callee)} mutates "
+                            f"service state before the WAL append at line "
+                            f"{wal_line}"
+                        ),
+                        trace=self._mutation_trace(edge.callee, sink_hop),
+                    ),
+                )
+        for crash in fn.crashpoints:
+            if crash.order >= first_wal or crash.exits:
+                continue
+            self._add(
+                node,
+                FlowFinding(
+                    rule_id="flow-effect-order",
+                    module=module,
+                    line=crash.line,
+                    col=0,
+                    message=(
+                        f"crashpoint '{crash.name}' fires before the WAL "
+                        f"append at line {wal_line}; recovery would find no "
+                        f"record for the interrupted operation"
+                    ),
+                    trace=(
+                        f"crashpoint at {self._loc(node, crash.line)}",
+                        f"WAL append follows at {self._loc(node, wal_line)}",
+                    ),
+                ),
+            )
+
+    def _check_marker_discipline(
+        self, node: str, module: str, fn: FunctionSummary, last_marker: int
+    ) -> None:
+        marker_line = max(
+            op.line for op in fn.journal_ops if op.kind == "marker"
+        )
+        for mut in fn.mutations:
+            if mut.order <= last_marker or mut.exits:
+                continue
+            self._add(
+                node,
+                FlowFinding(
+                    rule_id="flow-effect-order",
+                    module=module,
+                    line=mut.line,
+                    col=0,
+                    message=(
+                        f"self.{mut.attr} is mutated after the commit marker "
+                        f"append at line {marker_line}; the marker must be "
+                        f"the last effect so replay sees a consistent "
+                        f"snapshot"
+                    ),
+                    trace=(
+                        f"commit marker appended at {self._loc(node, marker_line)}",
+                        f"{self.graph.pretty(node)} then mutates self."
+                        f"{mut.attr} ({self._loc(node, mut.line)})",
+                    ),
+                ),
+            )
+        for site in fn.calls:
+            if site.kind != "self" or site.order <= last_marker or site.exits:
+                continue
+            for edge in self._site_edges(node, site.index):
+                if edge.callee not in self.mutates:
+                    continue
+                sink_hop = (
+                    f"{self.graph.pretty(node)} calls "
+                    f"{self.graph.pretty(edge.callee)} after the commit "
+                    f"marker ({self._loc(node, site.line)})"
+                )
+                self._add(
+                    node,
+                    FlowFinding(
+                        rule_id="flow-effect-order",
+                        module=module,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"call to {self.graph.pretty(edge.callee)} mutates "
+                            f"state after the commit marker append at line "
+                            f"{marker_line}"
+                        ),
+                        trace=self._mutation_trace(edge.callee, sink_hop),
+                    ),
+                )

@@ -1,0 +1,1095 @@
+"""Per-module flow summaries: everything the whole-program passes need.
+
+One :class:`ModuleSummary` reduces a module's AST to plain, JSON-round-
+trippable records — the functions it defines, the calls they make (with
+enough reference structure to resolve later), taint sources, allocation
+sites, self-state mutations, journal operations, crashpoints, and a
+small local dataflow result (which calls/sources reach a ``return``,
+which call results land in ``*_ns`` names).  Summaries are *module
+local* by construction: nothing in here looks at another file, which is
+what lets :mod:`repro.lint.cache` key them purely on content hash and
+lets the driver extract them on a process pool.
+
+The local dataflow is a token propagation over local names: every
+expression is reduced to the set of {source-site, call-site, float
+evidence} tokens it may carry, assignments transfer tokens to names,
+and returns/sinks collect them.  It is deliberately flow-insensitive
+within a function (a name's tokens accumulate over all assignments) and
+does not descend into nested ``def``/``lambda`` bodies — both are the
+conservative direction for taint and unit escapes, and keep extraction
+to a small fixed number of passes per function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.patterns import (
+    WALLCLOCK_FLOAT_SUFFIXES,
+    dotted_path,
+    has_marker,
+    matches_suffix,
+    taint_kind_of_attr,
+    taint_kind_of_call,
+)
+
+#: Bump when the summary schema changes so stale caches self-invalidate.
+SUMMARY_VERSION = 2
+
+#: Calls that make an integer out of anything (unit-boundary casts).
+_INT_CASTS = {"int", "round", "floor", "ceil"}
+
+#: typing-module names that are containers, not receiver classes.
+_TYPING_NAMES = {
+    "Optional", "Union", "List", "Dict", "Tuple", "Set", "Sequence",
+    "Iterable", "Iterator", "Callable", "Mapping", "Type", "FrozenSet",
+    "Deque", "DefaultDict", "Any", "ClassVar", "Final", "Literal",
+    "Annotated", "Awaitable", "Coroutine", "Generator", "NewType",
+    "type", "list", "dict", "tuple", "set", "frozenset", "None",
+    "int", "float", "str", "bytes", "bool", "object",
+}
+
+#: Journal-append method names, split by protocol role: WAL records
+#: must precede the effects they cover; commit markers must follow the
+#: counters they snapshot.
+_JOURNAL_WAL_METHODS = {"append_request"}
+_JOURNAL_MARKER_METHODS = {"append_commit"}
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "remove", "discard", "clear", "setdefault", "appendleft",
+}
+
+
+# ----------------------------------------------------------------------
+# Record types (all dict-round-trippable via dataclasses.asdict)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body.
+
+    ``kind`` describes how the callee was named, which drives
+    resolution: ``"name"`` (bare name — local function, import, or
+    class constructor), ``"self"`` (``self.m(...)``), ``"attr"``
+    (``recv.m(...)`` with ``recv_type`` carrying the receiver's
+    declared/inferred type reference when known), ``"dotted"``
+    (``pkg.mod.f(...)``), or ``"partial"`` (the target of a
+    ``functools.partial`` — a deferred call edge).
+    """
+
+    index: int
+    kind: str
+    target: str
+    recv_type: str
+    line: int
+    col: int
+    order: int
+    in_raise: bool = False
+    #: The call sits in a block that exits early (raise/return/continue
+    #: before the enclosing suite rejoins) — off the commit path.
+    exits: bool = False
+    #: The call is one of the wall-clock readers that return float
+    #: seconds (feeds the unit-inference pass directly).
+    returns_float_builtin: bool = False
+
+
+@dataclass
+class TaintSource:
+    """A direct nondeterminism source (wall clock / RNG / environment)."""
+
+    kind: str
+    what: str
+    line: int
+    col: int
+    #: An allow-comment for the matching det-* or flow-taint-* rule
+    #: covers the source line: the justification sanctions every flow
+    #: out of it, so the taint pass does not seed from here.
+    suppressed: bool = False
+
+
+@dataclass
+class AllocSite:
+    """A per-call allocation the hot-path rules ban."""
+
+    kind: str
+    detail: str
+    line: int
+    col: int
+    #: Allocation feeds a ``raise`` — an error path the transitive
+    #: hot-path rule treats as cold (the local ``hot-*`` rules stay
+    #: strict inside directly-marked functions).
+    in_raise: bool = False
+
+
+@dataclass
+class MutationSite:
+    """A write to ``self`` state (attribute assign or mutating call)."""
+
+    attr: str
+    line: int
+    order: int
+    #: Mutation happens on an early-exit path (validation rejection,
+    #: exception handler) — not part of the journaled commit path.
+    exits: bool = False
+
+
+@dataclass
+class JournalOp:
+    """A journal append: ``wal`` (write-ahead) or ``marker`` (commit)."""
+
+    kind: str
+    line: int
+    order: int
+
+
+@dataclass
+class CrashSite:
+    """A ``crashpoint(...)`` consultation."""
+
+    name: str
+    line: int
+    order: int
+    exits: bool = False
+
+
+@dataclass
+class NsSink:
+    """A call result flowing into a ``*_ns`` name.
+
+    ``via`` is ``"assign"`` or ``"kwarg:<callee>"``; the engine decides
+    whether the call's resolved target returns float (and whether the
+    name was declared a measured float, which exempts it).
+    """
+
+    call_index: int
+    ns_name: str
+    line: int
+    col: int
+    via: str
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow passes know about one function."""
+
+    name: str
+    cls: str
+    line: int
+    end_line: int
+    hot: bool
+    cold: bool
+    ret_ann: str
+    calls: List[CallSite] = field(default_factory=list)
+    sources: List[TaintSource] = field(default_factory=list)
+    allocs: List[AllocSite] = field(default_factory=list)
+    mutations: List[MutationSite] = field(default_factory=list)
+    journal_ops: List[JournalOp] = field(default_factory=list)
+    crashpoints: List[CrashSite] = field(default_factory=list)
+    ns_sinks: List[NsSink] = field(default_factory=list)
+    #: Indexes into ``sources`` whose value may reach a ``return``.
+    returns_sources: List[int] = field(default_factory=list)
+    #: Indexes into ``calls`` whose result may reach a ``return``.
+    returns_calls: List[int] = field(default_factory=list)
+    #: Same, but as the float fixpoint sees it: an ``int()``/``round()``
+    #: cast on the return path drops the call here (it launders
+    #: float-ness) while ``returns_calls`` keeps it (a cast does not
+    #: launder taint).
+    returns_calls_float: List[int] = field(default_factory=list)
+    #: A float literal or true division reaches a ``return`` directly.
+    returns_float_direct: bool = False
+    returns_float_line: int = 0
+
+
+@dataclass
+class ClassInfo:
+    """Class shape for hierarchy analysis and receiver typing."""
+
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    #: attribute name -> raw type reference (annotation or constructor).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSummary:
+    """The flow-relevant reduction of one module."""
+
+    module: str
+    path: str
+    is_package: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": SUMMARY_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "is_package": self.is_package,
+            "imports": self.imports,
+            "functions": {k: asdict(v) for k, v in self.functions.items()},
+            "classes": {k: asdict(v) for k, v in self.classes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModuleSummary":
+        functions = {}
+        for key, raw in data["functions"].items():  # type: ignore[union-attr]
+            fn = FunctionSummary(
+                **{
+                    k: v
+                    for k, v in raw.items()
+                    if k
+                    not in (
+                        "calls", "sources", "allocs", "mutations",
+                        "journal_ops", "crashpoints", "ns_sinks",
+                    )
+                }
+            )
+            fn.calls = [CallSite(**c) for c in raw["calls"]]
+            fn.sources = [TaintSource(**s) for s in raw["sources"]]
+            fn.allocs = [AllocSite(**a) for a in raw["allocs"]]
+            fn.mutations = [MutationSite(**m) for m in raw["mutations"]]
+            fn.journal_ops = [JournalOp(**j) for j in raw["journal_ops"]]
+            fn.crashpoints = [CrashSite(**c) for c in raw["crashpoints"]]
+            fn.ns_sinks = [NsSink(**n) for n in raw["ns_sinks"]]
+            functions[key] = fn
+        return cls(
+            module=data["module"],  # type: ignore[arg-type]
+            path=data["path"],  # type: ignore[arg-type]
+            is_package=bool(data.get("is_package")),
+            imports=dict(data["imports"]),  # type: ignore[arg-type]
+            functions=functions,
+            classes={
+                k: ClassInfo(**v)
+                for k, v in data["classes"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def summarize_module(
+    module: str,
+    path: str,
+    tree: ast.Module,
+    suppressions: Optional[Dict[int, Set[str]]] = None,
+) -> ModuleSummary:
+    """Reduce one parsed module to its :class:`ModuleSummary`.
+
+    ``suppressions`` is the module's allow-comment map (line -> rule
+    ids); taint sources covered by a matching allow are marked
+    suppressed so the justification at the source sanctions the flow.
+    """
+    summary = ModuleSummary(
+        module=module,
+        path=path,
+        is_package=path.replace("\\", "/").endswith("/__init__.py"),
+    )
+    suppressions = suppressions or {}
+    _collect_imports(tree, summary)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _add_function(summary, node, cls="", suppressions=suppressions)
+        elif isinstance(node, ast.ClassDef):
+            _add_class(summary, node, suppressions)
+    return summary
+
+
+def _collect_imports(tree: ast.Module, summary: ModuleSummary) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    summary.imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted references
+                    # resolve through the untranslated path.
+                    summary.imports[alias.name.split(".")[0]] = alias.name.split(
+                        "."
+                    )[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from_base(node, summary)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                summary.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _resolve_from_base(node: ast.ImportFrom, summary: ModuleSummary) -> Optional[str]:
+    if node.level == 0:
+        return node.module or ""
+    parts = summary.module.split(".") if summary.module else []
+    # For a plain module the importing package is parts[:-1]; for a
+    # package __init__ it is the package itself.  Each extra level
+    # strips one more component.
+    drop = node.level if summary.is_package else node.level
+    if not summary.is_package:
+        parts = parts[:-1]
+        drop -= 1
+    if drop > 0:
+        parts = parts[: len(parts) - drop] if drop <= len(parts) else []
+    base = ".".join(parts)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def _add_class(
+    summary: ModuleSummary, node: ast.ClassDef, suppressions: Dict[int, Set[str]]
+) -> None:
+    info = ClassInfo(name=node.name, line=node.lineno)
+    for base in node.bases:
+        ref = dotted_path(base)
+        if ref:
+            info.bases.append(ref)
+    # Shape first (methods, attribute types), then bodies: method
+    # extraction types ``self.attr`` receivers through ``attr_types``,
+    # so the class must be registered before any body is walked.
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods.append(statement.name)
+        elif isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            ref = _annotation_ref(statement.annotation)
+            if ref:
+                info.attr_types[statement.target.id] = ref
+    init = next(
+        (
+            s
+            for s in node.body
+            if isinstance(s, ast.FunctionDef) and s.name == "__init__"
+        ),
+        None,
+    )
+    if init is not None:
+        _collect_init_attr_types(init, info)
+    summary.classes[node.name] = info
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _add_function(
+                summary, statement, cls=node.name, suppressions=suppressions
+            )
+
+
+def _collect_init_attr_types(init: ast.FunctionDef, info: ClassInfo) -> None:
+    param_types: Dict[str, str] = {}
+    args = list(init.args.posonlyargs) + list(init.args.args) + list(
+        init.args.kwonlyargs
+    )
+    for arg in args:
+        ref = _annotation_ref(arg.annotation)
+        if ref:
+            param_types[arg.arg] = ref
+    for statement in _iter_statements(init.body):
+        if not isinstance(statement, ast.Assign):
+            continue
+        for target in statement.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                ref = _value_type_ref(statement.value, param_types)
+                if ref and target.attr not in info.attr_types:
+                    info.attr_types[target.attr] = ref
+
+
+def _value_type_ref(value: ast.expr, param_types: Dict[str, str]) -> Optional[str]:
+    """Type reference of an ``__init__`` assignment RHS, if inferable."""
+    if isinstance(value, ast.Name):
+        return param_types.get(value.id)
+    if isinstance(value, ast.Call):
+        ref = dotted_path(value.func)
+        if ref and ref.split(".")[-1][:1].isupper():
+            return ref
+        return None
+    if isinstance(value, ast.IfExp):
+        # ``x if x is not None else Default()`` — either branch works;
+        # prefer the constructor (it names the concrete class).
+        return _value_type_ref(value.orelse, param_types) or _value_type_ref(
+            value.body, param_types
+        )
+    return None
+
+
+def _annotation_ref(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Extract the first class-like reference from an annotation."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            candidate = node.value.strip()
+            if candidate and candidate not in _TYPING_NAMES:
+                return candidate
+        ref: Optional[str] = None
+        if isinstance(node, ast.Attribute):
+            ref = dotted_path(node)
+        elif isinstance(node, ast.Name):
+            ref = node.id
+        if ref and ref.split(".")[-1] not in _TYPING_NAMES:
+            return ref
+    return None
+
+
+# ----------------------------------------------------------------------
+# Function-body extraction
+# ----------------------------------------------------------------------
+
+
+def _suite_exits(suite: List[ast.stmt]) -> bool:
+    """True when control cannot fall off the end of ``suite``."""
+    return isinstance(suite[-1], (ast.Raise, ast.Return, ast.Continue, ast.Break))
+
+
+def _iter_with_exits(
+    body: List[ast.stmt], exits: bool
+) -> Iterator[Tuple[ast.stmt, bool]]:
+    """Source-ordered statement walk tagging early-exit blocks.
+
+    Nested ``def``/``class`` bodies are not entered.  ``exits`` is True
+    for statements in a suite that terminates with raise/return/
+    continue/break (and everything it dominates) and for exception
+    handlers — paths that never rejoin the enclosing fall-through flow.
+    """
+    for statement in body:
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield statement, exits
+        for field_name, value in ast.iter_fields(statement):
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                yield from _iter_with_exits(value, exits or _suite_exits(value))
+            elif field_name == "handlers" and isinstance(value, list):
+                for handler in value:
+                    if isinstance(handler, ast.ExceptHandler):
+                        yield from _iter_with_exits(handler.body, True)
+
+
+def _iter_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Source-ordered statement walk that does not enter nested defs."""
+    for statement, _ in _iter_with_exits(body, False):
+        yield statement
+
+
+def _walk_expr(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an expression without descending into lambda bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Lambda):
+            yield current
+            continue
+        yield current
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+class _FunctionExtractor:
+    """Single-function extraction: call sites, sources, local dataflow."""
+
+    def __init__(
+        self,
+        summary: ModuleSummary,
+        node: ast.FunctionDef,
+        cls: str,
+        suppressions: Dict[int, Set[str]],
+    ) -> None:
+        self.summary = summary
+        self.node = node
+        self.cls = cls
+        self.suppressions = suppressions
+        qual = f"{cls}.{node.name}" if cls else node.name
+        self.fn = FunctionSummary(
+            name=qual,
+            cls=cls,
+            line=node.lineno,
+            end_line=node.end_lineno or node.lineno,
+            hot=has_marker(node, "hotpath"),
+            cold=has_marker(node, "coldpath"),
+            ret_ann=_return_category(node),
+        )
+        #: call AST node id -> call index (for token collection).
+        self._call_ids: Dict[int, int] = {}
+        #: source AST node id -> source index.
+        self._source_ids: Dict[int, int] = {}
+        self._local_types: Dict[str, str] = {}
+        self._order = 0
+
+    # -- pass 1: enumerate calls, sources, allocations, protocol ops ----
+
+    def extract(self) -> FunctionSummary:
+        self._collect_param_types()
+        tagged = list(_iter_with_exits(self.node.body, False))
+        for statement, exits in tagged:
+            self._order += 1
+            order = self._order
+            in_raise = isinstance(statement, ast.Raise)
+            for expr in self._statement_exprs(statement):
+                for sub in _walk_expr(expr):
+                    if isinstance(sub, ast.Call):
+                        self._record_call(sub, order, in_raise, exits)
+                    self._record_alloc(sub, in_raise)
+                    self._record_attr_source(sub)
+            self._record_local_type(statement)
+            self._record_mutation(statement, order, exits)
+        self._local_dataflow([s for s, _ in tagged])
+        return self.fn
+
+    def _statement_exprs(self, statement: ast.stmt) -> Iterator[ast.expr]:
+        """Expressions owned directly by ``statement`` (not sub-stmts)."""
+        for field_name, value in ast.iter_fields(statement):
+            if isinstance(value, ast.expr):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        yield item
+
+    def _collect_param_types(self) -> None:
+        args = list(self.node.args.posonlyargs) + list(self.node.args.args) + list(
+            self.node.args.kwonlyargs
+        )
+        for arg in args:
+            ref = _annotation_ref(arg.annotation)
+            if ref:
+                self._local_types[arg.arg] = ref
+
+    def _record_call(
+        self, node: ast.Call, order: int, in_raise: bool, exits: bool
+    ) -> None:
+        func = node.func
+        path = dotted_path(func)
+        # Taint source?
+        kind = taint_kind_of_call(path) if path else None
+        if kind is not None:
+            index = len(self.fn.sources)
+            self.fn.sources.append(
+                TaintSource(
+                    kind=kind,
+                    what=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    suppressed=self._source_suppressed(node, kind),
+                )
+            )
+            self._source_ids[id(node)] = index
+            return
+        site = self._call_site_for(node, func, path, order, in_raise, exits)
+        if site is not None:
+            self._call_ids[id(node)] = site.index
+            self.fn.calls.append(site)
+            self._record_journal_op(path, order, node)
+            self._record_crashpoint(node, path, order, exits)
+        # functools.partial targets become deferred call edges.
+        if path.split(".")[-1] == "partial" and node.args:
+            target = node.args[0]
+            tpath = dotted_path(target)
+            if tpath:
+                index = len(self.fn.calls)
+                self.fn.calls.append(
+                    CallSite(
+                        index=index,
+                        kind="partial",
+                        target=tpath,
+                        recv_type=self._receiver_type(target),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        order=order,
+                        in_raise=in_raise,
+                        exits=exits,
+                    )
+                )
+
+    def _call_site_for(
+        self,
+        node: ast.Call,
+        func: ast.expr,
+        path: str,
+        order: int,
+        in_raise: bool,
+        exits: bool,
+    ) -> Optional[CallSite]:
+        index = len(self.fn.calls)
+        base = dict(
+            index=index,
+            line=node.lineno,
+            col=node.col_offset,
+            order=order,
+            in_raise=in_raise,
+            exits=exits,
+            returns_float_builtin=bool(
+                path and matches_suffix(path, WALLCLOCK_FLOAT_SUFFIXES)
+            ),
+        )
+        if isinstance(func, ast.Name):
+            return CallSite(kind="name", target=func.id, recv_type="", **base)
+        if isinstance(func, ast.Attribute):
+            recv = func.value
+            if isinstance(recv, ast.Name) and recv.id == "self":
+                return CallSite(
+                    kind="self", target=func.attr, recv_type=self.cls, **base
+                )
+            recv_type = self._receiver_type(func)
+            if recv_type:
+                return CallSite(
+                    kind="attr", target=func.attr, recv_type=recv_type, **base
+                )
+            if path:
+                return CallSite(kind="dotted", target=path, recv_type="", **base)
+            return CallSite(kind="attr", target=func.attr, recv_type="", **base)
+        return None
+
+    def _receiver_type(self, func: ast.expr) -> str:
+        """Declared type of the receiver of ``recv.m`` (or '' unknown)."""
+        if not isinstance(func, ast.Attribute):
+            return ""
+        recv = func.value
+        if isinstance(recv, ast.Name):
+            return self._local_types.get(recv.id, "")
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and self.cls
+        ):
+            info = self.summary.classes.get(self.cls)
+            if info is not None:
+                return info.attr_types.get(recv.attr, "")
+        return ""
+
+    def _record_local_type(self, statement: ast.stmt) -> None:
+        """Track local-variable types from annotations and simple binds."""
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            ref = _annotation_ref(statement.annotation)
+            if ref:
+                self._local_types[statement.target.id] = ref
+            return
+        if not isinstance(statement, ast.Assign) or len(statement.targets) != 1:
+            return
+        target = statement.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        value = statement.value
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and self.cls
+        ):
+            info = self.summary.classes.get(self.cls)
+            if info is not None:
+                ref = info.attr_types.get(value.attr)
+                if ref:
+                    self._local_types[target.id] = ref
+                    return
+        if isinstance(value, ast.Call):
+            ref = dotted_path(value.func)
+            if ref and ref.split(".")[-1][:1].isupper():
+                self._local_types[target.id] = ref
+
+    def _record_alloc(self, node: ast.AST, in_raise: bool) -> None:
+        kind = detail = ""
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            kind, detail = "comprehension", type(node).__name__
+        elif isinstance(node, ast.Lambda):
+            kind, detail = "closure", "lambda"
+        elif isinstance(node, ast.JoinedStr):
+            kind, detail = "fstring", "f-string"
+        elif isinstance(node, ast.Starred):
+            kind, detail = "star-args", "*-unpacking"
+        if kind:
+            self.fn.allocs.append(
+                AllocSite(
+                    kind=kind,
+                    detail=detail,
+                    line=node.lineno,  # type: ignore[attr-defined]
+                    col=node.col_offset,  # type: ignore[attr-defined]
+                    in_raise=in_raise,
+                )
+            )
+
+    def _record_attr_source(self, node: ast.AST) -> None:
+        """Bare attribute taint reads (``os.environ[...]``)."""
+        if not isinstance(node, ast.Attribute):
+            return
+        path = dotted_path(node)
+        kind = taint_kind_of_attr(path)
+        if kind is None:
+            return
+        self.fn.sources.append(
+            TaintSource(
+                kind=kind,
+                what=path,
+                line=node.lineno,
+                col=node.col_offset,
+                suppressed=self._source_suppressed(node, kind),
+            )
+        )
+        self._source_ids[id(node)] = len(self.fn.sources) - 1
+
+    def _source_suppressed(self, node: ast.AST, kind: str) -> bool:
+        det_rule = {
+            "wallclock": "det-wallclock",
+            "rng": "det-unseeded-rng",
+            "env": "det-env-branch",
+        }[kind]
+        flow_rule = f"flow-taint-{kind}"
+        line = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", line) or line
+        for check in range(line - 1, end + 1):
+            ids = self.suppressions.get(check, ())
+            if det_rule in ids or flow_rule in ids:
+                return True
+        return False
+
+    def _record_journal_op(self, path: str, order: int, node: ast.Call) -> None:
+        terminal = path.split(".")[-1] if path else ""
+        if terminal in _JOURNAL_WAL_METHODS:
+            self.fn.journal_ops.append(
+                JournalOp(kind="wal", line=node.lineno, order=order)
+            )
+        elif terminal in _JOURNAL_MARKER_METHODS:
+            self.fn.journal_ops.append(
+                JournalOp(kind="marker", line=node.lineno, order=order)
+            )
+
+    def _record_crashpoint(
+        self, node: ast.Call, path: str, order: int, exits: bool
+    ) -> None:
+        if path.split(".")[-1] != "crashpoint":
+            return
+        name = ""
+        if node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+            else:
+                name = dotted_path(arg) or ""
+        self.fn.crashpoints.append(
+            CrashSite(name=name, line=node.lineno, order=order, exits=exits)
+        )
+
+    def _record_mutation(
+        self, statement: ast.stmt, order: int, exits: bool
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            targets = [statement.target]
+        elif isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Call
+        ):
+            func = statement.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+            ):
+                attr = _self_attr_of(func.value)
+                if attr is not None:
+                    self.fn.mutations.append(
+                        MutationSite(
+                            attr=attr,
+                            line=statement.lineno,
+                            order=order,
+                            exits=exits,
+                        )
+                    )
+            return
+        for target in targets:
+            attr = _self_attr_of(target)
+            if attr is not None:
+                self.fn.mutations.append(
+                    MutationSite(
+                        attr=attr, line=statement.lineno, order=order, exits=exits
+                    )
+                )
+
+    # -- pass 2: local token dataflow ----------------------------------
+
+    def _local_dataflow(self, statements: List[ast.stmt]) -> None:
+        taint: Dict[str, Set[Tuple[str, int]]] = {}
+        floaty: Dict[str, Set[Tuple[str, int]]] = {}
+        # Fixpoint over the (flow-insensitive) assignment relation;
+        # token sets only grow, so this terminates quickly.
+        for _ in range(8):
+            changed = False
+            for statement in statements:
+                changed |= self._flow_statement(statement, taint, floaty)
+            if not changed:
+                break
+        for statement in statements:
+            self._collect_returns(statement, taint, floaty)
+            self._collect_ns_sinks(statement, floaty)
+
+    def _expr_tokens(
+        self,
+        expr: ast.expr,
+        env: Dict[str, Set[Tuple[str, int]]],
+        float_mode: bool,
+    ) -> Set[Tuple[str, int]]:
+        tokens: Set[Tuple[str, int]] = set()
+        if float_mode and _is_int_cast(expr):
+            # An explicit integer cast launders float-ness (but a taint
+            # walk never takes this branch: int(time.time()) is still
+            # nondeterministic).
+            return tokens
+        if isinstance(expr, ast.Call):
+            source = self._source_ids.get(id(expr))
+            if source is not None and not float_mode:
+                tokens.add(("src", source))
+            call = self._call_ids.get(id(expr))
+            if call is not None:
+                tokens.add(("call", call))
+            if float_mode:
+                source = self._source_ids.get(id(expr))
+                if source is not None and self.fn.sources[source].kind == "wallclock":
+                    what = self.fn.sources[source].what
+                    if matches_suffix(what, WALLCLOCK_FLOAT_SUFFIXES):
+                        tokens.add(("floatlit", self.fn.sources[source].line))
+            for child in list(expr.args) + [kw.value for kw in expr.keywords]:
+                tokens |= self._expr_tokens(child, env, float_mode)
+            # Attribute sources live in the receiver chain of method
+            # calls (``os.environ.get(...)``); args alone miss them.
+            if isinstance(expr.func, ast.Attribute):
+                tokens |= self._expr_tokens(expr.func.value, env, float_mode)
+            return tokens
+        if isinstance(expr, ast.Attribute):
+            source = self._source_ids.get(id(expr))
+            if source is not None and not float_mode:
+                tokens.add(("src", source))
+            tokens |= self._expr_tokens(expr.value, env, float_mode)
+            return tokens
+        if isinstance(expr, ast.Name):
+            tokens |= env.get(expr.id, set())
+            return tokens
+        if float_mode:
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+                tokens.add(("floatlit", getattr(expr, "lineno", 0)))
+                return tokens
+            if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Div):
+                tokens.add(("truediv", getattr(expr, "lineno", 0)))
+                tokens |= self._expr_tokens(expr.left, env, float_mode)
+                tokens |= self._expr_tokens(expr.right, env, float_mode)
+                return tokens
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.expr):
+                tokens |= self._expr_tokens(child, env, float_mode)
+            elif isinstance(child, ast.comprehension):
+                tokens |= self._expr_tokens(child.iter, env, float_mode)
+        return tokens
+
+    def _flow_statement(
+        self,
+        statement: ast.stmt,
+        taint: Dict[str, Set[Tuple[str, int]]],
+        floaty: Dict[str, Set[Tuple[str, int]]],
+    ) -> bool:
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+            targets = list(statement.targets)
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            value = statement.value
+            targets = [statement.target]
+        if value is None:
+            return False
+        names: List[str] = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                names.extend(
+                    e.id for e in target.elts if isinstance(e, ast.Name)
+                )
+        if not names:
+            return False
+        changed = False
+        t_tokens = self._expr_tokens(value, taint, float_mode=False)
+        f_tokens = self._expr_tokens(value, floaty, float_mode=True)
+        for name in names:
+            before = len(taint.get(name, ())) + len(floaty.get(name, ()))
+            taint.setdefault(name, set()).update(t_tokens)
+            floaty.setdefault(name, set()).update(f_tokens)
+            after = len(taint[name]) + len(floaty[name])
+            changed |= after != before
+        return changed
+
+    def _collect_returns(
+        self,
+        statement: ast.stmt,
+        taint: Dict[str, Set[Tuple[str, int]]],
+        floaty: Dict[str, Set[Tuple[str, int]]],
+    ) -> None:
+        if not isinstance(statement, ast.Return) or statement.value is None:
+            return
+        for kind, index in sorted(
+            self._expr_tokens(statement.value, taint, float_mode=False)
+        ):
+            if kind == "src" and index not in self.fn.returns_sources:
+                self.fn.returns_sources.append(index)
+            elif kind == "call" and index not in self.fn.returns_calls:
+                self.fn.returns_calls.append(index)
+        for kind, index in sorted(
+            self._expr_tokens(statement.value, floaty, float_mode=True)
+        ):
+            if kind in ("floatlit", "truediv") and not self.fn.returns_float_direct:
+                self.fn.returns_float_direct = True
+                self.fn.returns_float_line = index or statement.lineno
+            elif kind == "call" and index not in self.fn.returns_calls_float:
+                self.fn.returns_calls_float.append(index)
+
+    def _collect_ns_sinks(
+        self,
+        statement: ast.stmt,
+        floaty: Dict[str, Set[Tuple[str, int]]],
+    ) -> None:
+        # Assignments to *_ns names.
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+            targets = list(statement.targets)
+        elif isinstance(statement, ast.AugAssign):
+            value = statement.value
+            targets = [statement.target]
+        elif isinstance(statement, ast.AnnAssign):
+            from repro.lint.symbols import FLOAT_DECLARED, annotation_category
+
+            if annotation_category(statement.annotation) == FLOAT_DECLARED:
+                value = None
+            else:
+                value = statement.value
+            targets = [statement.target]
+        if value is not None:
+            ns_names = [n for n in map(_ns_target_name, targets) if n]
+            if ns_names:
+                tokens = self._expr_tokens(value, floaty, float_mode=True)
+                for kind, index in sorted(tokens):
+                    if kind != "call":
+                        continue
+                    for name in ns_names:
+                        self.fn.ns_sinks.append(
+                            NsSink(
+                                call_index=index,
+                                ns_name=name,
+                                line=statement.lineno,
+                                col=statement.col_offset,
+                                via="assign",
+                            )
+                        )
+        # Keyword arguments foo_ns=<call-derived expression>.
+        for expr in self._statement_exprs(statement):
+            for sub in _walk_expr(expr):
+                if not isinstance(sub, ast.Call):
+                    continue
+                callee = sub.func
+                callee_name = (
+                    callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else callee.id if isinstance(callee, ast.Name) else ""
+                )
+                for keyword in sub.keywords:
+                    if keyword.arg is None or not _is_ns_name(keyword.arg):
+                        continue
+                    tokens = self._expr_tokens(
+                        keyword.value, floaty, float_mode=True
+                    )
+                    for kind, index in sorted(tokens):
+                        if kind == "call":
+                            self.fn.ns_sinks.append(
+                                NsSink(
+                                    call_index=index,
+                                    ns_name=keyword.arg,
+                                    line=keyword.value.lineno,
+                                    col=keyword.value.col_offset,
+                                    via=f"kwarg:{callee_name}",
+                                )
+                            )
+
+
+def _add_function(
+    summary: ModuleSummary,
+    node: ast.FunctionDef,
+    cls: str,
+    suppressions: Dict[int, Set[str]],
+) -> None:
+    extractor = _FunctionExtractor(summary, node, cls, suppressions)
+    fn = extractor.extract()
+    summary.functions[fn.name] = fn
+
+
+def _return_category(node: ast.FunctionDef) -> str:
+    from repro.lint.symbols import annotation_category
+
+    category = annotation_category(node.returns)
+    return category or ""
+
+
+def _is_int_cast(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    return name in _INT_CASTS
+
+
+def _ns_target_name(target: ast.expr) -> str:
+    """Assignment-target name when it is a ``*_ns`` identifier ('' if not)."""
+    name = ""
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    return name if name and _is_ns_name(name) else ""
+
+
+def _is_ns_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered.endswith("_ns") and not lowered.endswith("_per_ns")
+
+
+def _self_attr_of(target: ast.expr) -> Optional[str]:
+    """``self.attr`` (or a deeper path rooted at it) as an attr name."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    while isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return node.attr
+        node = node.value
+        if isinstance(node, ast.Subscript):
+            node = node.value
+    return None

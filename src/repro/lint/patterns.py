@@ -1,0 +1,145 @@
+"""Shared syntactic pattern tables for the single-site and flow rules.
+
+The determinism rules (:mod:`repro.lint.rules.determinism`) and the
+whole-program taint pass (:mod:`repro.lint.flow`) must agree on what
+counts as a wall-clock read, an unseeded RNG draw, or an environment
+probe — otherwise a value the local rules ban could launder through a
+helper the flow pass does not recognise.  This module is the single
+source of truth; it deliberately imports nothing from the rest of the
+lint package so both layers (and the cached summary extractor) can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+#: Packages whose code feeds scheduling decisions (the determinism and
+#: taint-sink scope).  ``repro.service``'s report is byte-compared
+#: across runs in CI, which makes it deterministic state too.
+DETERMINISM_SCOPE = (
+    "repro.sim",
+    "repro.schedulers",
+    "repro.core",
+    "repro.faults",
+    "repro.service",
+)
+
+#: ``random`` module attributes that are fine: seeded generator
+#: constructors, not draws from the hidden global generator.
+SEEDED_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+#: numpy.random attributes that construct explicitly seeded generators.
+NUMPY_SEEDED = {"default_rng", "RandomState", "Generator", "SeedSequence"}
+
+#: Dotted call paths that read a wall clock.
+WALLCLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Wall-clock readers that return (float) seconds, not integer ns.
+WALLCLOCK_FLOAT_SUFFIXES = (
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+)
+
+#: Function names importable from :mod:`time` that read a wall clock.
+WALLCLOCK_NAMES = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+}
+
+#: Environment probes whose value varies across hosts/processes.
+ENV_SUFFIXES = (
+    "os.environ",
+    "os.getenv",
+    "os.cpu_count",
+    "os.uname",
+    "sys.platform",
+    "platform.system",
+    "platform.machine",
+    "platform.node",
+    "socket.gethostname",
+)
+
+
+def dotted_path(node: ast.expr) -> str:
+    """Flatten ``a.b.c`` attribute chains to a dotted string ('' if not)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def matches_suffix(path: str, suffixes: Iterable[str]) -> bool:
+    return any(path == s or path.endswith("." + s) for s in suffixes)
+
+
+def taint_kind_of_call(path: str) -> Optional[str]:
+    """Classify a dotted call path as a taint source (``None`` if not).
+
+    Returns ``"wallclock"``, ``"rng"``, or ``"env"`` — the same split
+    the ``det-*`` rules enforce locally.
+    """
+    if not path:
+        return None
+    if matches_suffix(path, WALLCLOCK_SUFFIXES):
+        return "wallclock"
+    parts = path.split(".")
+    if (
+        parts[0] == "random"
+        and len(parts) == 2
+        and parts[1] not in SEEDED_CONSTRUCTORS
+    ):
+        return "rng"
+    if (
+        len(parts) >= 3
+        and parts[-2] == "random"
+        and parts[0] in ("np", "numpy")
+        and parts[-1] not in NUMPY_SEEDED
+    ):
+        return "rng"
+    if matches_suffix(path, ENV_SUFFIXES):
+        return "env"
+    return None
+
+
+def taint_kind_of_attr(path: str) -> Optional[str]:
+    """Taint kind of a bare attribute access (``os.environ`` reads)."""
+    if path and matches_suffix(path, ENV_SUFFIXES):
+        return "env"
+    return None
+
+
+def has_marker(node: ast.AST, marker: str) -> bool:
+    """True when a function def carries decorator ``@marker`` (bare,
+    called, or attribute-qualified)."""
+    for decorator in getattr(node, "decorator_list", ()):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == marker:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == marker:
+            return True
+    return False

@@ -1,9 +1,12 @@
 """Render a :class:`~repro.lint.findings.LintReport` for humans or CI.
 
 The human format is one ``path:line:col rule-id message`` line per
-finding plus a summary; the JSON format is a stable document the CI job
-uploads as an artifact (``findings`` list plus counters), so downstream
-tooling can diff runs.
+finding — plus, for interprocedural (``flow-*``) findings, the indented
+source→sink trace naming every call edge — and a summary; the JSON
+format is a stable document the CI job uploads as an artifact
+(``findings`` list, suppression inventory, counters), so downstream
+tooling can diff runs.  :func:`format_suppressions` renders the
+allow-comment inventory behind ``lint --list-suppressions``.
 """
 
 from __future__ import annotations
@@ -17,11 +20,24 @@ def format_human(report: LintReport) -> str:
     lines = []
     for finding in report.findings:
         lines.append(f"{finding.location()}: {finding.rule_id}: {finding.message}")
+        for hop in finding.trace:
+            lines.append(f"    | {hop}")
     status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
-    lines.append(
+    summary = (
         f"checked {report.files_checked} file(s): {status}"
         f" ({report.suppressed} suppressed)"
     )
+    if report.flow_functions:
+        summary += (
+            f" [flow: {report.flow_functions} functions, "
+            f"{report.flow_edges} edges]"
+        )
+    if report.cache_hits or report.cache_misses:
+        summary += (
+            f" [cache: {report.cache_hits} hit(s), "
+            f"{report.cache_misses} miss(es)]"
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -31,6 +47,14 @@ def format_json(report: LintReport) -> str:
         "suppressed": report.suppressed,
         "parse_errors": report.parse_errors,
         "ok": report.ok,
+        "flow": {
+            "functions": report.flow_functions,
+            "edges": report.flow_edges,
+        },
+        "cache": {
+            "hits": report.cache_hits,
+            "misses": report.cache_misses,
+        },
         "findings": [
             {
                 "rule": finding.rule_id,
@@ -38,8 +62,36 @@ def format_json(report: LintReport) -> str:
                 "line": finding.line,
                 "col": finding.col + 1,
                 "message": finding.message,
+                "trace": list(finding.trace),
             }
             for finding in report.findings
         ],
+        "suppressions": [
+            {
+                "path": site.path,
+                "line": site.line,
+                "rules": list(site.rule_ids),
+                "used": list(site.used_ids),
+                "stale": list(site.stale_ids),
+            }
+            for site in report.suppression_sites
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def format_suppressions(report: LintReport) -> str:
+    """One line per allow-comment with per-id liveness.
+
+    The ``live``/``STALE`` tag is per rule id: an id is live when it
+    silenced at least one finding in this run.  The same format is
+    diffed against the checked-in allowlist in CI, so the line shape is
+    part of the contract — ``path:line rule-id live|STALE``.
+    """
+    lines = []
+    for site in sorted(report.suppression_sites, key=lambda s: (s.path, s.line)):
+        for rule_id in site.rule_ids:
+            tag = "live" if rule_id in site.used_ids else "STALE"
+            lines.append(f"{site.path}:{site.line} {rule_id} {tag}")
+    lines.append(f"{len(lines)} suppression id(s)")
+    return "\n".join(lines)

@@ -7,6 +7,7 @@ what ``# repro: allow[...]`` suppressions and reports use — and add a
 known-good/known-bad fixture pair under ``tests/lint/fixtures/``.
 """
 
+from repro.lint.flow import rules as flow_rules  # noqa: F401  (registration)
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     error_handling,
@@ -15,4 +16,11 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     time_units,
 )
 
-__all__ = ["determinism", "error_handling", "hotpath", "layering", "time_units"]
+__all__ = [
+    "determinism",
+    "error_handling",
+    "flow_rules",
+    "hotpath",
+    "layering",
+    "time_units",
+]

@@ -18,60 +18,18 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-#: Packages whose code feeds scheduling decisions.
-DETERMINISM_SCOPE = (
-    "repro.sim",
-    "repro.schedulers",
-    "repro.core",
-    "repro.faults",
-    "repro.service",
+from repro.lint.patterns import (
+    DETERMINISM_SCOPE,
+    ENV_SUFFIXES as _ENV_SUFFIXES,
+    NUMPY_SEEDED as _NUMPY_SEEDED,
+    SEEDED_CONSTRUCTORS as _SEEDED_CONSTRUCTORS,
+    WALLCLOCK_NAMES as _WALLCLOCK_NAMES,
+    WALLCLOCK_SUFFIXES as _WALLCLOCK_SUFFIXES,
+    dotted_path,
+    matches_suffix as _matches_suffix,
 )
 
-#: ``random`` module attributes that are fine: seeded generator
-#: constructors, not draws from the hidden global generator.
-_SEEDED_CONSTRUCTORS = {"Random", "SystemRandom"}
-
-#: numpy.random attributes that construct explicitly seeded generators.
-_NUMPY_SEEDED = {"default_rng", "RandomState", "Generator", "SeedSequence"}
-
-#: Dotted call paths that read a wall clock.
-_WALLCLOCK_SUFFIXES = (
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-)
-
-#: Function names importable from :mod:`time` that read a wall clock.
-_WALLCLOCK_NAMES = {
-    "time",
-    "time_ns",
-    "monotonic",
-    "monotonic_ns",
-    "perf_counter",
-    "perf_counter_ns",
-    "process_time",
-}
-
-#: Environment probes whose value varies across hosts/processes.
-_ENV_SUFFIXES = (
-    "os.environ",
-    "os.getenv",
-    "os.cpu_count",
-    "os.uname",
-    "sys.platform",
-    "platform.system",
-    "platform.machine",
-    "platform.node",
-    "socket.gethostname",
-)
+__all__ = ["DETERMINISM_SCOPE", "dotted_path"]
 
 
 def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
@@ -83,22 +41,6 @@ def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
             continue
         yield node
         stack.extend(reversed(list(ast.iter_child_nodes(node))))
-
-
-def dotted_path(node: ast.expr) -> str:
-    """Flatten ``a.b.c`` attribute chains to a dotted string ('' if not)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
-
-
-def _matches_suffix(path: str, suffixes) -> bool:
-    return any(path == s or path.endswith("." + s) for s in suffixes)
 
 
 @register

@@ -109,13 +109,18 @@ class ProjectSymbols:
                     if category is not None:
                         self._record(node.name, name, category)
 
-    def _record(self, callee: str, param: str, category: str) -> None:
-        # Conflicting declarations across same-named callables resolve
-        # to float (the permissive reading avoids false positives).
+    def record(self, callee: str, param: str, category: str) -> None:
+        """Merge one declaration (cache rehydration uses this directly).
+
+        Conflicting declarations across same-named callables resolve to
+        float (the permissive reading avoids false positives).
+        """
         current = self.ns_params.get((callee, param))
         if current == FLOAT_DECLARED:
             return
         self.ns_params[(callee, param)] = category
+
+    _record = record
 
 
 def build_symbols(modules: Iterable[Tuple[str, ast.Module]]) -> ProjectSymbols:

@@ -94,9 +94,15 @@ class Credit2Scheduler(Scheduler):
             members.append(extra)
         if not members:
             return
-        if all(self._state[v.name].credits <= 0 for v in members):
-            for v in members:
-                self._state[v.name].credits += CREDIT_INIT_NS
+        # Runs on every pick (reachable from the resched hot path), so
+        # the all-depleted test is a plain loop with an early exit —
+        # in the common case the first solvent member bails out without
+        # building a generator per pick.
+        for v in members:
+            if self._state[v.name].credits > 0:
+                return
+        for v in members:
+            self._state[v.name].credits += CREDIT_INIT_NS
 
     # ------------------------------------------------------------------
 

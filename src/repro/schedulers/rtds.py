@@ -143,13 +143,21 @@ class RtdsScheduler(Scheduler):
     def _runqueue_census(self) -> int:
         """Runnable vCPUs still holding budget — the population the
         runqueue scans actually walk (depleted vCPUs live on the
-        replenishment queue instead)."""
-        return sum(
-            1
-            for v in self._vcpus.values()
-            if v.runnable
-            and self._state[v.name].remaining_ns >= DEPLETION_THRESHOLD_NS
-        )
+        replenishment queue instead).
+
+        Counted with a plain loop: this runs after every deschedule and
+        wakeup (reachable from the resched hot path), where a generator
+        per call is exactly the allocation the hot-path rules ban.
+        """
+        state = self._state
+        count = 0
+        for v in self._vcpus.values():
+            if (
+                v.runnable
+                and state[v.name].remaining_ns >= DEPLETION_THRESHOLD_NS
+            ):
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Scheduling entry points

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from repro.core.table import SystemTable
 from repro.errors import ConfigurationError
-from repro.hotpath import hotpath
+from repro.hotpath import coldpath, hotpath
 from repro.schedulers.base import Decision, Scheduler, WakeAction
 from repro.sim.overheads import IPI_WIRE_NS
 from repro.sim.vm import VCpu, VCpuState
@@ -344,6 +344,7 @@ class TableauScheduler(Scheduler):
     # Degraded mode and quarantine
     # ------------------------------------------------------------------
 
+    @coldpath
     def _pick_degraded(self, cpu: int, now: int) -> Decision:
         """Emergency round-robin dispatch for a core whose table state is
         corrupt (failed mid-activation switch).
@@ -517,13 +518,17 @@ class TableauScheduler(Scheduler):
         state = self._l2.get(cpu)
         members = list(state.members) if state is not None else []
         if self.split_l2_policy == "trailing":
-            members.extend(
-                v
-                for v in self._vcpus.values()
-                if not v.capped
-                and len(self.table.home_cores.get(v.name, [])) > 1
-                and v.last_cpu == cpu
-            )
+            # Runs on every L2 pick (via the @hotpath _l2_pick), so the
+            # trailing-member scan appends in place rather than building
+            # a generator per call.
+            home_cores = self.table.home_cores
+            for v in self._vcpus.values():
+                if (
+                    not v.capped
+                    and len(home_cores.get(v.name, [])) > 1
+                    and v.last_cpu == cpu
+                ):
+                    members.append(v)
         return members
 
     @hotpath

@@ -1,0 +1,39 @@
+"""Bad fixture: observable effects outside the journal's crash window.
+
+Three protocol violations for the crash-consistency passes:
+
+* ``admit`` mutates accepted-count state *before* the WAL append — a
+  crash between the two loses the effect with no record to replay.
+* ``settle`` mutates *after* the commit marker — replay after a crash
+  there double-applies the effect.
+* ``enroll`` consults a crashpoint before the WAL append, so the crash
+  campaign exercises a state the journal never covers.
+"""
+
+from repro.faults.crash import crashpoint
+
+
+class Controller:
+    def __init__(self, journal, store):
+        self._journal = journal
+        self._store = store
+        self._accepted = 0
+        self._settled = 0
+
+    def admit(self, request):
+        self._accepted += 1
+        self._journal.append_request(request)
+        self._store.apply(request)
+        self._journal.append_commit(request)
+
+    def settle(self, request):
+        self._journal.append_request(request)
+        self._store.apply(request)
+        self._journal.append_commit(request)
+        self._settled += 1
+
+    def enroll(self, request):
+        crashpoint("controller-enroll")
+        self._journal.append_request(request)
+        self._store.apply(request)
+        self._journal.append_commit(request)

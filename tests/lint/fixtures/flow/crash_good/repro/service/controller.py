@@ -1,0 +1,28 @@
+"""Good fixture: the journal protocol observed.
+
+Every observable mutation sits between the WAL append and the commit
+marker; the crashpoint lands after the WAL append so the campaign only
+exercises journaled states; the early-return rejection counter is
+off the commit path entirely (the suite ends by exiting).
+"""
+
+from repro.faults.crash import crashpoint
+
+
+class Controller:
+    def __init__(self, journal, store):
+        self._journal = journal
+        self._store = store
+        self._accepted = 0
+        self._rejected = 0
+
+    def admit(self, request):
+        if not request.valid:
+            self._rejected += 1
+            return False
+        self._journal.append_request(request)
+        crashpoint("controller-admit")
+        self._store.apply(request)
+        self._accepted += 1
+        self._journal.append_commit(request)
+        return True

@@ -1,0 +1,22 @@
+"""Bad fixture: allocation reached transitively from a ``@hotpath`` root.
+
+``census`` builds a list per call.  It carries no marker itself, so the
+single-site ``hot-*`` rules ignore it — but it is two call hops below
+the ``@hotpath`` root ``drain``, which is exactly the laundering the
+``flow-hot-transitive`` pass exists to catch.
+"""
+
+from repro.hotpath import hotpath
+
+
+def census(rows):
+    return [row for row in rows if row.live]
+
+
+def tally(rows):
+    return len(census(rows))
+
+
+@hotpath
+def drain(rows):
+    return tally(rows)

@@ -1,0 +1,29 @@
+"""Good fixture: the hot chain counts in place; rebuilds are ``@coldpath``.
+
+``tally`` walks without allocating, and the allocating ``rebuild``
+fallback is explicitly marked cold, which prunes it from the transitive
+hot walk (the same escape hatch the shipped schedulers use for their
+degraded-mode paths).
+"""
+
+from repro.hotpath import coldpath, hotpath
+
+
+@coldpath
+def rebuild(rows):
+    return [row for row in rows if row.live]
+
+
+def tally(rows):
+    count = 0
+    for row in rows:
+        if row.live:
+            count += 1
+    return count
+
+
+@hotpath
+def drain(rows, scratch):
+    if not rows:
+        return rebuild(scratch)
+    return tally(rows)

@@ -1,0 +1,21 @@
+"""Bad fixture: in-scope consumers laundering taint through helpers.
+
+``repro.core`` is inside DETERMINISM_SCOPE, so every call below pulls a
+nondeterministic value across the scope boundary: wall clock via two
+hops (``stamp_ns`` -> ``raw_stamp`` -> ``time.time``), unseeded RNG via
+``entropy``, and host environment via ``node_label``.
+"""
+
+from repro.telemetry.feeds import entropy, node_label, stamp_ns
+
+
+def plan_epoch():
+    return stamp_ns()
+
+
+def tie_break(candidates):
+    return candidates[int(entropy() * len(candidates))]
+
+
+def placement_hint():
+    return node_label()

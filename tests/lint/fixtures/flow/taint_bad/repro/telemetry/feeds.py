@@ -1,0 +1,28 @@
+"""Bad fixture: nondeterministic helpers outside the deterministic scope.
+
+None of these functions is a finding on its own (``repro.telemetry`` is
+not in DETERMINISM_SCOPE); the taint only becomes a defect when an
+in-scope module calls them — which is exactly what the single-site
+``det-*`` rules cannot see and the ``flow-taint-*`` passes can.
+"""
+
+import os
+import random
+import time
+
+
+def raw_stamp():
+    return time.time()
+
+
+def stamp_ns():
+    # The int() cast does not launder wall-clock taint.
+    return int(raw_stamp() * 1e9)
+
+
+def entropy():
+    return random.random()
+
+
+def node_label():
+    return os.environ.get("NODE_LABEL", "")

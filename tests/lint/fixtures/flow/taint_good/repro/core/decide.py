@@ -1,0 +1,15 @@
+"""Good fixture: the same consumers as ``taint_bad``, clean helpers."""
+
+from repro.telemetry.feeds import entropy, node_label, stamp_ns
+
+
+def plan_epoch(now_ns):
+    return stamp_ns(now_ns)
+
+
+def tie_break(candidates):
+    return candidates[int(entropy() * len(candidates))]
+
+
+def placement_hint(config):
+    return node_label(config)

@@ -1,0 +1,22 @@
+"""Good fixture: the deterministic twins of ``taint_bad``'s helpers.
+
+Time comes from the caller's engine clock, randomness from a seeded
+generator, and configuration from an explicit dict — nothing reads the
+host, so calls from deterministic scope are clean.
+"""
+
+import random
+
+_RNG = random.Random(1_234)
+
+
+def stamp_ns(engine_now_ns):
+    return engine_now_ns
+
+
+def entropy():
+    return _RNG.random()
+
+
+def node_label(config):
+    return config.get("node_label", "")

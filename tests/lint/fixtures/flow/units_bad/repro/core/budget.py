@@ -1,0 +1,22 @@
+"""Bad fixture: float values escaping into integer-nanosecond names.
+
+``scaled_budget`` returns float (through the ``smoothing`` helper in
+another module), and this module binds that result to ``*_ns`` names —
+once by assignment, once as a keyword argument to a callee whose
+``deadline_ns`` parameter is integer-typed.
+"""
+
+from repro.telemetry.convert import scaled_budget
+
+
+def arm_timer(deadline_ns: int):
+    return deadline_ns
+
+
+def quantum_for(base_ns):
+    slice_ns = scaled_budget(base_ns)
+    return slice_ns
+
+
+def schedule(base_ns):
+    return arm_timer(deadline_ns=scaled_budget(base_ns))

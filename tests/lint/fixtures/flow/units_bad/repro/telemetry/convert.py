@@ -1,0 +1,15 @@
+"""Bad fixture: float-producing helpers two hops from any ``*_ns`` name.
+
+``smoothing`` returns a float literal; ``scaled_budget`` multiplies an
+integer budget by it and so returns float transitively.  Neither module
+mentions a ``*_ns`` sink, so the single-site ``time-*`` rules stay
+silent here.
+"""
+
+
+def smoothing():
+    return 0.25
+
+
+def scaled_budget(base_ns):
+    return base_ns * smoothing()

@@ -1,0 +1,25 @@
+"""Good fixture: integer-ns discipline held across the helper boundary.
+
+``scaled_budget`` already returns int, and the one deliberately float
+quantity (a measured cost) is declared ``cost_ns: float``, which is the
+sanctioned escape hatch the symbol table records.
+"""
+
+from repro.telemetry.convert import scaled_budget
+
+
+def arm_timer(deadline_ns: int):
+    return deadline_ns
+
+
+def record_cost(cost_ns: float):
+    return cost_ns
+
+
+def quantum_for(base_ns):
+    slice_ns = scaled_budget(base_ns)
+    return slice_ns
+
+
+def schedule(base_ns):
+    return arm_timer(deadline_ns=scaled_budget(base_ns))

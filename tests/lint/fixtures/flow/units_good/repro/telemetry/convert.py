@@ -1,0 +1,9 @@
+"""Good fixture: the helper truncates back to integer ns itself."""
+
+
+def smoothing():
+    return 0.25
+
+
+def scaled_budget(base_ns):
+    return int(base_ns * smoothing())

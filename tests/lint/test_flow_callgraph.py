@@ -1,0 +1,167 @@
+"""Call-graph resolution over synthetic module sets.
+
+Each test parses a couple of in-memory modules, builds the graph, and
+asserts the edges the resolver must find: bare names through imports,
+method dispatch through the class hierarchy (defining ancestor plus
+descendant overrides), typed and attribute-typed receivers,
+constructors, ``functools.partial`` deferral, and dotted module calls.
+"""
+
+import ast
+
+from repro.lint.flow import build_call_graph, summarize_module
+
+
+def graph_of(modules):
+    summaries = {
+        module: summarize_module(module, f"<{module}>", ast.parse(source), {})
+        for module, source in modules.items()
+    }
+    return build_call_graph(summaries)
+
+
+def callees(graph, node):
+    return sorted(edge.callee for edge in graph.out_edges(node))
+
+
+class TestNameResolution:
+    def test_local_call(self):
+        graph = graph_of({"a": "def g():\n    return 1\n\ndef f():\n    return g()\n"})
+        assert callees(graph, "a:f") == ["a:g"]
+
+    def test_from_import(self):
+        graph = graph_of({
+            "a": "def g():\n    return 1\n",
+            "b": "from a import g\n\ndef h():\n    return g()\n",
+        })
+        assert callees(graph, "b:h") == ["a:g"]
+
+    def test_import_alias(self):
+        graph = graph_of({
+            "a": "def g():\n    return 1\n",
+            "b": "from a import g as helper\n\ndef h():\n    return helper()\n",
+        })
+        assert callees(graph, "b:h") == ["a:g"]
+
+    def test_dotted_module_call(self):
+        graph = graph_of({
+            "pkg.util": "def helper():\n    return 1\n",
+            "app": "import pkg.util\n\ndef f():\n    return pkg.util.helper()\n",
+        })
+        assert callees(graph, "app:f") == ["pkg.util:helper"]
+
+
+class TestMethodDispatch:
+    def test_self_call_same_class(self):
+        graph = graph_of({
+            "m": (
+                "class C:\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+                "    def step(self):\n"
+                "        return 0\n"
+            ),
+        })
+        assert callees(graph, "m:C.run") == ["m:C.step"]
+
+    def test_inherited_method_and_override(self):
+        # Base.run calls self.step: conservative dispatch targets the
+        # defining ancestor *and* every override below it, across
+        # modules.
+        graph = graph_of({
+            "base": (
+                "class Base:\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+                "    def step(self):\n"
+                "        return 0\n"
+            ),
+            "sub": (
+                "from base import Base\n"
+                "class Sub(Base):\n"
+                "    def step(self):\n"
+                "        return 1\n"
+            ),
+        })
+        assert callees(graph, "base:Base.run") == ["base:Base.step", "sub:Sub.step"]
+
+    def test_subclass_calls_inherited_method(self):
+        graph = graph_of({
+            "base": (
+                "class Base:\n"
+                "    def helper(self):\n"
+                "        return 0\n"
+            ),
+            "sub": (
+                "from base import Base\n"
+                "class Sub(Base):\n"
+                "    def go(self):\n"
+                "        return self.helper()\n"
+            ),
+        })
+        assert callees(graph, "sub:Sub.go") == ["base:Base.helper"]
+
+    def test_annotated_receiver(self):
+        graph = graph_of({
+            "m": (
+                "class C:\n"
+                "    def ping(self):\n"
+                "        return 0\n"
+                "def f(c: C):\n"
+                "    return c.ping()\n"
+            ),
+        })
+        assert callees(graph, "m:f") == ["m:C.ping"]
+
+    def test_receiver_typed_via_init_attribute(self):
+        graph = graph_of({
+            "m": (
+                "class Dep:\n"
+                "    def ping(self):\n"
+                "        return 1\n"
+                "class App:\n"
+                "    def __init__(self):\n"
+                "        self.dep = Dep()\n"
+                "    def go(self):\n"
+                "        return self.dep.ping()\n"
+            ),
+        })
+        assert "m:Dep.ping" in callees(graph, "m:App.go")
+
+
+class TestSpecialForms:
+    def test_constructor_resolves_to_init(self):
+        graph = graph_of({
+            "m": (
+                "class C:\n"
+                "    def __init__(self):\n"
+                "        self.x = 0\n"
+                "def f():\n"
+                "    return C()\n"
+            ),
+        })
+        assert callees(graph, "m:f") == ["m:C.__init__"]
+
+    def test_partial_defers_an_edge(self):
+        graph = graph_of({
+            "m": (
+                "from functools import partial\n"
+                "def g(x):\n"
+                "    return x\n"
+                "def f():\n"
+                "    return partial(g, 1)\n"
+            ),
+        })
+        edges = graph.out_edges("m:f")
+        assert [e.callee for e in edges if e.kind == "partial"] == ["m:g"]
+
+
+class TestExports:
+    def test_json_and_dot(self):
+        graph = graph_of({"a": "def g():\n    return 1\n\ndef f():\n    return g()\n"})
+        doc = graph.to_json_dict()
+        assert {n["id"] for n in doc["nodes"]} == {"a:f", "a:g"}
+        assert doc["edges"][0]["caller"] == "a:f"
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"a.f" -> "a.g"' in dot

@@ -22,16 +22,34 @@ SRC = REPO_ROOT / "src" / "repro"
 
 class TestShippedTreeIsClean:
     def test_src_repro_has_no_findings(self):
+        # Full run: single-site rules, the whole-program flow passes,
+        # and stale-suppression detection all at once.
         report = lint_paths([str(SRC)])
         assert report.findings == [], "\n".join(
             f"{f.location()} {f.rule_id}: {f.message}" for f in report.findings
         )
         assert report.parse_errors == 0
         assert report.files_checked > 50
+        # The flow passes really ran: the project call graph is there.
+        assert report.flow_functions > 500
+        assert report.flow_edges > 500
+        # Every shipped allow-comment still silences something.
+        stale = [
+            f"{site.path}:{site.line} {sorted(site.stale_ids)}"
+            for site in report.suppression_sites
+            if site.stale_ids
+        ]
+        assert stale == []
 
     def test_cli_exits_zero_on_shipped_tree(self, capsys):
         assert main(["lint", str(SRC)]) == 0
-        assert "clean" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "[flow:" in out
+
+    def test_cli_no_flow_still_clean(self, capsys):
+        assert main(["lint", "--no-flow", str(SRC)]) == 0
+        assert "[flow:" not in capsys.readouterr().out
 
 
 class TestCliOnBadFixtures:

@@ -1,0 +1,135 @@
+"""Stale-suppression detection and the allow-comment inventory.
+
+A ``# repro: allow[rule-id]`` comment that no longer silences anything
+is itself a finding (``lint-stale-allow``) on full runs — dead
+suppressions are how real defects sneak back in.  The inventory behind
+``--list-suppressions`` renders per-id liveness in the line format CI
+diffs against the checked-in allowlist.
+"""
+
+from repro.lint import format_suppressions, lint_paths
+
+
+def write_tree(tmp_path, name, source):
+    target = tmp_path / "repro" / "sim" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestStaleDetection:
+    def test_unused_allow_is_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "stale.py",
+            "def f():\n    return 1  # repro: allow[det-wallclock]\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        (finding,) = report.findings
+        assert finding.rule_id == "lint-stale-allow"
+        assert "det-wallclock" in finding.message
+        assert finding.line == 2
+
+    def test_live_allow_is_not_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "live.py",
+            "import time\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[det-wallclock]\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_mixed_site_reports_only_the_stale_id(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "mixed.py",
+            "import time\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[det-wallclock, hot-fstring]\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        (finding,) = report.findings
+        assert finding.rule_id == "lint-stale-allow"
+        assert "hot-fstring" in finding.message
+        assert "det-wallclock" not in finding.message
+
+    def test_stale_finding_is_itself_suppressable(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "meta.py",
+            "def f():\n"
+            "    return 1  # repro: allow[det-wallclock, lint-stale-allow]\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.findings == []
+
+    def test_rule_subset_runs_skip_stale_detection(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "stale.py",
+            "def f():\n    return 1  # repro: allow[det-wallclock]\n",
+        )
+        report = lint_paths([str(tmp_path)], rules=["det-wallclock"])
+        assert report.findings == []
+
+
+class TestCommentParsingPrecision:
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "doc.py",
+            '"""Docs quoting a comment: ``# repro: allow[det-wallclock]``."""\n'
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return 1\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.findings == []
+        assert report.suppression_sites == []
+
+    def test_string_literal_mention_is_not_a_suppression(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lit.py",
+            "EXAMPLE = '# repro: allow[det-wallclock]'\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.findings == []
+        assert report.suppression_sites == []
+
+
+class TestInventory:
+    def test_format_and_liveness_tags(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "inv.py",
+            "import time\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[det-wallclock]\n"
+            "\n"
+            "\n"
+            "def g():\n"
+            "    return 1  # repro: allow[det-unseeded-rng, lint-stale-allow]\n",
+        )
+        report = lint_paths([str(tmp_path)])
+        text = format_suppressions(report)
+        lines = text.splitlines()
+        assert lines[-1] == "3 suppression id(s)"
+        tagged = {
+            line.rsplit(" ", 2)[1]: line.rsplit(" ", 2)[2]
+            for line in lines[:-1]
+        }
+        assert tagged["det-wallclock"] == "live"
+        assert tagged["det-unseeded-rng"] == "STALE"
+        # file:line prefix is part of the diffable contract.
+        assert all(":" in line.split(" ")[0] for line in lines[:-1])
