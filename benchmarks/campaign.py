@@ -12,12 +12,24 @@ the 1 ms latency goal of Fig. 3's hardest planner curve) three ways:
   :class:`repro.core.plancache.PlanStore`, which they populate;
 * ``parallel_warm`` — 4 pool workers against the now-warm store.
 
-and verifies the two properties the campaign engine exists for: every
-aggregate is **byte-identical** to the serial one, and the warm run's
-planner phase is served from the content-addressed store (>=90% hits)
-instead of re-planning, which is where the >=3x wall-clock win comes
-from (this container exposes a single CPU, so the win is the cache's,
-not the pool's).
+and verifies the properties the campaign engine exists for: every
+aggregate is **byte-identical** to the serial one, the warm run's
+planner phase is served from the content-addressed store (>=90% hits),
+and the warm store beats a cold one at equal parallelism.
+
+Historical note on the bars: before the columnar planner, planning was
+5.86s of a 6.75s serial run and the warm store delivered a >=3x
+wall-clock win over serial.  The columnar planner cut the serial plan
+phase to ~0.14s (module-level shape/core caches are shared across
+shards within one process), so on this single-CPU container the serial
+path now *beats* the pool — worker processes fork cold and re-pay
+process-cold planning.  The wall bar therefore moved to where the
+store's effect still is: the pooled *plan phase*, cold store vs warm
+store at equal parallelism (measured ~1.6-1.8x; gated at 1.3x), plus a
+hard ceiling on the serial cold plan phase itself (<=2.93s, half the
+pre-columnar cost) so the planner win that retired the old bar cannot
+silently regress.  Wall ratios are still reported but not gated — at
+~1.2x they sit inside this container's timing noise.
 
 Run directly to (re)generate ``BENCH_campaign.json`` at the repo root::
 
@@ -135,6 +147,8 @@ def run_all(
     for block in (serial, cold, warm):
         del block["aggregate_bytes"]
     speedup = float(serial["wall_s"]) / float(warm["wall_s"])
+    speedup_vs_cold = float(cold["wall_s"]) / float(warm["wall_s"])
+    phase_speedup = float(cold["plan_phase_s"]) / float(warm["plan_phase_s"])
     warm_cache = warm["plan_cache"]
     assert isinstance(warm_cache, dict)
     return {
@@ -153,6 +167,8 @@ def run_all(
         "parallel_cold": cold,
         "parallel_warm": warm,
         "speedup_warm_vs_serial": round(speedup, 2),
+        "speedup_warm_vs_cold": round(speedup_vs_cold, 2),
+        "plan_phase_speedup_warm_vs_cold": round(phase_speedup, 2),
         "warm_hit_rate": warm_cache["hit_rate"],
         "aggregates_identical": identical,
     }
@@ -165,8 +181,9 @@ def main() -> int:
     print(f"\nwrote {BENCH_PATH}")
     ok = (
         results["aggregates_identical"]
-        and float(results["speedup_warm_vs_serial"]) >= 3.0
+        and float(results["plan_phase_speedup_warm_vs_cold"]) >= 1.3
         and float(results["warm_hit_rate"]) >= 0.9
+        and float(results["serial_seed"]["plan_phase_s"]) <= 2.93
     )
     if not ok:
         print("BENCHMARK BAR NOT MET", file=sys.stderr)

@@ -27,7 +27,9 @@ from hotpath import (
     bench_daemon_regeneration,
     bench_dispatch,
     bench_dispatch_backends,
+    bench_plan_transport,
     bench_planner,
+    bench_planner_delta,
 )
 from repro.core import MS, Planner, make_vm
 from repro.topology import xeon_16core
@@ -175,6 +177,60 @@ def test_array_backend_is_bit_identical_and_clears_5x_seed():
         f"array  events/sec {arr_eps:.0f} ({arr_eps / seed_eps:.1f}x seed, "
         f"{arr_eps / obj_eps:.2f}x object)\n"
         f"5x floor          {floor:.0f} (load factor {load_factor:.2f})",
+    )
+
+
+def test_planner_delta_matches_scratch_and_outruns_full_burst():
+    """Delta replans: differential correctness plus a relative gate.
+
+    ``bench_planner_delta`` itself raises if the churned plan drifts
+    from the base fingerprint, so running it *is* the differential
+    check.  The throughput gate is relative to this tree's own full
+    burst (both measured here, same container load): census-diff
+    replans skip census rebuilding and WFD repacking of untouched
+    cores, so they must beat the full-replan burst rate.
+    """
+    delta = bench_planner_delta(cycles=25)
+    full = bench_planner(repeats=1)
+    assert delta["plans"] == 50
+    assert delta["plans_per_sec"] > full["plans_per_sec"], (
+        f"delta replans ({delta['plans_per_sec']:.0f}/s) no faster than "
+        f"full burst ({full['plans_per_sec']:.0f}/s)"
+    )
+    publish(
+        "perf_planner_delta",
+        "census-diff (delta) replanning (quick scale)\n"
+        f"delta plans_per_sec {delta['plans_per_sec']:.0f}\n"
+        f"full  plans_per_sec {full['plans_per_sec']:.0f}\n"
+        f"fingerprint         {delta['fingerprint'][:16]} (drift-checked)",
+    )
+
+
+def test_plan_transport_travels_as_deltas():
+    """Zero-copy transport: steady-state churn must push 'TBLD' deltas.
+
+    Payload size is deterministic (same census diff → same columns), so
+    the 4x bytes bar is a hard gate, unlike the timing smoke above.
+    """
+    transport = bench_plan_transport(cycles=16)
+    assert transport["delta_pushes"] == transport["pushes"], (
+        f"only {transport['delta_pushes']}/{transport['pushes']} churn "
+        "pushes travelled as deltas"
+    )
+    assert transport["full_pushes"] == 1  # the boot push only
+    assert transport["delta_fallbacks"] == 0
+    assert transport["bytes_ratio"] >= 4.0, (
+        f"delta payloads only {transport['bytes_ratio']}x smaller than "
+        "a full table"
+    )
+    publish(
+        "perf_plan_transport",
+        "delta table transport (quick scale)\n"
+        f"pushes_per_sec   {transport['pushes_per_sec']:.0f}\n"
+        f"delta pushes     {transport['delta_pushes']}/{transport['pushes']}\n"
+        f"payload bytes    {transport['delta_bytes']} vs "
+        f"{transport['full_table_bytes']} full "
+        f"({transport['bytes_ratio']}x smaller)",
     )
 
 

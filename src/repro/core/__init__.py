@@ -69,6 +69,7 @@ from repro.core.planner import (
     METHOD_CLUSTERED,
     METHOD_PARTITIONED,
     METHOD_SEMI_PARTITIONED,
+    CensusDelta,
     Planner,
     PlanResult,
     PlanStats,
@@ -116,6 +117,7 @@ __all__ = [
     "optimize_core",
     "rebind_plan",
     "Allocation",
+    "CensusDelta",
     "CoalesceReport",
     "CoreTable",
     "DEFAULT_TIERS",

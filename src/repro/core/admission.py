@@ -11,7 +11,7 @@ already-running tenants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.params import VCpuSpec
 from repro.core.periods import HYPERPERIOD_NS, MIN_PERIOD_NS, select_period
@@ -19,6 +19,15 @@ from repro.errors import AdmissionError, LatencyInfeasibleError
 
 #: Utilization-sum tolerance absorbing integer-ns cost rounding.
 ADMISSION_EPSILON = 1e-6
+
+#: Latency-feasibility memo: (U, L, hyperperiod, min_period) -> None
+#: when a period exists, else the exact error text.  Admission runs on
+#: every replan over a mostly-unchanged census, so the same handful of
+#: (U, L) pairs is re-checked constantly; the verdict (including the
+#: message) is a pure function of the key.  Cleared wholesale when full.
+_FEASIBILITY_CACHE: Dict[Tuple[float, int, int, int], Optional[str]] = {}
+_FEASIBILITY_CACHE_SIZE = 4096
+_MISS = object()
 
 
 @dataclass
@@ -65,17 +74,26 @@ def check_admission(
             report.dedicated.append(vcpu.name)
             continue
         shared += vcpu.utilization
-        try:
-            select_period(
-                vcpu.utilization,
-                vcpu.latency_ns,
-                hyperperiod_ns=hyperperiod_ns,
-                min_period_ns=min_period_ns,
-                strict=True,
-            )
-        except LatencyInfeasibleError as error:
+        key = (vcpu.utilization, vcpu.latency_ns, hyperperiod_ns, min_period_ns)
+        verdict = _FEASIBILITY_CACHE.get(key, _MISS)
+        if verdict is _MISS:
+            try:
+                select_period(
+                    vcpu.utilization,
+                    vcpu.latency_ns,
+                    hyperperiod_ns=hyperperiod_ns,
+                    min_period_ns=min_period_ns,
+                    strict=True,
+                )
+                verdict = None
+            except LatencyInfeasibleError as error:
+                verdict = str(error)
+            if len(_FEASIBILITY_CACHE) >= _FEASIBILITY_CACHE_SIZE:
+                _FEASIBILITY_CACHE.clear()
+            _FEASIBILITY_CACHE[key] = verdict
+        if verdict is not None:
             report.admitted = False
-            report.reasons.append(str(error))
+            report.reasons.append(verdict)
     report.shared_utilization = shared
 
     if len(report.dedicated) > num_cores:

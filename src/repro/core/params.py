@@ -86,6 +86,18 @@ class VCpuSpec:
         if self.vm is None:
             object.__setattr__(self, "vm", self.name.split(".")[0])
 
+    def __hash__(self) -> int:
+        # Specs are hashed constantly (planner memo keys, task caches);
+        # the dataclass-generated hash rebuilds a field tuple every call,
+        # so compute it once and pin it on the (frozen) instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (self.name, self.utilization, self.latency_ns, self.capped, self.vm)
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def needs_dedicated_core(self) -> bool:
         """A fully reserved vCPU (U = 1) is pinned to its own pCPU."""
@@ -118,6 +130,15 @@ class VMSpec:
         return sum(v.utilization for v in self.vcpus)
 
 
+#: Interning memo for :func:`make_vm` (cleared wholesale when full).
+#: Specs are immutable value objects, so identical requests — the
+#: steady state of a control plane that rebuilds its census on every
+#: replan — can share one instance instead of re-validating and
+#: re-allocating the whole VM every time.
+_VM_MEMO: Dict[tuple, "VMSpec"] = {}
+_VM_MEMO_SIZE = 4096
+
+
 def make_vm(
     name: str,
     utilization: float,
@@ -128,8 +149,13 @@ def make_vm(
     """Build a VM whose vCPUs all share one (U, L) configuration.
 
     This mirrors the paper's evaluation setup of uniform single-vCPU VMs
-    (e.g., four 25%-utilization VMs per core).
+    (e.g., four 25%-utilization VMs per core).  Identical requests
+    return a shared (immutable) instance.
     """
+    key = (name, utilization, latency_ns, vcpu_count, capped)
+    memo = _VM_MEMO.get(key)
+    if memo is not None:
+        return memo
     if vcpu_count < 1:
         raise ConfigurationError("vcpu_count must be >= 1")
     vcpus = tuple(
@@ -142,7 +168,11 @@ def make_vm(
         )
         for i in range(vcpu_count)
     )
-    return VMSpec(name=name, vcpus=vcpus)
+    vm = VMSpec(name=name, vcpus=vcpus)
+    if len(_VM_MEMO) >= _VM_MEMO_SIZE:
+        _VM_MEMO.clear()
+    _VM_MEMO[key] = vm
+    return vm
 
 
 def fair_share_specs(

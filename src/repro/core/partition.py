@@ -11,6 +11,7 @@ scheduler and leaves room for later VM additions without re-shuffling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heapreplace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.tasks import PeriodicTask
@@ -70,7 +71,6 @@ def worst_fit_decreasing(
     """
     if capacities is None:
         capacities = {}
-    load: Dict[int, float] = {core: 0.0 for core in cores}
     assignment: Dict[int, List[PeriodicTask]] = {core: [] for core in cores}
     unassigned: List[PeriodicTask] = []
 
@@ -80,6 +80,27 @@ def worst_fit_decreasing(
         for index, name in enumerate(names)
     }
     ordered = sorted(tasks, key=lambda t: (-t.utilization, rank[t.name]))
+    if not capacities and cores:
+        # Uniform full capacity (the planner's case): the least-loaded
+        # core sits at the top of a heap, turning each placement into
+        # O(log cores) instead of a full scan — and if *it* cannot take
+        # the task, no core can.  Ties break toward the earliest core in
+        # ``cores`` (the heap key's position field), matching the scan's
+        # strict-< rule, and each core's load accumulates in the same
+        # order of additions, so the packing is bit-identical.
+        heap = [(0.0, position, core) for position, core in enumerate(cores)]
+        heapify(heap)
+        for task in ordered:
+            utilization = task.utilization
+            load_now, position, core = heap[0]
+            if load_now + utilization <= 1.0 + UTILIZATION_EPSILON:
+                assignment[core].append(task)
+                heapreplace(heap, (load_now + utilization, position, core))
+            else:
+                unassigned.append(task)
+        return PartitionResult(assignment=assignment, unassigned=unassigned)
+
+    load: Dict[int, float] = {core: 0.0 for core in cores}
     for task in ordered:
         best_core: Optional[int] = None
         best_load = None

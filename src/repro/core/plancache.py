@@ -55,8 +55,10 @@ MAGIC = b"TPLC"
 
 #: Bump when the pickled payload's semantics change (e.g., PlanResult
 #: grows a field whose absence would be misread); old entries are then
-#: regenerated rather than trusted.
-CACHE_VERSION = 1
+#: regenerated rather than trusted.  v2: the columnar planner stores
+#: segment columns on each ``CoreTable`` and leaves slices lazy — v1
+#: pickles lack the column attributes and would deserialize broken.
+CACHE_VERSION = 2
 
 _HEADER = struct.Struct("<4sHH32s")
 

@@ -12,21 +12,38 @@ table via a progression of three increasingly powerful techniques:
 3. **Localized optimal scheduling** — DP-WRAP on a minimal cluster of
    "close" cores, guaranteeing success for any non-over-utilizing input.
 
-The planner then post-processes (coalescing, slice tables) and validates
-the result before handing it to the dispatcher.
+The planner then post-processes (coalescing) and validates the result
+before handing it to the dispatcher.  Slice tables are *not* built here:
+the array dispatch engine plays back the planner's segment columns
+directly and the object scheduler builds slices at install time, so
+eager slice construction on every replan was pure waste.
+
+Replanning is incremental at three levels.  Per-core tables are memoized
+by exact task set (`_core_cache`), so a census that changes one VM only
+re-simulates the cores WFD actually repacked.  Whole plans are memoized
+by exact census + knobs (`_plan_memo`), so the daemon's periodic
+same-census regeneration is a lookup.  And every result reports
+``stats.changed_cores`` — the cores whose tables differ from the
+previous plan — which is what lets the daemon push per-core column
+deltas instead of full tables.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.admission import AdmissionReport, admit_or_raise
 from repro.core.affinity import CoschedulingPolicy, constrained_worst_fit
-from repro.core.edf import simulate_edf
+from repro.core.edfcore import (
+    core_table_from_columns,
+    estimate_jobs,
+    materialize_core_columns,
+)
 from repro.core.optimal import dp_wrap_schedule, grow_cluster
 from repro.core.params import VCpuSpec, VMSpec, flatten_vcpus
 from repro.core.numa import NumaReport, numa_worst_fit
@@ -46,7 +63,7 @@ from repro.core.table import (
     SystemTable,
     validate_against_tasks,
 )
-from repro.core.tasks import PeriodicTask, vcpus_to_tasks
+from repro.core.tasks import PeriodicTask, vcpu_to_task
 from repro.errors import AdmissionError, PlanningError
 from repro.topology import Topology, uniform
 
@@ -56,14 +73,82 @@ METHOD_SEMI_PARTITIONED = "semi-partitioned"
 METHOD_CLUSTERED = "clustered"
 
 #: Estimated job releases across all uncached cores before per-core EDF
-#: materialization is farmed out to worker processes.  Below this the
-#: fork/pickle overhead dwarfs the simulation itself (typical replans
-#: finish in single-digit milliseconds); the pool only engages for
-#: genuinely large task systems.
-PARALLEL_MIN_JOBS = 20_000
+#: materialization is farmed out to worker processes.  The columnar
+#: kernel materializes roughly 150k releases per second per core on the
+#: reference container — about 3x the old object simulator — so the
+#: fork/pickle overhead (~100 ms of pool spin-up) amortizes three times
+#: later than it used to; below this bound the pool is strictly slower
+#: than just running the kernels serially.
+PARALLEL_MIN_JOBS = 120_000
 
 #: Maximum per-core table memo entries kept by one planner (LRU).
 CORE_CACHE_SIZE = 512
+
+#: Whole-plan value memo entries (exact census + knobs -> PlanResult).
+PLAN_MEMO_SIZE = 4
+
+#: vCPU -> task conversion memo bound (cleared wholesale when full).
+TASK_CACHE_SIZE = 4096
+
+#: Process-wide core-record memo (cleared wholesale when full).  The
+#: per-core key (see :meth:`Planner._core_key`) captures every input the
+#: materialization reads, so a finished record is valid for *any*
+#: planner instance — a restarted daemon or a service spawning a fresh
+#: planner re-derives nothing the process has already computed.  Each
+#: planner still keeps its own LRU (`_core_cache`) for hit accounting
+#: and identity-stable reissue; this layer only backstops its misses.
+_SHARED_CORE_CACHE: Dict[Tuple, "_CoreRecord"] = {}
+_SHARED_CORE_CACHE_SIZE = 4096
+
+
+@dataclass
+class _CoreFragment:
+    """Per-core aggregates the assembly and audit stages need.
+
+    One entry per vCPU with service on the core, in first-allocation
+    order — exactly the order ``SystemTable._rebuild_index`` would have
+    discovered them.  Carrying these with the memoized core table makes
+    index assembly and the guarantee audit O(vCPUs) instead of
+    O(allocations) per plan.
+    """
+
+    names: List[str]
+    first_starts: List[int]
+    allocated: List[int]
+    last_ends: List[int]
+    #: Largest internal service gap (touching allocations merged, as in
+    #: ``SystemTable.max_blackout_ns``); the wrap-around gap is derived
+    #: from ``first_starts``/``last_ends`` at audit time.
+    max_gaps: List[int]
+
+
+def _fragment_of(table: CoreTable) -> _CoreFragment:
+    """One pass over a finished core table -> its audit aggregates."""
+    names: List[str] = []
+    index: Dict[str, int] = {}
+    first_starts: List[int] = []
+    allocated: List[int] = []
+    last_ends: List[int] = []
+    max_gaps: List[int] = []
+    for alloc in table.allocations:
+        name = alloc.vcpu
+        if name is None:
+            continue
+        slot = index.get(name)
+        if slot is None:
+            index[name] = len(names)
+            names.append(name)
+            first_starts.append(alloc.start)
+            allocated.append(alloc.end - alloc.start)
+            last_ends.append(alloc.end)
+            max_gaps.append(0)
+        else:
+            gap = alloc.start - last_ends[slot]
+            if gap > max_gaps[slot]:
+                max_gaps[slot] = gap
+            allocated[slot] += alloc.end - alloc.start
+            last_ends[slot] = alloc.end
+    return _CoreFragment(names, first_starts, allocated, last_ends, max_gaps)
 
 
 @dataclass
@@ -73,6 +158,22 @@ class _CoreRecord:
     table: CoreTable
     coalesce: CoalesceReport
     peephole: Optional[PeepholeReport]
+    fragment: _CoreFragment
+
+
+@dataclass
+class CensusDelta:
+    """One batched census change (the service layer's flush-window unit).
+
+    ``create`` and ``reconfigure`` take :class:`VMSpec` or
+    :class:`VCpuSpec` items; ``destroy`` takes VM or vCPU names.  A
+    reconfigured VM keeps its position in the census (so unrelated
+    cores keep their WFD packing); creates append.
+    """
+
+    create: Sequence[Union[VMSpec, VCpuSpec]] = ()
+    reconfigure: Sequence[Union[VMSpec, VCpuSpec]] = ()
+    destroy: Sequence[str] = ()
 
 
 @dataclass
@@ -93,6 +194,10 @@ class PlanStats:
     #: being generated (generation_seconds then reports the *original*
     #: generation cost, not the lookup cost).
     plan_cache_hit: bool = False
+    #: Cores whose tables differ from this planner's previous plan
+    #: (``None`` when there is no previous plan or the core sets differ;
+    #: callers must then treat every core as changed).
+    changed_cores: Optional[List[int]] = None
 
 
 @dataclass
@@ -128,7 +233,10 @@ class Planner:
             anti-affinity groups; Sec. 5's "encourage or discourage
             co-scheduling" post-processing extension).
         peephole: Run the preemption-reducing peephole pass on every
-            core table (Sec. 5's suggested optimization).
+            core table (Sec. 5's suggested optimization).  Peephole
+            plans take the object materialization path (the pass
+            operates on allocation objects); everything else runs the
+            columnar kernels.
         split_compensation: Inflate the utilization of vCPUs that ended
             up split across cores by this fraction, compensating their
             migration overhead (Sec. 7.5's suggested remedy); applied in
@@ -143,13 +251,15 @@ class Planner:
         parallel: Materialize per-core EDF schedules in worker processes
             when the task system is large enough to amortize the pool
             (see ``PARALLEL_MIN_JOBS``); the result is bit-identical to
-            the serial path, so this is purely a wall-clock knob.
+            the serial path, so this is purely a wall-clock knob.  The
+            pool never engages on single-CPU hosts, where it can only
+            lose.
 
-    The planner memoizes finished core tables keyed by the exact task
-    set handed to a core, so replanning an incrementally changed census
-    (the daemon's create/teardown pattern, the split-compensation retry,
-    periodic regeneration) only re-simulates cores whose task sets
-    actually changed.
+    The planner memoizes at two levels: finished core tables keyed by
+    the exact task set handed to a core (so replanning an incrementally
+    changed census only re-simulates cores whose task sets actually
+    changed), and whole plans keyed by the exact census plus every knob
+    (so periodic same-census regeneration is a dictionary lookup).
     """
 
     def __init__(
@@ -185,21 +295,99 @@ class Planner:
         self._core_cache: "OrderedDict[Tuple, _CoreRecord]" = OrderedDict()
         self.core_cache_hits = 0
         self.core_cache_misses = 0
+        self._plan_memo: "OrderedDict[Tuple, PlanResult]" = OrderedDict()
+        self.plan_memo_hits = 0
+        self.plan_memo_misses = 0
+        self._task_cache: Dict[VCpuSpec, PeriodicTask] = {}
+        self._dedicated_cache: Dict[Tuple[int, str], CoreTable] = {}
+        #: Core tables of the previous plan, for changed-core detection
+        #: (allocation-list identity: the core memo shares allocation
+        #: lists across reissues, so `is` equality means byte equality).
+        self._last_tables: Optional[Dict[int, CoreTable]] = None
+        #: The census last planned, the base `plan_delta` diffs against.
+        self._census: Optional[List[VCpuSpec]] = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def plan(
-        self, workload: Union[Sequence[VMSpec], Sequence[VCpuSpec]]
+        self,
+        workload: Union[Sequence[VMSpec], Sequence[VCpuSpec], CensusDelta],
     ) -> PlanResult:
-        """Generate a validated system table for a set of VMs (or vCPUs)."""
-        result = self._plan_once(self._as_vcpus(workload))
+        """Generate a validated system table for a set of VMs (or vCPUs).
+
+        Also accepts a :class:`CensusDelta`, which is applied to the
+        previously planned census (see :meth:`plan_delta`).
+        """
+        if isinstance(workload, CensusDelta):
+            return self.plan_delta(workload)
+        vcpus = self._as_vcpus(workload)
+        result = self._plan_once(vcpus)
         if self.split_compensation > 0.0 and result.stats.split_tasks:
             compensated = self._compensate(result)
             if compensated is not None:
-                return compensated
+                result = compensated
+        self._census = vcpus
         return result
+
+    def plan_delta(self, delta: CensusDelta) -> PlanResult:
+        """Replan after a census diff against the previous census.
+
+        Equivalent to editing the census by hand and calling
+        :meth:`plan` — the differential suite holds the two bit-equal —
+        but states the *intent*: the per-core memo then confines EDF
+        re-simulation to the cores WFD actually repacked, and
+        ``stats.changed_cores`` tells the daemon which per-core columns
+        to push.
+        """
+        base = self._census
+        if base is None:
+            raise PlanningError(
+                "delta replan without a base census (call plan() first)"
+            )
+        return self.plan(self._apply_delta(base, delta))
+
+    def _apply_delta(
+        self, base: Sequence[VCpuSpec], delta: CensusDelta
+    ) -> List[VCpuSpec]:
+        """The previous census with ``delta`` applied, order-preserving."""
+        census = list(base)
+        for token in delta.destroy:
+            kept = [v for v in census if v.name != token and v.vm != token]
+            if len(kept) == len(census):
+                raise PlanningError(
+                    f"delta destroy of unknown vCPU/VM {token!r}"
+                )
+            census = kept
+        for item in delta.reconfigure:
+            if isinstance(item, VMSpec):
+                name = item.name
+                indices = [i for i, v in enumerate(census) if v.vm == name]
+                replacement = list(item.vcpus)
+            else:
+                name = item.name
+                indices = [i for i, v in enumerate(census) if v.name == name]
+                replacement = [item]
+            if not indices:
+                raise PlanningError(
+                    f"delta reconfigure of unknown vCPU/VM {name!r}"
+                )
+            first = indices[0]
+            for i in reversed(indices):
+                del census[i]
+            census[first:first] = replacement
+        existing = {v.name for v in census}
+        for item in delta.create:
+            created = item.vcpus if isinstance(item, VMSpec) else [item]
+            for vcpu in created:
+                if vcpu.name in existing:
+                    raise PlanningError(
+                        f"delta create of duplicate vCPU {vcpu.name!r}"
+                    )
+                existing.add(vcpu.name)
+                census.append(vcpu)
+        return census
 
     def _compensate(self, result: PlanResult) -> Optional[PlanResult]:
         """Replan with split vCPUs' utilization inflated (Sec. 7.5)."""
@@ -234,6 +422,24 @@ class Planner:
         # Wall time is measured only to report planner generation cost
         # (PlanStats.generation_seconds); it never feeds scheduling state.
         started = time.perf_counter()  # repro: allow[det-wallclock]
+        memo_key: Optional[Tuple] = None
+        if self.policy is None and not self.numa:
+            memo_key = (
+                tuple(vcpus),
+                self.hyperperiod_ns,
+                self.min_period_ns,
+                self.coalesce_threshold_ns,
+                self.min_piece_ns,
+                self.strict_latency,
+                self.peephole,
+                self.rotation,
+            )
+            cached = self._plan_memo.get(memo_key)
+            if cached is not None:
+                self._plan_memo.move_to_end(memo_key)
+                self.plan_memo_hits += 1
+                return self._reissue_plan(cached, started)
+            self.plan_memo_misses += 1
         guest_cores = self.topology.guest_cores
         admission = admit_or_raise(
             vcpus, len(guest_cores), self.hyperperiod_ns, self.min_period_ns
@@ -246,28 +452,23 @@ class Planner:
         dedicated_cores = guest_cores[len(guest_cores) - len(dedicated) :]
         shared_cores = guest_cores[: len(guest_cores) - len(dedicated)]
 
-        tasks = vcpus_to_tasks(
-            shared, self.hyperperiod_ns, self.min_period_ns, self.strict_latency
-        )
+        tasks = self._tasks_for(shared)
         assignment, method, cluster_cores, split_count = self._assign(
             tasks, shared_cores
         )
 
-        core_tables, report, peephole_report = self._materialize(
+        core_tables, report, peephole_report, fragments = self._materialize(
             assignment, cluster_cores
         )
+        horizon = self.hyperperiod_ns
         for vcpu, core in zip(dedicated, dedicated_cores):
-            core_tables[core] = CoreTable(
-                cpu=core,
-                length_ns=self.hyperperiod_ns,
-                allocations=[Allocation(0, self.hyperperiod_ns, vcpu.name)],
+            core_tables[core] = self._dedicated_table(core, vcpu.name)
+            fragments[core] = _CoreFragment(
+                [vcpu.name], [0], [horizon], [horizon], [0]
             )
 
-        system = SystemTable(length_ns=self.hyperperiod_ns, cores=core_tables)
-        # Cache-hit cores arrive with their slice tables already built
-        # (shared with the cached template); only fresh cores pay.
-        system.build_slices(only_missing=True)
-        system.validate()
+        system, info = self._assemble(core_tables, fragments)
+        self._validate_assembled(system, info)
 
         task_index = {t.name: t for t in tasks}
         for vcpu in dedicated:
@@ -277,7 +478,10 @@ class Planner:
                 period=self.hyperperiod_ns,
                 vcpu=vcpu,
             )
-        self._check_guarantees(system, vcpus, task_index)
+        self._check_guarantees(core_tables, vcpus, task_index, info)
+
+        changed = self._diff_tables(core_tables)
+        self._last_tables = core_tables
 
         stats = PlanStats(
             method=method,
@@ -289,9 +493,10 @@ class Planner:
             cluster_cores=cluster_cores,
             coalesce=report,
             peephole=peephole_report,
+            changed_cores=changed,
         )
         stats.table_bytes = table_size_bytes(system)
-        return PlanResult(
+        result = PlanResult(
             table=system,
             tasks=task_index,
             vcpus={v.name: v for v in vcpus},
@@ -299,6 +504,67 @@ class Planner:
             admission=admission,
             stats=stats,
         )
+        if memo_key is not None:
+            self._plan_memo[memo_key] = result
+            if len(self._plan_memo) > PLAN_MEMO_SIZE:
+                self._plan_memo.popitem(last=False)
+        return result
+
+    def _reissue_plan(self, cached: PlanResult, started: float) -> PlanResult:
+        """A memo hit: the cached plan under fresh, un-shared stats.
+
+        The table/tasks/assignment are structurally shared (immutable
+        after planning); the stats object is rebuilt so callers mutating
+        flags (``plan_cache_hit``, ``compensated_vcpus``) cannot poison
+        the memoized original, and ``changed_cores`` reflects *this*
+        call's position in the plan sequence, not the original's.
+        """
+        old = cached.stats
+        changed = self._diff_tables(cached.table.cores)
+        self._last_tables = cached.table.cores
+        # A whole-plan hit reuses every core table, so it counts as a
+        # full sweep of core-cache hits (and zero new simulations).
+        self.core_cache_hits += len(cached.table.cores)
+        stats = PlanStats(
+            method=old.method,
+            # repro: allow[det-wallclock] -- stats only, never scheduling state
+            generation_seconds=time.perf_counter() - started,
+            num_vcpus=old.num_vcpus,
+            num_tasks=old.num_tasks,
+            split_tasks=old.split_tasks,
+            cluster_cores=list(old.cluster_cores),
+            table_bytes=old.table_bytes,
+            coalesce=old.coalesce,
+            peephole=old.peephole,
+            changed_cores=changed,
+        )
+        return PlanResult(
+            table=cached.table,
+            tasks=cached.tasks,
+            vcpus=cached.vcpus,
+            assignment=cached.assignment,
+            admission=cached.admission,
+            stats=stats,
+        )
+
+    def _diff_tables(
+        self, core_tables: Dict[int, CoreTable]
+    ) -> Optional[List[int]]:
+        """Cores whose tables differ from the previous plan, by identity.
+
+        Reissued and memoized tables share allocation lists with their
+        originals, so `is` comparison is exact: shared list -> identical
+        table.  ``None`` (not ``[]``) when no previous plan exists or
+        the core sets differ — the caller must then push everything.
+        """
+        previous = self._last_tables
+        if previous is None or previous.keys() != core_tables.keys():
+            return None
+        return [
+            cpu
+            for cpu in sorted(core_tables)
+            if previous[cpu].allocations is not core_tables[cpu].allocations
+        ]
 
     # ------------------------------------------------------------------
     # Stages
@@ -311,6 +577,50 @@ class Planner:
         if items and isinstance(items[0], VMSpec):
             return flatten_vcpus(items)
         return list(items)  # type: ignore[arg-type]
+
+    def _tasks_for(self, shared: Sequence[VCpuSpec]) -> List[PeriodicTask]:
+        """Memoized :func:`repro.core.tasks.vcpus_to_tasks`.
+
+        The (U, L) -> (C, T) conversion bisects the hyperperiod divisor
+        list per vCPU; under churn the same specs recur plan after plan,
+        so the finished (frozen) tasks are cached by spec.
+        """
+        cache = self._task_cache
+        tasks: List[PeriodicTask] = []
+        for spec in shared:
+            task = cache.get(spec)
+            if task is None:
+                task = vcpu_to_task(
+                    spec,
+                    self.hyperperiod_ns,
+                    self.min_period_ns,
+                    self.strict_latency,
+                )
+                if len(cache) >= TASK_CACHE_SIZE:
+                    cache.clear()
+                cache[spec] = task
+            tasks.append(task)
+        return tasks
+
+    def _dedicated_table(self, core: int, name: str) -> CoreTable:
+        """Memoized single-allocation table for a dedicated vCPU.
+
+        Reusing the object keeps unchanged dedicated cores identity-
+        stable across plans, so they never show up in changed-core
+        diffs (and never get re-pushed by the delta path).
+        """
+        key = (core, name)
+        table = self._dedicated_cache.get(key)
+        if table is None:
+            if len(self._dedicated_cache) >= TASK_CACHE_SIZE:
+                self._dedicated_cache.clear()
+            table = CoreTable(
+                cpu=core,
+                length_ns=self.hyperperiod_ns,
+                allocations=[Allocation(0, self.hyperperiod_ns, name)],
+            )
+            self._dedicated_cache[key] = table
+        return table
 
     def _assign(
         self, tasks: Sequence[PeriodicTask], cores: Sequence[int]
@@ -383,17 +693,22 @@ class Planner:
         A finished core table depends only on the (ordered) task set it
         was generated from, so results are memoized: cores whose task
         set is unchanged since an earlier plan reuse the cached table
-        (sharing its allocation and slice lists) and skip EDF simulation
-        and validation entirely.  Cache misses are materialized serially
-        or, for large task systems, in a process pool — both produce
-        identical tables.
+        (sharing its allocation list and segment columns) and skip EDF
+        simulation and validation entirely.  A hit whose core also held
+        the identical table in the *previous* plan reuses that exact
+        object, keeping unchanged cores identity-stable for the delta
+        push.  Cache misses run the columnar kernels, serially or (for
+        large task systems on multi-CPU hosts) in a process pool — all
+        paths produce bit-identical tables.
         """
         report = CoalesceReport()
         core_tables: Dict[int, CoreTable] = {}
+        fragments: Dict[int, _CoreFragment] = {}
         cluster_tasks = assignment.pop("__cluster__", None)
         peephole_report: Optional[PeepholeReport] = None
 
         cache = self._core_cache
+        last = self._last_tables
         pending: List[Tuple[int, List[PeriodicTask], Tuple]] = []
         for core, tasks in assignment.items():
             key = self._core_key(tasks)
@@ -401,23 +716,43 @@ class Planner:
             if record is not None:
                 cache.move_to_end(key)
                 self.core_cache_hits += 1
-                core_tables[core] = _reissue_table(record.table, core)
-                report.merge(record.coalesce)
-                peephole_report = _merge_peephole(peephole_report, record.peephole)
             else:
                 self.core_cache_misses += 1
-                pending.append((core, tasks, key))
+                record = _SHARED_CORE_CACHE.get(key)
+                if record is None:
+                    pending.append((core, tasks, key))
+                    continue
+                cache[key] = record
+                if len(cache) > CORE_CACHE_SIZE:
+                    cache.popitem(last=False)
+            previous = last.get(core) if last is not None else None
+            if (
+                previous is not None
+                and previous.allocations is record.table.allocations
+            ):
+                core_tables[core] = previous
+            else:
+                core_tables[core] = _reissue_table(record.table, core)
+            fragments[core] = record.fragment
+            report.merge(record.coalesce)
+            peephole_report = _merge_peephole(peephole_report, record.peephole)
 
         for (core, _tasks, key), outcome in zip(
             pending, self._materialize_pending(pending)
         ):
             table, core_coalesce, core_peephole = outcome
+            fragment = _fragment_of(table)
             core_tables[core] = table
+            fragments[core] = fragment
             report.merge(core_coalesce)
             peephole_report = _merge_peephole(peephole_report, core_peephole)
-            cache[key] = _CoreRecord(table, core_coalesce, core_peephole)
+            record = _CoreRecord(table, core_coalesce, core_peephole, fragment)
+            cache[key] = record
             if len(cache) > CORE_CACHE_SIZE:
                 cache.popitem(last=False)
+            if len(_SHARED_CORE_CACHE) >= _SHARED_CORE_CACHE_SIZE:
+                _SHARED_CORE_CACHE.clear()
+            _SHARED_CORE_CACHE[key] = record
 
         if cluster_tasks is not None:
             cluster_tables = dp_wrap_schedule(
@@ -429,8 +764,9 @@ class Planner:
                 )
                 report.merge(core_report)
                 core_tables[core] = finished
+                fragments[core] = _fragment_of(finished)
             assignment["__cluster__"] = cluster_tasks
-        return core_tables, report, peephole_report
+        return core_tables, report, peephole_report, fragments
 
     def _core_key(self, tasks: Sequence[PeriodicTask]) -> Tuple:
         # Order matters: EDF breaks deadline ties by release sequence,
@@ -445,34 +781,46 @@ class Planner:
 
     def _materialize_pending(self, pending):
         """Materialize cache-miss cores, in processes when large enough."""
-        if self.parallel and len(pending) >= 2:
-            jobs = sum(
-                self.hyperperiod_ns // task.period
-                for _core, tasks, _key in pending
-                for task in tasks
-            )
+        if (
+            self.parallel
+            and len(pending) >= 2
+            and (os.cpu_count() or 1) >= 2  # repro: allow[det-env-branch]
+        ):
+            jobs = 0
+            for _core, tasks, _key in pending:
+                jobs += estimate_jobs(tasks, self.hyperperiod_ns)
             if jobs >= PARALLEL_MIN_JOBS:
                 results = self._materialize_parallel(pending)
                 if results is not None:
                     return results
         return [
-            _materialize_core(
+            self._materialize_one(core, tasks) for core, tasks, _key in pending
+        ]
+
+    def _materialize_one(self, core, tasks):
+        """One core through the columnar pipeline (object path for peephole)."""
+        if self.peephole:
+            return _materialize_core(
                 core,
                 tasks,
                 self.hyperperiod_ns,
-                self.peephole,
+                True,
                 self.coalesce_threshold_ns,
             )
-            for core, tasks, _key in pending
-        ]
+        table, core_report = materialize_core_columns(
+            core, tasks, self.hyperperiod_ns, self.coalesce_threshold_ns
+        )
+        return table, core_report, None
 
     def _materialize_parallel(self, pending):
         """Fan cache-miss cores out to a process pool (None on failure).
 
         Workers receive plain task tuples (cheap to pickle, no VCpuSpec
-        payload) and return finished tables; any pool-level failure —
-        unpicklable input, missing multiprocessing support — falls back
-        to the serial path, which computes the identical result.
+        payload) and ship back raw segment-column bytes — not pickled
+        CoreTable objects — so the transfer cost is two i64 columns per
+        core; the parent revives tables from the columns.  Any
+        pool-level failure falls back to the serial path, which computes
+        the identical result.
         """
         try:
             from concurrent.futures import ProcessPoolExecutor
@@ -494,31 +842,108 @@ class Planner:
             # the plan is identical whatever cpu_count() reports.
             workers = min(len(pending), os.cpu_count() or 1)  # repro: allow[det-env-branch]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_materialize_core_worker, payloads))
+                outcomes = list(pool.map(_materialize_core_worker, payloads))
         except Exception:
             return None
+        return [_revive_worker_outcome(outcome) for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    # Assembly and audit
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        core_tables: Dict[int, CoreTable],
+        fragments: Dict[int, _CoreFragment],
+    ) -> Tuple[SystemTable, Dict[str, List[Tuple[int, _CoreFragment, int]]]]:
+        """Build the system table with a precomputed vCPU index.
+
+        Walking the per-core fragments reproduces exactly what
+        ``SystemTable._rebuild_index`` would derive from the allocation
+        lists — names in first-discovery order over sorted cores, home
+        cores in first-allocation time order — at O(vCPUs) instead of
+        O(allocations).  Also returns, per vCPU, its ``(core, fragment,
+        slot)`` entries for the audit stages.
+        """
+        names: List[str] = []
+        homes: Dict[str, List[Tuple[int, int]]] = {}
+        info: Dict[str, List[Tuple[int, _CoreFragment, int]]] = {}
+        for cpu in sorted(core_tables):
+            fragment = fragments[cpu]
+            fragment_names = fragment.names
+            first_starts = fragment.first_starts
+            for slot in range(len(fragment_names)):
+                name = fragment_names[slot]
+                entries = homes.get(name)
+                if entries is None:
+                    names.append(name)
+                    homes[name] = entries = []
+                    info[name] = []
+                entries.append((first_starts[slot], cpu))
+                info[name].append((cpu, fragment, slot))
+        home_cores = {
+            name: [cpu for _start, cpu in sorted(entries)]
+            for name, entries in homes.items()
+        }
+        system = SystemTable(
+            length_ns=self.hyperperiod_ns,
+            cores=core_tables,
+            vcpu_names=names,
+            home_cores=home_cores,
+        )
+        return system, info
+
+    def _validate_assembled(
+        self,
+        system: SystemTable,
+        info: Dict[str, List[Tuple[int, _CoreFragment, int]]],
+    ) -> None:
+        """No-parallel-service check, confined to multi-home vCPUs.
+
+        Per-core layout was already validated when each table was
+        materialized (and memo hits share validated allocation lists),
+        so the only whole-system hazard left is a vCPU with allocations
+        on several cores overlapping itself — single-home vCPUs cannot.
+        """
+        for name, entries in info.items():
+            if len(entries) < 2:
+                continue
+            intervals: List[Tuple[int, int]] = []
+            for cpu, _fragment, _slot in entries:
+                intervals.extend(system.cores[cpu].service_intervals(name))
+            intervals.sort()
+            for (_s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                if s2 < e1:
+                    raise PlanningError(
+                        f"vCPU {name} scheduled on two cores during "
+                        f"[{s2}, {min(e1, e2)})"
+                    )
 
     def _check_guarantees(
         self,
-        system: SystemTable,
+        core_tables: Dict[int, CoreTable],
         vcpus: Sequence[VCpuSpec],
         tasks: Dict[str, PeriodicTask],
+        info: Dict[str, List[Tuple[int, _CoreFragment, int]]],
     ) -> None:
         """Final guarantee audit: utilization and blackout per vCPU.
 
         Coalescing may legitimately move up to the threshold per
         allocation boundary, so both checks carry a matching tolerance.
+        Single-home vCPUs (virtually all of them) are audited from the
+        per-core fragment aggregates without touching any allocation;
+        only split vCPUs pay an interval merge across their home cores.
         """
         tolerance = 2 * self.coalesce_threshold_ns
-        # One pass over the table yields every vCPU's timeline; the
-        # previous per-vCPU allocated_ns/max_blackout_ns scans made this
-        # audit quadratic in machine size.
-        timelines = system.service_index()
+        horizon = self.hyperperiod_ns
         for vcpu in vcpus:
             task = tasks[vcpu.name]
-            timeline = timelines.get(vcpu.name, [])
-            allocated = sum(end - start for start, end, _cpu in timeline)
-            promised = task.cost * (self.hyperperiod_ns // task.period)
+            entries = info.get(vcpu.name)
+            allocated = 0
+            if entries:
+                for _cpu, fragment, slot in entries:
+                    allocated += fragment.allocated[slot]
+            promised = task.cost * (horizon // task.period)
             if allocated + tolerance < promised:
                 raise PlanningError(
                     f"{vcpu.name}: table allocates {allocated} ns/cycle, "
@@ -526,12 +951,57 @@ class Planner:
                 )
             if vcpu.needs_dedicated_core:
                 continue
-            blackout = system.max_blackout_ns(vcpu.name, timeline=timeline)
+            if not entries:
+                blackout = 2 * horizon
+            elif len(entries) == 1:
+                _cpu, fragment, slot = entries[0]
+                wrap = (
+                    fragment.first_starts[slot]
+                    + horizon
+                    - fragment.last_ends[slot]
+                )
+                gap = fragment.max_gaps[slot]
+                blackout = gap if gap > wrap else wrap
+            else:
+                blackout = _merged_blackout(
+                    core_tables, entries, vcpu.name, horizon
+                )
             if blackout > vcpu.latency_ns + tolerance:
                 raise PlanningError(
                     f"{vcpu.name}: worst-case blackout {blackout} ns exceeds "
                     f"latency goal {vcpu.latency_ns} ns"
                 )
+
+
+def _merged_blackout(
+    core_tables: Dict[int, CoreTable],
+    entries: List[Tuple[int, _CoreFragment, int]],
+    name: str,
+    horizon: int,
+) -> int:
+    """Worst service gap of a split vCPU across its home cores.
+
+    The same touching-intervals merge as
+    :meth:`SystemTable.max_blackout_ns`, over just this vCPU's cores.
+    """
+    intervals: List[Tuple[int, int]] = []
+    for cpu, _fragment, _slot in entries:
+        intervals.extend(core_tables[cpu].service_intervals(name))
+    intervals.sort()
+    first_start = intervals[0][0]
+    previous_end = intervals[0][1]
+    worst = 0
+    for start, end in intervals[1:]:
+        if start <= previous_end:
+            if end > previous_end:
+                previous_end = end
+        else:
+            gap = start - previous_end
+            if gap > worst:
+                worst = gap
+            previous_end = end
+    wrap = first_start + horizon - previous_end
+    return worst if worst > wrap else wrap
 
 
 def _vcpu_name_of(task_name: Optional[str]) -> Optional[str]:
@@ -563,11 +1033,16 @@ def _materialize_core(
     peephole: bool,
     threshold_ns: int,
 ) -> Tuple[CoreTable, CoalesceReport, Optional[PeepholeReport]]:
-    """The full per-core pipeline: EDF, validate, peephole, coalesce.
+    """The object-pipeline fallback: EDF, validate, peephole, coalesce.
 
+    Only the peephole path still runs it (the pass rewrites allocation
+    objects); plain plans use the columnar kernels in
+    :mod:`repro.core.edfcore`, which produce bit-identical tables.
     Module-level (not a method) so the process pool can pickle it by
     reference; everything it needs travels in the arguments.
     """
+    from repro.core.edf import simulate_edf
+
     table = simulate_edf(tasks, horizon, cpu=core)
     validate_against_tasks(table, tasks)
     peephole_report: Optional[PeepholeReport] = None
@@ -578,21 +1053,63 @@ def _materialize_core(
 
 
 def _materialize_core_worker(payload):
-    """Process-pool entry: rebuild tasks from plain tuples and materialize."""
+    """Process-pool entry: rebuild tasks from plain tuples and materialize.
+
+    Columnar outcomes travel as raw column bytes plus the coalesce
+    counters — a fraction of a pickled CoreTable — and are revived by
+    :func:`_revive_worker_outcome`; the rare peephole path returns the
+    object triple unchanged.
+    """
     core, task_tuples, horizon, peephole, threshold_ns = payload
     tasks = [
         PeriodicTask(name=name, cost=cost, period=period, deadline=deadline, offset=offset)
         for name, cost, period, deadline, offset in task_tuples
     ]
-    return _materialize_core(core, tasks, horizon, peephole, threshold_ns)
+    if peephole:
+        return _materialize_core(core, tasks, horizon, peephole, threshold_ns)
+    table, report = materialize_core_columns(core, tasks, horizon, threshold_ns)
+    return (
+        core,
+        horizon,
+        table._seg_ends.tobytes(),
+        table._seg_local.tobytes(),
+        tuple(table._seg_names or ()),
+        (
+            dict(report.lost_ns),
+            dict(report.gained_ns),
+            report.merged_count,
+            report.dropped_count,
+        ),
+    )
+
+
+def _revive_worker_outcome(outcome):
+    """Rebuild a (table, coalesce, peephole) triple from a worker result."""
+    if len(outcome) == 3:
+        return outcome
+    core, horizon, ends_bytes, local_bytes, names, counters = outcome
+    ends = array("q")
+    ends.frombytes(ends_bytes)
+    handles = array("q")
+    handles.frombytes(local_bytes)
+    table = core_table_from_columns(core, horizon, ends, handles, list(names))
+    lost_ns, gained_ns, merged_count, dropped_count = counters
+    report = CoalesceReport(
+        lost_ns=lost_ns,
+        gained_ns=gained_ns,
+        merged_count=merged_count,
+        dropped_count=dropped_count,
+    )
+    return table, report, None
 
 
 def _reissue_table(template: CoreTable, cpu: int) -> CoreTable:
     """A cached core table re-targeted at ``cpu``.
 
-    Allocation and slice lists are shared with the template — they are
-    never mutated in place (rebuilds always assign fresh lists) — so a
-    cache hit costs one small object, not a table copy.
+    Allocation, slice, and segment-column containers are shared with the
+    template — they are never mutated in place (rebuilds always assign
+    fresh containers) — so a cache hit costs one small object, not a
+    table copy, and ``as_arrays`` stays zero-copy across reissues.
     """
     return CoreTable(
         cpu=cpu,
@@ -602,6 +1119,11 @@ def _reissue_table(template: CoreTable, cpu: int) -> CoreTable:
         slices=template.slices,
         _starts=template._starts,
         _bounds=template._bounds,
+        _seg_starts=template._seg_starts,
+        _seg_ends=template._seg_ends,
+        _seg_local=template._seg_local,
+        _seg_names=template._seg_names,
+        _min_alloc_ns=template._min_alloc_ns,
     )
 
 

@@ -38,6 +38,11 @@ VERSION = 1
 ARRAY_MAGIC = b"TBLA"
 ARRAY_VERSION = 1
 
+#: Magic of the delta payload (:func:`serialize_delta`): only the cores
+#: that changed since a known base table travel, as raw segment columns.
+DELTA_MAGIC = b"TBLD"
+DELTA_VERSION = 1
+
 _HEADER = struct.Struct("<4sHHQII")
 _CPU_HEADER = struct.Struct("<IIQII")
 _ALLOC = struct.Struct("<QQiI8x")
@@ -267,15 +272,131 @@ def deserialize_arrays(
     return length_ns, names, columns
 
 
+def serialize_delta(
+    table: SystemTable, changed_cores: List[int], base_token: int
+) -> bytes:
+    """Encode a delta push: only ``changed_cores``, as segment columns.
+
+    Layout mirrors :func:`serialize_arrays` — header (with the base
+    token in the reserved slot), the *full* new vCPU string table
+    (handle assignments shift when the census changes, so names always
+    travel), then per changed cpu the gap-free ``ends``/``handles``
+    columns.  ``base_token`` names the staged table generation the delta
+    applies on top of; the hypervisor rejects a mismatched token with
+    :class:`TableFormatError` and the daemon falls back to a full push.
+    """
+    columns = table.as_arrays()
+    chunks: List[bytes] = [
+        _HEADER.pack(
+            DELTA_MAGIC,
+            DELTA_VERSION,
+            len(changed_cores),
+            table.length_ns,
+            len(table.vcpu_names),
+            base_token,
+        )
+    ]
+    for name in table.vcpu_names:
+        encoded = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(encoded)))
+        chunks.append(encoded)
+    for cpu in sorted(changed_cores):
+        _starts, ends, handles = columns[cpu]
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts only
+            ends, handles = ends[:], handles[:]
+            ends.byteswap()
+            handles.byteswap()
+        chunks.append(_ARRAY_CPU_HEADER.pack(cpu, len(ends)))
+        chunks.append(ends.tobytes())
+        chunks.append(handles.tobytes())
+    return b"".join(chunks)
+
+
+def deserialize_delta(
+    payload: bytes,
+) -> Tuple[int, List[str], int, Dict[int, Tuple[array, array]]]:
+    """Decode a delta payload.
+
+    Returns ``(length_ns, vcpu_names, base_token, columns)`` where
+    ``columns`` maps each *changed* cpu to its ``(ends, handles)``
+    column pair.  Raises :class:`TableFormatError` on bad magic, version
+    mismatch, or truncation.
+    """
+    view = memoryview(payload)
+    if _HEADER.size > len(view):
+        raise TableFormatError("truncated delta table header")
+    magic, version, ncpus, length_ns, nvcpus, base_token = _HEADER.unpack_from(
+        view, 0
+    )
+    offset = _HEADER.size
+    if magic != DELTA_MAGIC:
+        raise TableFormatError(f"bad delta-table magic {magic!r}")
+    if version != DELTA_VERSION:
+        raise TableFormatError(f"unsupported delta-table version {version}")
+
+    names: List[str] = []
+    for _ in range(nvcpus):
+        if offset + 2 > len(view):
+            raise TableFormatError("truncated vCPU string table header")
+        (name_len,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        if offset + name_len > len(view):
+            raise TableFormatError("truncated vCPU string table")
+        try:
+            names.append(bytes(view[offset : offset + name_len]).decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise TableFormatError(f"corrupt vCPU name: {error}") from None
+        offset += name_len
+
+    columns: Dict[int, Tuple[array, array]] = {}
+    for _ in range(ncpus):
+        if offset + _ARRAY_CPU_HEADER.size > len(view):
+            raise TableFormatError("truncated per-cpu delta header")
+        cpu, nsegs = _ARRAY_CPU_HEADER.unpack_from(view, offset)
+        offset += _ARRAY_CPU_HEADER.size
+        column_bytes = nsegs * 8
+        if offset + 2 * column_bytes > len(view):
+            raise TableFormatError(
+                f"truncated segment columns for cpu {cpu} at offset {offset}"
+            )
+        ends = array("q")
+        handles = array("q")
+        ends.frombytes(view[offset : offset + column_bytes])
+        offset += column_bytes
+        handles.frombytes(view[offset : offset + column_bytes])
+        offset += column_bytes
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts only
+            ends.byteswap()
+            handles.byteswap()
+        for handle in handles:
+            if handle >= len(names):
+                raise TableFormatError(f"vCPU handle {handle} out of range")
+        columns[cpu] = (ends, handles)
+    return length_ns, names, base_token, columns
+
+
 def table_size_bytes(table: SystemTable) -> int:
-    """Size of the serialized table — the Fig. 4 memory-overhead metric."""
+    """Size of the serialized table — the Fig. 4 memory-overhead metric.
+
+    Slice counts are computed arithmetically (``ceil(length /
+    slice_len)`` with the slice length of
+    :meth:`~repro.core.table.CoreTable.build_slices`), so sizing a table
+    never forces its slice tables to materialize — the planner builds
+    slices lazily, on first dispatch lookup or serialization.
+    """
     size = _HEADER.size
     for name in table.vcpu_names:
         size += 2 + len(name.encode("utf-8"))
     for core in table.cores.values():
-        if not core.slices:
-            core.build_slices()
+        if core.slices:
+            nslices = len(core.slices)
+        else:
+            shortest = core.min_allocation_ns()
+            if shortest is None:
+                nslices = 1
+            else:
+                nslices = -(-core.length_ns // max(shortest, 1))
         size += _CPU_HEADER.size
         size += _ALLOC.size * len(core.allocations)
-        size += _SLICE.size * len(core.slices)
+        size += _SLICE.size * nslices
     return size

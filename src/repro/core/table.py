@@ -79,6 +79,31 @@ class CoreTable:
     _memo: Optional[Tuple[int, int, Optional[Allocation]]] = field(
         default=None, repr=False, compare=False
     )
+    #: Gap-free segment columns in the :meth:`as_arrays` layout with
+    #: *core-local* handles (indices into :attr:`_seg_names`; -1 = idle).
+    #: Attached by the columnar planner kernels; derived lazily from the
+    #: allocation list for every other table.  Sharing them is what makes
+    #: plan transport zero-copy: ``as_arrays`` only translates local
+    #: handles to a caller's global ids, it never rescans allocations.
+    _seg_starts: Optional[array] = field(default=None, repr=False, compare=False)
+    _seg_ends: Optional[array] = field(default=None, repr=False, compare=False)
+    _seg_local: Optional[array] = field(default=None, repr=False, compare=False)
+    _seg_names: Optional[List[str]] = field(default=None, repr=False, compare=False)
+    #: Last ``as_arrays`` answer, keyed by the local->global handle map.
+    _arrays_memo: Optional[Tuple[Tuple[int, ...], Tuple[array, array, array]]] = (
+        field(default=None, repr=False, compare=False)
+    )
+    #: Shortest allocation, cached at column-attach time (tables with
+    #: columns are planner-produced and never mutated afterwards).
+    _min_alloc_ns: Optional[int] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Transient lookup memos are dropped from pickles (plan-store
+        # entries, process-pool transfers); the segment columns travel.
+        state = dict(self.__dict__)
+        state["_memo"] = None
+        state["_arrays_memo"] = None
+        return state
 
     def validate_layout(self) -> None:
         """Check ordering, bounds, and non-overlap of the allocations."""
@@ -105,6 +130,8 @@ class CoreTable:
         return self.busy_ns / self.length_ns
 
     def min_allocation_ns(self) -> Optional[int]:
+        if self._min_alloc_ns is not None:
+            return self._min_alloc_ns
         lengths = [a.length for a in self.allocations]
         return min(lengths) if lengths else None
 
@@ -222,6 +249,69 @@ class CoreTable:
     def service_intervals(self, vcpu: str) -> List[Tuple[int, int]]:
         return [(a.start, a.end) for a in self.allocations if a.vcpu == vcpu]
 
+    def attach_columns(
+        self,
+        seg_starts: array,
+        seg_ends: array,
+        seg_local: array,
+        seg_names: List[str],
+    ) -> None:
+        """Install planner-produced segment columns (zero-copy transport).
+
+        ``seg_local`` holds indices into ``seg_names`` (-1 = idle); the
+        columns must be the exact :meth:`as_arrays` flattening of
+        :attr:`allocations`.  The shortest-allocation length is cached
+        here too, so slice sizing and the serialized-size estimate never
+        rescan the allocation list.
+        """
+        self._seg_starts = seg_starts
+        self._seg_ends = seg_ends
+        self._seg_local = seg_local
+        self._seg_names = seg_names
+        self._arrays_memo = None
+        shortest: Optional[int] = None
+        for index in range(len(seg_local)):
+            if seg_local[index] < 0:
+                continue
+            length = seg_ends[index] - seg_starts[index]
+            if shortest is None or length < shortest:
+                shortest = length
+        self._min_alloc_ns = shortest
+
+    def _derive_columns(self) -> None:
+        """Build the local-handle segment columns from the allocations."""
+        starts = array("q")
+        ends = array("q")
+        local = array("q")
+        names: List[str] = []
+        ids: Dict[str, int] = {}
+        cursor = 0
+        for alloc in self.allocations:
+            if alloc.start > cursor:
+                starts.append(cursor)
+                ends.append(alloc.start)
+                local.append(-1)
+            starts.append(alloc.start)
+            ends.append(alloc.end)
+            if alloc.vcpu is None:
+                local.append(-1)
+            else:
+                handle = ids.get(alloc.vcpu)
+                if handle is None:
+                    handle = len(names)
+                    ids[alloc.vcpu] = handle
+                    names.append(alloc.vcpu)
+                local.append(handle)
+            cursor = alloc.end
+        if cursor < self.length_ns:
+            starts.append(cursor)
+            ends.append(self.length_ns)
+            local.append(-1)
+        self._seg_starts = starts
+        self._seg_ends = ends
+        self._seg_local = local
+        self._seg_names = names
+
     def as_arrays(
         self, vcpu_id: Callable[[str], int]
     ) -> Tuple[array, array, array]:
@@ -236,25 +326,40 @@ class CoreTable:
         compact structure-of-arrays encoding the array dispatch engine
         (:mod:`repro.sim.arraycore`) plays back with a cursor instead of
         probing the slice table.
+
+        The flattening is served from cached segment columns: planner
+        tables carry them from materialization (zero-copy), other tables
+        derive them once, and repeat calls with the same handle mapping
+        return the identical array objects.
         """
-        starts = array("q")
-        ends = array("q")
-        handles = array("q")
-        cursor = 0
-        for alloc in self.allocations:
-            if alloc.start > cursor:
-                starts.append(cursor)
-                ends.append(alloc.start)
-                handles.append(-1)
-            starts.append(alloc.start)
-            ends.append(alloc.end)
-            handles.append(vcpu_id(alloc.vcpu) if alloc.vcpu is not None else -1)
-            cursor = alloc.end
-        if cursor < self.length_ns:
-            starts.append(cursor)
-            ends.append(self.length_ns)
-            handles.append(-1)
-        return starts, ends, handles
+        if self._seg_names is None:
+            self._derive_columns()
+        names = self._seg_names
+        assert names is not None  # for mypy; _derive_columns always sets it
+        mapping = tuple(vcpu_id(name) for name in names)
+        memo = self._arrays_memo
+        if memo is not None and memo[0] == mapping:
+            return memo[1]
+        starts = self._seg_starts
+        ends = self._seg_ends
+        local = self._seg_local
+        assert starts is not None and ends is not None and local is not None
+        identity = True
+        for index, handle in enumerate(mapping):
+            if handle != index:
+                identity = False
+                break
+        if identity:
+            handles = local
+        else:
+            handles = array("q", local)
+            for index in range(len(handles)):
+                handle = handles[index]
+                if handle >= 0:
+                    handles[index] = mapping[handle]
+        result = (starts, ends, handles)
+        self._arrays_memo = (mapping, result)
+        return result
 
 
 @dataclass
@@ -277,10 +382,21 @@ class SystemTable:
     vcpu_names: List[str] = field(default_factory=list)
     home_cores: Dict[str, List[int]] = field(default_factory=dict)
     _vcpu_ids: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+    #: Cached :meth:`as_arrays` answer — a system table's allocations are
+    #: immutable after planning, so repeated table switches (and the
+    #: ``'TBLA'`` serializer) reuse the same column objects.
+    _arrays_cache: Optional[Dict[int, Tuple[array, array, array]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.vcpu_names or not self.home_cores:
             self._rebuild_index()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_arrays_cache"] = None
+        return state
 
     def _rebuild_index(self) -> None:
         names: List[str] = []
@@ -328,10 +444,12 @@ class SystemTable:
         Handles index :attr:`vcpu_names` (``-1`` = idle), so consumers can
         resolve them against any name-keyed registry.
         """
-        return {
-            cpu: table.as_arrays(self.vcpu_id)
-            for cpu, table in self.cores.items()
-        }
+        if self._arrays_cache is None:
+            self._arrays_cache = {
+                cpu: table.as_arrays(self.vcpu_id)
+                for cpu, table in self.cores.items()
+            }
+        return self._arrays_cache
 
     def is_split(self, vcpu: str) -> bool:
         return len(self.home_cores.get(vcpu, ())) > 1

@@ -48,6 +48,19 @@ class TableFormatError(ReproError):
     """A serialized scheduling table is malformed or has a bad magic/version."""
 
 
+class TableDeltaMismatchError(TableFormatError):
+    """A delta push does not apply to the hypervisor's staged table.
+
+    Raised when the delta's base token names a different table
+    generation than the one currently staged/serving (another push got
+    in between, or no table has been pushed at all), or when the delta's
+    geometry (table length, core set) disagrees with the base.  The
+    daemon treats this as a signal to fall back to a full-table push —
+    unlike its parent :class:`TableFormatError`, it is *not* a
+    deterministic payload rejection.
+    """
+
+
 class TablePushError(ReproError):
     """The table-push hypercall failed before the table was staged.
 

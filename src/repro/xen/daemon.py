@@ -34,10 +34,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
-from repro.core import Planner, PlanResult, TableCache
+from repro.core import METHOD_PARTITIONED, Planner, PlanResult, TableCache
 from repro.core.params import VMSpec, flatten_vcpus
+from repro.core.table import SystemTable
 from repro.crashpoints import CRASH_DAEMON_MID_RETRY, crashpoint
-from repro.errors import PlanningError, ReproError, TableFormatError, TablePushError
+from repro.errors import (
+    PlanningError,
+    ReproError,
+    TableDeltaMismatchError,
+    TableFormatError,
+    TablePushError,
+)
 from repro.faults.plan import SITE_PLAN
 from repro.topology import Topology
 from repro.xen.hypercall import PushRecord, TableHypercall
@@ -150,6 +157,16 @@ class PlannerDaemon:
         #: episodes), immune to ring eviction.
         self.total_push_backoff_ns = 0
         self.current_plan: Optional[PlanResult] = None
+        #: The last table successfully pushed, and the hypercall
+        #: generation token it landed as — the base a delta push names.
+        self._last_pushed_table: Optional[SystemTable] = None
+        self._last_push_token = 0
+        #: Push-path accounting: how often only changed per-core columns
+        #: travelled, how often the whole table did, and how often a
+        #: delta was bounced (stale base) and re-sent in full.
+        self.delta_pushes = 0
+        self.full_pushes = 0
+        self.delta_fallbacks = 0
         #: Invoked as (result, record) right after a replan commits (new
         #: table safely staged).  The health supervisor uses it to learn
         #: that a clean table is on its way to the dispatcher.
@@ -188,7 +205,7 @@ class PlannerDaemon:
         if self.hypercall is not None:
             while True:
                 try:
-                    push = self.hypercall.push_system_table(result.table)
+                    push = self._push_result(result)
                     break
                 except TableFormatError as error:
                     # Format rejections are deterministic — the same
@@ -244,6 +261,87 @@ class PlannerDaemon:
         if self.on_commit is not None:
             self.on_commit(result, record)
         return result
+
+    # ------------------------------------------------------------------
+    # Push transport: delta when cheap, full otherwise
+    # ------------------------------------------------------------------
+
+    def _push_result(self, result: PlanResult) -> PushRecord:
+        """Push ``result``'s table — as a per-core delta when that is
+        both expressible and smaller than half the table.
+
+        A bounced delta (:class:`TableDeltaMismatchError` — the
+        hypervisor's base moved underneath us) is retried as a full
+        push rather than failing the episode; any *other* format error
+        propagates to the caller's fail-fast handling.  Exceptions
+        leave ``_last_pushed_table`` untouched, so retry attempts
+        re-evaluate delta eligibility against the real base.
+        """
+        hypercall = self.hypercall
+        assert hypercall is not None
+        table = result.table
+        changed = self._changed_cores(table) if self._delta_eligible(result) else None
+        # Worth a delta only when at most half the cores moved;
+        # otherwise the full table is barely bigger and needs no base.
+        if changed is not None and 2 * len(changed) <= len(table.cores):
+            try:
+                push = hypercall.push_system_table_delta(
+                    table, changed, self._last_push_token
+                )
+            except TableDeltaMismatchError:
+                self.delta_fallbacks += 1
+            else:
+                self.delta_pushes += 1
+                self._note_pushed(table)
+                return push
+        push = hypercall.push_system_table(table)
+        self.full_pushes += 1
+        self._note_pushed(table)
+        return push
+
+    def _delta_eligible(self, result: PlanResult) -> bool:
+        """Whether ``result`` may travel as a delta at all.
+
+        Deltas are restricted to plain partitioned plans with peephole
+        optimization off: split pieces (``#k`` names) and peephole
+        rewrites couple cores through shared vCPUs, so a per-core diff
+        no longer captures the full schedule change safely.
+        """
+        return (
+            result.stats.method == METHOD_PARTITIONED
+            and not self.planner.peephole
+        )
+
+    def _changed_cores(self, table: SystemTable) -> Optional[List[int]]:
+        """Cores whose schedule differs from the last pushed table.
+
+        Returns ``None`` when no delta base exists or the geometry
+        (length, core set) changed — i.e. a delta is inexpressible.
+        Structurally shared cores (delta replans reuse untouched
+        ``CoreTable`` objects) are skipped by identity before falling
+        back to an allocation-by-allocation comparison.
+        """
+        base = self._last_pushed_table
+        if base is None:
+            return None
+        if base.length_ns != table.length_ns:
+            return None
+        if set(base.cores) != set(table.cores):
+            return None
+        changed: List[int] = []
+        for cpu, core in table.cores.items():
+            old = base.cores[cpu]
+            if core is old:
+                continue
+            if core.allocations == old.allocations:
+                continue
+            changed.append(cpu)
+        return changed
+
+    def _note_pushed(self, table: SystemTable) -> None:
+        assert self.hypercall is not None
+        self._last_pushed_table = table
+        self._last_push_token = self.hypercall.delta_generation
 
     def _append(self, record: ReplanRecord) -> None:
         """Ring append + exact counter update (the only history writer)."""

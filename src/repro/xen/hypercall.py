@@ -29,9 +29,15 @@ from typing import List, Optional, TYPE_CHECKING
 
 from dataclasses import dataclass
 
-from repro.core.serialize import deserialize, serialize
+from repro.core.edfcore import core_table_from_columns
+from repro.core.serialize import (
+    deserialize,
+    deserialize_delta,
+    serialize,
+    serialize_delta,
+)
 from repro.core.table import SystemTable
-from repro.errors import TableFormatError, TablePushError
+from repro.errors import TableDeltaMismatchError, TableFormatError, TablePushError
 from repro.faults.plan import SITE_ACTIVATION, SITE_PAYLOAD, SITE_PUSH, corrupt_payload
 from repro.schedulers.tableau import TableauScheduler
 
@@ -47,6 +53,7 @@ class PushRecord:
     activation_cycle: int
     table_bytes: int
     delayed_cycles: int = 0  # extra cycles added by an activation fault
+    delta: bool = False  # True when only changed per-core columns travelled
 
 
 class TableHypercall:
@@ -70,6 +77,13 @@ class TableHypercall:
         self.activations = 0
         self.retired_unactivated = 0
         self.failed_activations = 0
+        #: Monotonic push-generation token.  Bumped on every successful
+        #: push; a delta payload names the generation it applies on top
+        #: of, so a stale delta (another push got in between) is
+        #: rejected instead of silently merging onto the wrong base.
+        self.delta_generation = 0
+        #: The most recently pushed table — the base a delta applies to.
+        self._delta_base: Optional[SystemTable] = None
         scheduler.on_table_switch = self._on_table_switch
         scheduler.add_switch_failed_listener(self._on_switch_failed)
 
@@ -144,14 +158,72 @@ class TableHypercall:
         install_table`: a rejected push leaves the serving table, the
         staged table, and all accounting untouched.
         """
+        payload = self._consult_push_faults(payload)
+        table = deserialize(payload)  # raises TableFormatError when bad
+        table.validate()
+        return self._stage(table, len(payload), delta=False)
+
+    def push_table_delta(self, payload: bytes) -> PushRecord:
+        """Validate and stage a delta payload (changed per-core columns).
+
+        The delta is applied on top of the most recently pushed table:
+        cores absent from the payload share that base table's
+        ``CoreTable`` objects outright (zero-copy), cores present are
+        rebuilt from their gap-free segment columns.  A delta whose base
+        token does not name the current push generation — or whose
+        geometry disagrees with the base — is rejected with
+        :class:`TableDeltaMismatchError` *before* anything is staged;
+        the daemon then falls back to a full push.  The assembled table
+        passes the same full validation as a complete push.
+        """
+        payload = self._consult_push_faults(payload)
+        length_ns, names, base_token, columns = deserialize_delta(payload)
+        base = self._delta_base
+        if base is None:
+            raise TableDeltaMismatchError(
+                "delta push with no previously pushed base table"
+            )
+        if base_token != self.delta_generation:
+            raise TableDeltaMismatchError(
+                f"delta base token {base_token} does not match push "
+                f"generation {self.delta_generation}"
+            )
+        if length_ns != base.length_ns:
+            raise TableDeltaMismatchError(
+                f"delta length {length_ns} does not match base length "
+                f"{base.length_ns}"
+            )
+        cores = dict(base.cores)
+        for cpu, (ends, handles) in columns.items():
+            if cpu not in cores:
+                raise TableDeltaMismatchError(
+                    f"delta for cpu {cpu} absent from the base table"
+                )
+            cores[cpu] = core_table_from_columns(
+                cpu, length_ns, ends, handles, names
+            )
+        table = SystemTable(length_ns=length_ns, cores=cores)
+        table.validate()
+        return self._stage(table, len(payload), delta=True)
+
+    def _consult_push_faults(self, payload: bytes) -> bytes:
+        """Push-site fault injection, shared by full and delta pushes."""
         faults = self.faults
         if faults is not None:
             if faults.fires(SITE_PUSH) is not None:
                 raise TablePushError("injected table-push failure")
             if faults.fires(SITE_PAYLOAD) is not None:
                 payload = corrupt_payload(payload)
-        table = deserialize(payload)  # raises TableFormatError when bad
-        table.validate()
+        return payload
+
+    def _stage(self, table: SystemTable, payload_len: int, delta: bool) -> PushRecord:
+        """Stage a validated table: activation math, retirement, record.
+
+        The tail shared by :meth:`push_table` and
+        :meth:`push_table_delta`; everything before this point is
+        side-effect-free, so a rejected push never disturbs the serving
+        table.
+        """
         now = self._now()
         # The dispatcher checks the activation cycle against the length
         # of the table serving *at the wrap*; both sides use the current
@@ -164,8 +236,8 @@ class TableHypercall:
         # that write.
         activation_cycle = cycle + (2 if phase > length // 2 else 1)
         delayed = 0
-        if faults is not None:
-            spec = faults.fires(SITE_ACTIVATION)
+        if self.faults is not None:
+            spec = self.faults.fires(SITE_ACTIVATION)
             if spec is not None:
                 delayed = spec.delay_cycles
                 activation_cycle += delayed
@@ -177,11 +249,14 @@ class TableHypercall:
             self._staged = None
         self.scheduler.install_table(table, activation_cycle)
         self._staged = table
+        self.delta_generation += 1
+        self._delta_base = table
         record = PushRecord(
             pushed_at_ns=now,
             activation_cycle=activation_cycle,
-            table_bytes=len(payload),
+            table_bytes=payload_len,
             delayed_cycles=delayed,
+            delta=delta,
         )
         self.pushes.append(record)
         return record
@@ -189,3 +264,11 @@ class TableHypercall:
     def push_system_table(self, table: SystemTable) -> PushRecord:
         """Serialize-then-push convenience used by the planner daemon."""
         return self.push_table(serialize(table))
+
+    def push_system_table_delta(
+        self, table: SystemTable, changed_cores: List[int], base_token: int
+    ) -> PushRecord:
+        """Serialize-then-push convenience for the delta path."""
+        return self.push_table_delta(
+            serialize_delta(table, changed_cores, base_token)
+        )

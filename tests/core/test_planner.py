@@ -176,8 +176,17 @@ class TestPlanStats:
 
 
 class TestSliceInvariant:
-    def test_slices_built_for_all_cores(self):
+    def test_slices_lazy_until_install(self):
+        # The planner no longer builds slice tables eagerly — the array
+        # engine plays back segment columns and the object scheduler
+        # builds slices at install time — so a fresh plan has none.
         result = plan_uniform(8, 0.25, 30, cores=2)
+        for table in result.table.cores.values():
+            assert not table.slices
+
+    def test_slices_built_on_demand_for_all_cores(self):
+        result = plan_uniform(8, 0.25, 30, cores=2)
+        result.table.build_slices()
         for table in result.table.cores.values():
             assert table.slices
             if table.allocations:

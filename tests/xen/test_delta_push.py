@@ -1,0 +1,203 @@
+"""The delta table push: changed per-core columns only (zero-copy).
+
+Covers both ends of the 'TBLD' transport: the hypercall's validation
+and base-token protocol, and the daemon's eligibility gating plus the
+mismatch → full-push fallback.
+"""
+
+import pytest
+
+from repro.core import MS, CensusDelta, Planner, make_vm, serialize
+from repro.core.serialize import serialize_delta
+from repro.core.table import SystemTable
+from repro.errors import TableDeltaMismatchError, TableFormatError
+from repro.faults import FaultPlan
+from repro.schedulers import TableauScheduler
+from repro.topology import uniform, xeon_16core
+from repro.xen import PlannerDaemon, TableHypercall
+
+
+def census(count, prefix="vm"):
+    return [make_vm(f"{prefix}{i:02d}", 0.25, 20 * MS) for i in range(count)]
+
+
+def build_daemon(topo=None):
+    topo = topo or uniform(4)
+    sched = TableauScheduler(SystemTable(length_ns=MS, cores={}))
+    hypercall = TableHypercall(sched)
+    return PlannerDaemon(topo, hypercall=hypercall), hypercall, sched
+
+
+class TestHypercallDeltaProtocol:
+    def test_delta_before_any_push_is_a_mismatch(self):
+        _, hypercall, _ = build_daemon()
+        plan = Planner(uniform(4)).plan(census(4))
+        payload = serialize_delta(plan.table, [], 0)
+        with pytest.raises(TableDeltaMismatchError, match="no previously pushed"):
+            hypercall.push_table_delta(payload)
+        assert not hypercall.pushes  # nothing staged
+
+    def test_stale_base_token_rejected(self):
+        daemon, hypercall, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        plan = daemon.current_plan
+        stale = serialize_delta(plan.table, [], hypercall.delta_generation - 1)
+        with pytest.raises(TableDeltaMismatchError, match="base token"):
+            hypercall.push_table_delta(stale)
+
+    def test_length_mismatch_rejected(self):
+        daemon, hypercall, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        other = Planner(uniform(4), hyperperiod_ns=200 * MS).plan(
+            [make_vm("odd", 0.3, 30 * MS)]
+        )
+        assert other.table.length_ns != daemon.current_plan.table.length_ns
+        payload = serialize_delta(other.table, [], hypercall.delta_generation)
+        with pytest.raises(TableDeltaMismatchError, match="length"):
+            hypercall.push_table_delta(payload)
+
+    def test_unknown_core_rejected(self):
+        daemon, hypercall, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        base = daemon.current_plan.table
+        ghost_cpu = max(base.cores) + 17
+        ghost = SystemTable(
+            length_ns=base.length_ns,
+            cores=dict(base.cores),
+        )
+        # Hand-build a delta naming a core the base does not have.
+        donor_cpu = next(iter(base.cores))
+        donor = base.cores[donor_cpu]
+        ghost.cores[ghost_cpu] = donor
+        payload = serialize_delta(ghost, [ghost_cpu], hypercall.delta_generation)
+        with pytest.raises(TableDeltaMismatchError, match="absent from the base"):
+            hypercall.push_table_delta(payload)
+
+    def test_successful_delta_shares_unchanged_cores(self):
+        daemon, hypercall, sched = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        base_staged = hypercall.staged_table
+        daemon.replan(vms + [make_vm("vm44", 0.25, 20 * MS)], "create")
+        record = daemon.history[-1].push
+        assert record.delta
+        staged = hypercall.staged_table
+        changed = set(daemon.current_plan.stats.changed_cores or ())
+        assert changed  # the create really did repack something
+        for cpu, core in staged.cores.items():
+            if cpu not in changed:
+                assert core is base_staged.cores[cpu]
+
+    def test_zero_core_delta_for_identical_replan(self):
+        daemon, hypercall, _ = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        full_bytes = daemon.history[-1].push.table_bytes
+        daemon.replan(vms, "regen")
+        record = daemon.history[-1].push
+        assert record.delta
+        assert record.table_bytes < full_bytes // 4
+
+    def test_generation_token_advances_per_push(self):
+        daemon, hypercall, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        daemon.replan(census(5), "grow")
+        daemon.replan(census(5), "noop")
+        assert hypercall.delta_generation == 3
+        assert len(hypercall.pushes) == 3
+
+    def test_corrupt_delta_payload_is_a_format_error(self):
+        daemon, hypercall, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        plan = daemon.current_plan
+        payload = serialize_delta(plan.table, [], hypercall.delta_generation)
+        garbled = b"TBLX" + payload[4:]
+        with pytest.raises(TableFormatError):
+            hypercall.push_table_delta(garbled)
+
+
+class TestDaemonDeltaGating:
+    def test_boot_push_is_full(self):
+        daemon, _, _ = build_daemon()
+        daemon.replan(census(4), "boot")
+        assert daemon.full_pushes == 1
+        assert daemon.delta_pushes == 0
+        assert not daemon.history[-1].push.delta
+
+    def test_small_change_travels_as_delta(self):
+        daemon, _, _ = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        daemon.replan(vms + [make_vm("vm44", 0.25, 20 * MS)], "create")
+        assert daemon.delta_pushes == 1
+        assert daemon.delta_fallbacks == 0
+
+    def test_semi_partitioned_plan_forces_full_push(self):
+        daemon, _, _ = build_daemon(uniform(2))
+        awkward = [make_vm(f"vm{i}", 0.6, 100 * MS) for i in range(3)]
+        daemon.replan(awkward[:2], "boot")
+        daemon.replan(awkward, "grow")  # escalates to semi-partitioning
+        assert daemon.delta_pushes == 0
+        assert daemon.full_pushes == 2
+
+    def test_peephole_planner_forces_full_push(self):
+        topo = uniform(4)
+        sched = TableauScheduler(SystemTable(length_ns=MS, cores={}))
+        hypercall = TableHypercall(sched)
+        daemon = PlannerDaemon(topo, hypercall=hypercall, peephole=True)
+        vms = census(8)
+        daemon.replan(vms, "boot")
+        daemon.replan(vms + [make_vm("vm99", 0.25, 20 * MS)], "create")
+        assert daemon.delta_pushes == 0
+        assert daemon.full_pushes == 2
+
+    def test_stale_base_falls_back_to_full_push(self):
+        daemon, hypercall, _ = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        # Another writer advances the generation behind the daemon.
+        hypercall.push_system_table(daemon.current_plan.table)
+        daemon.replan(vms + [make_vm("vm44", 0.25, 20 * MS)], "create")
+        assert daemon.delta_fallbacks == 1
+        assert daemon.full_pushes == 2
+        assert daemon.history[-1].committed
+        # Re-synced: the next incremental change deltas again.
+        daemon.replan(vms, "destroy")
+        assert daemon.delta_pushes == 1
+
+    def test_delta_and_full_tables_dispatch_identically(self):
+        # The staged table assembled from a delta must equal the one a
+        # full push of the same plan would install.
+        daemon, hypercall, _ = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        grown = vms + [make_vm("vm44", 0.25, 20 * MS)]
+        daemon.replan(grown, "create")
+        staged = hypercall.staged_table
+        scratch = Planner(xeon_16core()).plan(grown)
+        assert staged.length_ns == scratch.table.length_ns
+        assert set(staged.cores) == set(scratch.table.cores)
+        for cpu, core in scratch.table.cores.items():
+            assert staged.cores[cpu].allocations == core.allocations
+        staged.validate()
+
+
+class TestDeltaPlannerIntegration:
+    def test_census_delta_replan_pushes_only_changed_columns(self):
+        # End-to-end: CensusDelta at the planner, 'TBLD' on the wire.
+        daemon, hypercall, _ = build_daemon(xeon_16core())
+        vms = census(44)
+        daemon.replan(vms, "boot")
+        planner = daemon.planner
+        delta_result = planner.plan(
+            CensusDelta(create=[make_vm("vm44", 0.25, 20 * MS)])
+        )
+        changed = delta_result.stats.changed_cores
+        assert changed is not None and len(changed) >= 1
+        payload = serialize_delta(
+            delta_result.table, changed, hypercall.delta_generation
+        )
+        full = serialize(delta_result.table)
+        assert len(payload) < len(full) // 4
+        record = hypercall.push_table_delta(payload)
+        assert record.delta
